@@ -1,0 +1,98 @@
+// Ablation B: the page-selection policy of Algorithm 2.
+//
+// The paper prescribes indexing pages in *ascending* counter order: "pages
+// with many already indexed tuples are more valuable for the Index Buffer"
+// — the same number of skippable pages is achieved with fewer buffer
+// entries (§III). This bench replays Experiment 1 under a tight space
+// bound with three policies and reports skippable pages per buffer entry,
+// the metric the design choice optimizes.
+
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv_writer.h"
+
+namespace aib {
+namespace {
+
+struct PolicyResult {
+  size_t final_entries = 0;
+  size_t final_skipped = 0;
+  double mean_cost_tail = 0;
+};
+
+Result<PolicyResult> RunOne(const bench::BenchArgs& args,
+                            PageSelectionPolicy policy) {
+  PaperSetupOptions setup = bench::PaperSetup(args);
+  // Tight bound: ~25% of the uncovered entries. Under a budget, entry
+  // efficiency decides how many pages become skippable.
+  setup.db.space.max_entries = args.num_tuples * 9 / 10 / 4;
+  setup.db.space.selection_policy = policy;
+  setup.db.space.seed = args.seed;
+  setup.db.buffer.partition_pages = args.num_tuples / 280;
+  AIB_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                       BuildPaperDatabase(setup));
+
+  PhaseSpec phase;
+  phase.num_queries = 60;
+  phase.mix = {bench::PaperMix(0)};
+  WorkloadGenerator gen({phase}, args.seed);
+  AIB_ASSIGN_OR_RETURN(std::vector<SeriesPoint> series,
+                       RunWorkload(db.get(), &gen));
+
+  PolicyResult result;
+  result.final_entries = series.back().buffer_entries[0];
+  result.final_skipped = series.back().stats.pages_skipped;
+  double sum = 0;
+  for (size_t i = 40; i < series.size(); ++i) sum += series[i].stats.cost;
+  result.mean_cost_tail = sum / 20.0;
+  return result;
+}
+
+int Run(const bench::BenchArgs& args) {
+  struct Row {
+    std::string label;
+    PageSelectionPolicy policy;
+  };
+  const std::vector<Row> rows = {
+      {"counter-ascending (paper)", PageSelectionPolicy::kCounterAscending},
+      {"random", PageSelectionPolicy::kRandom},
+      {"counter-descending", PageSelectionPolicy::kCounterDescending},
+  };
+
+  ConsoleTable table({"policy", "entries", "pages skipped",
+                      "pages/1k entries", "tail mean cost"});
+  for (const Row& row : rows) {
+    Result<PolicyResult> r = RunOne(args, row.policy);
+    if (!r.ok()) {
+      std::cerr << r.status().ToString() << "\n";
+      return 1;
+    }
+    const double efficiency =
+        r->final_entries == 0
+            ? 0
+            : static_cast<double>(r->final_skipped) /
+                  (static_cast<double>(r->final_entries) / 1000.0);
+    table.AddRow({row.label, std::to_string(r->final_entries),
+                  std::to_string(r->final_skipped),
+                  FormatDouble(efficiency, 1),
+                  FormatDouble(r->mean_cost_tail, 1)});
+  }
+
+  std::cout << "Ablation B — Algorithm 2 page-selection policy under a "
+               "tight space bound (25% of uncovered entries)\n\n";
+  table.Print(std::cout);
+  std::cout << "\nShape check: counter-ascending should dominate "
+               "pages-skipped-per-entry (and therefore tail cost); "
+               "counter-descending is the worst case. With uniform data "
+               "the gap is modest; it widens when counters vary (partially "
+               "covered pages).\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aib
+
+int main(int argc, char** argv) {
+  return aib::Run(aib::bench::ParseArgs(argc, argv));
+}

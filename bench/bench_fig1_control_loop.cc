@@ -1,0 +1,142 @@
+// Figure 1: Control Loop Delay in Adaptive Partial Indexing.
+//
+// Reproduces the paper's introductory simulation: a single integer column
+// queried 500 times; the online tuner indexes a value after it was queried
+// >= 6 times within the last 20 queries and evicts least-recently-used
+// values beyond a capacity of 15. Between query 200 and 300 the workload
+// focus shifts from values < 15 to values > 15.
+//
+// Printed series (the figure's three elements):
+//   - queried value per query,
+//   - the indexed value range (min/max of the partial index coverage),
+//   - the partial-index hit rate over a 25-query moving window.
+//
+// Expected shape: the indexed range follows the queried range with a delay
+// of roughly 100-200 queries; the hit rate collapses during the shift and
+// recovers only after the tuner caught up — the control loop delay the
+// Adaptive Index Buffer is designed to bridge.
+
+#include <algorithm>
+#include <deque>
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/csv_writer.h"
+
+namespace aib {
+namespace {
+
+int Run(const bench::BenchArgs& args) {
+  // The Fig. 1 simulation is value-domain based; a compact table keeps the
+  // tuner's adaptation scans cheap without changing the control loop.
+  PaperSetupOptions setup = bench::PaperSetup(args);
+  setup.num_tuples = std::min<size_t>(args.num_tuples, 30000);
+  setup.value_min = 1;
+  setup.value_max = 30;
+  setup.covered_lo = 1;
+  setup.covered_hi = 15;
+  setup.int_columns = 1;
+  setup.payload_max = 16;
+  setup.db.enable_index_buffer = false;  // Fig. 1 shows plain tuning
+  Result<std::unique_ptr<Database>> db_or = BuildPaperDatabase(setup);
+  if (!db_or.ok()) {
+    std::cerr << "setup failed: " << db_or.status().ToString() << "\n";
+    return 1;
+  }
+  std::unique_ptr<Database> db = std::move(db_or).value();
+
+  IndexTunerOptions tuner_options;
+  tuner_options.window_size = 20;
+  tuner_options.index_threshold = 6;
+  tuner_options.max_indexed_values = 15;
+  if (Status s = db->AttachTuner(0, tuner_options); !s.ok()) {
+    std::cerr << "tuner failed: " << s.ToString() << "\n";
+    return 1;
+  }
+
+  Rng rng(args.seed);
+  std::deque<bool> hit_window;
+  size_t hits_in_window = 0;
+
+  auto csv = bench::OpenCsv(args);
+  CsvWriter csv_writer(csv != nullptr ? *csv : std::cout);
+  if (csv != nullptr) {
+    csv_writer.WriteHeader({"query", "queried_value", "indexed_min",
+                            "indexed_max", "hit", "hit_rate_ma25"});
+  }
+
+  ConsoleTable table(
+      {"query", "queried", "indexed_range", "hit_rate(ma25)"});
+
+  const size_t kQueries = 500;
+  for (size_t q = 0; q < kQueries; ++q) {
+    // Workload: a narrow queried value *band* (the shaded range in the
+    // paper's figure). Its center sits at 8 (values < 15), ramps to 23
+    // (values > 15) between query 200 and 300, and stays there. Values
+    // repeat often enough within the band that the 6-in-20 threshold is
+    // reachable — yet rarely enough that adaptation lags the workload.
+    double center = 8.0;
+    if (q >= 300) {
+      center = 23.0;
+    } else if (q >= 200) {
+      center = 8.0 + 15.0 * static_cast<double>(q - 200) / 100.0;
+    }
+    const Value value = static_cast<Value>(std::clamp<int64_t>(
+        static_cast<int64_t>(center) + rng.UniformInt(-2, 2), 1, 30));
+
+    const bool hit = db->GetIndex(0)->Covers(value);
+    Result<QueryResult> result = db->Execute(Query::Point(0, value));
+    if (!result.ok()) {
+      std::cerr << "query failed: " << result.status().ToString() << "\n";
+      return 1;
+    }
+
+    hit_window.push_back(hit);
+    hits_in_window += hit ? 1 : 0;
+    if (hit_window.size() > 25) {
+      hits_in_window -= hit_window.front() ? 1 : 0;
+      hit_window.pop_front();
+    }
+    const double hit_rate =
+        static_cast<double>(hits_in_window) / hit_window.size();
+
+    // The indexed value range = the coverage's extremes.
+    Value indexed_min = 0;
+    Value indexed_max = 0;
+    bool first_interval = true;
+    db->GetIndex(0)->coverage().ForEachInterval([&](Value lo, Value hi) {
+      if (first_interval) indexed_min = lo;
+      indexed_max = hi;
+      first_interval = false;
+    });
+
+    if (csv != nullptr) {
+      csv_writer.Row(q, value, indexed_min, indexed_max, hit ? 1 : 0,
+                     FormatDouble(hit_rate, 3));
+    }
+    if (q % 20 == 0 || q == kQueries - 1) {
+      table.AddRow({std::to_string(q), std::to_string(value),
+                    "[" + std::to_string(indexed_min) + "," +
+                        std::to_string(indexed_max) + "]",
+                    FormatDouble(hit_rate, 2)});
+    }
+  }
+
+  std::cout << "Figure 1 — Control Loop Delay in Adaptive Partial Indexing\n"
+            << "(window=20, threshold=6, LRU capacity=15; workload shifts "
+               "from values <=15 to >15 between query 200 and 300)\n\n";
+  table.Print(std::cout);
+  std::cout << "\nShape check: the indexed range should still be [1,15] "
+               "well past query 200, follow the queried band only with a "
+               "lag of ~50-150 queries, and the hit rate should collapse "
+               "during the shift and recover afterwards — that lag is the "
+               "control loop delay.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace aib
+
+int main(int argc, char** argv) {
+  return aib::Run(aib::bench::ParseArgs(argc, argv));
+}

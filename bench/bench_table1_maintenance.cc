@@ -1,0 +1,169 @@
+// Table I: Index Buffer maintenance operations.
+//
+// The paper's Table I defines which (partial index, Index Buffer, counter)
+// operations each DML case triggers. This micro-benchmark measures the
+// per-operation cost of every cell of the matrix plus the insert/delete
+// degenerations, demonstrating that maintenance is cheap, in-memory work
+// (the premise that lets the Index Buffer shadow DML without the I/O cost
+// of adapting the disk-based partial index).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/maintenance.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace aib {
+namespace {
+
+/// Shared fixture state: coverage [0, 99]; page 0 buffered, page 1 not.
+struct MaintenanceBench {
+  MaintenanceBench()
+      : disk(4096),
+        pool(&disk, 64),
+        table("t", Schema::PaperSchema(1, 16), &disk, &pool,
+              HeapFileOptions{.max_tuples_per_page = 4}) {
+    for (Value v : {0, 1, 200, 201, 2, 3, 202, 203}) {
+      rids.push_back(table.Insert(Tuple({v}, {"p"})).value());
+    }
+    index = std::make_unique<PartialIndex>(&table, 0,
+                                           ValueCoverage::Range(0, 99));
+    (void)index->Build();
+    buffer = std::make_unique<IndexBuffer>(
+        index.get(), IndexBufferOptions{.partition_pages = 1});
+    (void)buffer->InitCounters();
+    buffer->AddTuple(0, 200, rids[2]);
+    buffer->MarkPageIndexed(0);
+  }
+
+  DiskManager disk;
+  BufferPool pool;
+  Table table;
+  std::vector<Rid> rids;
+  std::unique_ptr<PartialIndex> index;
+  std::unique_ptr<IndexBuffer> buffer;
+};
+
+/// One update cell of Table I, parameterized by
+/// (old∈IX, new∈IX, p_old∈B, p_new∈B) packed into the benchmark args.
+void BM_TableI_UpdateCell(benchmark::State& state) {
+  MaintenanceBench bench;
+  const bool old_in_ix = state.range(0) != 0;
+  const bool new_in_ix = state.range(1) != 0;
+  const size_t old_page = state.range(2) != 0 ? 0 : 1;
+  const size_t new_page = state.range(3) != 0 ? 0 : 1;
+  const Value old_value = old_in_ix ? 10 : 300;
+  const Value new_value = new_in_ix ? 11 : 301;
+
+  int64_t i = 0;
+  for (auto _ : state) {
+    // Alternate forward/backward so state stays balanced across
+    // iterations.
+    const bool forward = (i++ % 2) == 0;
+    const TupleChange change =
+        forward ? TupleChange::MakeUpdate(old_value,
+                                          Rid{(PageId)old_page, 20}, old_page,
+                                          new_value, Rid{(PageId)new_page, 21},
+                                          new_page)
+                : TupleChange::MakeUpdate(new_value,
+                                          Rid{(PageId)new_page, 21}, new_page,
+                                          old_value, Rid{(PageId)old_page, 20},
+                                          old_page);
+    // Seed the "old" side so the change is always applicable.
+    if (forward) {
+      if (old_in_ix) {
+        bench.index->Add(old_value, Rid{(PageId)old_page, 20});
+      } else if (bench.buffer->PageInBuffer(old_page)) {
+        bench.buffer->AddTuple(old_page, old_value, Rid{(PageId)old_page, 20});
+      } else {
+        bench.buffer->counters().Increment(old_page);
+      }
+    }
+    benchmark::DoNotOptimize(
+        ApplyMaintenance(bench.index.get(), bench.buffer.get(), change));
+    if (!forward) {
+      // Tear down the re-seeded old side to avoid unbounded growth.
+      if (old_in_ix) {
+        bench.index->Remove(old_value, Rid{(PageId)old_page, 20});
+      } else if (bench.buffer->PageInBuffer(old_page)) {
+        bench.buffer->RemoveTuple(old_page, old_value,
+                                  Rid{(PageId)old_page, 20});
+      } else {
+        bench.buffer->counters().Decrement(old_page);
+      }
+    }
+  }
+}
+BENCHMARK(BM_TableI_UpdateCell)
+    ->ArgNames({"oldIX", "newIX", "oldB", "newB"})
+    ->ArgsProduct({{0, 1}, {0, 1}, {0, 1}, {0, 1}});
+
+void BM_TableI_InsertCovered(benchmark::State& state) {
+  MaintenanceBench bench;
+  SlotId slot = 100;
+  for (auto _ : state) {
+    const Rid rid{1, slot++};
+    benchmark::DoNotOptimize(ApplyMaintenance(
+        bench.index.get(), bench.buffer.get(),
+        TupleChange::MakeInsert(50, rid, 1)));
+  }
+}
+BENCHMARK(BM_TableI_InsertCovered);
+
+void BM_TableI_InsertUncoveredBufferedPage(benchmark::State& state) {
+  MaintenanceBench bench;
+  SlotId slot = 100;
+  for (auto _ : state) {
+    const Rid rid{0, slot++};
+    benchmark::DoNotOptimize(ApplyMaintenance(
+        bench.index.get(), bench.buffer.get(),
+        TupleChange::MakeInsert(300, rid, 0)));
+  }
+}
+BENCHMARK(BM_TableI_InsertUncoveredBufferedPage);
+
+void BM_TableI_InsertUncoveredPlainPage(benchmark::State& state) {
+  MaintenanceBench bench;
+  SlotId slot = 100;
+  for (auto _ : state) {
+    const Rid rid{1, slot++};
+    benchmark::DoNotOptimize(ApplyMaintenance(
+        bench.index.get(), bench.buffer.get(),
+        TupleChange::MakeInsert(300, rid, 1)));
+  }
+}
+BENCHMARK(BM_TableI_InsertUncoveredPlainPage);
+
+void BM_TableI_DeleteInsertRoundTrip(benchmark::State& state) {
+  MaintenanceBench bench;
+  for (auto _ : state) {
+    const Rid rid{1, 99};
+    benchmark::DoNotOptimize(ApplyMaintenance(
+        bench.index.get(), bench.buffer.get(),
+        TupleChange::MakeInsert(300, rid, 1)));
+    benchmark::DoNotOptimize(ApplyMaintenance(
+        bench.index.get(), bench.buffer.get(),
+        TupleChange::MakeDelete(300, rid, 1)));
+  }
+}
+BENCHMARK(BM_TableI_DeleteInsertRoundTrip);
+
+/// Reference point: an adaptation step of the disk-based partial index
+/// (AddValue + RemoveValue round trip) — the expensive operation the
+/// Index Buffer's cheap maintenance is designed to avoid.
+void BM_PartialIndexAdaptationRoundTrip(benchmark::State& state) {
+  MaintenanceBench bench;
+  std::vector<Rid> rids = {Rid{1, 4}, Rid{1, 5}, Rid{1, 6}, Rid{1, 7}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bench.index->AddValue(300, rids));
+    benchmark::DoNotOptimize(bench.index->RemoveValue(300));
+  }
+}
+BENCHMARK(BM_PartialIndexAdaptationRoundTrip);
+
+}  // namespace
+}  // namespace aib
+
+BENCHMARK_MAIN();

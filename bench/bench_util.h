@@ -1,0 +1,119 @@
+#ifndef AIB_BENCH_BENCH_UTIL_H_
+#define AIB_BENCH_BENCH_UTIL_H_
+
+// Shared scaffolding of the figure-reproduction benches. Each bench binary
+// reproduces one table/figure of the paper: it builds the paper's data
+// setup (scaled by --scale), replays the experiment's workload, and prints
+// the per-query series the figure plots, as an aligned console table and,
+// with --csv <path>, as CSV.
+//
+// Scales:
+//   --scale=small   50,000 tuples  (quick smoke run; the default, so that
+//                                   `for b in build/bench/*; do $b; done`
+//                                   finishes in minutes)
+//   --scale=medium 100,000 tuples
+//   --scale=paper  500,000 tuples  (the paper's 220 MB table)
+//
+// Absolute runtimes differ from the 2012 H2/Java/SSD testbed by
+// construction; the series *shapes* are the reproduction target (see
+// EXPERIMENTS.md).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "workload/experiment.h"
+
+namespace aib::bench {
+
+struct BenchArgs {
+  size_t num_tuples = 50000;
+  std::string scale = "small";
+  std::optional<std::string> csv_path;
+  uint64_t seed = 1;
+};
+
+inline BenchArgs ParseArgs(int argc, char** argv) {
+  BenchArgs args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value_of = [&](const char* prefix) -> std::optional<std::string> {
+      const size_t len = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) == 0) return arg.substr(len);
+      return std::nullopt;
+    };
+    if (auto v = value_of("--scale=")) {
+      args.scale = *v;
+      if (*v == "small") {
+        args.num_tuples = 50000;
+      } else if (*v == "medium") {
+        args.num_tuples = 100000;
+      } else if (*v == "paper") {
+        args.num_tuples = 500000;
+      } else {
+        std::fprintf(stderr, "unknown --scale=%s (small|medium|paper)\n",
+                     v->c_str());
+        std::exit(2);
+      }
+    } else if (auto v = value_of("--csv=")) {
+      args.csv_path = *v;
+    } else if (auto v = value_of("--seed=")) {
+      args.seed = std::stoull(*v);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--scale=small|medium|paper] [--csv=PATH] "
+          "[--seed=N]\n",
+          argv[0]);
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+/// The paper's common data setup (§V), at the requested scale. The value
+/// domain and the 10%% coverage are kept constant across scales so query
+/// selectivities match the paper.
+inline PaperSetupOptions PaperSetup(const BenchArgs& args) {
+  PaperSetupOptions options;
+  options.num_tuples = args.num_tuples;
+  options.value_min = 1;
+  options.value_max = 50000;
+  options.covered_lo = 1;
+  options.covered_hi = 5000;
+  options.payload_min = 1;
+  options.payload_max = 512;
+  options.seed = args.seed;
+  return options;
+}
+
+/// The paper's uncovered-values-only query mix for one column.
+inline ColumnMix PaperMix(ColumnId column, double weight = 1.0,
+                          double hit_rate = 0.0) {
+  ColumnMix mix;
+  mix.column = column;
+  mix.weight = weight;
+  mix.hit_rate = hit_rate;
+  mix.covered_lo = 1;
+  mix.covered_hi = 5000;
+  mix.uncovered_lo = 5001;
+  mix.uncovered_hi = 50000;
+  return mix;
+}
+
+/// Opens the CSV sink if requested; returns nullptr otherwise.
+inline std::unique_ptr<std::ofstream> OpenCsv(const BenchArgs& args) {
+  if (!args.csv_path.has_value()) return nullptr;
+  auto out = std::make_unique<std::ofstream>(*args.csv_path);
+  if (!out->is_open()) {
+    std::fprintf(stderr, "cannot open %s\n", args.csv_path->c_str());
+    std::exit(2);
+  }
+  return out;
+}
+
+}  // namespace aib::bench
+
+#endif  // AIB_BENCH_BENCH_UTIL_H_

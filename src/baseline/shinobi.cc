@@ -1,0 +1,146 @@
+#include "baseline/shinobi.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aib {
+
+namespace {
+
+Rid RidOf(size_t tuple_index) {
+  return Rid{static_cast<PageId>(tuple_index / 65536),
+             static_cast<SlotId>(tuple_index % 65536)};
+}
+
+}  // namespace
+
+ShinobiBaseline::ShinobiBaseline(size_t columns, Options options)
+    : columns_(columns), options_(options) {
+  assert(columns_ > 0);
+  assert(options_.tuples_per_page > 0);
+  indexes_.reserve(columns_);
+  for (size_t c = 0; c < columns_; ++c) {
+    indexes_.push_back(CreateIndexStructure(IndexStructureKind::kBTree));
+  }
+}
+
+void ShinobiBaseline::AddTuple(const std::vector<Value>& values) {
+  assert(values.size() == columns_);
+  TupleRec rec;
+  rec.values = values;
+  tuples_.push_back(std::move(rec));
+}
+
+size_t ShinobiBaseline::ColdPageCount() const {
+  const size_t cold = tuples_.size() - hot_count_;
+  return (cold + options_.tuples_per_page - 1) / options_.tuples_per_page;
+}
+
+size_t ShinobiBaseline::IndexEntryCount() const {
+  size_t entries = 0;
+  for (const auto& index : indexes_) entries += index->EntryCount();
+  return entries;
+}
+
+size_t ShinobiBaseline::MoveValue(ColumnId column, Value value, bool to_hot,
+                                  size_t* tuples_moved) {
+  size_t moved = 0;
+  for (size_t i = 0; i < tuples_.size(); ++i) {
+    TupleRec& rec = tuples_[i];
+    if (rec.values[column] != value) continue;
+    if (to_hot) {
+      if (rec.hot_refs++ == 0) {
+        ++hot_count_;
+        ++moved;
+        // Shinobi's cost: the promoted tuple enters EVERY column's index.
+        for (size_t c = 0; c < columns_; ++c) {
+          indexes_[c]->Insert(rec.values[c], RidOf(i));
+        }
+      }
+    } else {
+      assert(rec.hot_refs > 0);
+      if (--rec.hot_refs == 0) {
+        --hot_count_;
+        ++moved;
+        for (size_t c = 0; c < columns_; ++c) {
+          indexes_[c]->Remove(rec.values[c], RidOf(i));
+        }
+      }
+    }
+  }
+  if (tuples_moved != nullptr) *tuples_moved += moved;
+  // Physical repartitioning: the moved tuples' pages are rewritten on both
+  // sides.
+  return 2 * ((moved + options_.tuples_per_page - 1) /
+              options_.tuples_per_page);
+}
+
+void ShinobiBaseline::TouchLru(ColumnId column, Value value) {
+  auto it = hot_pos_.find({column, value});
+  if (it == hot_pos_.end()) return;
+  hot_lru_.splice(hot_lru_.begin(), hot_lru_, it->second);
+}
+
+void ShinobiBaseline::DemoteBeyondCapacity(ShinobiStats* stats) {
+  if (options_.max_hot_tuples == 0) return;
+  while (hot_count_ > options_.max_hot_tuples && !hot_lru_.empty()) {
+    const auto [column, value] = hot_lru_.back();
+    hot_lru_.pop_back();
+    hot_pos_.erase({column, value});
+    const size_t pages =
+        MoveValue(column, value, /*to_hot=*/false, &stats->tuples_moved);
+    const double cost = static_cast<double>(pages) * options_.page_cost;
+    stats->move_cost += cost;
+    total_move_cost_ += cost;
+  }
+}
+
+ShinobiBaseline::ShinobiStats ShinobiBaseline::Execute(ColumnId column,
+                                                       Value value) {
+  assert(column < columns_);
+  ShinobiStats stats;
+
+  const bool hot = hot_pos_.contains({column, value});
+  stats.hot_hit = hot;
+  // Result = index probe over the interesting partition (+ cold scan when
+  // the value is not promoted; its hot-partition matches, promoted through
+  // other columns, still come from the index).
+  size_t matches_in_index = 0;
+  std::vector<Rid> rids;
+  indexes_[column]->Lookup(value, &rids);
+  matches_in_index = rids.size();
+  stats.query_cost += options_.index_probe_cost;
+  stats.query_cost +=
+      static_cast<double>(matches_in_index) * options_.page_cost;
+
+  if (!hot) {
+    stats.cold_pages_scanned = ColdPageCount();
+    stats.query_cost +=
+        static_cast<double>(stats.cold_pages_scanned) * options_.page_cost;
+  } else {
+    TouchLru(column, value);
+  }
+
+  // Promotion policy (identical window/threshold to the AIB tuner).
+  const std::pair<ColumnId, Value> key{column, value};
+  window_.push_back(key);
+  ++window_counts_[key];
+  if (window_.size() > options_.window_size) {
+    const auto expired = window_.front();
+    window_.pop_front();
+    if (--window_counts_[expired] == 0) window_counts_.erase(expired);
+  }
+  if (!hot && window_counts_[key] >= options_.promote_threshold) {
+    const size_t pages =
+        MoveValue(column, value, /*to_hot=*/true, &stats.tuples_moved);
+    const double cost = static_cast<double>(pages) * options_.page_cost;
+    stats.move_cost += cost;
+    total_move_cost_ += cost;
+    hot_lru_.push_front(key);
+    hot_pos_[key] = hot_lru_.begin();
+    DemoteBeyondCapacity(&stats);
+  }
+  return stats;
+}
+
+}  // namespace aib

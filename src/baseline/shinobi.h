@@ -1,0 +1,120 @@
+#ifndef AIB_BASELINE_SHINOBI_H_
+#define AIB_BASELINE_SHINOBI_H_
+
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "btree/index_structure.h"
+#include "common/status.h"
+#include "exec/query.h"
+
+namespace aib {
+
+/// A simplified Shinobi-style comparator (Wu & Madden, "Partitioning
+/// techniques for fine-grained indexing", ICDE'11 — the paper's main
+/// related-work baseline, §VI).
+///
+/// Shinobi's approach: physically partition the table into *interesting*
+/// and *uninteresting* tuples and fully index the interesting partition.
+/// A query that misses the indexes scans only the uninteresting partition
+/// (all indexed tuples are skipped wholesale). The paper's critique, which
+/// this baseline exists to measure: "all indexes of the table index the
+/// same set of tuples" — a tuple promoted because one column is hot gets
+/// indexed in *every* column's index, and moving tuples between partitions
+/// is physical I/O.
+///
+/// The model here captures exactly those costs:
+///   - tuples live in a hot (interesting) or cold region; the cold region
+///     is assumed perfectly repacked, so a cold scan costs
+///     ceil(cold_tuples / tuples_per_page) page reads;
+///   - promoting/demoting a value moves all its tuples (move I/O, charged
+///     per page rewritten on both sides) and adds/removes index entries in
+///     ALL column indexes;
+///   - promotion uses the same monitoring-window policy as the Index
+///     Buffer side's tuner (window / threshold / LRU capacity), so both
+///     systems see identical adaptation opportunities.
+class ShinobiBaseline {
+ public:
+  struct Options {
+    size_t tuples_per_page = 28;
+    /// Monitoring window and threshold of the promotion policy.
+    size_t window_size = 20;
+    int promote_threshold = 6;
+    /// Maximum hot tuples; LRU values are demoted beyond it. 0 = unlimited.
+    size_t max_hot_tuples = 0;
+    /// Cost of scanning/rewriting one page, in cost units.
+    double page_cost = 1.0;
+    double index_probe_cost = 0.01;
+  };
+
+  /// Per-query outcome in the shared cost vocabulary.
+  struct ShinobiStats {
+    bool hot_hit = false;
+    size_t cold_pages_scanned = 0;
+    size_t tuples_moved = 0;
+    double query_cost = 0;
+    double move_cost = 0;
+  };
+
+  /// `columns` int columns; tuples are added via AddTuple.
+  ShinobiBaseline(size_t columns, Options options);
+
+  /// Loads one tuple (values per column). All tuples start cold.
+  void AddTuple(const std::vector<Value>& values);
+
+  /// Executes a point query on `column` = `value`, applying the promotion
+  /// policy afterwards.
+  ShinobiStats Execute(ColumnId column, Value value);
+
+  // --- Accounting -----------------------------------------------------------
+
+  size_t TupleCount() const { return tuples_.size(); }
+  size_t HotTupleCount() const { return hot_count_; }
+  size_t ColdPageCount() const;
+  /// Total entries across all column indexes (every hot tuple appears in
+  /// every index — the memory cost the paper's critique targets).
+  size_t IndexEntryCount() const;
+  double TotalMoveCost() const { return total_move_cost_; }
+
+ private:
+  struct TupleRec {
+    std::vector<Value> values;
+    /// Number of currently-promoted values covering this tuple; the tuple
+    /// lives in the hot partition while > 0 (a tuple can be interesting
+    /// through several columns at once).
+    uint16_t hot_refs = 0;
+  };
+
+  /// Moves every tuple whose `column` value equals `value` to/from the hot
+  /// region; returns pages rewritten.
+  size_t MoveValue(ColumnId column, Value value, bool to_hot,
+                   size_t* tuples_moved);
+
+  void TouchLru(ColumnId column, Value value);
+  void DemoteBeyondCapacity(ShinobiStats* stats);
+
+  size_t columns_;
+  Options options_;
+  std::vector<TupleRec> tuples_;
+  /// One full index per column over the hot tuples (keyed by tuple index
+  /// packed into a Rid page/slot pair).
+  std::vector<std::unique_ptr<IndexStructure>> indexes_;
+  size_t hot_count_ = 0;
+  double total_move_cost_ = 0;
+
+  /// Promotion policy state: monitoring window over (column, value).
+  std::deque<std::pair<ColumnId, Value>> window_;
+  std::map<std::pair<ColumnId, Value>, int> window_counts_;
+  /// Hot values in LRU order (front = most recent) with their column.
+  std::list<std::pair<ColumnId, Value>> hot_lru_;
+  std::map<std::pair<ColumnId, Value>, std::list<std::pair<ColumnId, Value>>::iterator>
+      hot_pos_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_BASELINE_SHINOBI_H_

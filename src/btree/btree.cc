@@ -1,0 +1,280 @@
+#include "btree/btree.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aib {
+
+struct BTree::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+
+  bool is_leaf;
+  std::vector<Value> keys;
+  /// Internal nodes: children.size() == keys.size() + 1. Child i holds keys
+  /// < keys[i]; child i+1 holds keys >= keys[i].
+  std::vector<std::unique_ptr<Node>> children;
+  /// Leaves: postings[i] are the rids of keys[i]. Distinct keys only;
+  /// duplicates extend the postings list.
+  std::vector<std::vector<Rid>> postings;
+  /// Leaf chain, ascending key order.
+  Node* next = nullptr;
+};
+
+BTree::BTree(int fanout) : fanout_(fanout) {
+  assert(fanout_ >= 4);
+  root_ = std::make_unique<Node>(/*leaf=*/true);
+}
+
+BTree::~BTree() = default;
+
+BTree::Node* BTree::FindLeaf(Value key) const {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    const size_t index =
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin();
+    node = node->children[index].get();
+  }
+  return node;
+}
+
+void BTree::SplitChild(Node* parent, int index) {
+  Node* child = parent->children[index].get();
+  auto right = std::make_unique<Node>(child->is_leaf);
+  Value separator;
+
+  if (child->is_leaf) {
+    const size_t mid = child->keys.size() / 2;
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid, child->keys.end());
+    right->postings.assign(
+        std::make_move_iterator(child->postings.begin() + mid),
+        std::make_move_iterator(child->postings.end()));
+    child->keys.resize(mid);
+    child->postings.resize(mid);
+    right->next = child->next;
+    child->next = right.get();
+  } else {
+    const size_t mid = child->keys.size() / 2;
+    separator = child->keys[mid];
+    right->keys.assign(child->keys.begin() + mid + 1, child->keys.end());
+    right->children.assign(
+        std::make_move_iterator(child->children.begin() + mid + 1),
+        std::make_move_iterator(child->children.end()));
+    child->keys.resize(mid);
+    child->children.resize(mid + 1);
+  }
+
+  parent->keys.insert(parent->keys.begin() + index, separator);
+  parent->children.insert(parent->children.begin() + index + 1,
+                          std::move(right));
+  ++node_count_;
+}
+
+void BTree::InsertNonFull(Node* node, Value key, const Rid& rid) {
+  while (!node->is_leaf) {
+    size_t index =
+        std::upper_bound(node->keys.begin(), node->keys.end(), key) -
+        node->keys.begin();
+    if (node->children[index]->keys.size() >=
+        static_cast<size_t>(fanout_)) {
+      SplitChild(node, static_cast<int>(index));
+      if (key >= node->keys[index]) ++index;
+    }
+    node = node->children[index].get();
+  }
+
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  const size_t pos = it - node->keys.begin();
+  if (it != node->keys.end() && *it == key) {
+    node->postings[pos].push_back(rid);
+  } else {
+    node->keys.insert(it, key);
+    node->postings.insert(node->postings.begin() + pos,
+                          std::vector<Rid>{rid});
+    ++key_count_;
+  }
+  ++entry_count_;
+}
+
+void BTree::Insert(Value key, const Rid& rid) {
+  if (root_->keys.size() >= static_cast<size_t>(fanout_)) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->children.push_back(std::move(root_));
+    root_ = std::move(new_root);
+    ++node_count_;
+    SplitChild(root_.get(), 0);
+  }
+  InsertNonFull(root_.get(), key, rid);
+}
+
+bool BTree::Remove(Value key, const Rid& rid) {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  const size_t pos = it - leaf->keys.begin();
+  std::vector<Rid>& postings = leaf->postings[pos];
+  auto rid_it = std::find(postings.begin(), postings.end(), rid);
+  if (rid_it == postings.end()) return false;
+  postings.erase(rid_it);
+  --entry_count_;
+  if (postings.empty()) {
+    leaf->keys.erase(it);
+    leaf->postings.erase(leaf->postings.begin() + pos);
+    --key_count_;
+  }
+  return true;
+}
+
+size_t BTree::RemoveKey(Value key) {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return 0;
+  const size_t pos = it - leaf->keys.begin();
+  const size_t removed = leaf->postings[pos].size();
+  leaf->keys.erase(it);
+  leaf->postings.erase(leaf->postings.begin() + pos);
+  entry_count_ -= removed;
+  --key_count_;
+  return removed;
+}
+
+void BTree::Lookup(Value key, std::vector<Rid>* out) const {
+  const Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return;
+  const size_t pos = it - leaf->keys.begin();
+  out->insert(out->end(), leaf->postings[pos].begin(),
+              leaf->postings[pos].end());
+}
+
+void BTree::Scan(Value lo, Value hi,
+                 const std::function<void(Value, const Rid&)>& fn) const {
+  const Node* leaf = FindLeaf(lo);
+  while (leaf != nullptr) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      const Value key = leaf->keys[i];
+      if (key < lo) continue;
+      if (key > hi) return;
+      for (const Rid& rid : leaf->postings[i]) fn(key, rid);
+    }
+    leaf = leaf->next;
+  }
+}
+
+void BTree::ForEachEntry(
+    const std::function<void(Value, const Rid&)>& fn) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) node = node->children[0].get();
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      for (const Rid& rid : leaf->postings[i]) fn(leaf->keys[i], rid);
+    }
+  }
+}
+
+size_t BTree::ApproxBytes() const {
+  // Rough but monotone in contents: per-node fixed overhead, per-key slot,
+  // per-entry rid. Good enough for byte budgets and the benches.
+  return node_count_ * (sizeof(Node) + 32) +
+         key_count_ * (sizeof(Value) + sizeof(std::vector<Rid>)) +
+         entry_count_ * sizeof(Rid);
+}
+
+void BTree::Clear() {
+  root_ = std::make_unique<Node>(/*leaf=*/true);
+  entry_count_ = 0;
+  key_count_ = 0;
+  node_count_ = 1;
+}
+
+int BTree::Height() const {
+  int height = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children[0].get();
+    ++height;
+  }
+  return height;
+}
+
+Status BTree::CheckNode(const Node* node, bool is_root, Value lo, bool has_lo,
+                        Value hi, bool has_hi, int depth,
+                        int leaf_depth) const {
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return Status::Corruption("uneven leaf depth");
+    if (node->keys.size() != node->postings.size()) {
+      return Status::Corruption("leaf keys/postings size mismatch");
+    }
+  } else {
+    if (node->children.size() != node->keys.size() + 1) {
+      return Status::Corruption("internal children/keys size mismatch");
+    }
+    if (!is_root && node->keys.empty()) {
+      return Status::Corruption("empty internal node");
+    }
+  }
+  for (size_t i = 0; i < node->keys.size(); ++i) {
+    if (i > 0 && node->keys[i - 1] >= node->keys[i]) {
+      return Status::Corruption("keys out of order");
+    }
+    if (has_lo && node->keys[i] < lo) {
+      return Status::Corruption("key below subtree lower bound");
+    }
+    if (has_hi && node->keys[i] >= hi) {
+      return Status::Corruption("key above subtree upper bound");
+    }
+  }
+  if (!node->is_leaf) {
+    for (size_t i = 0; i < node->children.size(); ++i) {
+      const bool child_has_lo = i > 0 || has_lo;
+      const Value child_lo = i > 0 ? node->keys[i - 1] : lo;
+      const bool child_has_hi = i < node->keys.size() || has_hi;
+      const Value child_hi = i < node->keys.size() ? node->keys[i] : hi;
+      AIB_RETURN_IF_ERROR(CheckNode(node->children[i].get(), false,
+                                    child_lo, child_has_lo, child_hi,
+                                    child_has_hi, depth + 1, leaf_depth));
+    }
+  }
+  return Status::Ok();
+}
+
+Status BTree::CheckInvariants() const {
+  int leaf_depth = 0;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = node->children[0].get();
+    ++leaf_depth;
+  }
+  AIB_RETURN_IF_ERROR(CheckNode(root_.get(), /*is_root=*/true, 0, false, 0,
+                                false, 0, leaf_depth));
+
+  // The leaf chain must visit every key exactly once, in ascending order.
+  size_t keys_seen = 0;
+  size_t entries_seen = 0;
+  bool first = true;
+  Value prev = 0;
+  for (const Node* leaf = node; leaf != nullptr; leaf = leaf->next) {
+    for (size_t i = 0; i < leaf->keys.size(); ++i) {
+      if (!first && leaf->keys[i] <= prev) {
+        return Status::Corruption("leaf chain out of order");
+      }
+      prev = leaf->keys[i];
+      first = false;
+      ++keys_seen;
+      if (leaf->postings[i].empty()) {
+        return Status::Corruption("key with empty postings");
+      }
+      entries_seen += leaf->postings[i].size();
+    }
+  }
+  if (keys_seen != key_count_) {
+    return Status::Corruption("key count drift");
+  }
+  if (entries_seen != entry_count_) {
+    return Status::Corruption("entry count drift");
+  }
+  return Status::Ok();
+}
+
+}  // namespace aib

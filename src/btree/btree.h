@@ -1,0 +1,78 @@
+#ifndef AIB_BTREE_BTREE_H_
+#define AIB_BTREE_BTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "btree/index_structure.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace aib {
+
+/// In-memory B+-tree from Value to Rid postings lists.
+///
+/// Structure: classic B+-tree with configurable fanout. Leaves hold
+/// (key, postings) pairs and are singly linked for range scans. Inserts
+/// split full nodes top-down; deletes remove keys from leaves without
+/// structural rebalancing (the standard "lazy deletion" used by several
+/// production B-trees): the tree stays correct but may carry sparse leaves
+/// after heavy deletion. `CheckInvariants()` verifies ordering, linkage and
+/// the entry count, and is exercised by the property tests.
+class BTree final : public IndexStructure {
+ public:
+  /// `fanout` is the maximum number of keys per node (>= 4).
+  explicit BTree(int fanout = 64);
+  ~BTree() override;
+
+  BTree(const BTree&) = delete;
+  BTree& operator=(const BTree&) = delete;
+
+  void Insert(Value key, const Rid& rid) override;
+  bool Remove(Value key, const Rid& rid) override;
+  size_t RemoveKey(Value key) override;
+  void Lookup(Value key, std::vector<Rid>* out) const override;
+  void Scan(Value lo, Value hi,
+            const std::function<void(Value, const Rid&)>& fn) const override;
+  void ForEachEntry(
+      const std::function<void(Value, const Rid&)>& fn) const override;
+  size_t EntryCount() const override { return entry_count_; }
+  size_t ApproxBytes() const override;
+  void Clear() override;
+
+  /// Number of distinct keys currently present.
+  size_t KeyCount() const { return key_count_; }
+
+  /// Height of the tree (1 = root is a leaf).
+  int Height() const;
+
+  /// Verifies B+-tree invariants: key ordering within and across nodes,
+  /// child separator consistency, leaf chain completeness, and that the
+  /// maintained entry/key counters match the actual contents.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  /// Finds the leaf that should hold `key`.
+  Node* FindLeaf(Value key) const;
+
+  /// Splits `child` (the idx-th child of `parent`), both full.
+  void SplitChild(Node* parent, int index);
+
+  /// Inserts into the subtree at `node`, which is guaranteed non-full.
+  void InsertNonFull(Node* node, Value key, const Rid& rid);
+
+  Status CheckNode(const Node* node, bool is_root, Value lo, bool has_lo,
+                   Value hi, bool has_hi, int depth, int leaf_depth) const;
+
+  int fanout_;
+  std::unique_ptr<Node> root_;
+  size_t entry_count_ = 0;
+  size_t key_count_ = 0;
+  size_t node_count_ = 1;
+};
+
+}  // namespace aib
+
+#endif  // AIB_BTREE_BTREE_H_

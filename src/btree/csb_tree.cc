@@ -1,0 +1,310 @@
+#include "btree/csb_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace aib {
+
+struct CsbTree::Node {
+  explicit Node(bool leaf) : is_leaf(leaf) {}
+
+  bool is_leaf;
+  std::vector<Value> keys;
+  /// Internal nodes only: the contiguous child group. Child i of this node
+  /// is (*children)[i]; group size == keys.size() + 1.
+  std::unique_ptr<std::vector<Node>> children;
+  /// Leaves only: postings[i] belongs to keys[i].
+  std::vector<std::vector<Rid>> postings;
+};
+
+CsbTree::CsbTree(int fanout) : fanout_(fanout) {
+  assert(fanout_ >= 4);
+  root_ = std::make_unique<Node>(/*leaf=*/true);
+}
+
+CsbTree::~CsbTree() = default;
+
+namespace {
+
+/// Child index for `key` under the same routing convention as BTree:
+/// keys >= separator go right.
+size_t RouteIndex(const std::vector<Value>& keys, Value key) {
+  return static_cast<size_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+CsbTree::Node* CsbTree::FindLeaf(Value key) {
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = &(*node->children)[RouteIndex(node->keys, key)];
+  }
+  return node;
+}
+
+const CsbTree::Node* CsbTree::FindLeaf(Value key) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = &(*node->children)[RouteIndex(node->keys, key)];
+  }
+  return node;
+}
+
+void CsbTree::SplitChild(Node* parent, size_t index) {
+  std::vector<Node>& group = *parent->children;
+  Node& child = group[index];
+  Node right(child.is_leaf);
+  Value separator;
+
+  if (child.is_leaf) {
+    const size_t mid = child.keys.size() / 2;
+    separator = child.keys[mid];
+    right.keys.assign(child.keys.begin() + mid, child.keys.end());
+    right.postings.assign(std::make_move_iterator(child.postings.begin() + mid),
+                          std::make_move_iterator(child.postings.end()));
+    child.keys.resize(mid);
+    child.postings.resize(mid);
+  } else {
+    const size_t mid = child.keys.size() / 2;
+    separator = child.keys[mid];
+    right.keys.assign(child.keys.begin() + mid + 1, child.keys.end());
+    right.children = std::make_unique<std::vector<Node>>();
+    right.children->reserve(child.children->size() - (mid + 1));
+    for (size_t i = mid + 1; i < child.children->size(); ++i) {
+      right.children->push_back(std::move((*child.children)[i]));
+    }
+    child.keys.resize(mid);
+    child.children->erase(
+        child.children->begin() + static_cast<ptrdiff_t>(mid) + 1,
+        child.children->end());
+  }
+
+  // CSB+ group insert: the new sibling slides into the contiguous group
+  // right after the split node.
+  parent->keys.insert(parent->keys.begin() + static_cast<ptrdiff_t>(index),
+                      separator);
+  group.insert(group.begin() + static_cast<ptrdiff_t>(index) + 1,
+               std::move(right));
+  ++node_count_;
+}
+
+void CsbTree::InsertNonFull(Node* node, Value key, const Rid& rid) {
+  while (!node->is_leaf) {
+    size_t index = RouteIndex(node->keys, key);
+    if ((*node->children)[index].keys.size() >=
+        static_cast<size_t>(fanout_)) {
+      SplitChild(node, index);
+      if (key >= node->keys[index]) ++index;
+    }
+    node = &(*node->children)[index];
+  }
+
+  auto it = std::lower_bound(node->keys.begin(), node->keys.end(), key);
+  const size_t pos = static_cast<size_t>(it - node->keys.begin());
+  if (it != node->keys.end() && *it == key) {
+    node->postings[pos].push_back(rid);
+  } else {
+    node->keys.insert(it, key);
+    node->postings.insert(node->postings.begin() + static_cast<ptrdiff_t>(pos),
+                          std::vector<Rid>{rid});
+    ++key_count_;
+  }
+  ++entry_count_;
+}
+
+void CsbTree::Insert(Value key, const Rid& rid) {
+  if (root_->keys.size() >= static_cast<size_t>(fanout_)) {
+    auto new_root = std::make_unique<Node>(/*leaf=*/false);
+    new_root->children = std::make_unique<std::vector<Node>>();
+    new_root->children->push_back(std::move(*root_));
+    root_ = std::move(new_root);
+    ++node_count_;
+    SplitChild(root_.get(), 0);
+  }
+  InsertNonFull(root_.get(), key, rid);
+}
+
+bool CsbTree::Remove(Value key, const Rid& rid) {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return false;
+  const size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  std::vector<Rid>& postings = leaf->postings[pos];
+  auto rid_it = std::find(postings.begin(), postings.end(), rid);
+  if (rid_it == postings.end()) return false;
+  postings.erase(rid_it);
+  --entry_count_;
+  if (postings.empty()) {
+    leaf->keys.erase(it);
+    leaf->postings.erase(leaf->postings.begin() + static_cast<ptrdiff_t>(pos));
+    --key_count_;
+  }
+  return true;
+}
+
+size_t CsbTree::RemoveKey(Value key) {
+  Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return 0;
+  const size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  const size_t removed = leaf->postings[pos].size();
+  leaf->keys.erase(it);
+  leaf->postings.erase(leaf->postings.begin() + static_cast<ptrdiff_t>(pos));
+  entry_count_ -= removed;
+  --key_count_;
+  return removed;
+}
+
+void CsbTree::Lookup(Value key, std::vector<Rid>* out) const {
+  const Node* leaf = FindLeaf(key);
+  auto it = std::lower_bound(leaf->keys.begin(), leaf->keys.end(), key);
+  if (it == leaf->keys.end() || *it != key) return;
+  const size_t pos = static_cast<size_t>(it - leaf->keys.begin());
+  out->insert(out->end(), leaf->postings[pos].begin(),
+              leaf->postings[pos].end());
+}
+
+void CsbTree::Scan(Value lo, Value hi,
+                   const std::function<void(Value, const Rid&)>& fn) const {
+  // Iterative in-order traversal restricted to [lo, hi]. Child i of an
+  // internal node holds keys in [keys[i-1], keys[i]) (open ends at the
+  // group's edges), so subtrees with keys[i] <= lo or keys[i-1] > hi are
+  // pruned.
+  struct Frame {
+    const Node* node;
+    size_t child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({root_.get(), 0});
+  while (!stack.empty()) {
+    const Node* node = stack.back().node;
+    if (node->is_leaf) {
+      for (size_t i = 0; i < node->keys.size(); ++i) {
+        const Value key = node->keys[i];
+        if (key < lo) continue;
+        if (key > hi) return;  // globally ascending: nothing more matches
+        for (const Rid& rid : node->postings[i]) fn(key, rid);
+      }
+      stack.pop_back();
+      continue;
+    }
+    const size_t child = stack.back().child;
+    if (child >= node->children->size()) {
+      stack.pop_back();
+      continue;
+    }
+    stack.back().child = child + 1;
+    if (child < node->keys.size() && node->keys[child] <= lo) {
+      continue;  // whole subtree < lo (keys are strictly below keys[child])
+    }
+    if (child > 0 && node->keys[child - 1] > hi) {
+      stack.pop_back();  // this and all later children are > hi
+      continue;
+    }
+    stack.push_back({&(*node->children)[child], 0});
+  }
+}
+
+void CsbTree::ForEachEntry(
+    const std::function<void(Value, const Rid&)>& fn) const {
+  Scan(std::numeric_limits<Value>::min(), std::numeric_limits<Value>::max(),
+       fn);
+}
+
+size_t CsbTree::ApproxBytes() const {
+  return node_count_ * (sizeof(Node) + 16) +
+         key_count_ * (sizeof(Value) + sizeof(std::vector<Rid>)) +
+         entry_count_ * sizeof(Rid);
+}
+
+void CsbTree::Clear() {
+  root_ = std::make_unique<Node>(/*leaf=*/true);
+  entry_count_ = 0;
+  key_count_ = 0;
+  node_count_ = 1;
+}
+
+int CsbTree::Height() const {
+  int height = 1;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = &(*node->children)[0];
+    ++height;
+  }
+  return height;
+}
+
+Status CsbTree::CheckNode(const Node* node, bool is_root, Value lo,
+                          bool has_lo, Value hi, bool has_hi, int depth,
+                          int leaf_depth, size_t* keys_seen,
+                          size_t* entries_seen) const {
+  if (node->is_leaf) {
+    if (depth != leaf_depth) return Status::Corruption("uneven leaf depth");
+    if (node->keys.size() != node->postings.size()) {
+      return Status::Corruption("leaf keys/postings size mismatch");
+    }
+  } else {
+    if (node->children == nullptr ||
+        node->children->size() != node->keys.size() + 1) {
+      return Status::Corruption("group size != keys + 1");
+    }
+    if (!is_root && node->keys.empty()) {
+      return Status::Corruption("empty internal node");
+    }
+  }
+  for (size_t i = 0; i < node->keys.size(); ++i) {
+    if (i > 0 && node->keys[i - 1] >= node->keys[i]) {
+      return Status::Corruption("keys out of order");
+    }
+    if (has_lo && node->keys[i] < lo) {
+      return Status::Corruption("key below subtree lower bound");
+    }
+    if (has_hi && node->keys[i] >= hi) {
+      return Status::Corruption("key above subtree upper bound");
+    }
+  }
+  if (node->is_leaf) {
+    *keys_seen += node->keys.size();
+    for (const auto& postings : node->postings) {
+      if (postings.empty()) {
+        return Status::Corruption("key with empty postings");
+      }
+      *entries_seen += postings.size();
+    }
+    return Status::Ok();
+  }
+  for (size_t i = 0; i < node->children->size(); ++i) {
+    const bool child_has_lo = i > 0 || has_lo;
+    const Value child_lo = i > 0 ? node->keys[i - 1] : lo;
+    const bool child_has_hi = i < node->keys.size() || has_hi;
+    const Value child_hi = i < node->keys.size() ? node->keys[i] : hi;
+    AIB_RETURN_IF_ERROR(CheckNode(&(*node->children)[i], false, child_lo,
+                                  child_has_lo, child_hi, child_has_hi,
+                                  depth + 1, leaf_depth, keys_seen,
+                                  entries_seen));
+  }
+  return Status::Ok();
+}
+
+Status CsbTree::CheckInvariants() const {
+  int leaf_depth = 0;
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    node = &(*node->children)[0];
+    ++leaf_depth;
+  }
+  size_t keys_seen = 0;
+  size_t entries_seen = 0;
+  AIB_RETURN_IF_ERROR(CheckNode(root_.get(), /*is_root=*/true, 0, false, 0,
+                                false, 0, leaf_depth, &keys_seen,
+                                &entries_seen));
+  if (keys_seen != key_count_) return Status::Corruption("key count drift");
+  if (entries_seen != entry_count_) {
+    return Status::Corruption("entry count drift");
+  }
+  return Status::Ok();
+}
+
+}  // namespace aib

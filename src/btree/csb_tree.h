@@ -1,0 +1,82 @@
+#ifndef AIB_BTREE_CSB_TREE_H_
+#define AIB_BTREE_CSB_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "btree/index_structure.h"
+#include "common/status.h"
+
+namespace aib {
+
+/// Cache-Sensitive B+-Tree (Rao & Ross, SIGMOD'00 — the paper's reference
+/// [4] for a main-memory-optimized Index Buffer structure).
+///
+/// The CSB+ idea: all children of an internal node are stored contiguously
+/// in one *node group*, so the parent keeps a single child pointer (here:
+/// one owning pointer to the group vector) instead of fanout-many, roughly
+/// doubling the number of keys per cache line during descent. Splitting a
+/// node inserts its new sibling into the same group (a contiguous shift),
+/// and splitting a full group splits the parent.
+///
+/// Like BTree, deletion is lazy (keys are removed from leaves without
+/// structural rebalancing) and range scans visit keys in ascending order —
+/// via recursive traversal rather than a leaf chain, since contiguous
+/// groups relocate on writes and stable sibling pointers would dangle.
+class CsbTree final : public IndexStructure {
+ public:
+  /// `fanout` is the maximum number of keys per node (>= 4).
+  explicit CsbTree(int fanout = 64);
+  ~CsbTree() override;
+
+  CsbTree(const CsbTree&) = delete;
+  CsbTree& operator=(const CsbTree&) = delete;
+
+  void Insert(Value key, const Rid& rid) override;
+  bool Remove(Value key, const Rid& rid) override;
+  size_t RemoveKey(Value key) override;
+  void Lookup(Value key, std::vector<Rid>* out) const override;
+  void Scan(Value lo, Value hi,
+            const std::function<void(Value, const Rid&)>& fn) const override;
+  void ForEachEntry(
+      const std::function<void(Value, const Rid&)>& fn) const override;
+  size_t EntryCount() const override { return entry_count_; }
+  size_t ApproxBytes() const override;
+  void Clear() override;
+
+  /// Number of distinct keys currently present.
+  size_t KeyCount() const { return key_count_; }
+
+  /// Height of the tree (1 = root is a leaf).
+  int Height() const;
+
+  /// Verifies ordering, group sizes, uniform leaf depth, and the entry/key
+  /// counters.
+  Status CheckInvariants() const;
+
+ private:
+  struct Node;
+
+  Node* FindLeaf(Value key);
+  const Node* FindLeaf(Value key) const;
+
+  /// Splits the full node `group[index]`, inserting the new right sibling
+  /// at `group[index + 1]` and the separator into `parent`.
+  void SplitChild(Node* parent, size_t index);
+
+  void InsertNonFull(Node* node, Value key, const Rid& rid);
+
+  Status CheckNode(const Node* node, bool is_root, Value lo, bool has_lo,
+                   Value hi, bool has_hi, int depth, int leaf_depth,
+                   size_t* keys_seen, size_t* entries_seen) const;
+
+  int fanout_;
+  std::unique_ptr<Node> root_;
+  size_t entry_count_ = 0;
+  size_t key_count_ = 0;
+  size_t node_count_ = 1;
+};
+
+}  // namespace aib
+
+#endif  // AIB_BTREE_CSB_TREE_H_

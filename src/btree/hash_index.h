@@ -1,0 +1,38 @@
+#ifndef AIB_BTREE_HASH_INDEX_H_
+#define AIB_BTREE_HASH_INDEX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "btree/index_structure.h"
+
+namespace aib {
+
+/// Hash-table implementation of IndexStructure — the alternative the paper
+/// explicitly allows for an Index Buffer (§III). Point operations are O(1);
+/// Scan degrades to a filtered full iteration and visits keys in arbitrary
+/// order. Used in the structure ablation bench.
+class HashIndex final : public IndexStructure {
+ public:
+  HashIndex() = default;
+
+  void Insert(Value key, const Rid& rid) override;
+  bool Remove(Value key, const Rid& rid) override;
+  size_t RemoveKey(Value key) override;
+  void Lookup(Value key, std::vector<Rid>* out) const override;
+  void Scan(Value lo, Value hi,
+            const std::function<void(Value, const Rid&)>& fn) const override;
+  void ForEachEntry(
+      const std::function<void(Value, const Rid&)>& fn) const override;
+  size_t EntryCount() const override { return entry_count_; }
+  size_t ApproxBytes() const override;
+  void Clear() override;
+
+ private:
+  std::unordered_map<Value, std::vector<Rid>> map_;
+  size_t entry_count_ = 0;
+};
+
+}  // namespace aib
+
+#endif  // AIB_BTREE_HASH_INDEX_H_

@@ -1,0 +1,131 @@
+#include "common/ascii_chart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace aib {
+
+namespace {
+
+/// Mean of the samples of `series` falling into column `col` of `width`.
+double BucketMean(const std::vector<double>& series, size_t col,
+                  size_t width) {
+  const double n = static_cast<double>(series.size());
+  const size_t begin = static_cast<size_t>(
+      std::floor(static_cast<double>(col) * n / static_cast<double>(width)));
+  size_t end = static_cast<size_t>(std::floor(
+      static_cast<double>(col + 1) * n / static_cast<double>(width)));
+  if (end <= begin) end = begin + 1;
+  double sum = 0;
+  size_t count = 0;
+  for (size_t i = begin; i < end && i < series.size(); ++i) {
+    sum += series[i];
+    ++count;
+  }
+  return count == 0 ? series.back() : sum / static_cast<double>(count);
+}
+
+std::string FormatTick(double value) {
+  char buf[32];
+  if (std::abs(value) >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%8.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%8.2f", value);
+  }
+  return buf;
+}
+
+}  // namespace
+
+std::string AsciiChart::RenderMulti(
+    const std::vector<std::vector<double>>& series, const std::string& marks,
+    Options options) {
+  if (series.empty() || options.width == 0 || options.height == 0) {
+    return "";
+  }
+
+  // Value range across all series.
+  double lo = std::numeric_limits<double>::infinity();
+  double hi = -std::numeric_limits<double>::infinity();
+  for (const auto& s : series) {
+    for (double v : s) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo)) return "";
+  if (options.y_min != Options::kAuto) lo = options.y_min;
+  if (options.y_max != Options::kAuto) hi = options.y_max;
+  if (options.log_y) {
+    // Log scale needs positive bounds; clamp at a small epsilon.
+    lo = std::max(lo, 1e-3);
+    hi = std::max(hi, lo * 10);
+  }
+  if (hi <= lo) hi = lo + 1;
+
+  auto transform = [&](double v) {
+    if (!options.log_y) return v;
+    return std::log10(std::max(v, 1e-3));
+  };
+  const double t_lo = transform(lo);
+  const double t_hi = transform(hi);
+
+  // Plot grid.
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  for (size_t s = 0; s < series.size(); ++s) {
+    if (series[s].empty()) continue;
+    const char mark = marks.empty() ? '*' : marks[s % marks.size()];
+    for (size_t col = 0; col < options.width; ++col) {
+      const double value =
+          std::clamp(transform(BucketMean(series[s], col, options.width)),
+                     t_lo, t_hi);
+      const double norm = (value - t_lo) / (t_hi - t_lo);
+      size_t row = options.height - 1 -
+                   static_cast<size_t>(std::llround(
+                       norm * static_cast<double>(options.height - 1)));
+      row = std::min(row, options.height - 1);
+      grid[row][col] = mark;
+    }
+  }
+
+  // Assemble with y-axis labels on the top, middle, and bottom rows.
+  std::string out;
+  for (size_t row = 0; row < options.height; ++row) {
+    std::string label(8, ' ');
+    if (row == 0) {
+      label = FormatTick(hi);
+    } else if (row == options.height - 1) {
+      label = FormatTick(lo);
+    } else if (row == options.height / 2) {
+      const double mid_t = t_hi - (t_hi - t_lo) * static_cast<double>(row) /
+                                      static_cast<double>(options.height - 1);
+      label = FormatTick(options.log_y ? std::pow(10.0, mid_t) : mid_t);
+    }
+    out += label;
+    out += " |";
+    out += grid[row];
+    out += '\n';
+  }
+  out += std::string(8, ' ') + " +" + std::string(options.width, '-') + '\n';
+  return out;
+}
+
+std::string AsciiChart::RenderMulti(
+    const std::vector<std::vector<double>>& series,
+    const std::string& marks) {
+  return RenderMulti(series, marks, Options{});
+}
+
+std::string AsciiChart::Render(const std::vector<double>& series,
+                               Options options) {
+  return RenderMulti({series}, "*", options);
+}
+
+std::string AsciiChart::Render(const std::vector<double>& series) {
+  return Render(series, Options{});
+}
+
+}  // namespace aib

@@ -1,0 +1,48 @@
+#ifndef AIB_COMMON_ASCII_CHART_H_
+#define AIB_COMMON_ASCII_CHART_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aib {
+
+/// Renders numeric series as fixed-size ASCII line charts, so the figure
+/// benches can draw the paper's plots directly into the terminal next to
+/// the tabulated values.
+class AsciiChart {
+ public:
+  struct Options {
+    /// Sentinel for "derive the bound from the data".
+    static constexpr double kAuto = -1e308;
+
+    /// Plot area width in columns (excluding the y-axis labels).
+    size_t width = 72;
+    /// Plot area height in rows.
+    size_t height = 12;
+    /// Log10 y-axis — right for cost series spanning orders of magnitude.
+    bool log_y = false;
+    /// Minimum y of the plot range; kAuto = derive from the data.
+    double y_min = kAuto;
+    /// Maximum y of the plot range; kAuto = derive from the data.
+    double y_max = kAuto;
+  };
+
+  /// One-series chart using '*' marks.
+  static std::string Render(const std::vector<double>& series,
+                            Options options);
+  static std::string Render(const std::vector<double>& series);
+
+  /// Multi-series chart; series i uses `marks[i % marks.size()]`. Series
+  /// may have different lengths; each is stretched over the full width.
+  static std::string RenderMulti(
+      const std::vector<std::vector<double>>& series,
+      const std::string& marks, Options options);
+  static std::string RenderMulti(
+      const std::vector<std::vector<double>>& series,
+      const std::string& marks = "*o+x");
+};
+
+}  // namespace aib
+
+#endif  // AIB_COMMON_ASCII_CHART_H_

@@ -1,0 +1,80 @@
+#include "common/csv_writer.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace aib {
+
+namespace {
+
+bool NeedsQuoting(const std::string& cell) {
+  return cell.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string QuoteCell(const std::string& cell) {
+  if (!NeedsQuoting(cell)) return cell;
+  std::string quoted = "\"";
+  for (char c : cell) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void WriteCells(std::ostream& out, const std::vector<std::string>& cells) {
+  for (size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out << ',';
+    out << QuoteCell(cells[i]);
+  }
+  out << '\n';
+}
+
+}  // namespace
+
+void CsvWriter::WriteHeader(const std::vector<std::string>& columns) {
+  WriteCells(*out_, columns);
+}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& cells) {
+  WriteCells(*out_, cells);
+}
+
+ConsoleTable::ConsoleTable(std::vector<std::string> columns)
+    : columns_(std::move(columns)) {}
+
+void ConsoleTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void ConsoleTable::Print(std::ostream& out) const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t i = 0; i < columns_.size(); ++i) widths[i] = columns_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      out << (i == 0 ? "" : "  ");
+      out << cells[i];
+      out << std::string(widths[i] - cells[i].size(), ' ');
+    }
+    out << '\n';
+  };
+  print_row(columns_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  out << std::string(total > 2 ? total - 2 : total, '-') << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+}  // namespace aib

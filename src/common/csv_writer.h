@@ -1,0 +1,63 @@
+#ifndef AIB_COMMON_CSV_WRITER_H_
+#define AIB_COMMON_CSV_WRITER_H_
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace aib {
+
+/// Writes experiment series as CSV so figures can be regenerated from bench
+/// output. Also exposes a fixed-width console table used by the bench
+/// binaries to print the paper's rows directly.
+class CsvWriter {
+ public:
+  /// Writes to `out` (caller keeps ownership; typically std::cout or an
+  /// std::ofstream opened by the bench).
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  void WriteHeader(const std::vector<std::string>& columns);
+  void WriteRow(const std::vector<std::string>& cells);
+
+  /// Convenience: formats arithmetic cells with full precision.
+  template <typename... Ts>
+  void Row(const Ts&... cells) {
+    WriteRow({Cell(cells)...});
+  }
+
+ private:
+  template <typename T>
+  static std::string Cell(const T& value) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(value);
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  std::ostream* out_;
+};
+
+/// Fixed-width console table for bench summaries.
+class ConsoleTable {
+ public:
+  explicit ConsoleTable(std::vector<std::string> columns);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Renders header + rows with aligned columns to `out`.
+  void Print(std::ostream& out) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fractional digits (benches report ratios).
+std::string FormatDouble(double value, int digits = 2);
+
+}  // namespace aib
+
+#endif  // AIB_COMMON_CSV_WRITER_H_

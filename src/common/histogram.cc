@@ -1,0 +1,71 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/csv_writer.h"
+
+namespace aib {
+
+void Histogram::Add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+}
+
+void Histogram::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Histogram::Min() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return sorted_.front();
+}
+
+double Histogram::Max() const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  return sorted_.back();
+}
+
+double Histogram::Sum() const {
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum;
+}
+
+double Histogram::Mean() const {
+  return samples_.empty() ? 0 : Sum() / static_cast<double>(samples_.size());
+}
+
+double Histogram::Percentile(double q) const {
+  if (samples_.empty()) return 0;
+  EnsureSorted();
+  q = std::clamp(q, 0.0, 1.0);
+  const double position = q * static_cast<double>(sorted_.size() - 1);
+  const size_t lower = static_cast<size_t>(std::floor(position));
+  const size_t upper = static_cast<size_t>(std::ceil(position));
+  const double fraction = position - static_cast<double>(lower);
+  return sorted_[lower] + (sorted_[upper] - sorted_[lower]) * fraction;
+}
+
+std::string Histogram::Summary() const {
+  std::ostringstream out;
+  out << "count=" << Count() << " mean=" << FormatDouble(Mean(), 2)
+      << " p50=" << FormatDouble(Percentile(0.5), 2)
+      << " p95=" << FormatDouble(Percentile(0.95), 2)
+      << " max=" << FormatDouble(Max(), 2);
+  return out.str();
+}
+
+void Histogram::Clear() {
+  samples_.clear();
+  sorted_.clear();
+  sorted_valid_ = false;
+}
+
+}  // namespace aib

@@ -1,0 +1,45 @@
+#ifndef AIB_COMMON_HISTOGRAM_H_
+#define AIB_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aib {
+
+/// Streaming sample collector with exact percentile queries, used by the
+/// benches to summarize per-query cost and latency distributions (mean
+/// alone hides the cold-start spike the paper's figures show).
+///
+/// Samples are kept verbatim (the benches record a few hundred queries),
+/// so percentiles are exact, not approximated.
+class Histogram {
+ public:
+  void Add(double value);
+
+  size_t Count() const { return samples_.size(); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  double Sum() const;
+
+  /// Exact q-quantile (0 <= q <= 1) by linear interpolation between order
+  /// statistics. Returns 0 for an empty histogram.
+  double Percentile(double q) const;
+
+  /// "count=… mean=… p50=… p95=… max=…" one-liner for bench output.
+  std::string Summary() const;
+
+  void Clear();
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+}  // namespace aib
+
+#endif  // AIB_COMMON_HISTOGRAM_H_

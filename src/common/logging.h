@@ -1,0 +1,55 @@
+#ifndef AIB_COMMON_LOGGING_H_
+#define AIB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace aib {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide minimum level; messages below it are discarded. Default is
+/// kWarn so tests and benches stay quiet unless something is wrong.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+void Emit(LogLevel level, const char* file, int line, const std::string& msg);
+
+/// Stream collector used by the AIB_LOG macro; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Emit(level_, file_, line_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace aib
+
+#define AIB_LOG(level)                                               \
+  if (::aib::LogLevel::level < ::aib::GetLogLevel()) {               \
+  } else                                                             \
+    ::aib::internal_logging::LogMessage(::aib::LogLevel::level,      \
+                                        __FILE__, __LINE__)          \
+        .stream()
+
+#endif  // AIB_COMMON_LOGGING_H_

@@ -1,0 +1,53 @@
+#ifndef AIB_COMMON_METRICS_H_
+#define AIB_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace aib {
+
+/// Simple named-counter registry used by the storage engine and executor to
+/// account simulated I/O and index work. Deliberately not thread-safe: the
+/// engine is single-threaded by design (the paper's mechanism is evaluated
+/// on a single query stream).
+class Metrics {
+ public:
+  void Increment(const std::string& name, int64_t delta = 1) {
+    counters_[name] += delta;
+  }
+
+  int64_t Get(const std::string& name) const {
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  void Reset() { counters_.clear(); }
+
+  const std::map<std::string, int64_t>& counters() const { return counters_; }
+
+  /// One "name=value" pair per line, sorted by name.
+  std::string ToString() const;
+
+ private:
+  std::map<std::string, int64_t> counters_;
+};
+
+// Well-known counter names, shared between storage, exec, and benches.
+inline constexpr char kMetricPagesRead[] = "storage.pages_read";
+inline constexpr char kMetricPagesWritten[] = "storage.pages_written";
+inline constexpr char kMetricPagesSkipped[] = "exec.pages_skipped";
+inline constexpr char kMetricBufferHits[] = "bufferpool.hits";
+inline constexpr char kMetricBufferMisses[] = "bufferpool.misses";
+inline constexpr char kMetricIndexProbes[] = "index.probes";
+inline constexpr char kMetricIndexInserts[] = "index.inserts";
+inline constexpr char kMetricIndexRemoves[] = "index.removes";
+inline constexpr char kMetricIbEntriesAdded[] = "index_buffer.entries_added";
+inline constexpr char kMetricIbEntriesDropped[] =
+    "index_buffer.entries_dropped";
+inline constexpr char kMetricIbPartitionsDropped[] =
+    "index_buffer.partitions_dropped";
+
+}  // namespace aib
+
+#endif  // AIB_COMMON_METRICS_H_

@@ -1,0 +1,69 @@
+#ifndef AIB_COMMON_RESULT_H_
+#define AIB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace aib {
+
+/// A value-or-Status holder (lightweight StatusOr). A `Result<T>` is either
+/// a T or a non-OK Status; constructing one from `Status::Ok()` is a
+/// programming error.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value — mirrors absl::StatusOr ergonomics.
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit from error status.
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT
+    assert(!std::get<Status>(repr_).ok() &&
+           "Result<T> must not hold an OK status without a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// Status of the result; OK when a value is present.
+  Status status() const {
+    return ok() ? Status::Ok() : std::get<Status>(repr_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+/// Assigns the value of a `Result<T>` expression to `lhs` or propagates the
+/// error status to the caller.
+#define AIB_ASSIGN_OR_RETURN(lhs, expr)               \
+  auto AIB_CONCAT_(_aib_result_, __LINE__) = (expr);  \
+  if (!AIB_CONCAT_(_aib_result_, __LINE__).ok())      \
+    return AIB_CONCAT_(_aib_result_, __LINE__).status(); \
+  lhs = std::move(AIB_CONCAT_(_aib_result_, __LINE__)).value()
+
+#define AIB_CONCAT_(a, b) AIB_CONCAT_IMPL_(a, b)
+#define AIB_CONCAT_IMPL_(a, b) a##b
+
+}  // namespace aib
+
+#endif  // AIB_COMMON_RESULT_H_

@@ -1,0 +1,86 @@
+#ifndef AIB_COMMON_STATUS_H_
+#define AIB_COMMON_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace aib {
+
+/// Error-code based status, modeled after the RocksDB/Arrow idiom. The
+/// library does not throw exceptions on query or maintenance paths; fallible
+/// operations return `Status` (or `Result<T>`, see result.h).
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound,
+    kInvalidArgument,
+    kNoSpace,
+    kCorruption,
+    kAlreadyExists,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() = default;
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string_view msg = "") {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status InvalidArgument(std::string_view msg = "") {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NoSpace(std::string_view msg = "") {
+    return Status(Code::kNoSpace, msg);
+  }
+  static Status Corruption(std::string_view msg = "") {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status AlreadyExists(std::string_view msg = "") {
+    return Status(Code::kAlreadyExists, msg);
+  }
+  static Status NotSupported(std::string_view msg = "") {
+    return Status(Code::kNotSupported, msg);
+  }
+  static Status Internal(std::string_view msg = "") {
+    return Status(Code::kInternal, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNoSpace() const { return code_ == Code::kNoSpace; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  Status(Code code, std::string_view msg) : code_(code), message_(msg) {}
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+/// Propagates a non-OK status to the caller. Mirrors RocksDB's pattern.
+#define AIB_RETURN_IF_ERROR(expr)            \
+  do {                                       \
+    ::aib::Status _aib_status = (expr);      \
+    if (!_aib_status.ok()) return _aib_status; \
+  } while (false)
+
+}  // namespace aib
+
+#endif  // AIB_COMMON_STATUS_H_

@@ -1,0 +1,60 @@
+#ifndef AIB_COMMON_TYPES_H_
+#define AIB_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <string>
+
+namespace aib {
+
+/// Identifier of a page within a heap file. Pages are numbered densely from
+/// zero in allocation order.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = std::numeric_limits<PageId>::max();
+
+/// Slot number of a tuple within a page.
+using SlotId = uint16_t;
+
+/// Sentinel for "no slot".
+inline constexpr SlotId kInvalidSlotId = std::numeric_limits<SlotId>::max();
+
+/// Identifier of a column within a schema.
+using ColumnId = uint16_t;
+
+/// Key type of all indexable columns in this library. The paper evaluates on
+/// INTEGER columns; we fix the key domain to int32 and keep the payload
+/// opaque.
+using Value = int32_t;
+
+/// Record identifier: physical address of a tuple.
+struct Rid {
+  PageId page_id = kInvalidPageId;
+  SlotId slot = kInvalidSlotId;
+
+  bool Valid() const { return page_id != kInvalidPageId; }
+
+  friend bool operator==(const Rid&, const Rid&) = default;
+  friend auto operator<=>(const Rid&, const Rid&) = default;
+};
+
+/// Human-readable "(page, slot)" form, used in log and test messages.
+inline std::string RidToString(const Rid& rid) {
+  return "(" + std::to_string(rid.page_id) + "," + std::to_string(rid.slot) +
+         ")";
+}
+
+}  // namespace aib
+
+namespace std {
+template <>
+struct hash<aib::Rid> {
+  size_t operator()(const aib::Rid& rid) const noexcept {
+    return (static_cast<size_t>(rid.page_id) << 16) ^ rid.slot;
+  }
+};
+}  // namespace std
+
+#endif  // AIB_COMMON_TYPES_H_

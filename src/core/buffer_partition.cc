@@ -1,0 +1,24 @@
+#include "core/buffer_partition.h"
+
+namespace aib {
+
+BufferPartition::BufferPartition(size_t id, IndexStructureKind kind)
+    : id_(id), structure_(CreateIndexStructure(kind)) {}
+
+void BufferPartition::AddEntry(size_t page, Value value, const Rid& rid) {
+  structure_->Insert(value, rid);
+  ++page_entries_[page];
+}
+
+bool BufferPartition::RemoveEntry(size_t page, Value value, const Rid& rid) {
+  if (!structure_->Remove(value, rid)) return false;
+  auto it = page_entries_.find(page);
+  if (it != page_entries_.end() && it->second > 0) --it->second;
+  return true;
+}
+
+void BufferPartition::CoverPage(size_t page) {
+  page_entries_.try_emplace(page, 0);
+}
+
+}  // namespace aib

@@ -1,0 +1,82 @@
+#ifndef AIB_CORE_BUFFER_PARTITION_H_
+#define AIB_CORE_BUFFER_PARTITION_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "btree/index_structure.h"
+#include "common/types.h"
+
+namespace aib {
+
+/// One partition of an Index Buffer (§IV). Partitions divide the table into
+/// disjoint ranges of P pages (partition id = page_number / P), so that
+/// every index entry referencing a page lives in exactly one partition and
+/// whole partitions can be discarded in O(1) benefit bookkeeping.
+///
+/// Each partition owns its own index structure — this is the "partitioned
+/// B*-tree" of the paper: dropping a partition discards its tree wholesale.
+class BufferPartition {
+ public:
+  BufferPartition(size_t id, IndexStructureKind kind);
+
+  size_t id() const { return id_; }
+
+  /// Adds an entry for a tuple on `page`. Registers the page as covered.
+  void AddEntry(size_t page, Value value, const Rid& rid);
+
+  /// Removes one entry; returns false if absent. The page stays covered
+  /// even if its entry count drops to zero (all its unindexed tuples were
+  /// deleted — it is still fully indexed).
+  bool RemoveEntry(size_t page, Value value, const Rid& rid);
+
+  /// Registers `page` as covered without adding entries (a page whose
+  /// unindexed tuples all matched the partial index already).
+  void CoverPage(size_t page);
+
+  bool CoversPage(size_t page) const {
+    return page_entries_.find(page) != page_entries_.end();
+  }
+
+  void Lookup(Value value, std::vector<Rid>* out) const {
+    structure_->Lookup(value, out);
+  }
+
+  void Scan(Value lo, Value hi,
+            const std::function<void(Value, const Rid&)>& fn) const {
+    structure_->Scan(lo, hi, fn);
+  }
+
+  void ForEachEntry(const std::function<void(Value, const Rid&)>& fn) const {
+    structure_->ForEachEntry(fn);
+  }
+
+  /// n_p: total entries in this partition.
+  size_t EntryCount() const { return structure_->EntryCount(); }
+
+  /// X_p: number of pages covered by this partition.
+  size_t CoveredPageCount() const { return page_entries_.size(); }
+
+  /// b_p = X_p / T_B for the owning buffer's mean access interval.
+  double Benefit(double mean_interval) const {
+    return static_cast<double>(CoveredPageCount()) / mean_interval;
+  }
+
+  /// page -> current entry count; consumed when the partition is dropped to
+  /// restore the page counters.
+  const std::map<size_t, size_t>& page_entries() const {
+    return page_entries_;
+  }
+
+  size_t ApproxBytes() const { return structure_->ApproxBytes(); }
+
+ private:
+  size_t id_;
+  std::unique_ptr<IndexStructure> structure_;
+  std::map<size_t, size_t> page_entries_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_CORE_BUFFER_PARTITION_H_

@@ -1,0 +1,218 @@
+#include "core/buffer_space.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace aib {
+
+namespace {
+constexpr double kMinBenefit = 1e-9;
+}  // namespace
+
+IndexBufferSpace::IndexBufferSpace(BufferSpaceOptions options,
+                                   Metrics* metrics)
+    : options_(options), metrics_(metrics), rng_(options.seed) {}
+
+Result<IndexBuffer*> IndexBufferSpace::CreateBuffer(
+    const PartialIndex* index, IndexBufferOptions buffer_options) {
+  auto it = buffers_.find(index);
+  if (it != buffers_.end()) return it->second.get();
+  auto buffer = std::make_unique<IndexBuffer>(index, buffer_options, metrics_);
+  AIB_RETURN_IF_ERROR(buffer->InitCounters());
+  IndexBuffer* raw = buffer.get();
+  buffers_.emplace(index, std::move(buffer));
+  return raw;
+}
+
+IndexBuffer* IndexBufferSpace::GetBuffer(const PartialIndex* index) const {
+  auto it = buffers_.find(index);
+  return it == buffers_.end() ? nullptr : it->second.get();
+}
+
+size_t IndexBufferSpace::TotalEntries() const {
+  size_t total = 0;
+  for (const auto& [index, buffer] : buffers_) total += buffer->TotalEntries();
+  return total;
+}
+
+size_t IndexBufferSpace::FreeEntries() const {
+  if (Unlimited()) return std::numeric_limits<size_t>::max();
+  const size_t used = TotalEntries();
+  return used >= options_.max_entries ? 0 : options_.max_entries - used;
+}
+
+void IndexBufferSpace::OnQuery(const PartialIndex* queried_index,
+                               bool partial_hit) {
+  for (const auto& [index, buffer] : buffers_) {
+    if (index == queried_index && !partial_hit) {
+      buffer->history().OnBufferUse();
+    } else {
+      buffer->history().OnOtherQuery();
+    }
+  }
+}
+
+std::optional<IndexBufferSpace::VictimRef>
+IndexBufferSpace::SelectNextPartition(
+    IndexBuffer* target,
+    const std::set<std::pair<IndexBuffer*, size_t>>& chosen) {
+  auto has_unchosen = [&](IndexBuffer* buffer) {
+    for (const auto& [id, partition] : buffer->partitions()) {
+      if (!chosen.contains({buffer, id})) return true;
+    }
+    return false;
+  };
+
+  // Stage 1: pick the buffer, probability proportional to b_B^{-1} over
+  // S \ {target}.
+  std::vector<IndexBuffer*> candidates;
+  std::vector<double> weights;
+  for (const auto& [index, buffer] : buffers_) {
+    if (buffer.get() == target) continue;
+    if (!has_unchosen(buffer.get())) continue;
+    candidates.push_back(buffer.get());
+    weights.push_back(1.0 /
+                      std::max(buffer->TotalBenefit(), kMinBenefit));
+  }
+  IndexBuffer* victim_buffer = nullptr;
+  if (!candidates.empty()) {
+    victim_buffer = candidates[rng_.WeightedIndex(weights)];
+  } else if (has_unchosen(target)) {
+    // Fallback: only the receiving buffer has droppable partitions.
+    victim_buffer = target;
+  } else {
+    return std::nullopt;
+  }
+
+  // Stage 2: incomplete partition (X_p < P) first — it has the lowest
+  // benefit; afterwards complete partitions in descending size n_p.
+  const size_t partition_capacity = victim_buffer->options().partition_pages;
+  const BufferPartition* best_incomplete = nullptr;
+  const BufferPartition* best_complete = nullptr;
+  for (const auto& [id, partition] : victim_buffer->partitions()) {
+    if (chosen.contains({victim_buffer, id})) continue;
+    if (partition->CoveredPageCount() < partition_capacity) {
+      if (best_incomplete == nullptr ||
+          partition->CoveredPageCount() <
+              best_incomplete->CoveredPageCount()) {
+        best_incomplete = partition.get();
+      }
+    } else if (best_complete == nullptr ||
+               partition->EntryCount() > best_complete->EntryCount()) {
+      best_complete = partition.get();
+    }
+  }
+  const BufferPartition* victim =
+      best_incomplete != nullptr ? best_incomplete : best_complete;
+  assert(victim != nullptr);
+
+  VictimRef ref;
+  ref.buffer = victim_buffer;
+  ref.partition_id = victim->id();
+  ref.benefit = victim->Benefit(victim_buffer->MeanInterval());
+  ref.entries = victim->EntryCount();
+  return ref;
+}
+
+PageSelection IndexBufferSpace::SelectPagesForBuffer(IndexBuffer* target) {
+  PageSelection result;
+
+  // Candidate pages: C[p] > 0, ascending by counter — cheap pages (few
+  // missing entries per skippable page) first.
+  const PageCounters& counters = target->counters();
+  std::vector<std::pair<uint32_t, size_t>> candidates;
+  for (size_t page = 0; page < counters.size(); ++page) {
+    const uint32_t c = counters.Get(page);
+    if (c > 0) candidates.emplace_back(c, page);
+  }
+  switch (options_.selection_policy) {
+    case PageSelectionPolicy::kCounterAscending:
+      std::stable_sort(
+          candidates.begin(), candidates.end(),
+          [](const auto& a, const auto& b) { return a.first < b.first; });
+      break;
+    case PageSelectionPolicy::kCounterDescending:
+      std::stable_sort(
+          candidates.begin(), candidates.end(),
+          [](const auto& a, const auto& b) { return a.first > b.first; });
+      break;
+    case PageSelectionPolicy::kRandom:
+      rng_.Shuffle(candidates);
+      break;
+  }
+
+  // Greedy prefix of `candidates` fitting `allowance` entries and I_MAX.
+  auto select = [&](size_t allowance) {
+    std::pair<std::vector<size_t>, size_t> selection;  // pages, n_I
+    for (const auto& [c, page] : candidates) {
+      if (selection.first.size() >= options_.max_pages_per_scan) break;
+      if (selection.second + c > allowance) break;
+      selection.first.push_back(page);
+      selection.second += c;
+    }
+    return selection;
+  };
+
+  if (Unlimited()) {
+    auto [pages, entries] =
+        select(std::numeric_limits<size_t>::max());
+    result.pages = std::move(pages);
+    result.expected_entries = entries;
+    return result;
+  }
+
+  const size_t free_entries = FreeEntries();
+  const double t_target = target->MeanInterval();
+
+  // Algorithm 2 loop: grow the candidate drop set D' one partition at a
+  // time while the selection I' it enables is more beneficial than
+  // everything D' discards. The profitability test is applied to the
+  // *cumulative* drop set, not to each victim in isolation — a single tiny
+  // partition may not unlock a whole page even though the next victim
+  // would, so the probe continues a bounded number of steps past an
+  // unprofitable prefix and commits the best profitable prefix found.
+  std::set<std::pair<IndexBuffer*, size_t>> chosen;  // D'
+  std::vector<VictimRef> victims;
+  size_t tentative_allowance = 0;
+  double tentative_benefit = 0;
+
+  auto [pages, entries] = select(free_entries);
+  size_t committed_victims = 0;  // best profitable prefix of `victims`
+  auto committed = std::make_pair(pages, entries);
+
+  // Maximal possible selection, used to stop probing once I cannot grow.
+  const auto max_selection = select(std::numeric_limits<size_t>::max());
+  constexpr size_t kMaxUnprofitableStreak = 8;
+
+  while (committed.first.size() < max_selection.first.size() &&
+         victims.size() - committed_victims < kMaxUnprofitableStreak) {
+    std::optional<VictimRef> victim = SelectNextPartition(target, chosen);
+    if (!victim.has_value()) break;
+    chosen.insert({victim->buffer, victim->partition_id});
+    victims.push_back(*victim);
+    tentative_allowance += victim->entries;
+    tentative_benefit += victim->benefit;
+
+    auto extended = select(free_entries + tentative_allowance);
+    const double new_benefit =
+        static_cast<double>(extended.first.size()) / t_target;
+    if (new_benefit > tentative_benefit) {
+      committed_victims = victims.size();
+      committed = std::move(extended);
+    }
+  }
+
+  // DropPartitions(D): only the best profitable prefix.
+  for (size_t i = 0; i < committed_victims; ++i) {
+    result.entries_dropped +=
+        victims[i].buffer->DropPartition(victims[i].partition_id);
+    ++result.partitions_dropped;
+  }
+
+  result.pages = std::move(committed.first);
+  result.expected_entries = committed.second;
+  return result;
+}
+
+}  // namespace aib

@@ -1,0 +1,121 @@
+#ifndef AIB_CORE_BUFFER_SPACE_H_
+#define AIB_CORE_BUFFER_SPACE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+#include "core/index_buffer.h"
+
+namespace aib {
+
+/// Order in which candidate pages are considered by Algorithm 2. The paper
+/// prescribes ascending counter order ("pages with many already indexed
+/// tuples are more valuable", §III); the alternatives exist for the
+/// design-choice ablation bench.
+enum class PageSelectionPolicy {
+  kCounterAscending,   // paper
+  kCounterDescending,  // worst case: most expensive pages first
+  kRandom,             // counter-oblivious
+};
+
+struct BufferSpaceOptions {
+  /// L: total entry budget across all Index Buffers (paper Exp. 3: 800,000).
+  /// 0 = unlimited (paper Exp. 1).
+  size_t max_entries = 0;
+  /// I_MAX: upper bound on pages newly indexed per table scan (paper: 5,000
+  /// or 10,000).
+  size_t max_pages_per_scan = 5000;
+  /// Seed for the probabilistic victim selection.
+  uint64_t seed = 42;
+  PageSelectionPolicy selection_policy = PageSelectionPolicy::kCounterAscending;
+};
+
+/// Result of Algorithm 2: the pages to index during the upcoming table scan
+/// and what was displaced to make room for them.
+struct PageSelection {
+  /// I: page numbers to index, ascending counter order.
+  std::vector<size_t> pages;
+  /// n_I = sum of C[p] over `pages` — entries the scan will add.
+  size_t expected_entries = 0;
+  size_t partitions_dropped = 0;
+  size_t entries_dropped = 0;
+};
+
+/// The Index Buffer Space (§IV): a bounded share of the database buffer
+/// that hosts all Index Buffers, enforces the entry budget L, runs the page
+/// selection of Algorithm 2, and updates every buffer's LRU-K history per
+/// Table II on each query.
+class IndexBufferSpace {
+ public:
+  explicit IndexBufferSpace(BufferSpaceOptions options,
+                            Metrics* metrics = nullptr);
+
+  const BufferSpaceOptions& options() const { return options_; }
+
+  /// Creates (or returns) the Index Buffer backing `index` and initializes
+  /// its page counters. The space keeps ownership.
+  Result<IndexBuffer*> CreateBuffer(const PartialIndex* index,
+                                    IndexBufferOptions buffer_options = {});
+
+  /// Null if no buffer exists for `index`.
+  IndexBuffer* GetBuffer(const PartialIndex* index) const;
+
+  const std::map<const PartialIndex*, std::unique_ptr<IndexBuffer>>& buffers()
+      const {
+    return buffers_;
+  }
+
+  bool Unlimited() const { return options_.max_entries == 0; }
+
+  /// Entries currently used across all buffers.
+  size_t TotalEntries() const;
+
+  /// n_F: free entries under the budget; SIZE_MAX when unlimited.
+  size_t FreeEntries() const;
+
+  /// Table II: updates every buffer's history for a query on
+  /// `queried_index`'s column that hit (`partial_hit`) or missed its
+  /// partial index.
+  void OnQuery(const PartialIndex* queried_index, bool partial_hit);
+
+  /// Algorithm 2 (SelectPagesForBuffer): chooses the pages the upcoming
+  /// table scan should index into `target`, dropping just enough low-benefit
+  /// partitions so that the new index information fits and is more
+  /// beneficial than what it displaces. Partitions are dropped before this
+  /// returns.
+  PageSelection SelectPagesForBuffer(IndexBuffer* target);
+
+ private:
+  struct VictimRef {
+    IndexBuffer* buffer = nullptr;
+    size_t partition_id = 0;
+    double benefit = 0;
+    size_t entries = 0;
+  };
+
+  /// Two-staged victim selection (§IV): stage 1 picks a buffer with
+  /// probability proportional to 1/b_B among buffers other than `target`
+  /// that still have unchosen partitions (falling back to `target` itself
+  /// when it is the only buffer with partitions — required with a single
+  /// partial index and bounded space, a case the paper's formula leaves
+  /// open); stage 2 picks the incomplete partition first, then complete
+  /// partitions by descending entry count.
+  std::optional<VictimRef> SelectNextPartition(
+      IndexBuffer* target,
+      const std::set<std::pair<IndexBuffer*, size_t>>& chosen);
+
+  BufferSpaceOptions options_;
+  Metrics* metrics_;
+  mutable Rng rng_;
+  std::map<const PartialIndex*, std::unique_ptr<IndexBuffer>> buffers_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_CORE_BUFFER_SPACE_H_

@@ -1,0 +1,47 @@
+#ifndef AIB_CORE_CONSISTENCY_H_
+#define AIB_CORE_CONSISTENCY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/buffer_space.h"
+#include "core/index_buffer.h"
+#include "storage/table.h"
+
+namespace aib {
+
+/// Structural validation of the Index Buffer machinery against the ground
+/// truth in the table. Exposed as a library API (not just test code) so
+/// embedders can assert integrity after custom maintenance flows, and used
+/// heavily by this repository's own property tests.
+///
+/// Checked invariants, per buffer:
+///   (1) counter truth: C[p] equals the number of live tuples on page p
+///       covered by neither the partial index nor the buffer;
+///   (2) buffered pages are fully indexed: p ∈ B implies C[p] == 0;
+///   (3) partition residency: every buffered entry lives in the partition
+///       its page number maps to (disjointness by construction), and the
+///       entry's rid points at a live tuple with that key value, not
+///       covered by the partial index;
+///   (4) per-partition page_entries bookkeeping equals the actual number
+///       of entries per page;
+///   (5) the partial index itself: every entry's value is covered and its
+///       rid resolves to a live tuple with that value; every covered live
+///       tuple is present.
+///
+/// Returns OK or a Corruption status naming the first violated invariant.
+Status CheckBufferConsistency(const Table& table, const IndexBuffer& buffer);
+
+/// Checks every buffer in the space (all must belong to indexes on
+/// `table`) plus the space-level entry accounting.
+Status CheckSpaceConsistency(const Table& table,
+                             const IndexBufferSpace& space);
+
+/// Validates a partial index against the table (invariant 5 above).
+Status CheckPartialIndexConsistency(const Table& table,
+                                    const PartialIndex& index);
+
+}  // namespace aib
+
+#endif  // AIB_CORE_CONSISTENCY_H_

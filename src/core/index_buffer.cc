@@ -1,0 +1,131 @@
+#include "core/index_buffer.h"
+
+#include <cassert>
+
+namespace aib {
+
+IndexBuffer::IndexBuffer(const PartialIndex* index, IndexBufferOptions options,
+                         Metrics* metrics)
+    : index_(index),
+      options_(options),
+      metrics_(metrics),
+      history_(options.lru_k, options.initial_interval) {
+  assert(options_.partition_pages > 0);
+}
+
+Status IndexBuffer::InitCounters() {
+  return counters_.InitFromTable(index_->table(), *index_);
+}
+
+BufferPartition* IndexBuffer::GetOrCreatePartition(size_t page) {
+  const size_t id = PartitionIdFor(page);
+  auto it = partitions_.find(id);
+  if (it == partitions_.end()) {
+    it = partitions_
+             .emplace(id, std::make_unique<BufferPartition>(
+                              id, options_.structure))
+             .first;
+  }
+  return it->second.get();
+}
+
+const BufferPartition* IndexBuffer::FindPartitionForPage(size_t page) const {
+  auto it = partitions_.find(PartitionIdFor(page));
+  return it == partitions_.end() ? nullptr : it->second.get();
+}
+
+bool IndexBuffer::PageInBuffer(size_t page) const {
+  const BufferPartition* partition = FindPartitionForPage(page);
+  return partition != nullptr && partition->CoversPage(page);
+}
+
+void IndexBuffer::AddTuple(size_t page, Value value, const Rid& rid) {
+  GetOrCreatePartition(page)->AddEntry(page, value, rid);
+  if (metrics_ != nullptr) metrics_->Increment(kMetricIbEntriesAdded);
+}
+
+bool IndexBuffer::RemoveTuple(size_t page, Value value, const Rid& rid) {
+  auto it = partitions_.find(PartitionIdFor(page));
+  if (it == partitions_.end()) return false;
+  const bool removed = it->second->RemoveEntry(page, value, rid);
+  if (removed && metrics_ != nullptr) {
+    metrics_->Increment(kMetricIbEntriesDropped);
+  }
+  return removed;
+}
+
+void IndexBuffer::UpdateTuple(size_t old_page, Value old_value,
+                              const Rid& old_rid, size_t new_page,
+                              Value new_value, const Rid& new_rid) {
+  RemoveTuple(old_page, old_value, old_rid);
+  AddTuple(new_page, new_value, new_rid);
+}
+
+void IndexBuffer::MarkPageIndexed(size_t page) {
+  counters_.EnsureSize(page + 1);
+  counters_.Set(page, 0);
+  GetOrCreatePartition(page)->CoverPage(page);
+}
+
+void IndexBuffer::Lookup(Value value, std::vector<Rid>* out) const {
+  for (const auto& [id, partition] : partitions_) {
+    partition->Lookup(value, out);
+    if (metrics_ != nullptr) metrics_->Increment(kMetricIndexProbes);
+  }
+}
+
+void IndexBuffer::Scan(Value lo, Value hi,
+                       const std::function<void(Value, const Rid&)>& fn)
+    const {
+  for (const auto& [id, partition] : partitions_) {
+    partition->Scan(lo, hi, fn);
+    if (metrics_ != nullptr) metrics_->Increment(kMetricIndexProbes);
+  }
+}
+
+double IndexBuffer::TotalBenefit() const {
+  const double mean_interval = MeanInterval();
+  double benefit = 0;
+  for (const auto& [id, partition] : partitions_) {
+    benefit += partition->Benefit(mean_interval);
+  }
+  return benefit;
+}
+
+size_t IndexBuffer::TotalEntries() const {
+  size_t entries = 0;
+  for (const auto& [id, partition] : partitions_) {
+    entries += partition->EntryCount();
+  }
+  return entries;
+}
+
+size_t IndexBuffer::DropPartition(size_t partition_id) {
+  auto it = partitions_.find(partition_id);
+  if (it == partitions_.end()) return 0;
+  const BufferPartition& partition = *it->second;
+  const size_t freed = partition.EntryCount();
+  // Every page the partition covered regains its unindexed tuples: C[p]
+  // goes back to the number of entries the buffer held for it.
+  for (const auto& [page, entry_count] : partition.page_entries()) {
+    counters_.EnsureSize(page + 1);
+    counters_.Set(page, static_cast<uint32_t>(entry_count));
+  }
+  partitions_.erase(it);
+  if (metrics_ != nullptr) {
+    metrics_->Increment(kMetricIbPartitionsDropped);
+    metrics_->Increment(kMetricIbEntriesDropped,
+                        static_cast<int64_t>(freed));
+  }
+  return freed;
+}
+
+void IndexBuffer::Clear() {
+  // Collect ids first; DropPartition mutates the map.
+  std::vector<size_t> ids;
+  ids.reserve(partitions_.size());
+  for (const auto& [id, partition] : partitions_) ids.push_back(id);
+  for (size_t id : ids) DropPartition(id);
+}
+
+}  // namespace aib

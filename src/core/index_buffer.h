@@ -1,0 +1,135 @@
+#ifndef AIB_CORE_INDEX_BUFFER_H_
+#define AIB_CORE_INDEX_BUFFER_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "btree/index_structure.h"
+#include "common/metrics.h"
+#include "core/buffer_partition.h"
+#include "core/lru_k_history.h"
+#include "core/page_counters.h"
+#include "index/partial_index.h"
+
+namespace aib {
+
+struct IndexBufferOptions {
+  /// P: maximum number of table pages one partition covers (paper: 10,000).
+  size_t partition_pages = 10000;
+  /// Index structure per partition.
+  IndexStructureKind structure = IndexStructureKind::kBTree;
+  /// K of the LRU-K history.
+  size_t lru_k = 2;
+  /// Seed value for all K history slots of a fresh buffer.
+  double initial_interval = 100.0;
+};
+
+/// The Index Buffer of one partial index (§III): an in-memory scratch-pad
+/// index over exactly those tuples of buffer-covered pages that the partial
+/// index leaves unindexed. Together with the partial index it makes covered
+/// pages *fully indexed*, so table scans can skip them (C[p] == 0).
+///
+/// Owns the page counters C, the partitioned index structure, and the LRU-K
+/// access history that drives the benefit model.
+class IndexBuffer {
+ public:
+  /// Does not own `index`. `metrics` may be null.
+  IndexBuffer(const PartialIndex* index, IndexBufferOptions options,
+              Metrics* metrics = nullptr);
+
+  ColumnId column() const { return index_->column(); }
+  const PartialIndex& partial_index() const { return *index_; }
+  const IndexBufferOptions& options() const { return options_; }
+
+  // --- Page counters -------------------------------------------------------
+
+  /// Initializes C[p] from the table and partial index ("during the
+  /// creation of the partial index", §III).
+  Status InitCounters();
+
+  PageCounters& counters() { return counters_; }
+  const PageCounters& counters() const { return counters_; }
+
+  // --- Partitions and entries ---------------------------------------------
+
+  size_t PartitionIdFor(size_t page) const {
+    return page / options_.partition_pages;
+  }
+
+  /// True iff `page` is covered by a partition ("p ∈ B" in Table I).
+  bool PageInBuffer(size_t page) const;
+
+  /// B.Add(t): indexes one tuple of `page`. Creates the partition on
+  /// demand. Does not touch C[p] — callers decide (Algorithm 1 sets C to 0
+  /// once the page is complete; Table I cases add to already-covered pages).
+  void AddTuple(size_t page, Value value, const Rid& rid);
+
+  /// B.Remove(t): drops one tuple's entry; returns false if absent.
+  bool RemoveTuple(size_t page, Value value, const Rid& rid);
+
+  /// B.Update(t_old, t_new): both pages are in the buffer.
+  void UpdateTuple(size_t old_page, Value old_value, const Rid& old_rid,
+                   size_t new_page, Value new_value, const Rid& new_rid);
+
+  /// Marks `page` fully indexed: C[page] = 0 and the page is registered
+  /// with its partition (Algorithm 1, line 17).
+  void MarkPageIndexed(size_t page);
+
+  // --- Scans ---------------------------------------------------------------
+
+  /// Point probe across all partitions. Counts one probe per partition.
+  void Lookup(Value value, std::vector<Rid>* out) const;
+
+  /// Range probe across all partitions. Results are unordered across
+  /// partitions.
+  void Scan(Value lo, Value hi,
+            const std::function<void(Value, const Rid&)>& fn) const;
+
+  // --- Benefit model and space accounting -----------------------------------
+
+  LruKHistory& history() { return history_; }
+  const LruKHistory& history() const { return history_; }
+
+  /// T_B.
+  double MeanInterval() const { return history_.MeanInterval(); }
+
+  /// b_B = sum of partition benefits.
+  double TotalBenefit() const;
+
+  /// Total entries across partitions (the buffer's size in the Index
+  /// Buffer Space budget).
+  size_t TotalEntries() const;
+
+  size_t PartitionCount() const { return partitions_.size(); }
+
+  const std::map<size_t, std::unique_ptr<BufferPartition>>& partitions()
+      const {
+    return partitions_;
+  }
+
+  /// Drops partition `partition_id` entirely, restoring C[p] for each page
+  /// it covered to that page's buffered-entry count. Returns the number of
+  /// entries freed.
+  size_t DropPartition(size_t partition_id);
+
+  /// Drops everything (all partitions); counters are restored as in
+  /// DropPartition.
+  void Clear();
+
+ private:
+  BufferPartition* GetOrCreatePartition(size_t page);
+  const BufferPartition* FindPartitionForPage(size_t page) const;
+
+  const PartialIndex* index_;
+  IndexBufferOptions options_;
+  Metrics* metrics_;
+  PageCounters counters_;
+  LruKHistory history_;
+  /// partition id -> partition.
+  std::map<size_t, std::unique_ptr<BufferPartition>> partitions_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_CORE_INDEX_BUFFER_H_

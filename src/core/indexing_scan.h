@@ -1,0 +1,40 @@
+#ifndef AIB_CORE_INDEXING_SCAN_H_
+#define AIB_CORE_INDEXING_SCAN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/buffer_space.h"
+#include "core/index_buffer.h"
+#include "storage/table.h"
+
+namespace aib {
+
+/// Per-scan statistics of one indexing table scan.
+struct IndexingScanStats {
+  size_t pages_scanned = 0;
+  size_t pages_skipped = 0;
+  size_t pages_selected = 0;   // |I|
+  size_t entries_added = 0;    // tuples newly indexed into the buffer
+  size_t buffer_matches = 0;   // result tuples contributed by the buffer
+  size_t partitions_dropped = 0;
+  size_t entries_dropped = 0;
+};
+
+/// Algorithm 1 (IndexingScan): answers the predicate value ∈ [lo, hi] on
+/// the buffer's column with a table scan that (a) skips fully indexed pages
+/// (C[p] == 0), consulting the Index Buffer for their matches, and (b)
+/// opportunistically indexes the pages selected by Algorithm 2 along the
+/// way. Appends matching rids to `out`.
+///
+/// The predicate is assumed disjoint from the partial index coverage (the
+/// executor routes covered predicates to an index scan and mixed-coverage
+/// ranges through a hybrid path).
+Status RunIndexingScan(const Table& table, IndexBufferSpace* space,
+                       IndexBuffer* buffer, Value lo, Value hi,
+                       std::vector<Rid>* out, IndexingScanStats* stats);
+
+}  // namespace aib
+
+#endif  // AIB_CORE_INDEXING_SCAN_H_

@@ -1,0 +1,28 @@
+#include "core/lru_k_history.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aib {
+
+LruKHistory::LruKHistory(size_t k, double initial_interval)
+    : history_(std::max<size_t>(k, 1), initial_interval) {}
+
+void LruKHistory::OnBufferUse() {
+  // shift(H, +1): the current interval is sealed and everything moves one
+  // slot toward the past; the oldest interval falls off.
+  for (size_t i = history_.size() - 1; i > 0; --i) {
+    history_[i] = history_[i - 1];
+  }
+  history_[0] = 0;
+}
+
+void LruKHistory::OnOtherQuery() { history_[0] += 1; }
+
+double LruKHistory::MeanInterval() const {
+  double sum = 0;
+  for (double interval : history_) sum += interval;
+  return std::max(sum / static_cast<double>(history_.size()), kMinInterval);
+}
+
+}  // namespace aib

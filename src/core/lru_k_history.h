@@ -1,0 +1,50 @@
+#ifndef AIB_CORE_LRU_K_HISTORY_H_
+#define AIB_CORE_LRU_K_HISTORY_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aib {
+
+/// Access history of one Index Buffer, kept "analogously to the LRU-K
+/// algorithm" (§IV): the K last access *intervals*, where an interval is the
+/// number of queries between two uses of the buffer. Per Table II:
+///
+///   - query misses the partial index of this buffer's column (the buffer is
+///     actually used): shift(H, +1); H[0] = 0      -> OnBufferUse()
+///   - any other query (partial-index hit on this column, or a query on a
+///     different column): H[0]++                    -> OnOtherQuery()
+///
+/// The mean access interval T_B = (1/K) * sum(H[i]) feeds the benefit model:
+/// frequently used buffers have small T_B and therefore high benefit.
+class LruKHistory {
+ public:
+  /// `k` >= 1. `initial_interval` seeds all K slots so that a brand-new
+  /// buffer starts neither infinitely hot (T=0) nor cold; the paper leaves
+  /// the initialization open.
+  explicit LruKHistory(size_t k = 2, double initial_interval = 100.0);
+
+  /// The buffer was used to answer a query (no partial-index hit on its
+  /// column): a new interval starts.
+  void OnBufferUse();
+
+  /// A query ran that did not use this buffer: the current interval grows.
+  void OnOtherQuery();
+
+  /// Mean access interval T_B, floored at `kMinInterval` so the benefit
+  /// X_p / T_B stays finite under back-to-back use.
+  double MeanInterval() const;
+
+  size_t k() const { return history_.size(); }
+  const std::vector<double>& history() const { return history_; }
+
+  static constexpr double kMinInterval = 0.5;
+
+ private:
+  /// history_[0] is the current (most recent) interval.
+  std::vector<double> history_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_CORE_LRU_K_HISTORY_H_

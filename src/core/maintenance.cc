@@ -1,0 +1,155 @@
+#include "core/maintenance.h"
+
+namespace aib {
+
+namespace {
+
+/// C[page]++ (page gained an unindexed tuple).
+void CounterUp(IndexBuffer* buffer, size_t page) {
+  buffer->counters().EnsureSize(page + 1);
+  buffer->counters().Increment(page);
+}
+
+/// C[page]-- (page lost an unindexed tuple).
+void CounterDown(IndexBuffer* buffer, size_t page) {
+  buffer->counters().EnsureSize(page + 1);
+  buffer->counters().Decrement(page);
+}
+
+Status ApplyInsert(PartialIndex* index, IndexBuffer* buffer,
+                   const TupleChange& change) {
+  const Value value = *change.new_value;
+  if (index->Covers(value)) {
+    index->Add(value, change.new_rid);
+    return Status::Ok();
+  }
+  if (buffer == nullptr) return Status::Ok();
+  if (buffer->PageInBuffer(change.new_page)) {
+    buffer->AddTuple(change.new_page, value, change.new_rid);
+  } else {
+    CounterUp(buffer, change.new_page);
+  }
+  return Status::Ok();
+}
+
+Status ApplyDelete(PartialIndex* index, IndexBuffer* buffer,
+                   const TupleChange& change) {
+  const Value value = *change.old_value;
+  if (index->Covers(value)) {
+    index->Remove(value, change.old_rid);
+    return Status::Ok();
+  }
+  if (buffer == nullptr) return Status::Ok();
+  if (buffer->PageInBuffer(change.old_page)) {
+    buffer->RemoveTuple(change.old_page, value, change.old_rid);
+  } else {
+    CounterDown(buffer, change.old_page);
+  }
+  return Status::Ok();
+}
+
+Status ApplyUpdate(PartialIndex* index, IndexBuffer* buffer,
+                   const TupleChange& change) {
+  const Value old_value = *change.old_value;
+  const Value new_value = *change.new_value;
+  const bool old_in_ix = index->Covers(old_value);
+  const bool new_in_ix = index->Covers(new_value);
+
+  // IX row of Table I.
+  if (old_in_ix && new_in_ix) {
+    index->Update(old_value, change.old_rid, new_value, change.new_rid);
+  } else if (old_in_ix) {
+    index->Remove(old_value, change.old_rid);
+  } else if (new_in_ix) {
+    index->Add(new_value, change.new_rid);
+  }
+
+  if (buffer == nullptr) return Status::Ok();
+  const bool old_in_b = buffer->PageInBuffer(change.old_page);
+  const bool new_in_b = buffer->PageInBuffer(change.new_page);
+
+  if (old_in_ix && new_in_ix) {
+    // Column 1: nothing for B or C.
+  } else if (old_in_ix && !new_in_ix) {
+    // Column 2: the new tuple is unindexed.
+    if (new_in_b) {
+      buffer->AddTuple(change.new_page, new_value, change.new_rid);
+    } else {
+      CounterUp(buffer, change.new_page);
+    }
+  } else if (!old_in_ix && new_in_ix) {
+    // Column 3: the old tuple leaves the unindexed population.
+    if (old_in_b) {
+      buffer->RemoveTuple(change.old_page, old_value, change.old_rid);
+    } else {
+      CounterDown(buffer, change.old_page);
+    }
+  } else {
+    // Column 4: both incarnations unindexed by IX.
+    if (old_in_b && new_in_b) {
+      buffer->UpdateTuple(change.old_page, old_value, change.old_rid,
+                          change.new_page, new_value, change.new_rid);
+    } else if (old_in_b) {
+      buffer->RemoveTuple(change.old_page, old_value, change.old_rid);
+      CounterUp(buffer, change.new_page);
+    } else if (new_in_b) {
+      buffer->AddTuple(change.new_page, new_value, change.new_rid);
+      CounterDown(buffer, change.old_page);
+    } else {
+      CounterDown(buffer, change.old_page);
+      CounterUp(buffer, change.new_page);
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ApplyMaintenance(PartialIndex* index, IndexBuffer* buffer,
+                        const TupleChange& change) {
+  if (!change.old_value.has_value() && !change.new_value.has_value()) {
+    return Status::InvalidArgument("empty tuple change");
+  }
+  if (!change.old_value.has_value()) {
+    return ApplyInsert(index, buffer, change);
+  }
+  if (!change.new_value.has_value()) {
+    return ApplyDelete(index, buffer, change);
+  }
+  return ApplyUpdate(index, buffer, change);
+}
+
+Status ApplyAdaptation(IndexBuffer* buffer, Value value,
+                       const std::vector<Rid>& rids,
+                       const std::vector<size_t>& pages, bool added) {
+  if (buffer == nullptr) return Status::Ok();
+  if (rids.size() != pages.size()) {
+    return Status::InvalidArgument("rids/pages size mismatch");
+  }
+  for (size_t i = 0; i < rids.size(); ++i) {
+    if (added) {
+      // The tuple is now covered by the partial index; the buffer no longer
+      // needs it. Pages keep C == 0 (still fully indexed), other pages lose
+      // one unindexed tuple.
+      if (buffer->PageInBuffer(pages[i])) {
+        buffer->RemoveTuple(pages[i], value, rids[i]);
+      } else {
+        buffer->counters().EnsureSize(pages[i] + 1);
+        buffer->counters().Decrement(pages[i]);
+      }
+    } else {
+      // The value was evicted from the partial index; its tuples are
+      // unindexed again. Buffered pages absorb them (stay fully indexed);
+      // others get their counter back.
+      if (buffer->PageInBuffer(pages[i])) {
+        buffer->AddTuple(pages[i], value, rids[i]);
+      } else {
+        buffer->counters().EnsureSize(pages[i] + 1);
+        buffer->counters().Increment(pages[i]);
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace aib

@@ -1,0 +1,77 @@
+#ifndef AIB_CORE_MAINTENANCE_H_
+#define AIB_CORE_MAINTENANCE_H_
+
+#include <optional>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "core/index_buffer.h"
+#include "index/partial_index.h"
+
+namespace aib {
+
+/// One tuple-level DML event against a single indexed column, in the
+/// vocabulary of Table I: the old incarnation (absent for inserts) and the
+/// new incarnation (absent for deletes) of the tuple, each with its key
+/// value, rid, and dense page number.
+struct TupleChange {
+  std::optional<Value> old_value;
+  Rid old_rid;
+  size_t old_page = 0;
+
+  std::optional<Value> new_value;
+  Rid new_rid;
+  size_t new_page = 0;
+
+  static TupleChange MakeInsert(Value value, const Rid& rid, size_t page) {
+    TupleChange change;
+    change.new_value = value;
+    change.new_rid = rid;
+    change.new_page = page;
+    return change;
+  }
+
+  static TupleChange MakeDelete(Value value, const Rid& rid, size_t page) {
+    TupleChange change;
+    change.old_value = value;
+    change.old_rid = rid;
+    change.old_page = page;
+    return change;
+  }
+
+  static TupleChange MakeUpdate(Value old_value, const Rid& old_rid,
+                                size_t old_page, Value new_value,
+                                const Rid& new_rid, size_t new_page) {
+    TupleChange change;
+    change.old_value = old_value;
+    change.old_rid = old_rid;
+    change.old_page = old_page;
+    change.new_value = new_value;
+    change.new_rid = new_rid;
+    change.new_page = new_page;
+    return change;
+  }
+};
+
+/// Applies the full Table I maintenance matrix for one (partial index,
+/// Index Buffer) pair: partial-index entry upkeep, Index Buffer entry
+/// upkeep, and page-counter adjustments. `buffer` may be null (no Index
+/// Buffer configured); partial-index upkeep still happens.
+///
+/// Inserts and deletes are the one-sided degenerations of the matrix:
+/// an insert behaves like the (t_old ∈ IX)-row half with no old tuple, a
+/// delete like the (t_new ∈ IX)-column half with no new tuple.
+Status ApplyMaintenance(PartialIndex* index, IndexBuffer* buffer,
+                        const TupleChange& change);
+
+/// Adaptation hook (§III "partial index adaptions"): the tuner added
+/// (`added` = true) or evicted a value with the given rids/pages from the
+/// partial index; the buffer's entries and counters are adjusted so pages
+/// keep their fully-indexed status where possible.
+Status ApplyAdaptation(IndexBuffer* buffer, Value value,
+                       const std::vector<Rid>& rids,
+                       const std::vector<size_t>& pages, bool added);
+
+}  // namespace aib
+
+#endif  // AIB_CORE_MAINTENANCE_H_

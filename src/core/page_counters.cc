@@ -1,0 +1,51 @@
+#include "core/page_counters.h"
+
+#include <cassert>
+
+namespace aib {
+
+Status PageCounters::InitFromTable(const Table& table,
+                                   const PartialIndex& index) {
+  counters_.assign(table.PageCount(), 0);
+  for (size_t page = 0; page < table.PageCount(); ++page) {
+    uint32_t unindexed = 0;
+    AIB_RETURN_IF_ERROR(table.heap().ForEachTupleOnPage(
+        page, [&](const Rid&, const Tuple& tuple) {
+          const Value v = tuple.IntValue(table.schema(), index.column());
+          if (!index.Covers(v)) ++unindexed;
+        }));
+    counters_[page] = unindexed;
+  }
+  return Status::Ok();
+}
+
+void PageCounters::EnsureSize(size_t page_count) {
+  if (counters_.size() < page_count) counters_.resize(page_count, 0);
+}
+
+void PageCounters::Increment(size_t page) {
+  assert(page < counters_.size());
+  ++counters_[page];
+}
+
+void PageCounters::Decrement(size_t page) {
+  assert(page < counters_.size());
+  assert(counters_[page] > 0);
+  --counters_[page];
+}
+
+size_t PageCounters::FullyIndexedPages() const {
+  size_t count = 0;
+  for (uint32_t c : counters_) {
+    if (c == 0) ++count;
+  }
+  return count;
+}
+
+uint64_t PageCounters::TotalUnindexed() const {
+  uint64_t total = 0;
+  for (uint32_t c : counters_) total += c;
+  return total;
+}
+
+}  // namespace aib

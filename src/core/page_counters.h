@@ -1,0 +1,56 @@
+#ifndef AIB_CORE_PAGE_COUNTERS_H_
+#define AIB_CORE_PAGE_COUNTERS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "index/partial_index.h"
+#include "storage/table.h"
+
+namespace aib {
+
+/// The per-page counters C[p] of an Index Buffer (§III): the number of live
+/// tuples in page p that are covered by *neither* the partial index *nor*
+/// the Index Buffer. A page with C[p] == 0 is fully indexed and can be
+/// skipped by a table scan.
+///
+/// Pages are addressed by their dense page number within the table (see
+/// Table::PageNumberOf). Counters are initialized when the partial index is
+/// created and maintained incrementally afterwards (Table I, adaptation
+/// hooks, and MarkPageIndexed during indexing scans).
+class PageCounters {
+ public:
+  PageCounters() = default;
+
+  /// C[p] = live tuples in p  -  tuples covered by `index`. One full pass
+  /// over the table.
+  Status InitFromTable(const Table& table, const PartialIndex& index);
+
+  /// Grows the array to `page_count`; new pages start at 0 (they are empty
+  /// when allocated; inserts increment incrementally).
+  void EnsureSize(size_t page_count);
+
+  uint32_t Get(size_t page) const { return counters_[page]; }
+  void Set(size_t page, uint32_t value) { counters_[page] = value; }
+
+  void Increment(size_t page);
+  void Decrement(size_t page);
+
+  size_t size() const { return counters_.size(); }
+
+  /// Number of pages with C[p] == 0 (skippable pages).
+  size_t FullyIndexedPages() const;
+
+  /// Sum of all counters (total unindexed tuples).
+  uint64_t TotalUnindexed() const;
+
+  const std::vector<uint32_t>& raw() const { return counters_; }
+
+ private:
+  std::vector<uint32_t> counters_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_CORE_PAGE_COUNTERS_H_

@@ -1,0 +1,20 @@
+#include "exec/cost_model.h"
+
+namespace aib {
+
+double CostModel::QueryCost(const QueryStats& stats) const {
+  double cost = 0;
+  cost += static_cast<double>(stats.pages_scanned) * options_.page_scan_cost;
+  cost += static_cast<double>(stats.pages_fetched) * options_.page_fetch_cost;
+  cost += static_cast<double>(stats.ix_probes + stats.buffer_probes) *
+          options_.index_probe_cost;
+  cost += static_cast<double>(stats.entries_added) *
+          options_.buffer_insert_cost;
+  return cost;
+}
+
+double CostModel::AdaptationCost(size_t entries) const {
+  return static_cast<double>(entries) * options_.ix_entry_cost;
+}
+
+}  // namespace aib

@@ -1,0 +1,81 @@
+#ifndef AIB_EXEC_EXECUTOR_H_
+#define AIB_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <vector>
+
+#include "common/result.h"
+#include "core/buffer_space.h"
+#include "core/indexing_scan.h"
+#include "exec/cost_model.h"
+#include "exec/query.h"
+#include "index/partial_index.h"
+#include "storage/table.h"
+
+namespace aib {
+
+/// Result of one query: matching rids plus execution statistics.
+struct QueryResult {
+  std::vector<Rid> rids;
+  QueryStats stats;
+};
+
+/// Access-path selection and execution over one table (§II/§III):
+///
+///   - predicate fully covered by the column's partial index -> index scan
+///     (probe + tuple fetches);
+///   - predicate disjoint from the coverage -> indexing table scan
+///     (Algorithm 1) when an Index Buffer Space is configured, else a plain
+///     full scan;
+///   - range predicate partially covered -> hybrid: indexing table scan for
+///     the uncovered population plus partial-index scan restricted to
+///     skipped pages (scanned pages already yielded their covered matches).
+///
+/// Also dispatches the Table II history updates on every query.
+class Executor {
+ public:
+  /// `space` may be null (no Index Buffer configured). Does not own
+  /// anything.
+  Executor(const Table* table, IndexBufferSpace* space,
+           CostModelOptions cost_options = {}, Metrics* metrics = nullptr);
+
+  /// Registers the partial index for its column. One index per column.
+  void RegisterIndex(PartialIndex* index);
+
+  PartialIndex* GetIndex(ColumnId column) const;
+
+  /// Options used when an Index Buffer is lazily created on the first
+  /// partial-index miss of a column.
+  void SetBufferOptions(IndexBufferOptions options) {
+    buffer_options_ = options;
+  }
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Executes `query` through access-path selection.
+  Result<QueryResult> Execute(const Query& query);
+
+  /// Baseline: always a full table scan, no index or buffer interaction.
+  Result<QueryResult> FullScan(const Query& query);
+
+  /// Baseline: pure index scan; InvalidArgument if the predicate is not
+  /// fully covered by the column's partial index.
+  Result<QueryResult> IndexScan(const Query& query);
+
+ private:
+  /// Fetches the tuples behind `rids` and counts distinct pages touched.
+  Status FetchRids(const std::vector<Rid>& rids, QueryStats* stats) const;
+
+  Result<QueryResult> ExecuteMiss(const Query& query, PartialIndex* index);
+
+  const Table* table_;
+  IndexBufferSpace* space_;
+  CostModel cost_model_;
+  Metrics* metrics_;
+  IndexBufferOptions buffer_options_;
+  std::map<ColumnId, PartialIndex*> indexes_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_EXEC_EXECUTOR_H_

@@ -1,0 +1,55 @@
+#ifndef AIB_EXEC_QUERY_H_
+#define AIB_EXEC_QUERY_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace aib {
+
+/// A selection query against one integer column: value ∈ [lo, hi]
+/// (inclusive). The paper's evaluation uses point queries (lo == hi); range
+/// predicates exercise the hybrid execution path.
+struct Query {
+  ColumnId column = 0;
+  Value lo = 0;
+  Value hi = 0;
+
+  static Query Point(ColumnId column, Value v) { return {column, v, v}; }
+  static Query Range(ColumnId column, Value lo, Value hi) {
+    return {column, lo, hi};
+  }
+
+  bool IsPoint() const { return lo == hi; }
+};
+
+/// Per-query execution statistics, consumed by the cost model and the
+/// benches (which plot them as the paper's per-query series).
+struct QueryStats {
+  /// The query was answered by the partial index alone.
+  bool used_partial_index = false;
+  /// The query ran an indexing table scan (Algorithm 1).
+  bool used_index_buffer = false;
+
+  size_t result_count = 0;
+  size_t pages_scanned = 0;
+  size_t pages_skipped = 0;
+  /// Distinct pages touched to fetch index-matched tuples.
+  size_t pages_fetched = 0;
+  size_t ix_probes = 0;
+  /// Index Buffer partitions probed.
+  size_t buffer_probes = 0;
+  size_t buffer_matches = 0;
+  size_t entries_added = 0;
+  size_t entries_dropped = 0;
+  size_t partitions_dropped = 0;
+
+  /// Simulated cost units (CostModel) — the "runtime" axis of the figures.
+  double cost = 0;
+  /// Measured wall time of this in-process engine.
+  int64_t wall_ns = 0;
+};
+
+}  // namespace aib
+
+#endif  // AIB_EXEC_QUERY_H_

@@ -1,0 +1,82 @@
+#include "index/index_tuner.h"
+
+#include <cassert>
+
+namespace aib {
+
+IndexTuner::IndexTuner(PartialIndex* index, IndexTunerOptions options,
+                       RidLookupFn rid_lookup)
+    : index_(index),
+      options_(options),
+      rid_lookup_(std::move(rid_lookup)) {
+  // Seed the LRU with the initial coverage so pre-covered values are
+  // evictable. Ascending insertion; the least value ends up coldest.
+  index_->coverage().ForEachInterval([&](Value lo, Value hi) {
+    for (int64_t v = lo; v <= hi; ++v) {
+      InsertLru(static_cast<Value>(v));
+    }
+  });
+}
+
+void IndexTuner::InsertLru(Value v) {
+  assert(lru_pos_.find(v) == lru_pos_.end());
+  lru_.push_front(v);
+  lru_pos_[v] = lru_.begin();
+}
+
+void IndexTuner::TouchLru(Value v) {
+  auto it = lru_pos_.find(v);
+  if (it == lru_pos_.end()) return;
+  lru_.splice(lru_.begin(), lru_, it->second);
+}
+
+TunerReport IndexTuner::OnQuery(Value v) {
+  TunerReport report;
+  report.hit = index_->Covers(v);
+
+  // Monitoring window update.
+  window_.push_back(v);
+  ++window_counts_[v];
+  if (window_.size() > options_.window_size) {
+    const Value expired = window_.front();
+    window_.pop_front();
+    if (--window_counts_[expired] == 0) window_counts_.erase(expired);
+  }
+
+  if (report.hit) {
+    TouchLru(v);
+    return report;
+  }
+
+  // Adaptation decision: index the value once it has shown enough potential
+  // cost reduction in the recent past (paper Fig. 1: >= 6 hits in the last
+  // 20 queries).
+  auto count_it = window_counts_.find(v);
+  if (count_it == window_counts_.end() ||
+      count_it->second < options_.index_threshold) {
+    return report;
+  }
+
+  const std::vector<Rid> rids = rid_lookup_ ? rid_lookup_(v)
+                                            : std::vector<Rid>{};
+  report.entries_added += index_->AddValue(v, rids);
+  report.values_added.push_back(v);
+  InsertLru(v);
+  if (adapt_callback_) adapt_callback_(v, rids, /*added=*/true);
+
+  // LRU eviction beyond capacity.
+  if (options_.max_indexed_values > 0) {
+    while (lru_pos_.size() > options_.max_indexed_values) {
+      const Value victim = lru_.back();
+      lru_.pop_back();
+      lru_pos_.erase(victim);
+      const std::vector<Rid> removed = index_->RemoveValue(victim);
+      report.entries_removed += removed.size();
+      report.values_evicted.push_back(victim);
+      if (adapt_callback_) adapt_callback_(victim, removed, /*added=*/false);
+    }
+  }
+  return report;
+}
+
+}  // namespace aib

@@ -1,0 +1,88 @@
+#ifndef AIB_INDEX_INDEX_TUNER_H_
+#define AIB_INDEX_INDEX_TUNER_H_
+
+#include <deque>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "index/partial_index.h"
+
+namespace aib {
+
+struct IndexTunerOptions {
+  /// Length of the monitoring window, in queries (paper Fig. 1: 20).
+  size_t window_size = 20;
+  /// A value is indexed once it was queried at least this often within the
+  /// window (paper Fig. 1: 6).
+  int index_threshold = 6;
+  /// Maximum number of distinct values the partial index may cover; least
+  /// recently used values are evicted beyond it. 0 = unlimited.
+  size_t max_indexed_values = 0;
+};
+
+/// Outcome of one tuner step, consumed by the Fig. 1 bench.
+struct TunerReport {
+  /// Whether the query hit the partial index *before* any adaptation.
+  bool hit = false;
+  std::vector<Value> values_added;
+  std::vector<Value> values_evicted;
+  size_t entries_added = 0;
+  size_t entries_removed = 0;
+};
+
+/// The online partial-index tuning mechanism the paper simulates in Fig. 1:
+/// a sliding monitoring window over queried values, a query-count threshold
+/// for indexing a value, and LRU eviction of indexed values. Its inherent
+/// control-loop delay (threshold × repeat queries before any adaptation) is
+/// the problem the Index Buffer addresses.
+class IndexTuner {
+ public:
+  /// Finds the rids of all tuples with a given key value — the "adaptation
+  /// scan" a real system performs when extending a partial index.
+  using RidLookupFn = std::function<std::vector<Rid>(Value)>;
+
+  /// Called after the tuner adds (added=true) or evicts (added=false) a
+  /// value, with the affected rids. The Database uses this to keep Index
+  /// Buffer page counters consistent with the new coverage.
+  using AdaptCallback =
+      std::function<void(Value, const std::vector<Rid>&, bool added)>;
+
+  /// Does not own `index`. Seeds the LRU order with the currently covered
+  /// values (in ascending order) when eviction is enabled.
+  IndexTuner(PartialIndex* index, IndexTunerOptions options,
+             RidLookupFn rid_lookup);
+
+  void SetAdaptCallback(AdaptCallback callback) {
+    adapt_callback_ = std::move(callback);
+  }
+
+  /// Observes one query for value `v`, possibly adapting the index.
+  TunerReport OnQuery(Value v);
+
+  /// Distinct values currently covered by the index (tracked via LRU).
+  size_t IndexedValueCount() const { return lru_pos_.size(); }
+
+  const IndexTunerOptions& options() const { return options_; }
+
+ private:
+  void TouchLru(Value v);
+  void InsertLru(Value v);
+
+  PartialIndex* index_;
+  IndexTunerOptions options_;
+  RidLookupFn rid_lookup_;
+  AdaptCallback adapt_callback_;
+
+  std::deque<Value> window_;
+  std::unordered_map<Value, int> window_counts_;
+
+  /// Most recently used at the front.
+  std::list<Value> lru_;
+  std::unordered_map<Value, std::list<Value>::iterator> lru_pos_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_INDEX_INDEX_TUNER_H_

@@ -1,0 +1,85 @@
+#include "index/partial_index.h"
+
+#include <cassert>
+
+namespace aib {
+
+PartialIndex::PartialIndex(const Table* table, ColumnId column,
+                           ValueCoverage coverage, IndexStructureKind kind,
+                           Metrics* metrics)
+    : table_(table),
+      column_(column),
+      coverage_(std::move(coverage)),
+      kind_(kind),
+      structure_(CreateIndexStructure(kind)),
+      metrics_(metrics) {
+  assert(table_->schema().column(column_).type == ColumnType::kInt32);
+}
+
+Status PartialIndex::Build() {
+  structure_->Clear();
+  return table_->heap().ForEachTuple([&](const Rid& rid, const Tuple& tuple) {
+    const Value v = tuple.IntValue(table_->schema(), column_);
+    if (coverage_.Covers(v)) {
+      structure_->Insert(v, rid);
+      if (metrics_ != nullptr) metrics_->Increment(kMetricIndexInserts);
+    }
+  });
+}
+
+void PartialIndex::Lookup(Value v, std::vector<Rid>* out) const {
+  if (metrics_ != nullptr) metrics_->Increment(kMetricIndexProbes);
+  structure_->Lookup(v, out);
+}
+
+void PartialIndex::Scan(Value lo, Value hi,
+                        const std::function<void(Value, const Rid&)>& fn)
+    const {
+  if (metrics_ != nullptr) metrics_->Increment(kMetricIndexProbes);
+  structure_->Scan(lo, hi, fn);
+}
+
+void PartialIndex::Add(Value v, const Rid& rid) {
+  assert(coverage_.Covers(v));
+  structure_->Insert(v, rid);
+  if (metrics_ != nullptr) metrics_->Increment(kMetricIndexInserts);
+}
+
+void PartialIndex::Remove(Value v, const Rid& rid) {
+  structure_->Remove(v, rid);
+  if (metrics_ != nullptr) metrics_->Increment(kMetricIndexRemoves);
+}
+
+void PartialIndex::Update(Value old_v, const Rid& old_rid, Value new_v,
+                          const Rid& new_rid) {
+  structure_->Remove(old_v, old_rid);
+  structure_->Insert(new_v, new_rid);
+  if (metrics_ != nullptr) {
+    metrics_->Increment(kMetricIndexRemoves);
+    metrics_->Increment(kMetricIndexInserts);
+  }
+}
+
+size_t PartialIndex::AddValue(Value v, const std::vector<Rid>& rids) {
+  coverage_.Add(v);
+  for (const Rid& rid : rids) structure_->Insert(v, rid);
+  if (metrics_ != nullptr) {
+    metrics_->Increment(kMetricIndexInserts,
+                        static_cast<int64_t>(rids.size()));
+  }
+  return rids.size();
+}
+
+std::vector<Rid> PartialIndex::RemoveValue(Value v) {
+  std::vector<Rid> removed;
+  structure_->Lookup(v, &removed);
+  structure_->RemoveKey(v);
+  coverage_.Remove(v);
+  if (metrics_ != nullptr) {
+    metrics_->Increment(kMetricIndexRemoves,
+                        static_cast<int64_t>(removed.size()));
+  }
+  return removed;
+}
+
+}  // namespace aib

@@ -1,0 +1,100 @@
+#include "index/value_coverage.h"
+
+#include <cassert>
+#include <limits>
+#include <sstream>
+
+namespace aib {
+
+ValueCoverage ValueCoverage::Range(Value lo, Value hi) {
+  ValueCoverage coverage;
+  coverage.AddRange(lo, hi);
+  return coverage;
+}
+
+std::map<Value, Value>::const_iterator ValueCoverage::FindInterval(
+    Value v) const {
+  auto it = intervals_.upper_bound(v);
+  if (it == intervals_.begin()) return intervals_.end();
+  --it;
+  return it->second >= v ? it : intervals_.end();
+}
+
+bool ValueCoverage::Covers(Value v) const {
+  return FindInterval(v) != intervals_.end();
+}
+
+bool ValueCoverage::CoversRange(Value lo, Value hi) const {
+  assert(lo <= hi);
+  auto it = FindInterval(lo);
+  return it != intervals_.end() && it->second >= hi;
+}
+
+bool ValueCoverage::IntersectsRange(Value lo, Value hi) const {
+  assert(lo <= hi);
+  // First interval starting after lo; the interval containing lo, if any,
+  // is its predecessor.
+  auto it = intervals_.upper_bound(lo);
+  if (it != intervals_.begin() && std::prev(it)->second >= lo) return true;
+  return it != intervals_.end() && it->first <= hi;
+}
+
+bool ValueCoverage::Add(Value v) {
+  if (Covers(v)) return false;
+  AddRange(v, v);
+  return true;
+}
+
+void ValueCoverage::AddRange(Value lo, Value hi) {
+  assert(lo <= hi);
+  // Extend [lo, hi] over any interval it touches or abuts, then erase them.
+  auto it = intervals_.upper_bound(lo);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    // Abutment check `prev->second + 1 >= lo` without overflow.
+    if (prev->second >= lo || prev->second + static_cast<int64_t>(1) >= lo) {
+      it = prev;
+    }
+  }
+  while (it != intervals_.end()) {
+    const int64_t gap_start = static_cast<int64_t>(it->first) - 1;
+    if (gap_start > hi) break;  // disjoint and non-adjacent on the right
+    lo = std::min(lo, it->first);
+    hi = std::max(hi, it->second);
+    it = intervals_.erase(it);
+  }
+  intervals_[lo] = hi;
+}
+
+bool ValueCoverage::Remove(Value v) {
+  auto it = FindInterval(v);
+  if (it == intervals_.end()) return false;
+  const Value lo = it->first;
+  const Value hi = it->second;
+  intervals_.erase(lo);
+  if (lo < v) intervals_[lo] = v - 1;
+  if (hi > v) intervals_[v + 1] = hi;
+  return true;
+}
+
+uint64_t ValueCoverage::CoveredValueCount() const {
+  uint64_t count = 0;
+  for (const auto& [lo, hi] : intervals_) {
+    count += static_cast<uint64_t>(static_cast<int64_t>(hi) -
+                                   static_cast<int64_t>(lo) + 1);
+  }
+  return count;
+}
+
+std::string ValueCoverage::ToString() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const auto& [lo, hi] : intervals_) {
+    if (!first) out << ' ';
+    out << '[' << lo << ',' << hi << ']';
+    first = false;
+  }
+  return out.str();
+}
+
+}  // namespace aib

@@ -1,0 +1,72 @@
+#ifndef AIB_INDEX_VALUE_COVERAGE_H_
+#define AIB_INDEX_VALUE_COVERAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "common/types.h"
+
+namespace aib {
+
+/// The set of key values covered by a partial index, stored as disjoint
+/// maximal inclusive intervals. A partial index covers a *value* set (§II:
+/// "partial indexes cover only a subset of the values of a column"); a tuple
+/// is covered iff its key value is covered.
+///
+/// Adding and removing single values (the granularity at which the online
+/// tuner adapts, §I/Fig. 1) merge and split intervals as needed.
+class ValueCoverage {
+ public:
+  ValueCoverage() = default;
+
+  /// Coverage of a single inclusive range [lo, hi].
+  static ValueCoverage Range(Value lo, Value hi);
+
+  bool Covers(Value v) const;
+
+  /// True if every value in [lo, hi] is covered.
+  bool CoversRange(Value lo, Value hi) const;
+
+  /// True if at least one value in [lo, hi] is covered.
+  bool IntersectsRange(Value lo, Value hi) const;
+
+  /// Adds value `v`; no-op if already covered. Returns true if it was new.
+  bool Add(Value v);
+
+  /// Adds the whole inclusive range [lo, hi].
+  void AddRange(Value lo, Value hi);
+
+  /// Removes value `v`; no-op if not covered. Returns true if removed.
+  bool Remove(Value v);
+
+  /// Number of covered values (sum of interval widths).
+  uint64_t CoveredValueCount() const;
+
+  /// Number of maximal intervals.
+  size_t IntervalCount() const { return intervals_.size(); }
+
+  bool Empty() const { return intervals_.empty(); }
+
+  void Clear() { intervals_.clear(); }
+
+  /// Calls fn(lo, hi) for each maximal interval in ascending order.
+  template <typename Fn>
+  void ForEachInterval(Fn&& fn) const {
+    for (const auto& [lo, hi] : intervals_) fn(lo, hi);
+  }
+
+  /// "[1,5000] [7000,7000]" style rendering for logs and tests.
+  std::string ToString() const;
+
+ private:
+  /// Iterator to the interval containing v, or end().
+  std::map<Value, Value>::const_iterator FindInterval(Value v) const;
+
+  /// start -> end (inclusive), disjoint, non-adjacent (always merged).
+  std::map<Value, Value> intervals_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_INDEX_VALUE_COVERAGE_H_

@@ -1,0 +1,109 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace aib {
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics)
+    : disk_(disk), capacity_(capacity), metrics_(metrics) {
+  assert(capacity_ > 0);
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+}
+
+Result<Page*> BufferPool::FetchPage(PageId page_id) {
+  if (auto it = table_.find(page_id); it != table_.end()) {
+    Frame& frame = frames_[it->second];
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    ++hits_;
+    if (metrics_ != nullptr) metrics_->Increment(kMetricBufferHits);
+    return frame.page.get();
+  }
+
+  AIB_ASSIGN_OR_RETURN(size_t frame_index, GetVictimFrame());
+  Frame& frame = frames_[frame_index];
+  if (frame.page == nullptr) {
+    frame.page = std::make_unique<Page>(disk_->page_size());
+  }
+  if (Status read = disk_->ReadPage(page_id, frame.page.get()); !read.ok()) {
+    // The victim frame was already detached from the table/LRU; hand it
+    // back to the free list so the failed fetch does not leak capacity.
+    free_frames_.push_back(frame_index);
+    return read;
+  }
+  frame.page_id = page_id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  frame.in_lru = false;
+  table_[page_id] = frame_index;
+  ++misses_;
+  if (metrics_ != nullptr) metrics_->Increment(kMetricBufferMisses);
+  return frame.page.get();
+}
+
+Result<size_t> BufferPool::GetVictimFrame() {
+  if (!free_frames_.empty()) {
+    const size_t index = free_frames_.back();
+    free_frames_.pop_back();
+    return index;
+  }
+  if (lru_.empty()) {
+    return Status::NoSpace("all buffer pool frames are pinned");
+  }
+  const size_t index = lru_.front();
+  lru_.pop_front();
+  Frame& frame = frames_[index];
+  frame.in_lru = false;
+  assert(frame.pin_count == 0);
+  if (frame.dirty) {
+    AIB_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, *frame.page));
+  }
+  table_.erase(frame.page_id);
+  return index;
+}
+
+Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  auto it = table_.find(page_id);
+  if (it == table_.end()) {
+    return Status::InvalidArgument("unpin of unbuffered page");
+  }
+  Frame& frame = frames_[it->second];
+  if (frame.pin_count <= 0) {
+    return Status::InvalidArgument("unpin of unpinned page");
+  }
+  frame.dirty = frame.dirty || dirty;
+  if (--frame.pin_count == 0) {
+    frame.lru_pos = lru_.insert(lru_.end(), it->second);
+    frame.in_lru = true;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::FlushPage(PageId page_id) {
+  auto it = table_.find(page_id);
+  if (it == table_.end()) return Status::Ok();
+  Frame& frame = frames_[it->second];
+  if (frame.dirty) {
+    AIB_RETURN_IF_ERROR(disk_->WritePage(page_id, *frame.page));
+    frame.dirty = false;
+  }
+  return Status::Ok();
+}
+
+Status BufferPool::FlushAll() {
+  for (const auto& [page_id, frame_index] : table_) {
+    Frame& frame = frames_[frame_index];
+    if (frame.dirty) {
+      AIB_RETURN_IF_ERROR(disk_->WritePage(page_id, *frame.page));
+      frame.dirty = false;
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace aib

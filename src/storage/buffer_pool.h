@@ -1,0 +1,75 @@
+#ifndef AIB_STORAGE_BUFFER_POOL_H_
+#define AIB_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+
+namespace aib {
+
+/// Database buffer: a fixed number of page frames over the simulated disk
+/// with LRU replacement and pin counting. The Index Buffer of the paper
+/// "resides within the database buffer"; in this library the Index Buffer
+/// Space is budgeted separately in entries (IndexBufferSpace), while the
+/// BufferPool provides the page-caching layer underneath the table scans.
+class BufferPool {
+ public:
+  /// `capacity` is the number of frames. The pool does not own `disk`.
+  BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics = nullptr);
+
+  /// Pins and returns the frame for `page_id`, reading it from disk on a
+  /// miss. Fails with NoSpace if every frame is pinned.
+  Result<Page*> FetchPage(PageId page_id);
+
+  /// Unpins the page; `dirty` marks the frame for write-back on eviction.
+  Status UnpinPage(PageId page_id, bool dirty);
+
+  /// Writes the frame back to disk if dirty; no-op for unbuffered pages.
+  Status FlushPage(PageId page_id);
+
+  /// Flushes every dirty frame.
+  Status FlushAll();
+
+  size_t capacity() const { return capacity_; }
+  size_t CachedPages() const { return table_.size(); }
+  int64_t hits() const { return hits_; }
+  int64_t misses() const { return misses_; }
+
+ private:
+  struct Frame {
+    PageId page_id = kInvalidPageId;
+    int pin_count = 0;
+    bool dirty = false;
+    std::unique_ptr<Page> page;
+    /// Position in lru_ when pin_count == 0.
+    std::list<size_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  /// Picks a frame to (re)use: a free one, else the coldest unpinned one.
+  Result<size_t> GetVictimFrame();
+
+  DiskManager* disk_;
+  size_t capacity_;
+  Metrics* metrics_;  // not owned; may be null
+  std::vector<Frame> frames_;
+  std::vector<size_t> free_frames_;
+  std::unordered_map<PageId, size_t> table_;
+  /// Unpinned frame indices, least-recently-used first.
+  std::list<size_t> lru_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+};
+
+}  // namespace aib
+
+#endif  // AIB_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,56 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace aib {
+
+DiskManager::DiskManager(uint32_t page_size, Metrics* metrics)
+    : page_size_(page_size), metrics_(metrics) {}
+
+PageId DiskManager::AllocatePage() {
+  pages_.push_back(std::make_unique<Page>(page_size_));
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status DiskManager::ReadPage(PageId page_id, Page* out) {
+  if (page_id >= pages_.size()) {
+    return Status::InvalidArgument("read of unallocated page");
+  }
+  if (read_faults_ > 0) {
+    --read_faults_;
+    return Status::Corruption("injected read fault");
+  }
+  std::memcpy(out->mutable_raw().data(), pages_[page_id]->raw().data(),
+              page_size_);
+  if (metrics_ != nullptr) metrics_->Increment(kMetricPagesRead);
+  return Status::Ok();
+}
+
+Status DiskManager::WritePage(PageId page_id, const Page& page) {
+  if (page_id >= pages_.size()) {
+    return Status::InvalidArgument("write of unallocated page");
+  }
+  if (write_faults_ > 0) {
+    --write_faults_;
+    return Status::Corruption("injected write fault");
+  }
+  std::memcpy(pages_[page_id]->mutable_raw().data(), page.raw().data(),
+              page_size_);
+  if (metrics_ != nullptr) metrics_->Increment(kMetricPagesWritten);
+  return Status::Ok();
+}
+
+Status DiskManager::RestorePage(PageId page_id,
+                                std::span<const uint8_t> bytes) {
+  if (page_id >= pages_.size()) {
+    return Status::InvalidArgument("restore of unallocated page");
+  }
+  if (bytes.size() != page_size_) {
+    return Status::InvalidArgument("snapshot page size mismatch");
+  }
+  std::memcpy(pages_[page_id]->mutable_raw().data(), bytes.data(),
+              page_size_);
+  return Status::Ok();
+}
+
+}  // namespace aib

@@ -1,0 +1,131 @@
+#include "storage/heap_file.h"
+
+#include <cassert>
+
+namespace aib {
+
+HeapFile::HeapFile(DiskManager* disk, BufferPool* pool, const Schema* schema,
+                   HeapFileOptions options)
+    : disk_(disk), pool_(pool), schema_(schema), options_(options) {}
+
+bool HeapFile::UnderTupleCap(const Page& page) const {
+  return options_.max_tuples_per_page == 0 ||
+         page.live_count() < options_.max_tuples_per_page;
+}
+
+Result<Rid> HeapFile::Insert(const Tuple& tuple) {
+  const std::vector<uint8_t> record = tuple.Serialize(*schema_);
+
+  // Try the tail page first; heap order is append order.
+  if (!page_ids_.empty()) {
+    const PageId tail = page_ids_.back();
+    AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(tail));
+    if (UnderTupleCap(*page) && record.size() <= page->FreeSpace()) {
+      SlotId slot;
+      const Status status = page->Insert(record, &slot);
+      AIB_RETURN_IF_ERROR(pool_->UnpinPage(tail, status.ok()));
+      AIB_RETURN_IF_ERROR(status);
+      ++tuple_count_;
+      return Rid{tail, slot};
+    }
+    AIB_RETURN_IF_ERROR(pool_->UnpinPage(tail, false));
+  }
+
+  const PageId page_id = disk_->AllocatePage();
+  page_ids_.push_back(page_id);
+  AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  SlotId slot;
+  const Status status = page->Insert(record, &slot);
+  AIB_RETURN_IF_ERROR(pool_->UnpinPage(page_id, status.ok()));
+  AIB_RETURN_IF_ERROR(status);
+  ++tuple_count_;
+  return Rid{page_id, slot};
+}
+
+Result<Tuple> HeapFile::Get(const Rid& rid) const {
+  AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  std::span<const uint8_t> record;
+  const Status read_status = page->Read(rid.slot, &record);
+  if (!read_status.ok()) {
+    AIB_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, false));
+    return read_status;
+  }
+  Result<Tuple> tuple = Tuple::Deserialize(*schema_, record);
+  AIB_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, false));
+  return tuple;
+}
+
+Status HeapFile::Delete(const Rid& rid) {
+  AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  const Status status = page->Delete(rid.slot);
+  AIB_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, status.ok()));
+  AIB_RETURN_IF_ERROR(status);
+  --tuple_count_;
+  return Status::Ok();
+}
+
+Result<Rid> HeapFile::Update(const Rid& rid, const Tuple& tuple) {
+  const std::vector<uint8_t> record = tuple.Serialize(*schema_);
+  AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(rid.page_id));
+  const Status in_place = page->UpdateInPlace(rid.slot, record);
+  if (in_place.ok()) {
+    AIB_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, true));
+    return rid;
+  }
+  AIB_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, false));
+  if (!in_place.IsNoSpace()) return in_place;
+
+  // Record grew beyond its slot: relocate.
+  AIB_RETURN_IF_ERROR(Delete(rid));
+  return Insert(tuple);
+}
+
+Result<uint16_t> HeapFile::LiveTuplesOnPage(size_t page_index) const {
+  if (page_index >= page_ids_.size()) {
+    return Status::InvalidArgument("page index out of range");
+  }
+  const PageId page_id = page_ids_[page_index];
+  AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  const uint16_t live = page->live_count();
+  AIB_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+  return live;
+}
+
+Status HeapFile::ForEachTupleOnPage(
+    size_t page_index,
+    const std::function<void(const Rid&, const Tuple&)>& fn) const {
+  if (page_index >= page_ids_.size()) {
+    return Status::InvalidArgument("page index out of range");
+  }
+  const PageId page_id = page_ids_[page_index];
+  AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  Status status = Status::Ok();
+  for (SlotId slot = 0; slot < page->slot_count(); ++slot) {
+    std::span<const uint8_t> record;
+    if (!page->Read(slot, &record).ok()) continue;  // tombstone
+    Result<Tuple> tuple = Tuple::Deserialize(*schema_, record);
+    if (!tuple.ok()) {
+      status = tuple.status();
+      break;
+    }
+    fn(Rid{page_id, slot}, tuple.value());
+  }
+  AIB_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+  return status;
+}
+
+Status HeapFile::ForEachTuple(
+    const std::function<void(const Rid&, const Tuple&)>& fn) const {
+  for (size_t i = 0; i < page_ids_.size(); ++i) {
+    AIB_RETURN_IF_ERROR(ForEachTupleOnPage(i, fn));
+  }
+  return Status::Ok();
+}
+
+void HeapFile::RestoreState(std::vector<PageId> page_ids,
+                            size_t tuple_count) {
+  page_ids_ = std::move(page_ids);
+  tuple_count_ = tuple_count;
+}
+
+}  // namespace aib

@@ -1,0 +1,87 @@
+#ifndef AIB_STORAGE_PAGE_H_
+#define AIB_STORAGE_PAGE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace aib {
+
+/// Default page size. 8 KiB matches common DBMS defaults; experiments that
+/// need an exact tuples-per-page count (Fig. 3) additionally cap the slot
+/// count via HeapFileOptions::max_tuples_per_page.
+inline constexpr uint32_t kDefaultPageSize = 8192;
+
+/// A slotted data page.
+///
+/// Layout (all offsets relative to the page start):
+///
+///   [ header | slot array -> ... free ... <- tuple data ]
+///
+/// Header: slot_count (u16), free_data_offset (u16 = start of the tuple data
+/// region, grows downward), live_count (u16). The slot array grows upward
+/// from the header; each slot is (offset u16, length u16). A slot with
+/// offset == 0 is a tombstone (no tuple can legally start at offset 0, which
+/// is inside the header).
+///
+/// Deleted slots are never reused for new inserts — slot ids stay stable so
+/// Rids held by indexes remain valid, which the Index Buffer relies on.
+class Page {
+ public:
+  explicit Page(uint32_t page_size = kDefaultPageSize);
+
+  uint32_t page_size() const { return static_cast<uint32_t>(data_.size()); }
+
+  /// Number of slots ever allocated (including tombstones).
+  SlotId slot_count() const;
+
+  /// Number of live (non-deleted) tuples.
+  uint16_t live_count() const;
+
+  /// Free bytes available for one more tuple (accounting for its slot).
+  uint32_t FreeSpace() const;
+
+  /// Appends a tuple record; returns its slot id, or NoSpace.
+  Status Insert(std::span<const uint8_t> record, SlotId* slot_out);
+
+  /// Reads the record at `slot`. NotFound if the slot is a tombstone or out
+  /// of range.
+  Status Read(SlotId slot, std::span<const uint8_t>* record_out) const;
+
+  /// Tombstones the slot. NotFound if already deleted or out of range.
+  Status Delete(SlotId slot);
+
+  /// Replaces the record at `slot` in place. Succeeds only if the new record
+  /// is not longer than the old one (callers fall back to delete+insert at
+  /// the heap-file level otherwise).
+  Status UpdateInPlace(SlotId slot, std::span<const uint8_t> record);
+
+  /// True if `slot` holds a live tuple.
+  bool IsLive(SlotId slot) const;
+
+  /// Raw bytes, used by the disk manager to persist/copy pages.
+  std::span<const uint8_t> raw() const { return data_; }
+  std::span<uint8_t> mutable_raw() { return data_; }
+
+ private:
+  static constexpr uint32_t kHeaderSize = 6;  // slot_count, free_off, live
+  static constexpr uint32_t kSlotSize = 4;    // offset u16 + length u16
+
+  uint16_t GetU16(uint32_t offset) const;
+  void SetU16(uint32_t offset, uint16_t value);
+
+  uint32_t SlotArrayEnd() const { return kHeaderSize + slot_count() * kSlotSize; }
+  uint32_t SlotOffsetPos(SlotId slot) const {
+    return kHeaderSize + slot * kSlotSize;
+  }
+
+  std::vector<uint8_t> data_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_STORAGE_PAGE_H_

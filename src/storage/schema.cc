@@ -1,0 +1,38 @@
+#include "storage/schema.h"
+
+namespace aib {
+
+Schema::Schema(std::vector<ColumnDef> columns) : columns_(std::move(columns)) {}
+
+Schema Schema::PaperSchema(int int_columns, uint16_t payload_max_length) {
+  std::vector<ColumnDef> cols;
+  cols.reserve(static_cast<size_t>(int_columns) + 1);
+  for (int i = 0; i < int_columns; ++i) {
+    cols.push_back({std::string(1, static_cast<char>('A' + i)),
+                    ColumnType::kInt32, 0});
+  }
+  cols.push_back({"payload", ColumnType::kVarchar, payload_max_length});
+  return Schema(std::move(cols));
+}
+
+Status Schema::FindColumn(const std::string& name, ColumnId* id_out) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) {
+      *id_out = static_cast<ColumnId>(i);
+      return Status::Ok();
+    }
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+std::vector<ColumnId> Schema::IntColumnIds() const {
+  std::vector<ColumnId> ids;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].type == ColumnType::kInt32) {
+      ids.push_back(static_cast<ColumnId>(i));
+    }
+  }
+  return ids;
+}
+
+}  // namespace aib

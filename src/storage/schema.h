@@ -1,0 +1,54 @@
+#ifndef AIB_STORAGE_SCHEMA_H_
+#define AIB_STORAGE_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+
+namespace aib {
+
+/// Column data types. The paper's evaluation schema is three INTEGER columns
+/// (A, B, C) plus a VARCHAR(512) payload; the schema layer is generic over
+/// any mix of the two types.
+enum class ColumnType : uint8_t {
+  kInt32 = 0,
+  kVarchar = 1,
+};
+
+struct ColumnDef {
+  std::string name;
+  ColumnType type = ColumnType::kInt32;
+  /// Maximum byte length; only meaningful for kVarchar.
+  uint16_t max_length = 0;
+};
+
+/// Immutable table schema.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<ColumnDef> columns);
+
+  /// The paper's evaluation schema: `int_columns` INTEGER columns named
+  /// "A", "B", "C", ... plus one VARCHAR payload column.
+  static Schema PaperSchema(int int_columns = 3,
+                            uint16_t payload_max_length = 512);
+
+  size_t num_columns() const { return columns_.size(); }
+  const ColumnDef& column(ColumnId id) const { return columns_[id]; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Resolves a column by name; NotFound if absent.
+  Status FindColumn(const std::string& name, ColumnId* id_out) const;
+
+  /// Ids of all kInt32 columns, in declaration order.
+  std::vector<ColumnId> IntColumnIds() const;
+
+ private:
+  std::vector<ColumnDef> columns_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_STORAGE_SCHEMA_H_

@@ -1,0 +1,52 @@
+#ifndef AIB_STORAGE_TABLE_H_
+#define AIB_STORAGE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/heap_file.h"
+#include "storage/schema.h"
+
+namespace aib {
+
+/// A named table: schema + heap file + page-number bookkeeping.
+///
+/// Throughout the core library, a "page number" is the dense physical index
+/// of a page within its table (0 .. PageCount()-1). Page counters (C[p]) and
+/// Index Buffer partitions operate on page numbers, not on global PageIds.
+class Table {
+ public:
+  Table(std::string name, Schema schema, DiskManager* disk, BufferPool* pool,
+        HeapFileOptions options = {});
+
+  const std::string& name() const { return name_; }
+  const Schema& schema() const { return schema_; }
+  HeapFile& heap() { return heap_; }
+  const HeapFile& heap() const { return heap_; }
+
+  size_t PageCount() const { return heap_.PageCount(); }
+  size_t TupleCount() const { return heap_.TupleCount(); }
+
+  Result<Rid> Insert(const Tuple& tuple) { return heap_.Insert(tuple); }
+  Result<Tuple> Get(const Rid& rid) const { return heap_.Get(rid); }
+  Status Delete(const Rid& rid) { return heap_.Delete(rid); }
+  Result<Rid> Update(const Rid& rid, const Tuple& tuple) {
+    return heap_.Update(rid, tuple);
+  }
+
+  /// Dense page number of the page holding `rid`; InvalidArgument if the
+  /// page does not belong to this table.
+  Result<size_t> PageNumberOf(const Rid& rid) const;
+
+ private:
+  std::string name_;
+  Schema schema_;
+  HeapFile heap_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_STORAGE_TABLE_H_

@@ -1,0 +1,213 @@
+#include "workload/catalog.h"
+
+namespace aib {
+
+Catalog::Catalog(CatalogOptions options) : options_(options) {
+  disk_ = std::make_unique<DiskManager>(options_.page_size, &metrics_);
+  pool_ = std::make_unique<BufferPool>(disk_.get(),
+                                       options_.buffer_pool_pages, &metrics_);
+  if (options_.enable_index_buffer) {
+    space_ = std::make_unique<IndexBufferSpace>(options_.space, &metrics_);
+  }
+}
+
+Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
+  if (GetTable(name) != nullptr) {
+    return Status::AlreadyExists("table " + name + " exists");
+  }
+  auto state = std::make_unique<TableState>();
+  HeapFileOptions heap_options;
+  heap_options.max_tuples_per_page = options_.max_tuples_per_page;
+  state->table = std::make_unique<Table>(name, std::move(schema), disk_.get(),
+                                         pool_.get(), heap_options);
+  state->executor = std::make_unique<Executor>(
+      state->table.get(), space_.get(), options_.cost, &metrics_);
+  state->executor->SetBufferOptions(options_.buffer);
+  Table* raw = state->table.get();
+  tables_.emplace_back(name, std::move(state));
+  return raw;
+}
+
+Table* Catalog::GetTable(const std::string& name) const {
+  for (const auto& [table_name, state] : tables_) {
+    if (table_name == name) return state->table.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, state] : tables_) names.push_back(name);
+  return names;
+}
+
+Catalog::TableState* Catalog::StateOf(const Table* table) const {
+  for (const auto& [name, state] : tables_) {
+    if (state->table.get() == table) return state.get();
+  }
+  return nullptr;
+}
+
+Result<Rid> Catalog::Insert(Table* table, const Tuple& tuple) {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return Status::InvalidArgument("unknown table");
+  AIB_ASSIGN_OR_RETURN(Rid rid, table->Insert(tuple));
+  AIB_ASSIGN_OR_RETURN(size_t page, table->PageNumberOf(rid));
+  for (auto& [column, index] : state->indexes) {
+    const Value value = tuple.IntValue(table->schema(), column);
+    AIB_RETURN_IF_ERROR(ApplyMaintenance(
+        index.get(),
+        space_ != nullptr ? space_->GetBuffer(index.get()) : nullptr,
+        TupleChange::MakeInsert(value, rid, page)));
+  }
+  return rid;
+}
+
+Status Catalog::Delete(Table* table, const Rid& rid) {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return Status::InvalidArgument("unknown table");
+  AIB_ASSIGN_OR_RETURN(Tuple old_tuple, table->Get(rid));
+  AIB_ASSIGN_OR_RETURN(size_t page, table->PageNumberOf(rid));
+  AIB_RETURN_IF_ERROR(table->Delete(rid));
+  for (auto& [column, index] : state->indexes) {
+    const Value value = old_tuple.IntValue(table->schema(), column);
+    AIB_RETURN_IF_ERROR(ApplyMaintenance(
+        index.get(),
+        space_ != nullptr ? space_->GetBuffer(index.get()) : nullptr,
+        TupleChange::MakeDelete(value, rid, page)));
+  }
+  return Status::Ok();
+}
+
+Result<Rid> Catalog::Update(Table* table, const Rid& rid,
+                            const Tuple& tuple) {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return Status::InvalidArgument("unknown table");
+  AIB_ASSIGN_OR_RETURN(Tuple old_tuple, table->Get(rid));
+  AIB_ASSIGN_OR_RETURN(size_t old_page, table->PageNumberOf(rid));
+  AIB_ASSIGN_OR_RETURN(Rid new_rid, table->Update(rid, tuple));
+  AIB_ASSIGN_OR_RETURN(size_t new_page, table->PageNumberOf(new_rid));
+  for (auto& [column, index] : state->indexes) {
+    const Value old_value = old_tuple.IntValue(table->schema(), column);
+    const Value new_value = tuple.IntValue(table->schema(), column);
+    AIB_RETURN_IF_ERROR(ApplyMaintenance(
+        index.get(),
+        space_ != nullptr ? space_->GetBuffer(index.get()) : nullptr,
+        TupleChange::MakeUpdate(old_value, rid, old_page, new_value, new_rid,
+                                new_page)));
+  }
+  return new_rid;
+}
+
+Status Catalog::CreatePartialIndex(Table* table, ColumnId column,
+                                   ValueCoverage coverage,
+                                   IndexStructureKind structure) {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return Status::InvalidArgument("unknown table");
+  if (state->indexes.contains(column)) {
+    return Status::AlreadyExists("partial index on this column exists");
+  }
+  auto index = std::make_unique<PartialIndex>(table, column,
+                                              std::move(coverage), structure,
+                                              &metrics_);
+  AIB_RETURN_IF_ERROR(index->Build());
+  state->executor->RegisterIndex(index.get());
+  if (space_ != nullptr) {
+    AIB_RETURN_IF_ERROR(
+        space_->CreateBuffer(index.get(), options_.buffer).status());
+  }
+  state->indexes.emplace(column, std::move(index));
+  return Status::Ok();
+}
+
+PartialIndex* Catalog::GetIndex(const Table* table, ColumnId column) const {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return nullptr;
+  auto it = state->indexes.find(column);
+  return it == state->indexes.end() ? nullptr : it->second.get();
+}
+
+IndexBuffer* Catalog::GetBuffer(const Table* table, ColumnId column) const {
+  if (space_ == nullptr) return nullptr;
+  PartialIndex* index = GetIndex(table, column);
+  return index == nullptr ? nullptr : space_->GetBuffer(index);
+}
+
+Status Catalog::AttachTuner(Table* table, ColumnId column,
+                            IndexTunerOptions options) {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return Status::InvalidArgument("unknown table");
+  PartialIndex* index = GetIndex(table, column);
+  if (index == nullptr) {
+    return Status::NotFound("no partial index on this column");
+  }
+  if (state->tuners.contains(column)) {
+    return Status::AlreadyExists("tuner on this column exists");
+  }
+  auto tuner = std::make_unique<IndexTuner>(
+      index, options,
+      [this, table, column](Value v) { return FindRids(table, column, v); });
+  if (space_ != nullptr) {
+    IndexBuffer* buffer = space_->GetBuffer(index);
+    tuner->SetAdaptCallback([table, buffer](Value value,
+                                            const std::vector<Rid>& rids,
+                                            bool added) {
+      std::vector<size_t> pages;
+      pages.reserve(rids.size());
+      for (const Rid& rid : rids) {
+        Result<size_t> page = table->PageNumberOf(rid);
+        pages.push_back(page.ok() ? page.value() : 0);
+      }
+      // Only fails on a size mismatch, impossible by construction here.
+      (void)ApplyAdaptation(buffer, value, rids, pages, added);
+    });
+  }
+  state->tuners.emplace(column, std::move(tuner));
+  return Status::Ok();
+}
+
+IndexTuner* Catalog::GetTuner(const Table* table, ColumnId column) const {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return nullptr;
+  auto it = state->tuners.find(column);
+  return it == state->tuners.end() ? nullptr : it->second.get();
+}
+
+Result<QueryResult> Catalog::Execute(Table* table, const Query& query) {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return Status::InvalidArgument("unknown table");
+  AIB_ASSIGN_OR_RETURN(QueryResult result,
+                       state->executor->Execute(query));
+  if (query.IsPoint()) {
+    if (IndexTuner* tuner = GetTuner(table, query.column); tuner != nullptr) {
+      tuner->OnQuery(query.lo);
+    }
+  }
+  return result;
+}
+
+Result<QueryResult> Catalog::FullScan(Table* table, const Query& query) {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return Status::InvalidArgument("unknown table");
+  return state->executor->FullScan(query);
+}
+
+Result<QueryResult> Catalog::IndexScan(Table* table, const Query& query) {
+  TableState* state = StateOf(table);
+  if (state == nullptr) return Status::InvalidArgument("unknown table");
+  return state->executor->IndexScan(query);
+}
+
+std::vector<Rid> Catalog::FindRids(const Table* table, ColumnId column,
+                                   Value value) const {
+  std::vector<Rid> rids;
+  (void)table->heap().ForEachTuple([&](const Rid& rid, const Tuple& tuple) {
+    if (tuple.IntValue(table->schema(), column) == value) {
+      rids.push_back(rid);
+    }
+  });
+  return rids;
+}
+
+}  // namespace aib

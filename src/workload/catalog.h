@@ -1,0 +1,138 @@
+#ifndef AIB_WORKLOAD_CATALOG_H_
+#define AIB_WORKLOAD_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "core/buffer_space.h"
+#include "core/maintenance.h"
+#include "exec/executor.h"
+#include "index/index_tuner.h"
+#include "index/partial_index.h"
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/table.h"
+
+namespace aib {
+
+struct CatalogOptions {
+  uint32_t page_size = kDefaultPageSize;
+  /// Frames in the page buffer pool shared by all tables.
+  size_t buffer_pool_pages = 1 << 16;
+  /// See HeapFileOptions; applies to every table created in this catalog.
+  uint16_t max_tuples_per_page = 0;
+  /// One Index Buffer Space shared by every partial index of every table —
+  /// "it is insignificant for the separation of Index Buffers whether the
+  /// columns are in the same table or not" (§IV).
+  BufferSpaceOptions space;
+  /// Default options for lazily created Index Buffers.
+  IndexBufferOptions buffer;
+  bool enable_index_buffer = true;
+  CostModelOptions cost;
+};
+
+/// A multi-table catalog: all tables share one disk, one page buffer pool,
+/// one metrics registry, and — crucially — one Index Buffer Space, so
+/// buffers of partial indexes on different tables compete for the same
+/// entry budget under the §IV benefit model.
+///
+/// `Database` (database.h) is the single-table convenience facade over a
+/// private Catalog.
+class Catalog {
+ public:
+  explicit Catalog(CatalogOptions options = {});
+
+  const CatalogOptions& options() const { return options_; }
+  Metrics& metrics() { return metrics_; }
+  IndexBufferSpace* space() { return space_.get(); }
+  BufferPool& buffer_pool() { return *pool_; }
+
+  /// Creates an empty table. AlreadyExists if the name is taken.
+  Result<Table*> CreateTable(const std::string& name, Schema schema);
+
+  /// Null if no table has that name.
+  Table* GetTable(const std::string& name) const;
+
+  /// Names of all tables, in creation order.
+  std::vector<std::string> TableNames() const;
+
+  // --- DML (with index + Index Buffer maintenance) -------------------------
+
+  Result<Rid> Insert(Table* table, const Tuple& tuple);
+  Status Delete(Table* table, const Rid& rid);
+  Result<Rid> Update(Table* table, const Rid& rid, const Tuple& tuple);
+
+  /// Insert without maintenance — initial loading before index creation.
+  Result<Rid> LoadTuple(Table* table, const Tuple& tuple) {
+    return table->Insert(tuple);
+  }
+
+  // --- Indexing -------------------------------------------------------------
+
+  Status CreatePartialIndex(Table* table, ColumnId column,
+                            ValueCoverage coverage,
+                            IndexStructureKind structure =
+                                IndexStructureKind::kBTree);
+  PartialIndex* GetIndex(const Table* table, ColumnId column) const;
+  IndexBuffer* GetBuffer(const Table* table, ColumnId column) const;
+
+  Status AttachTuner(Table* table, ColumnId column,
+                     IndexTunerOptions options);
+  IndexTuner* GetTuner(const Table* table, ColumnId column) const;
+
+  // --- Queries --------------------------------------------------------------
+
+  /// Executes with access-path selection on `table`; steps the column's
+  /// tuner if one is attached (point queries only).
+  Result<QueryResult> Execute(Table* table, const Query& query);
+
+  Result<QueryResult> FullScan(Table* table, const Query& query);
+  Result<QueryResult> IndexScan(Table* table, const Query& query);
+
+  /// Rids of all tuples with `value` in `column` of `table` (full scan).
+  std::vector<Rid> FindRids(const Table* table, ColumnId column,
+                            Value value) const;
+
+  // --- Snapshots (workload/snapshot.cc) -------------------------------------
+  //
+  // A snapshot persists the durable state only: raw pages, table/schema
+  // metadata, and partial-index definitions. Index Buffers are *not*
+  // persisted — they are "memory-based and without expenses for crash
+  // recovery" (§VII); after LoadSnapshot they start empty with freshly
+  // initialized page counters and rebuild from the workload. Tuner state
+  // is likewise ephemeral.
+
+  /// Writes the catalog's durable state to `path`. Flushes the buffer
+  /// pool first.
+  Status SaveSnapshot(const std::string& path);
+
+  /// Reconstructs a catalog from `path` under the given runtime options
+  /// (budgets/costs are runtime configuration, not durable state).
+  static Result<std::unique_ptr<Catalog>> LoadSnapshot(
+      const std::string& path, CatalogOptions options);
+
+ private:
+  struct TableState {
+    std::unique_ptr<Table> table;
+    std::unique_ptr<Executor> executor;
+    std::map<ColumnId, std::unique_ptr<PartialIndex>> indexes;
+    std::map<ColumnId, std::unique_ptr<IndexTuner>> tuners;
+  };
+
+  TableState* StateOf(const Table* table) const;
+
+  CatalogOptions options_;
+  Metrics metrics_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<IndexBufferSpace> space_;
+  /// Keyed by table name; pointers handed out remain stable.
+  std::vector<std::pair<std::string, std::unique_ptr<TableState>>> tables_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_WORKLOAD_CATALOG_H_

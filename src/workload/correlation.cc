@@ -1,0 +1,99 @@
+#include "workload/correlation.h"
+
+#include <cassert>
+#include <cstdint>
+
+namespace aib {
+
+std::vector<CorrelationPoint> SimulateCorrelationSweep(
+    const CorrelationSweepOptions& options) {
+  const size_t n = options.num_tuples;
+  const size_t tpp = options.tuples_per_page;
+  assert(n > 1 && tpp > 0);
+  const size_t num_pages = (n + tpp - 1) / tpp;
+  const size_t covered_below =
+      static_cast<size_t>(options.coverage_fraction * static_cast<double>(n));
+
+  // Clustered start: the tuple at position i has logical rank i; ranks
+  // below `covered_below` are covered by the partial index.
+  std::vector<uint32_t> value(n);
+  for (size_t i = 0; i < n; ++i) value[i] = static_cast<uint32_t>(i);
+
+  // Per-page covered-tuple counts and the fully-indexed page counter.
+  std::vector<uint32_t> covered_in_page(num_pages, 0);
+  std::vector<uint32_t> page_size(num_pages, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const size_t page = i / tpp;
+    ++page_size[page];
+    if (value[i] < covered_below) ++covered_in_page[page];
+  }
+  size_t fully_indexed = 0;
+  for (size_t p = 0; p < num_pages; ++p) {
+    if (covered_in_page[p] == page_size[p]) ++fully_indexed;
+  }
+
+  // Pearson correlation of (position, value): both are permutations of
+  // 0..n-1, so means and variances are fixed; only S = sum(pos * value)
+  // changes, and a swap changes it by (i - j) * (b - a).
+  int64_t s = 0;
+  for (size_t i = 0; i < n; ++i) {
+    s += static_cast<int64_t>(i) * static_cast<int64_t>(value[i]);
+  }
+  const double mean = static_cast<double>(n - 1) / 2.0;
+  const double variance =
+      (static_cast<double>(n) * static_cast<double>(n) - 1.0) / 12.0;
+  auto pearson = [&]() {
+    const double covariance =
+        static_cast<double>(s) / static_cast<double>(n) - mean * mean;
+    return covariance / variance;
+  };
+
+  auto mark_page = [&](size_t page, int delta_covered) {
+    const bool was_full = covered_in_page[page] == page_size[page];
+    covered_in_page[page] =
+        static_cast<uint32_t>(static_cast<int64_t>(covered_in_page[page]) +
+                              delta_covered);
+    const bool is_full = covered_in_page[page] == page_size[page];
+    if (was_full && !is_full) --fully_indexed;
+    if (!was_full && is_full) ++fully_indexed;
+  };
+
+  Rng rng(options.seed);
+  std::vector<CorrelationPoint> points;
+  points.reserve(options.steps + 1);
+  points.push_back(
+      {pearson(), static_cast<double>(fully_indexed) /
+                      static_cast<double>(num_pages)});
+
+  for (size_t step = 0; step < options.steps; ++step) {
+    for (size_t swap = 0; swap < options.swaps_per_step; ++swap) {
+      const size_t i =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      const size_t j =
+          static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1));
+      if (i == j) continue;
+      const uint32_t a = value[i];
+      const uint32_t b = value[j];
+      value[i] = b;
+      value[j] = a;
+      s += (static_cast<int64_t>(i) - static_cast<int64_t>(j)) *
+           (static_cast<int64_t>(b) - static_cast<int64_t>(a));
+      const bool a_covered = a < covered_below;
+      const bool b_covered = b < covered_below;
+      if (a_covered != b_covered) {
+        const size_t page_i = i / tpp;
+        const size_t page_j = j / tpp;
+        if (page_i != page_j) {
+          mark_page(page_i, b_covered ? 1 : -1);
+          mark_page(page_j, a_covered ? 1 : -1);
+        }
+      }
+    }
+    points.push_back(
+        {pearson(), static_cast<double>(fully_indexed) /
+                        static_cast<double>(num_pages)});
+  }
+  return points;
+}
+
+}  // namespace aib

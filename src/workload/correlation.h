@@ -1,0 +1,46 @@
+#ifndef AIB_WORKLOAD_CORRELATION_H_
+#define AIB_WORKLOAD_CORRELATION_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aib {
+
+/// One sample of the Fig. 3 simulation: how many pages remain fully
+/// indexed at a given physical/logical order correlation.
+struct CorrelationPoint {
+  /// Pearson correlation between a tuple's physical position and its
+  /// logical rank (1 = perfectly clustered).
+  double correlation = 1.0;
+  /// Fraction of pages all of whose tuples are covered by the partial
+  /// index.
+  double fully_indexed_fraction = 0.0;
+};
+
+/// Parameters of the Fig. 3 simulation.
+struct CorrelationSweepOptions {
+  size_t num_tuples = 100000;
+  size_t tuples_per_page = 10;
+  /// Fraction of the value domain covered by the partial index. At
+  /// correlation 1 the fully-indexed fraction equals this value (§II).
+  double coverage_fraction = 0.5;
+  /// Number of measurement steps from correlation 1 downward.
+  size_t steps = 100;
+  /// Random tuple swaps applied between consecutive measurements.
+  size_t swaps_per_step = 2000;
+  uint64_t seed = 7;
+};
+
+/// Runs the Fig. 3 simulation: starts from a perfectly clustered tuple
+/// order (physical == logical, correlation 1), gradually swaps randomly
+/// picked tuples, and records the fully-indexed page fraction after each
+/// step. The correlation and the page counts are maintained incrementally,
+/// so the sweep is O(steps * swaps + tuples).
+std::vector<CorrelationPoint> SimulateCorrelationSweep(
+    const CorrelationSweepOptions& options);
+
+}  // namespace aib
+
+#endif  // AIB_WORKLOAD_CORRELATION_H_

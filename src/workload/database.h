@@ -1,0 +1,123 @@
+#ifndef AIB_WORKLOAD_DATABASE_H_
+#define AIB_WORKLOAD_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/catalog.h"
+
+namespace aib {
+
+/// Options of the single-table facade; field-compatible with
+/// CatalogOptions (Database simply forwards them).
+struct DatabaseOptions {
+  uint32_t page_size = kDefaultPageSize;
+  /// Frames in the page buffer pool.
+  size_t buffer_pool_pages = 1 << 16;
+  /// See HeapFileOptions.
+  uint16_t max_tuples_per_page = 0;
+  /// Index Buffer Space configuration; ignored if !enable_index_buffer.
+  BufferSpaceOptions space;
+  /// Default options for lazily created Index Buffers.
+  IndexBufferOptions buffer;
+  bool enable_index_buffer = true;
+  CostModelOptions cost;
+};
+
+/// The single-table convenience facade: one table, its partial secondary
+/// indexes, optional Index Buffer Space, optional online tuners, and the
+/// executor — wired together with full DML maintenance (Table I) and
+/// adaptation propagation.
+///
+/// Internally a Catalog with exactly one table; multi-table workloads
+/// (Index Buffers of different tables competing for one space, §IV) use
+/// Catalog directly.
+class Database {
+ public:
+  explicit Database(Schema schema, DatabaseOptions options = {},
+                    std::string table_name = "t");
+
+  Table& table() { return *table_; }
+  const Table& table() const { return *table_; }
+  Metrics& metrics() { return catalog_.metrics(); }
+  IndexBufferSpace* space() { return catalog_.space(); }
+  BufferPool& buffer_pool() { return catalog_.buffer_pool(); }
+  Catalog& catalog() { return catalog_; }
+  const DatabaseOptions& options() const { return options_; }
+
+  // --- DML (with index + Index Buffer maintenance) -------------------------
+
+  Result<Rid> Insert(const Tuple& tuple) {
+    return catalog_.Insert(table_, tuple);
+  }
+  Status Delete(const Rid& rid) { return catalog_.Delete(table_, rid); }
+  Result<Rid> Update(const Rid& rid, const Tuple& tuple) {
+    return catalog_.Update(table_, rid, tuple);
+  }
+
+  /// Inserts without maintenance — for initial loading *before* indexes
+  /// are created (indexes Build() from scratch anyway).
+  Result<Rid> LoadTuple(const Tuple& tuple) {
+    return catalog_.LoadTuple(table_, tuple);
+  }
+
+  // --- Indexing -------------------------------------------------------------
+
+  /// Creates and builds a partial index on `column`; creates its Index
+  /// Buffer (with initialized page counters) when the space is enabled.
+  Status CreatePartialIndex(ColumnId column, ValueCoverage coverage,
+                            IndexStructureKind structure =
+                                IndexStructureKind::kBTree) {
+    return catalog_.CreatePartialIndex(table_, column, std::move(coverage),
+                                       structure);
+  }
+
+  PartialIndex* GetIndex(ColumnId column) const {
+    return catalog_.GetIndex(table_, column);
+  }
+  IndexBuffer* GetBuffer(ColumnId column) const {
+    return catalog_.GetBuffer(table_, column);
+  }
+
+  /// Attaches an online tuner (Fig. 1 mechanism) to `column`'s partial
+  /// index; adaptation scans and buffer consistency hooks are wired
+  /// automatically.
+  Status AttachTuner(ColumnId column, IndexTunerOptions options) {
+    return catalog_.AttachTuner(table_, column, options);
+  }
+  IndexTuner* GetTuner(ColumnId column) const {
+    return catalog_.GetTuner(table_, column);
+  }
+
+  // --- Queries --------------------------------------------------------------
+
+  /// Executes with access-path selection; also steps the column's tuner if
+  /// one is attached (point queries only).
+  Result<QueryResult> Execute(const Query& query) {
+    return catalog_.Execute(table_, query);
+  }
+
+  Result<QueryResult> FullScan(const Query& query) {
+    return catalog_.FullScan(table_, query);
+  }
+  Result<QueryResult> IndexScan(const Query& query) {
+    return catalog_.IndexScan(table_, query);
+  }
+
+  /// Rids of all tuples with `value` in `column` (full scan).
+  std::vector<Rid> FindRids(ColumnId column, Value value) const {
+    return catalog_.FindRids(table_, column, value);
+  }
+
+ private:
+  static CatalogOptions ToCatalogOptions(const DatabaseOptions& options);
+
+  DatabaseOptions options_;
+  Catalog catalog_;
+  Table* table_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_WORKLOAD_DATABASE_H_

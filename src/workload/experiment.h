@@ -1,0 +1,55 @@
+#ifndef AIB_WORKLOAD_EXPERIMENT_H_
+#define AIB_WORKLOAD_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "workload/database.h"
+#include "workload/workload_gen.h"
+
+namespace aib {
+
+/// The common data setup of the paper's evaluation (§V): one table with
+/// three INTEGER columns (A, B, C) uniformly drawn from [1, 50000], a
+/// VARCHAR(512) payload of uniform length [1, 512], 500,000 tuples, and a
+/// partial index per column covering the top 10% of the value range —
+/// which the paper phrases as "values from 1 to 5,000".
+struct PaperSetupOptions {
+  size_t num_tuples = 500000;
+  int int_columns = 3;
+  Value value_min = 1;
+  Value value_max = 50000;
+  Value covered_lo = 1;
+  Value covered_hi = 5000;
+  uint16_t payload_min = 1;
+  uint16_t payload_max = 512;
+  uint64_t seed = 1;
+  /// Create a partial index (and Index Buffer when enabled) per int column.
+  bool create_indexes = true;
+  DatabaseOptions db;
+};
+
+/// Builds, loads, and indexes a Database per `options`.
+Result<std::unique_ptr<Database>> BuildPaperDatabase(
+    const PaperSetupOptions& options);
+
+/// One per-query record of an experiment run — the unit the paper's
+/// per-query figures (6-9) plot.
+struct SeriesPoint {
+  size_t query_index = 0;
+  ColumnId column = 0;
+  Value value = 0;
+  QueryStats stats;
+  /// Entries per Index Buffer (indexed by int column id), sampled after the
+  /// query.
+  std::vector<size_t> buffer_entries;
+};
+
+/// Runs the generator's whole workload against `db`, recording one
+/// SeriesPoint per query.
+Result<std::vector<SeriesPoint>> RunWorkload(Database* db,
+                                             WorkloadGenerator* generator);
+
+}  // namespace aib
+
+#endif  // AIB_WORKLOAD_EXPERIMENT_H_

@@ -1,0 +1,58 @@
+#include "workload/workload_gen.h"
+
+#include <cassert>
+
+namespace aib {
+
+WorkloadGenerator::WorkloadGenerator(std::vector<PhaseSpec> phases,
+                                     uint64_t seed)
+    : phases_(std::move(phases)), rng_(seed) {}
+
+size_t WorkloadGenerator::TotalQueries() const {
+  size_t total = 0;
+  for (const PhaseSpec& phase : phases_) total += phase.num_queries;
+  return total;
+}
+
+const ZipfGenerator& WorkloadGenerator::ZipfFor(size_t n, double theta) {
+  const std::pair<size_t, int> key{n, static_cast<int>(theta * 1000)};
+  auto it = zipf_cache_.find(key);
+  if (it == zipf_cache_.end()) {
+    it = zipf_cache_.emplace(key, ZipfGenerator(n, theta)).first;
+  }
+  return it->second;
+}
+
+std::optional<Query> WorkloadGenerator::Next() {
+  while (phase_index_ < phases_.size() &&
+         in_phase_ >= phases_[phase_index_].num_queries) {
+    ++phase_index_;
+    in_phase_ = 0;
+  }
+  if (phase_index_ >= phases_.size()) return std::nullopt;
+
+  const PhaseSpec& phase = phases_[phase_index_];
+  assert(!phase.mix.empty());
+  std::vector<double> weights;
+  weights.reserve(phase.mix.size());
+  for (const ColumnMix& mix : phase.mix) weights.push_back(mix.weight);
+  const ColumnMix& mix = phase.mix[rng_.WeightedIndex(weights)];
+
+  const bool hit = rng_.Bernoulli(mix.hit_rate);
+  const Value lo = hit ? mix.covered_lo : mix.uncovered_lo;
+  const Value hi = hit ? mix.covered_hi : mix.uncovered_hi;
+  Value v;
+  if (mix.zipf_theta > 0) {
+    const size_t range = static_cast<size_t>(hi - lo) + 1;
+    const size_t rank = ZipfFor(range, mix.zipf_theta).Sample(rng_);
+    v = lo + static_cast<Value>(rank - 1);
+  } else {
+    v = static_cast<Value>(rng_.UniformInt(lo, hi));
+  }
+
+  ++in_phase_;
+  ++position_;
+  return Query::Point(mix.column, v);
+}
+
+}  // namespace aib

@@ -1,0 +1,73 @@
+#ifndef AIB_WORKLOAD_WORKLOAD_GEN_H_
+#define AIB_WORKLOAD_WORKLOAD_GEN_H_
+
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/query.h"
+#include "workload/zipf.h"
+
+namespace aib {
+
+/// One column's share of a workload phase.
+struct ColumnMix {
+  ColumnId column = 0;
+  /// Relative probability of drawing a query against this column.
+  double weight = 1.0;
+  /// Probability that the drawn value lies in the covered range (a partial
+  /// index hit). The paper's Exp. 1-3 use 0 (only unindexed values);
+  /// Exp. 4 uses 0.8 then 0.2 for column A.
+  double hit_rate = 0.0;
+  /// Value range drawn on a hit.
+  Value covered_lo = 1;
+  Value covered_hi = 5000;
+  /// Value range drawn on a miss.
+  Value uncovered_lo = 5001;
+  Value uncovered_hi = 50000;
+  /// Skew of the value draw within the chosen range: 0 = uniform (the
+  /// paper's workloads); 0 < theta < 1 = Zipfian with the hottest value at
+  /// the range's low end (extension, see workload/zipf.h).
+  double zipf_theta = 0.0;
+};
+
+/// A contiguous run of queries with a fixed column mix.
+struct PhaseSpec {
+  size_t num_queries = 100;
+  std::vector<ColumnMix> mix;
+};
+
+/// Deterministic multi-phase point-query generator reproducing the paper's
+/// workloads: per-phase column mixes (Exp. 3 switches 1/2:1/3:1/6 to
+/// 1/6:1/3:1/2 after 100 queries) and per-column partial-index hit rates
+/// (Exp. 4).
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(std::vector<PhaseSpec> phases, uint64_t seed);
+
+  /// Next query, or nullopt when all phases are exhausted.
+  std::optional<Query> Next();
+
+  /// Total queries across all phases.
+  size_t TotalQueries() const;
+
+  /// Index of the query Next() will produce next (0-based).
+  size_t position() const { return position_; }
+
+ private:
+  /// Cached Zipf samplers keyed by (range size, theta-in-millis).
+  const ZipfGenerator& ZipfFor(size_t n, double theta);
+
+  std::vector<PhaseSpec> phases_;
+  Rng rng_;
+  size_t phase_index_ = 0;
+  size_t in_phase_ = 0;
+  size_t position_ = 0;
+  std::map<std::pair<size_t, int>, ZipfGenerator> zipf_cache_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_WORKLOAD_WORKLOAD_GEN_H_

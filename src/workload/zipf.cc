@@ -1,0 +1,44 @@
+#include "workload/zipf.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aib {
+
+namespace {
+
+double Zeta(size_t n, double theta) {
+  double sum = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(size_t n, double theta)
+    : n_(n), theta_(theta) {
+  assert(n_ >= 1);
+  assert(theta_ >= 0 && theta_ < 1);
+  zetan_ = Zeta(n_, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  const double zeta2 = Zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+  threshold2_ = 1.0 + std::pow(0.5, theta_);
+}
+
+size_t ZipfGenerator::Sample(Rng& rng) const {
+  if (n_ == 1) return 1;
+  const double u = rng.UniformDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 1;
+  if (uz < threshold2_) return 2;
+  const size_t rank =
+      1 + static_cast<size_t>(static_cast<double>(n_) *
+                              std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank > n_ ? n_ : rank;
+}
+
+}  // namespace aib

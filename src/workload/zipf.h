@@ -1,0 +1,41 @@
+#ifndef AIB_WORKLOAD_ZIPF_H_
+#define AIB_WORKLOAD_ZIPF_H_
+
+#include <cstddef>
+
+#include "common/rng.h"
+
+namespace aib {
+
+/// Zipf-distributed rank sampler over [1, n] (rank 1 is the hottest),
+/// using the closed-form method of Gray et al. (SIGMOD'94). Skew
+/// `theta` ∈ [0, 1): 0 degenerates to uniform, 0.99 is the YCSB-style
+/// "hot" default.
+///
+/// An extension beyond the paper's uniform workloads: skewed value
+/// popularity concentrates the monitoring window of the tuner and the
+/// benefit of individual Index Buffer partitions.
+class ZipfGenerator {
+ public:
+  /// Precomputes the zeta constants for a fixed (n, theta). Requires
+  /// n >= 1 and 0 <= theta < 1.
+  ZipfGenerator(size_t n, double theta);
+
+  /// Samples a rank in [1, n] using `rng`.
+  size_t Sample(Rng& rng) const;
+
+  size_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  size_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+  double threshold2_;  // uz below this (and >= 1) maps to rank 2
+};
+
+}  // namespace aib
+
+#endif  // AIB_WORKLOAD_ZIPF_H_

@@ -1,0 +1,268 @@
+#include "btree/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace aib {
+namespace {
+
+Rid R(uint32_t page, uint16_t slot = 0) {
+  return Rid{page, slot};
+}
+
+TEST(BTreeTest, EmptyTree) {
+  BTree tree;
+  EXPECT_EQ(tree.EntryCount(), 0u);
+  EXPECT_EQ(tree.KeyCount(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  std::vector<Rid> out;
+  tree.Lookup(5, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, InsertLookupSingle) {
+  BTree tree;
+  tree.Insert(10, R(1, 2));
+  std::vector<Rid> out;
+  tree.Lookup(10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], R(1, 2));
+  EXPECT_EQ(tree.EntryCount(), 1u);
+  EXPECT_EQ(tree.KeyCount(), 1u);
+}
+
+TEST(BTreeTest, DuplicateKeysSharePostings) {
+  BTree tree;
+  tree.Insert(10, R(1));
+  tree.Insert(10, R(2));
+  tree.Insert(10, R(3));
+  std::vector<Rid> out;
+  tree.Lookup(10, &out);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(tree.EntryCount(), 3u);
+  EXPECT_EQ(tree.KeyCount(), 1u);
+}
+
+TEST(BTreeTest, SplitsGrowHeight) {
+  BTree tree(4);
+  for (Value v = 0; v < 100; ++v) tree.Insert(v, R(static_cast<uint32_t>(v)));
+  EXPECT_GT(tree.Height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  for (Value v = 0; v < 100; ++v) {
+    std::vector<Rid> out;
+    tree.Lookup(v, &out);
+    ASSERT_EQ(out.size(), 1u) << "key " << v;
+    EXPECT_EQ(out[0].page_id, static_cast<uint32_t>(v));
+  }
+}
+
+TEST(BTreeTest, ReverseInsertionOrder) {
+  BTree tree(4);
+  for (Value v = 99; v >= 0; --v) tree.Insert(v, R(static_cast<uint32_t>(v)));
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.KeyCount(), 100u);
+}
+
+TEST(BTreeTest, ScanVisitsRangeInOrder) {
+  BTree tree(8);
+  for (Value v = 0; v < 200; v += 2) tree.Insert(v, R(static_cast<uint32_t>(v)));
+  std::vector<Value> keys;
+  tree.Scan(51, 99, [&](Value key, const Rid&) { keys.push_back(key); });
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front(), 52);
+  EXPECT_EQ(keys.back(), 98);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), 24u);
+}
+
+TEST(BTreeTest, ScanEmptyRange) {
+  BTree tree;
+  tree.Insert(10, R(1));
+  std::vector<Value> keys;
+  tree.Scan(20, 30, [&](Value key, const Rid&) { keys.push_back(key); });
+  EXPECT_TRUE(keys.empty());
+}
+
+TEST(BTreeTest, ScanFullRange) {
+  BTree tree(4);
+  for (Value v = 0; v < 50; ++v) tree.Insert(v, R(static_cast<uint32_t>(v)));
+  size_t count = 0;
+  tree.Scan(std::numeric_limits<Value>::min(),
+            std::numeric_limits<Value>::max(),
+            [&](Value, const Rid&) { ++count; });
+  EXPECT_EQ(count, 50u);
+}
+
+TEST(BTreeTest, RemoveSpecificRid) {
+  BTree tree;
+  tree.Insert(5, R(1));
+  tree.Insert(5, R(2));
+  EXPECT_TRUE(tree.Remove(5, R(1)));
+  std::vector<Rid> out;
+  tree.Lookup(5, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], R(2));
+  EXPECT_EQ(tree.EntryCount(), 1u);
+}
+
+TEST(BTreeTest, RemoveLastRidDropsKey) {
+  BTree tree;
+  tree.Insert(5, R(1));
+  EXPECT_TRUE(tree.Remove(5, R(1)));
+  EXPECT_EQ(tree.KeyCount(), 0u);
+  EXPECT_EQ(tree.EntryCount(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(BTreeTest, RemoveAbsentFails) {
+  BTree tree;
+  tree.Insert(5, R(1));
+  EXPECT_FALSE(tree.Remove(5, R(2)));
+  EXPECT_FALSE(tree.Remove(6, R(1)));
+  EXPECT_EQ(tree.EntryCount(), 1u);
+}
+
+TEST(BTreeTest, RemoveKeyDropsAllPostings) {
+  BTree tree;
+  for (uint32_t i = 0; i < 5; ++i) tree.Insert(7, R(i));
+  EXPECT_EQ(tree.RemoveKey(7), 5u);
+  EXPECT_EQ(tree.RemoveKey(7), 0u);
+  EXPECT_EQ(tree.EntryCount(), 0u);
+}
+
+TEST(BTreeTest, ForEachEntryVisitsAll) {
+  BTree tree(4);
+  for (Value v = 0; v < 60; ++v) {
+    tree.Insert(v % 10, R(static_cast<uint32_t>(v)));
+  }
+  size_t count = 0;
+  Value prev = -1;
+  tree.ForEachEntry([&](Value key, const Rid&) {
+    EXPECT_GE(key, prev);
+    prev = key;
+    ++count;
+  });
+  EXPECT_EQ(count, 60u);
+}
+
+TEST(BTreeTest, ClearResets) {
+  BTree tree(4);
+  for (Value v = 0; v < 100; ++v) tree.Insert(v, R(static_cast<uint32_t>(v)));
+  tree.Clear();
+  EXPECT_EQ(tree.EntryCount(), 0u);
+  EXPECT_EQ(tree.KeyCount(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  tree.Insert(5, R(1));
+  EXPECT_EQ(tree.EntryCount(), 1u);
+}
+
+TEST(BTreeTest, ApproxBytesGrowsWithContent) {
+  BTree tree;
+  const size_t empty = tree.ApproxBytes();
+  for (Value v = 0; v < 1000; ++v) tree.Insert(v, R(static_cast<uint32_t>(v)));
+  EXPECT_GT(tree.ApproxBytes(), empty);
+}
+
+TEST(BTreeTest, NegativeKeys) {
+  BTree tree(4);
+  for (Value v = -50; v <= 50; ++v) {
+    tree.Insert(v, R(static_cast<uint32_t>(v + 50)));
+  }
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+  std::vector<Value> keys;
+  tree.Scan(-10, 10, [&](Value key, const Rid&) { keys.push_back(key); });
+  EXPECT_EQ(keys.size(), 21u);
+  EXPECT_EQ(keys.front(), -10);
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random operation sequences checked against a reference
+// model (std::multimap) across fanouts.
+// ---------------------------------------------------------------------------
+
+class BTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceModelUnderRandomOps) {
+  const int fanout = GetParam();
+  BTree tree(fanout);
+  std::multimap<Value, Rid> model;
+  Rng rng(static_cast<uint64_t>(fanout) * 1000 + 17);
+  uint32_t next_rid = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    const int kind = static_cast<int>(rng.UniformInt(0, 9));
+    const Value key = static_cast<Value>(rng.UniformInt(0, 200));
+    if (kind < 6) {  // insert
+      const Rid rid = R(next_rid++);
+      tree.Insert(key, rid);
+      model.emplace(key, rid);
+    } else if (kind < 9) {  // remove one posting of the key, if any
+      auto it = model.find(key);
+      if (it != model.end()) {
+        EXPECT_TRUE(tree.Remove(key, it->second));
+        model.erase(it);
+      } else {
+        EXPECT_FALSE(tree.Remove(key, R(12345678)));
+      }
+    } else {  // remove whole key
+      const size_t expected = model.count(key);
+      EXPECT_EQ(tree.RemoveKey(key), expected);
+      model.erase(key);
+    }
+  }
+
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.EntryCount(), model.size());
+
+  // Every key agrees with the model.
+  for (Value key = 0; key <= 200; ++key) {
+    std::vector<Rid> out;
+    tree.Lookup(key, &out);
+    auto [lo, hi] = model.equal_range(key);
+    std::vector<Rid> expected;
+    for (auto it = lo; it != hi; ++it) expected.push_back(it->second);
+    std::sort(out.begin(), out.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(out, expected) << "key " << key << " fanout " << fanout;
+  }
+
+  // Range scan agrees with the model.
+  std::vector<std::pair<Value, Rid>> scanned;
+  tree.Scan(50, 150,
+            [&](Value key, const Rid& rid) { scanned.emplace_back(key, rid); });
+  std::vector<std::pair<Value, Rid>> expected_scan;
+  for (auto it = model.lower_bound(50); it != model.upper_bound(150); ++it) {
+    expected_scan.emplace_back(it->first, it->second);
+  }
+  std::sort(scanned.begin(), scanned.end());
+  std::sort(expected_scan.begin(), expected_scan.end());
+  EXPECT_EQ(scanned, expected_scan);
+}
+
+TEST_P(BTreePropertyTest, InvariantsHoldDuringGrowth) {
+  const int fanout = GetParam();
+  BTree tree(fanout);
+  Rng rng(static_cast<uint64_t>(fanout));
+  for (int i = 0; i < 2000; ++i) {
+    tree.Insert(static_cast<Value>(rng.UniformInt(-100000, 100000)),
+                R(static_cast<uint32_t>(i)));
+    if (i % 400 == 399) {
+      ASSERT_TRUE(tree.CheckInvariants().ok()) << "after " << i + 1;
+    }
+  }
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  EXPECT_EQ(tree.EntryCount(), 2000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreePropertyTest,
+                         ::testing::Values(4, 8, 16, 64, 128));
+
+}  // namespace
+}  // namespace aib

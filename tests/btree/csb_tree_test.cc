@@ -1,0 +1,220 @@
+#include "btree/csb_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/rng.h"
+
+namespace aib {
+namespace {
+
+Rid R(uint32_t page, uint16_t slot = 0) { return Rid{page, slot}; }
+
+TEST(CsbTreeTest, EmptyTree) {
+  CsbTree tree;
+  EXPECT_EQ(tree.EntryCount(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  std::vector<Rid> out;
+  tree.Lookup(5, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(CsbTreeTest, InsertLookup) {
+  CsbTree tree;
+  tree.Insert(10, R(1, 2));
+  std::vector<Rid> out;
+  tree.Lookup(10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], R(1, 2));
+}
+
+TEST(CsbTreeTest, DuplicateKeysSharePostings) {
+  CsbTree tree;
+  for (uint32_t i = 0; i < 4; ++i) tree.Insert(7, R(i));
+  std::vector<Rid> out;
+  tree.Lookup(7, &out);
+  EXPECT_EQ(out.size(), 4u);
+  EXPECT_EQ(tree.KeyCount(), 1u);
+}
+
+TEST(CsbTreeTest, SplitsGrowHeightAndStayConsistent) {
+  CsbTree tree(4);
+  for (Value v = 0; v < 300; ++v) {
+    tree.Insert(v, R(static_cast<uint32_t>(v)));
+  }
+  EXPECT_GT(tree.Height(), 2);
+  ASSERT_TRUE(tree.CheckInvariants().ok());
+  for (Value v = 0; v < 300; ++v) {
+    std::vector<Rid> out;
+    tree.Lookup(v, &out);
+    ASSERT_EQ(out.size(), 1u) << "key " << v;
+  }
+}
+
+TEST(CsbTreeTest, ReverseAndRandomInsertionOrders) {
+  CsbTree reverse_tree(4);
+  for (Value v = 199; v >= 0; --v) {
+    reverse_tree.Insert(v, R(static_cast<uint32_t>(v)));
+  }
+  EXPECT_TRUE(reverse_tree.CheckInvariants().ok());
+  EXPECT_EQ(reverse_tree.KeyCount(), 200u);
+
+  CsbTree random_tree(8);
+  Rng rng(5);
+  for (int i = 0; i < 2000; ++i) {
+    random_tree.Insert(static_cast<Value>(rng.UniformInt(-5000, 5000)),
+                       R(static_cast<uint32_t>(i)));
+  }
+  EXPECT_TRUE(random_tree.CheckInvariants().ok());
+  EXPECT_EQ(random_tree.EntryCount(), 2000u);
+}
+
+TEST(CsbTreeTest, ScanAscendingWithinRange) {
+  CsbTree tree(8);
+  for (Value v = 0; v < 500; v += 5) {
+    tree.Insert(v, R(static_cast<uint32_t>(v)));
+  }
+  std::vector<Value> keys;
+  tree.Scan(101, 299, [&](Value key, const Rid&) { keys.push_back(key); });
+  ASSERT_FALSE(keys.empty());
+  EXPECT_EQ(keys.front(), 105);
+  EXPECT_EQ(keys.back(), 295);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), 39u);
+}
+
+TEST(CsbTreeTest, ScanBoundaryKeysIncluded) {
+  CsbTree tree(4);
+  for (Value v = 0; v < 100; ++v) tree.Insert(v, R(static_cast<uint32_t>(v)));
+  std::vector<Value> keys;
+  tree.Scan(25, 75, [&](Value key, const Rid&) { keys.push_back(key); });
+  EXPECT_EQ(keys.size(), 51u);
+  EXPECT_EQ(keys.front(), 25);
+  EXPECT_EQ(keys.back(), 75);
+}
+
+TEST(CsbTreeTest, RemoveAndRemoveKey) {
+  CsbTree tree;
+  tree.Insert(5, R(1));
+  tree.Insert(5, R(2));
+  tree.Insert(6, R(3));
+  EXPECT_TRUE(tree.Remove(5, R(1)));
+  EXPECT_FALSE(tree.Remove(5, R(1)));
+  EXPECT_EQ(tree.EntryCount(), 2u);
+  EXPECT_EQ(tree.RemoveKey(6), 1u);
+  EXPECT_EQ(tree.RemoveKey(6), 0u);
+  EXPECT_TRUE(tree.CheckInvariants().ok());
+}
+
+TEST(CsbTreeTest, ForEachEntryVisitsAllAscending) {
+  CsbTree tree(4);
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(static_cast<Value>(rng.UniformInt(0, 100)),
+                R(static_cast<uint32_t>(i)));
+  }
+  size_t count = 0;
+  Value prev = -1;
+  tree.ForEachEntry([&](Value key, const Rid&) {
+    EXPECT_GE(key, prev);
+    prev = key;
+    ++count;
+  });
+  EXPECT_EQ(count, 500u);
+}
+
+TEST(CsbTreeTest, ClearResets) {
+  CsbTree tree(4);
+  for (Value v = 0; v < 100; ++v) tree.Insert(v, R(static_cast<uint32_t>(v)));
+  tree.Clear();
+  EXPECT_EQ(tree.EntryCount(), 0u);
+  EXPECT_EQ(tree.Height(), 1);
+  tree.Insert(1, R(1));
+  EXPECT_EQ(tree.EntryCount(), 1u);
+}
+
+TEST(CsbTreeTest, NegativeAndExtremeKeys) {
+  CsbTree tree(4);
+  const Value min = std::numeric_limits<Value>::min();
+  const Value max = std::numeric_limits<Value>::max();
+  tree.Insert(min, R(1));
+  tree.Insert(max, R(2));
+  tree.Insert(0, R(3));
+  std::vector<Value> keys;
+  tree.Scan(min, max, [&](Value key, const Rid&) { keys.push_back(key); });
+  EXPECT_EQ(keys, (std::vector<Value>{min, 0, max}));
+}
+
+class CsbTreePropertyTest : public ::testing::TestWithParam<int> {};
+
+/// CsbTree must agree with BTree (the reference) on any operation
+/// sequence — both are IndexStructure implementations of the same logical
+/// multimap.
+TEST_P(CsbTreePropertyTest, AgreesWithBTreeUnderRandomOps) {
+  const int fanout = GetParam();
+  CsbTree csb(fanout);
+  BTree btree(fanout);
+  Rng rng(static_cast<uint64_t>(fanout) * 7919);
+  uint32_t next_rid = 0;
+  std::multimap<Value, Rid> model;
+
+  for (int op = 0; op < 4000; ++op) {
+    const int kind = static_cast<int>(rng.UniformInt(0, 9));
+    const Value key = static_cast<Value>(rng.UniformInt(0, 150));
+    if (kind < 6) {
+      const Rid rid = R(next_rid++);
+      csb.Insert(key, rid);
+      btree.Insert(key, rid);
+      model.emplace(key, rid);
+    } else if (kind < 9) {
+      auto it = model.find(key);
+      const Rid rid = it != model.end() ? it->second : R(987654);
+      EXPECT_EQ(csb.Remove(key, rid), btree.Remove(key, rid));
+      if (it != model.end()) model.erase(it);
+    } else {
+      EXPECT_EQ(csb.RemoveKey(key), btree.RemoveKey(key));
+      model.erase(key);
+    }
+  }
+
+  ASSERT_TRUE(csb.CheckInvariants().ok());
+  EXPECT_EQ(csb.EntryCount(), btree.EntryCount());
+  for (Value key = 0; key <= 150; ++key) {
+    std::vector<Rid> from_csb;
+    std::vector<Rid> from_btree;
+    csb.Lookup(key, &from_csb);
+    btree.Lookup(key, &from_btree);
+    std::sort(from_csb.begin(), from_csb.end());
+    std::sort(from_btree.begin(), from_btree.end());
+    EXPECT_EQ(from_csb, from_btree) << "key " << key;
+  }
+  // Range scans agree too.
+  std::vector<std::pair<Value, Rid>> csb_scan;
+  std::vector<std::pair<Value, Rid>> btree_scan;
+  csb.Scan(30, 120,
+           [&](Value k, const Rid& r) { csb_scan.emplace_back(k, r); });
+  btree.Scan(30, 120,
+             [&](Value k, const Rid& r) { btree_scan.emplace_back(k, r); });
+  std::sort(csb_scan.begin(), csb_scan.end());
+  std::sort(btree_scan.begin(), btree_scan.end());
+  EXPECT_EQ(csb_scan, btree_scan);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, CsbTreePropertyTest,
+                         ::testing::Values(4, 8, 32, 64));
+
+TEST(CsbTreeFactoryTest, CreatedViaFactory) {
+  auto structure = CreateIndexStructure(IndexStructureKind::kCsbTree);
+  ASSERT_NE(structure, nullptr);
+  EXPECT_NE(dynamic_cast<CsbTree*>(structure.get()), nullptr);
+  structure->Insert(1, R(1));
+  EXPECT_EQ(structure->EntryCount(), 1u);
+}
+
+}  // namespace
+}  // namespace aib

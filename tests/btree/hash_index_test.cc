@@ -1,0 +1,117 @@
+#include "btree/hash_index.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "btree/btree.h"
+#include "common/rng.h"
+
+namespace aib {
+namespace {
+
+Rid R(uint32_t page, uint16_t slot = 0) { return Rid{page, slot}; }
+
+TEST(HashIndexTest, InsertLookup) {
+  HashIndex index;
+  index.Insert(10, R(1));
+  index.Insert(10, R(2));
+  std::vector<Rid> out;
+  index.Lookup(10, &out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(index.EntryCount(), 2u);
+}
+
+TEST(HashIndexTest, LookupMissingIsEmpty) {
+  HashIndex index;
+  std::vector<Rid> out;
+  index.Lookup(99, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(HashIndexTest, RemoveEntry) {
+  HashIndex index;
+  index.Insert(5, R(1));
+  index.Insert(5, R(2));
+  EXPECT_TRUE(index.Remove(5, R(1)));
+  EXPECT_FALSE(index.Remove(5, R(1)));
+  EXPECT_EQ(index.EntryCount(), 1u);
+}
+
+TEST(HashIndexTest, RemoveKey) {
+  HashIndex index;
+  for (uint32_t i = 0; i < 4; ++i) index.Insert(7, R(i));
+  EXPECT_EQ(index.RemoveKey(7), 4u);
+  EXPECT_EQ(index.EntryCount(), 0u);
+}
+
+TEST(HashIndexTest, ScanFiltersRange) {
+  HashIndex index;
+  for (Value v = 0; v < 100; ++v) index.Insert(v, R(static_cast<uint32_t>(v)));
+  std::vector<Value> keys;
+  index.Scan(20, 29, [&](Value key, const Rid&) { keys.push_back(key); });
+  std::sort(keys.begin(), keys.end());
+  ASSERT_EQ(keys.size(), 10u);
+  EXPECT_EQ(keys.front(), 20);
+  EXPECT_EQ(keys.back(), 29);
+}
+
+TEST(HashIndexTest, ForEachEntryAndClear) {
+  HashIndex index;
+  for (Value v = 0; v < 10; ++v) index.Insert(v, R(static_cast<uint32_t>(v)));
+  size_t count = 0;
+  index.ForEachEntry([&](Value, const Rid&) { ++count; });
+  EXPECT_EQ(count, 10u);
+  index.Clear();
+  EXPECT_EQ(index.EntryCount(), 0u);
+}
+
+TEST(FactoryTest, CreatesBothKinds) {
+  auto btree = CreateIndexStructure(IndexStructureKind::kBTree);
+  auto hash = CreateIndexStructure(IndexStructureKind::kHash);
+  ASSERT_NE(btree, nullptr);
+  ASSERT_NE(hash, nullptr);
+  EXPECT_NE(dynamic_cast<BTree*>(btree.get()), nullptr);
+  EXPECT_NE(dynamic_cast<HashIndex*>(hash.get()), nullptr);
+}
+
+/// Both structures must agree on any operation sequence (the paper's claim
+/// that the concrete structure is interchangeable).
+TEST(StructureEquivalenceTest, BTreeAndHashAgreeUnderRandomOps) {
+  BTree btree(8);
+  HashIndex hash;
+  Rng rng(2024);
+  uint32_t next_rid = 0;
+  std::multimap<Value, Rid> model;
+
+  for (int op = 0; op < 3000; ++op) {
+    const Value key = static_cast<Value>(rng.UniformInt(0, 100));
+    if (rng.Bernoulli(0.7)) {
+      const Rid rid = R(next_rid++);
+      btree.Insert(key, rid);
+      hash.Insert(key, rid);
+      model.emplace(key, rid);
+    } else {
+      auto it = model.find(key);
+      const Rid rid = it != model.end() ? it->second : R(999999);
+      EXPECT_EQ(btree.Remove(key, rid), hash.Remove(key, rid));
+      if (it != model.end()) model.erase(it);
+    }
+  }
+
+  EXPECT_EQ(btree.EntryCount(), hash.EntryCount());
+  for (Value key = 0; key <= 100; ++key) {
+    std::vector<Rid> from_btree;
+    std::vector<Rid> from_hash;
+    btree.Lookup(key, &from_btree);
+    hash.Lookup(key, &from_hash);
+    std::sort(from_btree.begin(), from_btree.end());
+    std::sort(from_hash.begin(), from_hash.end());
+    EXPECT_EQ(from_btree, from_hash) << "key " << key;
+  }
+}
+
+}  // namespace
+}  // namespace aib

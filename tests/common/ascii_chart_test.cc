@@ -1,0 +1,113 @@
+#include "common/ascii_chart.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aib {
+namespace {
+
+size_t CountLines(const std::string& s) {
+  size_t lines = 0;
+  for (char c : s) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+TEST(AsciiChartTest, EmptySeriesRendersNothing) {
+  EXPECT_TRUE(AsciiChart::Render({}).empty());
+  EXPECT_TRUE(AsciiChart::RenderMulti({}).empty());
+}
+
+TEST(AsciiChartTest, DimensionsMatchOptions) {
+  AsciiChart::Options options;
+  options.width = 20;
+  options.height = 5;
+  const std::string chart = AsciiChart::Render({1, 2, 3, 4, 5}, options);
+  EXPECT_EQ(CountLines(chart), 6u);  // height rows + x axis
+  std::istringstream lines(chart);
+  std::string line;
+  std::getline(lines, line);
+  // 8 label chars + " |" + width.
+  EXPECT_EQ(line.size(), 8u + 2 + 20);
+}
+
+TEST(AsciiChartTest, MonotoneSeriesFillsCorners) {
+  AsciiChart::Options options;
+  options.width = 10;
+  options.height = 4;
+  const std::string chart =
+      AsciiChart::Render({0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, options);
+  std::vector<std::string> rows;
+  std::istringstream lines(chart);
+  std::string line;
+  while (std::getline(lines, line)) rows.push_back(line);
+  ASSERT_EQ(rows.size(), 5u);
+  // Lowest value at bottom-left, highest at top-right.
+  EXPECT_EQ(rows[3][10], '*');                 // first column, bottom row
+  EXPECT_EQ(rows[0][10 + 9], '*');             // last column, top row
+}
+
+TEST(AsciiChartTest, ConstantSeriesSingleRow) {
+  AsciiChart::Options options;
+  options.width = 8;
+  options.height = 4;
+  const std::string chart = AsciiChart::Render({5, 5, 5, 5}, options);
+  size_t star_rows = 0;
+  std::istringstream lines(chart);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.find('*') != std::string::npos) ++star_rows;
+  }
+  EXPECT_EQ(star_rows, 1u);
+}
+
+TEST(AsciiChartTest, LogScaleHandlesWideRanges) {
+  AsciiChart::Options options;
+  options.width = 16;
+  options.height = 6;
+  options.log_y = true;
+  const std::string chart =
+      AsciiChart::Render({1, 10, 100, 1000, 10000}, options);
+  EXPECT_FALSE(chart.empty());
+  // Top label is the max.
+  EXPECT_NE(chart.find("10000"), std::string::npos);
+}
+
+TEST(AsciiChartTest, MultiSeriesUsesDistinctMarks) {
+  AsciiChart::Options options;
+  options.width = 12;
+  options.height = 5;
+  const std::string chart = AsciiChart::RenderMulti(
+      {{1, 1, 1, 1}, {9, 9, 9, 9}}, "ab", options);
+  EXPECT_NE(chart.find('a'), std::string::npos);
+  EXPECT_NE(chart.find('b'), std::string::npos);
+}
+
+TEST(AsciiChartTest, FixedRangeClampsOutliers) {
+  AsciiChart::Options options;
+  options.width = 8;
+  options.height = 4;
+  options.y_min = 0;
+  options.y_max = 10;
+  const std::string chart = AsciiChart::Render({5, 500}, options);
+  EXPECT_FALSE(chart.empty());
+  // Label shows the configured max, not the outlier.
+  EXPECT_NE(chart.find("10.00"), std::string::npos);
+}
+
+TEST(AsciiChartTest, SeriesLongerThanWidthIsDownsampled) {
+  std::vector<double> series(1000);
+  for (size_t i = 0; i < series.size(); ++i) {
+    series[i] = static_cast<double>(i);
+  }
+  AsciiChart::Options options;
+  options.width = 10;
+  options.height = 3;
+  const std::string chart = AsciiChart::Render(series, options);
+  EXPECT_EQ(CountLines(chart), 4u);
+}
+
+}  // namespace
+}  // namespace aib

@@ -1,0 +1,68 @@
+#include "common/csv_writer.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aib {
+namespace {
+
+TEST(CsvWriterTest, WritesHeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteHeader({"query", "cost"});
+  csv.WriteRow({"1", "17.5"});
+  csv.WriteRow({"2", "3.0"});
+  EXPECT_EQ(out.str(), "query,cost\n1,17.5\n2,3.0\n");
+}
+
+TEST(CsvWriterTest, QuotesCellsWithCommas) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"a,b", "plain"});
+  EXPECT_EQ(out.str(), "\"a,b\",plain\n");
+}
+
+TEST(CsvWriterTest, EscapesEmbeddedQuotes) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.WriteRow({"say \"hi\""});
+  EXPECT_EQ(out.str(), "\"say \"\"hi\"\"\"\n");
+}
+
+TEST(CsvWriterTest, RowTemplateFormatsNumbers) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.Row("x", 3, static_cast<size_t>(7));
+  EXPECT_EQ(out.str(), "x,3,7\n");
+}
+
+TEST(ConsoleTableTest, AlignsColumns) {
+  ConsoleTable table({"name", "value"});
+  table.AddRow({"a", "1"});
+  table.AddRow({"longer", "23"});
+  std::ostringstream out;
+  table.Print(out);
+  const std::string rendered = out.str();
+  EXPECT_NE(rendered.find("name"), std::string::npos);
+  EXPECT_NE(rendered.find("longer"), std::string::npos);
+  // Every line has the same width for the first column.
+  EXPECT_NE(rendered.find("a     "), std::string::npos);
+}
+
+TEST(ConsoleTableTest, PadsShortRows) {
+  ConsoleTable table({"a", "b", "c"});
+  table.AddRow({"only"});
+  std::ostringstream out;
+  table.Print(out);
+  EXPECT_NE(out.str().find("only"), std::string::npos);
+}
+
+TEST(FormatDoubleTest, RespectsDigits) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(3.14159, 4), "3.1416");
+  EXPECT_EQ(FormatDouble(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace aib

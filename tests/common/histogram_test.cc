@@ -1,0 +1,106 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace aib {
+namespace {
+
+TEST(HistogramTest, EmptyHistogramIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Min(), 0);
+  EXPECT_DOUBLE_EQ(h.Max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(HistogramTest, SingleSample) {
+  Histogram h;
+  h.Add(42.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 42.0);
+}
+
+TEST(HistogramTest, BasicStats) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) h.Add(v);
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 3.0);
+  EXPECT_DOUBLE_EQ(h.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.Max(), 5.0);
+}
+
+TEST(HistogramTest, MedianInterpolates) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Add(v);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 2.5);
+}
+
+TEST(HistogramTest, PercentilesAreOrderStatistics) {
+  Histogram h;
+  for (int i = 1; i <= 100; ++i) h.Add(static_cast<double>(i));
+  EXPECT_NEAR(h.Percentile(0.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.Percentile(0.5), 50.5, 1e-9);
+  EXPECT_NEAR(h.Percentile(0.95), 95.05, 1e-9);
+  EXPECT_NEAR(h.Percentile(1.0), 100.0, 1e-9);
+}
+
+TEST(HistogramTest, OutOfRangeQuantileClamped) {
+  Histogram h;
+  h.Add(1);
+  h.Add(2);
+  EXPECT_DOUBLE_EQ(h.Percentile(-0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.Percentile(2.0), 2.0);
+}
+
+TEST(HistogramTest, InsertionOrderIrrelevant) {
+  Histogram a;
+  Histogram b;
+  for (double v : {5.0, 1.0, 4.0, 2.0, 3.0}) a.Add(v);
+  for (double v : {1.0, 2.0, 3.0, 4.0, 5.0}) b.Add(v);
+  EXPECT_DOUBLE_EQ(a.Percentile(0.5), b.Percentile(0.5));
+  EXPECT_DOUBLE_EQ(a.Percentile(0.9), b.Percentile(0.9));
+}
+
+TEST(HistogramTest, AddAfterPercentileQuery) {
+  Histogram h;
+  h.Add(10);
+  EXPECT_DOUBLE_EQ(h.Percentile(0.5), 10.0);
+  h.Add(20);  // must invalidate the sorted cache
+  EXPECT_DOUBLE_EQ(h.Percentile(1.0), 20.0);
+}
+
+TEST(HistogramTest, SummaryContainsKeyFields) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0}) h.Add(v);
+  const std::string summary = h.Summary();
+  EXPECT_NE(summary.find("count=3"), std::string::npos);
+  EXPECT_NE(summary.find("mean=2.00"), std::string::npos);
+  EXPECT_NE(summary.find("p50=2.00"), std::string::npos);
+}
+
+TEST(HistogramTest, ClearResets) {
+  Histogram h;
+  h.Add(1);
+  h.Clear();
+  EXPECT_EQ(h.Count(), 0u);
+  EXPECT_DOUBLE_EQ(h.Max(), 0);
+}
+
+TEST(HistogramTest, UniformSamplesMatchTheory) {
+  Histogram h;
+  Rng rng(4242);
+  for (int i = 0; i < 100000; ++i) h.Add(rng.UniformDouble());
+  EXPECT_NEAR(h.Mean(), 0.5, 0.01);
+  EXPECT_NEAR(h.Percentile(0.5), 0.5, 0.01);
+  EXPECT_NEAR(h.Percentile(0.9), 0.9, 0.01);
+}
+
+}  // namespace
+}  // namespace aib

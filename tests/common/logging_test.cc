@@ -1,0 +1,56 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace aib {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { previous_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(previous_); }
+
+  LogLevel previous_;
+};
+
+TEST_F(LoggingTest, DefaultLevelIsWarn) {
+  // The library default keeps tests and benches quiet.
+  SetLogLevel(LogLevel::kWarn);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kWarn);
+}
+
+TEST_F(LoggingTest, SetAndGetRoundTrip) {
+  for (LogLevel level : {LogLevel::kDebug, LogLevel::kInfo, LogLevel::kWarn,
+                         LogLevel::kError, LogLevel::kOff}) {
+    SetLogLevel(level);
+    EXPECT_EQ(GetLogLevel(), level);
+  }
+}
+
+TEST_F(LoggingTest, SuppressedMessagesDoNotEvaluateStream) {
+  SetLogLevel(LogLevel::kError);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "payload";
+  };
+  AIB_LOG(kDebug) << expensive();
+  AIB_LOG(kInfo) << expensive();
+  EXPECT_EQ(evaluations, 0);  // the macro short-circuits below the level
+  AIB_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, OffSuppressesEverything) {
+  SetLogLevel(LogLevel::kOff);
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return "x";
+  };
+  AIB_LOG(kError) << expensive();
+  EXPECT_EQ(evaluations, 0);
+}
+
+}  // namespace
+}  // namespace aib

@@ -1,0 +1,45 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace aib {
+namespace {
+
+TEST(MetricsTest, UnsetCounterIsZero) {
+  Metrics m;
+  EXPECT_EQ(m.Get("nope"), 0);
+}
+
+TEST(MetricsTest, IncrementAccumulates) {
+  Metrics m;
+  m.Increment("x");
+  m.Increment("x", 4);
+  EXPECT_EQ(m.Get("x"), 5);
+}
+
+TEST(MetricsTest, NegativeDelta) {
+  Metrics m;
+  m.Increment("x", 10);
+  m.Increment("x", -3);
+  EXPECT_EQ(m.Get("x"), 7);
+}
+
+TEST(MetricsTest, ResetClearsAll) {
+  Metrics m;
+  m.Increment("a");
+  m.Increment("b", 2);
+  m.Reset();
+  EXPECT_EQ(m.Get("a"), 0);
+  EXPECT_EQ(m.Get("b"), 0);
+  EXPECT_TRUE(m.counters().empty());
+}
+
+TEST(MetricsTest, ToStringSortedByName) {
+  Metrics m;
+  m.Increment("zzz", 1);
+  m.Increment("aaa", 2);
+  EXPECT_EQ(m.ToString(), "aaa=2\nzzz=1\n");
+}
+
+}  // namespace
+}  // namespace aib

@@ -1,0 +1,186 @@
+#include "core/index_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace aib {
+namespace {
+
+class IndexBufferTest : public ::testing::Test {
+ protected:
+  IndexBufferTest()
+      : disk_(4096),
+        pool_(&disk_, 64),
+        table_("t", Schema::PaperSchema(1, 16), &disk_, &pool_,
+               HeapFileOptions{.max_tuples_per_page = 10}) {
+    // 40 tuples, values 0..39, 4 pages. Coverage [0, 9]: page 0 covered.
+    for (Value v = 0; v < 40; ++v) {
+      rids_.push_back(table_.Insert(Tuple({v}, {"p"})).value());
+    }
+    index_ = std::make_unique<PartialIndex>(&table_, 0,
+                                            ValueCoverage::Range(0, 9));
+    EXPECT_TRUE(index_->Build().ok());
+  }
+
+  IndexBuffer MakeBuffer(size_t partition_pages = 2) {
+    IndexBufferOptions options;
+    options.partition_pages = partition_pages;
+    IndexBuffer buffer(index_.get(), options);
+    EXPECT_TRUE(buffer.InitCounters().ok());
+    return buffer;
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Table table_;
+  std::vector<Rid> rids_;
+  std::unique_ptr<PartialIndex> index_;
+};
+
+TEST_F(IndexBufferTest, InitCountersMatchesPartialIndex) {
+  IndexBuffer buffer = MakeBuffer();
+  ASSERT_EQ(buffer.counters().size(), 4u);
+  EXPECT_EQ(buffer.counters().Get(0), 0u);   // fully covered by IX
+  EXPECT_EQ(buffer.counters().Get(1), 10u);
+  EXPECT_EQ(buffer.counters().Get(3), 10u);
+}
+
+TEST_F(IndexBufferTest, PartitionIdForRespectsP) {
+  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  EXPECT_EQ(buffer.PartitionIdFor(0), 0u);
+  EXPECT_EQ(buffer.PartitionIdFor(1), 0u);
+  EXPECT_EQ(buffer.PartitionIdFor(2), 1u);
+  EXPECT_EQ(buffer.PartitionIdFor(3), 1u);
+}
+
+TEST_F(IndexBufferTest, AddTupleAndMarkPageIndexed) {
+  IndexBuffer buffer = MakeBuffer();
+  // Index all 10 tuples of page 1 (values 10..19).
+  for (Value v = 10; v < 20; ++v) {
+    buffer.AddTuple(1, v, rids_[static_cast<size_t>(v)]);
+  }
+  buffer.MarkPageIndexed(1);
+  EXPECT_TRUE(buffer.PageInBuffer(1));
+  EXPECT_EQ(buffer.counters().Get(1), 0u);
+  EXPECT_EQ(buffer.TotalEntries(), 10u);
+
+  std::vector<Rid> out;
+  buffer.Lookup(15, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], rids_[15]);
+}
+
+TEST_F(IndexBufferTest, PagesInDifferentPartitions) {
+  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  buffer.AddTuple(1, 10, rids_[10]);
+  buffer.MarkPageIndexed(1);
+  buffer.AddTuple(3, 30, rids_[30]);
+  buffer.MarkPageIndexed(3);
+  EXPECT_EQ(buffer.PartitionCount(), 2u);  // pages 1 and 3: partitions 0, 1
+}
+
+TEST_F(IndexBufferTest, DropPartitionRestoresCounters) {
+  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  for (Value v = 10; v < 20; ++v) buffer.AddTuple(1, v, rids_[v]);
+  buffer.MarkPageIndexed(1);
+  ASSERT_EQ(buffer.counters().Get(1), 0u);
+
+  const size_t partition_id = buffer.PartitionIdFor(1);
+  const size_t freed = buffer.DropPartition(partition_id);
+  EXPECT_EQ(freed, 10u);
+  EXPECT_EQ(buffer.counters().Get(1), 10u);  // restored
+  EXPECT_FALSE(buffer.PageInBuffer(1));
+  EXPECT_EQ(buffer.TotalEntries(), 0u);
+}
+
+TEST_F(IndexBufferTest, DropPartitionRestoresCurrentEntryCount) {
+  // After a maintenance removal, the restored counter must reflect the
+  // *current* buffered population, not the original one.
+  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  for (Value v = 10; v < 20; ++v) buffer.AddTuple(1, v, rids_[v]);
+  buffer.MarkPageIndexed(1);
+  ASSERT_TRUE(buffer.RemoveTuple(1, 12, rids_[12]));
+  const size_t freed = buffer.DropPartition(buffer.PartitionIdFor(1));
+  EXPECT_EQ(freed, 9u);
+  EXPECT_EQ(buffer.counters().Get(1), 9u);
+}
+
+TEST_F(IndexBufferTest, DropUnknownPartitionIsNoop) {
+  IndexBuffer buffer = MakeBuffer();
+  EXPECT_EQ(buffer.DropPartition(99), 0u);
+}
+
+TEST_F(IndexBufferTest, UpdateTupleMovesEntry) {
+  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/4);
+  buffer.AddTuple(1, 10, rids_[10]);
+  buffer.MarkPageIndexed(1);
+  buffer.MarkPageIndexed(2);
+  buffer.UpdateTuple(1, 10, rids_[10], 2, 25, rids_[25]);
+  std::vector<Rid> out;
+  buffer.Lookup(10, &out);
+  EXPECT_TRUE(out.empty());
+  buffer.Lookup(25, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], rids_[25]);
+}
+
+TEST_F(IndexBufferTest, ScanAcrossPartitions) {
+  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  buffer.AddTuple(1, 10, rids_[10]);
+  buffer.AddTuple(3, 30, rids_[30]);
+  size_t count = 0;
+  buffer.Scan(0, 100, [&](Value, const Rid&) { ++count; });
+  EXPECT_EQ(count, 2u);
+}
+
+TEST_F(IndexBufferTest, BenefitGrowsWithCoveredPages) {
+  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  buffer.AddTuple(1, 10, rids_[10]);
+  buffer.MarkPageIndexed(1);
+  const double one_page = buffer.TotalBenefit();
+  buffer.AddTuple(2, 20, rids_[20]);
+  buffer.MarkPageIndexed(2);
+  EXPECT_GT(buffer.TotalBenefit(), one_page);
+}
+
+TEST_F(IndexBufferTest, BenefitReactsToHistory) {
+  IndexBuffer buffer = MakeBuffer();
+  buffer.AddTuple(1, 10, rids_[10]);
+  buffer.MarkPageIndexed(1);
+  const double before = buffer.TotalBenefit();
+  buffer.history().OnBufferUse();
+  buffer.history().OnBufferUse();  // hot buffer -> small T -> more benefit
+  EXPECT_GT(buffer.TotalBenefit(), before);
+}
+
+TEST_F(IndexBufferTest, ClearDropsEverything) {
+  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  for (Value v = 10; v < 20; ++v) buffer.AddTuple(1, v, rids_[v]);
+  buffer.MarkPageIndexed(1);
+  buffer.AddTuple(3, 30, rids_[30]);
+  buffer.MarkPageIndexed(3);
+  buffer.Clear();
+  EXPECT_EQ(buffer.TotalEntries(), 0u);
+  EXPECT_EQ(buffer.PartitionCount(), 0u);
+  EXPECT_EQ(buffer.counters().Get(1), 10u);
+  EXPECT_EQ(buffer.counters().Get(3), 1u);
+}
+
+TEST_F(IndexBufferTest, MetricsTrackAddsAndDrops) {
+  Metrics metrics;
+  IndexBufferOptions options;
+  options.partition_pages = 2;
+  IndexBuffer buffer(index_.get(), options, &metrics);
+  ASSERT_TRUE(buffer.InitCounters().ok());
+  buffer.AddTuple(1, 10, rids_[10]);
+  buffer.MarkPageIndexed(1);
+  EXPECT_EQ(metrics.Get(kMetricIbEntriesAdded), 1);
+  buffer.DropPartition(buffer.PartitionIdFor(1));
+  EXPECT_EQ(metrics.Get(kMetricIbPartitionsDropped), 1);
+  EXPECT_EQ(metrics.Get(kMetricIbEntriesDropped), 1);
+}
+
+}  // namespace
+}  // namespace aib

@@ -1,0 +1,185 @@
+#include "core/indexing_scan.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace aib {
+namespace {
+
+class IndexingScanTest : public ::testing::Test {
+ protected:
+  IndexingScanTest()
+      : disk_(8192),
+        pool_(&disk_, 256),
+        table_("t", Schema::PaperSchema(1, 16), &disk_, &pool_,
+               HeapFileOptions{.max_tuples_per_page = 10}) {
+    // 100 tuples, values 0..99, pages 0..9. Coverage [0, 19]: pages 0-1
+    // fully covered.
+    for (Value v = 0; v < 100; ++v) {
+      rids_.push_back(table_.Insert(Tuple({v}, {"p"})).value());
+    }
+    index_ = std::make_unique<PartialIndex>(&table_, 0,
+                                            ValueCoverage::Range(0, 19));
+    EXPECT_TRUE(index_->Build().ok());
+  }
+
+  IndexBuffer* MakeBuffer(IndexBufferSpace& space, size_t partition_pages = 4) {
+    IndexBufferOptions options;
+    options.partition_pages = partition_pages;
+    return space.CreateBuffer(index_.get(), options).value();
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Table table_;
+  std::vector<Rid> rids_;
+  std::unique_ptr<PartialIndex> index_;
+};
+
+TEST_F(IndexingScanTest, FirstScanFindsMatchesAndIndexesPages) {
+  IndexBufferSpace space({});
+  IndexBuffer* buffer = MakeBuffer(space);
+  std::vector<Rid> out;
+  IndexingScanStats stats;
+  ASSERT_TRUE(
+      RunIndexingScan(table_, &space, buffer, 55, 55, &out, &stats).ok());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], rids_[55]);
+  // Pages 0-1 were already fully indexed (skipped), 8 pages scanned.
+  EXPECT_EQ(stats.pages_skipped, 2u);
+  EXPECT_EQ(stats.pages_scanned, 8u);
+  EXPECT_EQ(stats.buffer_matches, 0u);
+  // Unlimited space: all 8 uncovered pages selected and indexed.
+  EXPECT_EQ(stats.pages_selected, 8u);
+  EXPECT_EQ(stats.entries_added, 80u);
+  EXPECT_EQ(buffer->TotalEntries(), 80u);
+}
+
+TEST_F(IndexingScanTest, SecondScanSkipsEverythingAndUsesBuffer) {
+  IndexBufferSpace space({});
+  IndexBuffer* buffer = MakeBuffer(space);
+  std::vector<Rid> first;
+  IndexingScanStats first_stats;
+  ASSERT_TRUE(RunIndexingScan(table_, &space, buffer, 55, 55, &first,
+                              &first_stats)
+                  .ok());
+  std::vector<Rid> second;
+  IndexingScanStats second_stats;
+  ASSERT_TRUE(RunIndexingScan(table_, &space, buffer, 55, 55, &second,
+                              &second_stats)
+                  .ok());
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0], rids_[55]);
+  EXPECT_EQ(second_stats.pages_scanned, 0u);
+  EXPECT_EQ(second_stats.pages_skipped, 10u);
+  EXPECT_EQ(second_stats.buffer_matches, 1u);
+  EXPECT_EQ(second_stats.entries_added, 0u);
+}
+
+TEST_F(IndexingScanTest, ImaxLimitsProgressPerScan) {
+  BufferSpaceOptions options;
+  options.max_pages_per_scan = 3;
+  IndexBufferSpace space(options);
+  IndexBuffer* buffer = MakeBuffer(space);
+  std::vector<Rid> out;
+  IndexingScanStats stats;
+  ASSERT_TRUE(
+      RunIndexingScan(table_, &space, buffer, 55, 55, &out, &stats).ok());
+  EXPECT_EQ(stats.pages_selected, 3u);
+  EXPECT_EQ(stats.entries_added, 30u);
+
+  // Next scan skips 2 (covered) + 3 (buffered) pages and indexes 3 more.
+  out.clear();
+  IndexingScanStats stats2;
+  ASSERT_TRUE(
+      RunIndexingScan(table_, &space, buffer, 56, 56, &out, &stats2).ok());
+  EXPECT_EQ(stats2.pages_skipped, 5u);
+  EXPECT_EQ(stats2.pages_scanned, 5u);
+  EXPECT_EQ(stats2.pages_selected, 3u);
+  EXPECT_EQ(buffer->TotalEntries(), 60u);
+}
+
+TEST_F(IndexingScanTest, RangePredicateCollectsAllMatches) {
+  IndexBufferSpace space({});
+  IndexBuffer* buffer = MakeBuffer(space);
+  std::vector<Rid> out;
+  ASSERT_TRUE(
+      RunIndexingScan(table_, &space, buffer, 50, 69, &out, nullptr).ok());
+  ASSERT_EQ(out.size(), 20u);
+  std::sort(out.begin(), out.end());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(out[i], rids_[50 + i]);
+  }
+}
+
+TEST_F(IndexingScanTest, ResultsCompleteAcrossBufferAndScan) {
+  // After a partial indexing pass, matches must come from both the buffer
+  // (skipped pages) and the residual scan, with no duplicates or misses.
+  BufferSpaceOptions options;
+  options.max_pages_per_scan = 4;
+  IndexBufferSpace space(options);
+  IndexBuffer* buffer = MakeBuffer(space);
+  std::vector<Rid> warmup;
+  ASSERT_TRUE(
+      RunIndexingScan(table_, &space, buffer, 20, 20, &warmup, nullptr).ok());
+
+  std::vector<Rid> out;
+  IndexingScanStats stats;
+  ASSERT_TRUE(
+      RunIndexingScan(table_, &space, buffer, 20, 99, &out, &stats).ok());
+  ASSERT_EQ(out.size(), 80u);
+  std::sort(out.begin(), out.end());
+  EXPECT_EQ(std::adjacent_find(out.begin(), out.end()), out.end())
+      << "duplicate rids";
+  EXPECT_GT(stats.buffer_matches, 0u);
+}
+
+TEST_F(IndexingScanTest, NoMatchesStillIndexes) {
+  IndexBufferSpace space({});
+  IndexBuffer* buffer = MakeBuffer(space);
+  std::vector<Rid> out;
+  IndexingScanStats stats;
+  ASSERT_TRUE(
+      RunIndexingScan(table_, &space, buffer, 5000, 5000, &out, &stats).ok());
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(stats.entries_added, 80u);
+}
+
+TEST_F(IndexingScanTest, CountersInvariantAfterScans) {
+  // C[p] == 0 exactly for pages covered by IX or buffered.
+  BufferSpaceOptions options;
+  options.max_pages_per_scan = 3;
+  IndexBufferSpace space(options);
+  IndexBuffer* buffer = MakeBuffer(space);
+  std::vector<Rid> out;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(RunIndexingScan(table_, &space, buffer, 30 + i, 30 + i, &out,
+                                nullptr)
+                    .ok());
+  }
+  for (size_t page = 0; page < table_.PageCount(); ++page) {
+    size_t uncovered_unbuffered = 0;
+    ASSERT_TRUE(table_.heap()
+                    .ForEachTupleOnPage(
+                        page,
+                        [&](const Rid&, const Tuple& tuple) {
+                          const Value v =
+                              tuple.IntValue(table_.schema(), 0);
+                          if (!index_->Covers(v) &&
+                              !buffer->PageInBuffer(page)) {
+                            ++uncovered_unbuffered;
+                          }
+                        })
+                    .ok());
+    EXPECT_EQ(buffer->counters().Get(page), uncovered_unbuffered)
+        << "page " << page;
+  }
+}
+
+}  // namespace
+}  // namespace aib

@@ -1,0 +1,76 @@
+#include "core/lru_k_history.h"
+
+#include <gtest/gtest.h>
+
+namespace aib {
+namespace {
+
+TEST(LruKHistoryTest, InitialMeanIsSeed) {
+  LruKHistory h(2, 100.0);
+  EXPECT_DOUBLE_EQ(h.MeanInterval(), 100.0);
+}
+
+TEST(LruKHistoryTest, KAtLeastOne) {
+  LruKHistory h(0, 50.0);
+  EXPECT_EQ(h.k(), 1u);
+}
+
+TEST(LruKHistoryTest, OtherQueriesGrowCurrentInterval) {
+  LruKHistory h(2, 10.0);
+  h.OnOtherQuery();
+  h.OnOtherQuery();
+  // H = [12, 10] -> mean 11.
+  EXPECT_DOUBLE_EQ(h.MeanInterval(), 11.0);
+}
+
+TEST(LruKHistoryTest, BufferUseShiftsAndResets) {
+  LruKHistory h(2, 10.0);
+  h.OnOtherQuery();  // H = [11, 10]
+  h.OnBufferUse();   // H = [0, 11]
+  EXPECT_DOUBLE_EQ(h.MeanInterval(), 5.5);
+  EXPECT_DOUBLE_EQ(h.history()[0], 0.0);
+  EXPECT_DOUBLE_EQ(h.history()[1], 11.0);
+}
+
+TEST(LruKHistoryTest, OldestIntervalFallsOff) {
+  LruKHistory h(2, 10.0);
+  h.OnBufferUse();  // [0, 10]
+  h.OnBufferUse();  // [0, 0] — the seed 10 fell off
+  EXPECT_DOUBLE_EQ(h.history()[0], 0.0);
+  EXPECT_DOUBLE_EQ(h.history()[1], 0.0);
+}
+
+TEST(LruKHistoryTest, MeanFlooredUnderHeavyUse) {
+  LruKHistory h(2, 10.0);
+  for (int i = 0; i < 5; ++i) h.OnBufferUse();
+  EXPECT_DOUBLE_EQ(h.MeanInterval(), LruKHistory::kMinInterval);
+}
+
+TEST(LruKHistoryTest, FrequentUseBeatsRareUse) {
+  LruKHistory frequent(2, 100.0);
+  LruKHistory rare(2, 100.0);
+  // `frequent` is used every 2nd query, `rare` every 10th.
+  for (int i = 0; i < 40; ++i) {
+    if (i % 2 == 0) {
+      frequent.OnBufferUse();
+    } else {
+      frequent.OnOtherQuery();
+    }
+    if (i % 10 == 0) {
+      rare.OnBufferUse();
+    } else {
+      rare.OnOtherQuery();
+    }
+  }
+  EXPECT_LT(frequent.MeanInterval(), rare.MeanInterval());
+}
+
+TEST(LruKHistoryTest, LargerKRemembersLonger) {
+  // With K=3 one burst of use cannot erase the memory of long intervals.
+  LruKHistory h(3, 100.0);
+  h.OnBufferUse();  // [0, 100, 100]
+  EXPECT_DOUBLE_EQ(h.MeanInterval(), 200.0 / 3.0);
+}
+
+}  // namespace
+}  // namespace aib

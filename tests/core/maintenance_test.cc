@@ -1,0 +1,320 @@
+#include "core/maintenance.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace aib {
+namespace {
+
+/// Exhaustive Table I coverage: all 16 (t_old∈IX, t_new∈IX, p_old∈B,
+/// p_new∈B) combinations of the update matrix, plus the insert/delete
+/// degenerations, verified against the expected IX/B/C effects.
+///
+/// Setup: coverage [0, 99]; values < 100 are "in IX". Pages 0 and 1; page 0
+/// is in the buffer (fully indexed), page 1 is not.
+class MaintenanceTest : public ::testing::TestWithParam<
+                            std::tuple<bool, bool, bool, bool>> {
+ protected:
+  MaintenanceTest()
+      : disk_(4096),
+        pool_(&disk_, 64),
+        table_("t", Schema::PaperSchema(1, 16), &disk_, &pool_,
+               HeapFileOptions{.max_tuples_per_page = 4}) {
+    // Page 0: values {0, 1, 200, 201}; page 1: values {2, 3, 202, 203}.
+    for (Value v : {0, 1, 200, 201, 2, 3, 202, 203}) {
+      rids_.push_back(table_.Insert(Tuple({v}, {"p"})).value());
+    }
+    index_ = std::make_unique<PartialIndex>(&table_, 0,
+                                            ValueCoverage::Range(0, 99));
+    EXPECT_TRUE(index_->Build().ok());
+    IndexBufferOptions options;
+    options.partition_pages = 1;  // page 0 and page 1 in separate partitions
+    buffer_ = std::make_unique<IndexBuffer>(index_.get(), options);
+    EXPECT_TRUE(buffer_->InitCounters().ok());
+    // Buffer page 0: index its uncovered tuples (200, 201).
+    buffer_->AddTuple(0, 200, rids_[2]);
+    buffer_->AddTuple(0, 201, rids_[3]);
+    buffer_->MarkPageIndexed(0);
+  }
+
+  /// Value in/out of IX coverage.
+  static Value V(bool in_ix, int salt) {
+    return in_ix ? 10 + salt : 300 + salt;
+  }
+
+  size_t BufferEntriesFor(Value v) {
+    std::vector<Rid> out;
+    buffer_->Lookup(v, &out);
+    return out.size();
+  }
+
+  size_t IxEntriesFor(Value v) {
+    std::vector<Rid> out;
+    index_->Lookup(v, &out);
+    return out.size();
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Table table_;
+  std::vector<Rid> rids_;
+  std::unique_ptr<PartialIndex> index_;
+  std::unique_ptr<IndexBuffer> buffer_;
+};
+
+TEST_P(MaintenanceTest, UpdateMatrixCell) {
+  const auto [old_in_ix, new_in_ix, old_in_b, new_in_b] = GetParam();
+  const size_t old_page = old_in_b ? 0u : 1u;
+  const size_t new_page = new_in_b ? 0u : 1u;
+  const Value old_value = V(old_in_ix, 0);
+  const Value new_value = V(new_in_ix, 1);
+  const Rid old_rid{static_cast<PageId>(old_page), 10};
+  const Rid new_rid{static_cast<PageId>(new_page), 11};
+
+  // Seed the "old" state: IX entry or buffer entry or counter headroom.
+  if (old_in_ix) {
+    index_->Add(old_value, old_rid);
+  } else if (old_in_b) {
+    buffer_->AddTuple(old_page, old_value, old_rid);
+  } else {
+    buffer_->counters().Increment(old_page);
+  }
+
+  const size_t ix_before = index_->EntryCount();
+  const uint32_t c0_before = buffer_->counters().Get(0);
+  const uint32_t c1_before = buffer_->counters().Get(1);
+  const size_t b_before = buffer_->TotalEntries();
+
+  ASSERT_TRUE(ApplyMaintenance(
+                  index_.get(), buffer_.get(),
+                  TupleChange::MakeUpdate(old_value, old_rid, old_page,
+                                          new_value, new_rid, new_page))
+                  .ok());
+
+  // --- IX row of Table I ---
+  if (old_in_ix && new_in_ix) {
+    EXPECT_EQ(index_->EntryCount(), ix_before);  // update in place
+    EXPECT_EQ(IxEntriesFor(new_value), 1u);
+    EXPECT_EQ(IxEntriesFor(old_value), 0u);
+  } else if (old_in_ix) {
+    EXPECT_EQ(index_->EntryCount(), ix_before - 1);
+  } else if (new_in_ix) {
+    EXPECT_EQ(index_->EntryCount(), ix_before + 1);
+    EXPECT_EQ(IxEntriesFor(new_value), 1u);
+  } else {
+    EXPECT_EQ(index_->EntryCount(), ix_before);
+  }
+
+  // --- B / C row of Table I ---
+  const uint32_t c0_after = buffer_->counters().Get(0);
+  const uint32_t c1_after = buffer_->counters().Get(1);
+  const size_t b_after = buffer_->TotalEntries();
+
+  auto counter = [&](size_t page) { return page == 0 ? c0_after : c1_after; };
+  auto counter_before = [&](size_t page) {
+    return page == 0 ? c0_before : c1_before;
+  };
+
+  if (old_in_ix && new_in_ix) {
+    EXPECT_EQ(b_after, b_before);
+    EXPECT_EQ(c0_after, c0_before);
+    EXPECT_EQ(c1_after, c1_before);
+  } else if (old_in_ix && !new_in_ix) {
+    if (new_in_b) {
+      EXPECT_EQ(b_after, b_before + 1);        // B.Add(t_new)
+      EXPECT_EQ(BufferEntriesFor(new_value), 1u);
+      EXPECT_EQ(counter(new_page), counter_before(new_page));
+    } else {
+      EXPECT_EQ(counter(new_page), counter_before(new_page) + 1);  // C++
+      EXPECT_EQ(b_after, b_before);
+    }
+  } else if (!old_in_ix && new_in_ix) {
+    if (old_in_b) {
+      EXPECT_EQ(b_after, b_before - 1);  // B.Remove(t_old)
+      EXPECT_EQ(BufferEntriesFor(old_value), 0u);
+      EXPECT_EQ(counter(old_page), counter_before(old_page));
+    } else {
+      EXPECT_EQ(counter(old_page), counter_before(old_page) - 1);  // C--
+      EXPECT_EQ(b_after, b_before);
+    }
+  } else {  // neither in IX
+    if (old_in_b && new_in_b) {
+      EXPECT_EQ(b_after, b_before);  // B.Update
+      EXPECT_EQ(BufferEntriesFor(old_value), 0u);
+      EXPECT_EQ(BufferEntriesFor(new_value), 1u);
+    } else if (old_in_b) {
+      EXPECT_EQ(b_after, b_before - 1);
+      EXPECT_EQ(counter(new_page), counter_before(new_page) + 1);
+    } else if (new_in_b) {
+      EXPECT_EQ(b_after, b_before + 1);
+      EXPECT_EQ(counter(old_page), counter_before(old_page) - 1);
+    } else {
+      // old_page == new_page == 1 here: -1 then +1 cancels.
+      EXPECT_EQ(counter(old_page), counter_before(old_page));
+      EXPECT_EQ(b_after, b_before);
+    }
+  }
+
+  // Universal invariant: buffered pages stay fully indexed.
+  EXPECT_EQ(buffer_->counters().Get(0), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TableI, MaintenanceTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Bool(), ::testing::Bool()),
+    [](const ::testing::TestParamInfo<std::tuple<bool, bool, bool, bool>>&
+           info) {
+      std::string name;
+      name += std::get<0>(info.param) ? "OldIx" : "OldNoIx";
+      name += std::get<1>(info.param) ? "NewIx" : "NewNoIx";
+      name += std::get<2>(info.param) ? "OldInB" : "OldOutB";
+      name += std::get<3>(info.param) ? "NewInB" : "NewOutB";
+      return name;
+    });
+
+class MaintenanceDmlTest : public ::testing::Test {
+ protected:
+  MaintenanceDmlTest()
+      : disk_(4096),
+        pool_(&disk_, 64),
+        table_("t", Schema::PaperSchema(1, 16), &disk_, &pool_,
+               HeapFileOptions{.max_tuples_per_page = 4}) {
+    for (Value v : {0, 1, 200, 201, 2, 3, 202, 203}) {
+      rids_.push_back(table_.Insert(Tuple({v}, {"p"})).value());
+    }
+    index_ = std::make_unique<PartialIndex>(&table_, 0,
+                                            ValueCoverage::Range(0, 99));
+    EXPECT_TRUE(index_->Build().ok());
+    buffer_ = std::make_unique<IndexBuffer>(
+        index_.get(), IndexBufferOptions{.partition_pages = 1});
+    EXPECT_TRUE(buffer_->InitCounters().ok());
+    buffer_->AddTuple(0, 200, rids_[2]);
+    buffer_->AddTuple(0, 201, rids_[3]);
+    buffer_->MarkPageIndexed(0);
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Table table_;
+  std::vector<Rid> rids_;
+  std::unique_ptr<PartialIndex> index_;
+  std::unique_ptr<IndexBuffer> buffer_;
+};
+
+TEST_F(MaintenanceDmlTest, InsertCoveredGoesToIx) {
+  const size_t ix_before = index_->EntryCount();
+  ASSERT_TRUE(ApplyMaintenance(index_.get(), buffer_.get(),
+                               TupleChange::MakeInsert(50, Rid{1, 9}, 1))
+                  .ok());
+  EXPECT_EQ(index_->EntryCount(), ix_before + 1);
+}
+
+TEST_F(MaintenanceDmlTest, InsertUncoveredOnBufferedPageGoesToBuffer) {
+  const size_t b_before = buffer_->TotalEntries();
+  ASSERT_TRUE(ApplyMaintenance(index_.get(), buffer_.get(),
+                               TupleChange::MakeInsert(300, Rid{0, 9}, 0))
+                  .ok());
+  EXPECT_EQ(buffer_->TotalEntries(), b_before + 1);
+  EXPECT_EQ(buffer_->counters().Get(0), 0u);  // page stays fully indexed
+}
+
+TEST_F(MaintenanceDmlTest, InsertUncoveredOnPlainPageBumpsCounter) {
+  const uint32_t c_before = buffer_->counters().Get(1);
+  ASSERT_TRUE(ApplyMaintenance(index_.get(), buffer_.get(),
+                               TupleChange::MakeInsert(300, Rid{1, 9}, 1))
+                  .ok());
+  EXPECT_EQ(buffer_->counters().Get(1), c_before + 1);
+}
+
+TEST_F(MaintenanceDmlTest, DeleteCoveredRemovesFromIx) {
+  const size_t ix_before = index_->EntryCount();
+  ASSERT_TRUE(ApplyMaintenance(index_.get(), buffer_.get(),
+                               TupleChange::MakeDelete(0, rids_[0], 0))
+                  .ok());
+  EXPECT_EQ(index_->EntryCount(), ix_before - 1);
+}
+
+TEST_F(MaintenanceDmlTest, DeleteBufferedRemovesFromBuffer) {
+  const size_t b_before = buffer_->TotalEntries();
+  ASSERT_TRUE(ApplyMaintenance(index_.get(), buffer_.get(),
+                               TupleChange::MakeDelete(200, rids_[2], 0))
+                  .ok());
+  EXPECT_EQ(buffer_->TotalEntries(), b_before - 1);
+}
+
+TEST_F(MaintenanceDmlTest, DeleteUnindexedDecrementsCounter) {
+  const uint32_t c_before = buffer_->counters().Get(1);
+  ASSERT_TRUE(ApplyMaintenance(index_.get(), buffer_.get(),
+                               TupleChange::MakeDelete(202, rids_[6], 1))
+                  .ok());
+  EXPECT_EQ(buffer_->counters().Get(1), c_before - 1);
+}
+
+TEST_F(MaintenanceDmlTest, NullBufferStillMaintainsIx) {
+  const size_t ix_before = index_->EntryCount();
+  ASSERT_TRUE(ApplyMaintenance(index_.get(), nullptr,
+                               TupleChange::MakeInsert(60, Rid{1, 9}, 1))
+                  .ok());
+  EXPECT_EQ(index_->EntryCount(), ix_before + 1);
+}
+
+TEST_F(MaintenanceDmlTest, EmptyChangeRejected) {
+  TupleChange empty;
+  EXPECT_TRUE(ApplyMaintenance(index_.get(), buffer_.get(), empty)
+                  .IsInvalidArgument());
+}
+
+TEST_F(MaintenanceDmlTest, AdaptationAddRemovesBufferedEntries) {
+  // Value 200 (buffered, page 0) becomes covered by the partial index.
+  ASSERT_TRUE(
+      ApplyAdaptation(buffer_.get(), 200, {rids_[2]}, {0}, /*added=*/true)
+          .ok());
+  std::vector<Rid> out;
+  buffer_->Lookup(200, &out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_EQ(buffer_->counters().Get(0), 0u);
+}
+
+TEST_F(MaintenanceDmlTest, AdaptationAddDecrementsPlainPageCounter) {
+  const uint32_t c_before = buffer_->counters().Get(1);
+  ASSERT_TRUE(
+      ApplyAdaptation(buffer_.get(), 202, {rids_[6]}, {1}, /*added=*/true)
+          .ok());
+  EXPECT_EQ(buffer_->counters().Get(1), c_before - 1);
+}
+
+TEST_F(MaintenanceDmlTest, AdaptationEvictRestoresBufferOrCounter) {
+  // Value 0 (IX-covered, page 0 which is buffered) is evicted: the buffer
+  // absorbs it so page 0 stays fully indexed.
+  const size_t b_before = buffer_->TotalEntries();
+  ASSERT_TRUE(
+      ApplyAdaptation(buffer_.get(), 0, {rids_[0]}, {0}, /*added=*/false)
+          .ok());
+  EXPECT_EQ(buffer_->TotalEntries(), b_before + 1);
+  EXPECT_EQ(buffer_->counters().Get(0), 0u);
+
+  // Value 2 (IX-covered, page 1 not buffered): counter grows.
+  const uint32_t c_before = buffer_->counters().Get(1);
+  ASSERT_TRUE(
+      ApplyAdaptation(buffer_.get(), 2, {rids_[4]}, {1}, /*added=*/false)
+          .ok());
+  EXPECT_EQ(buffer_->counters().Get(1), c_before + 1);
+}
+
+TEST_F(MaintenanceDmlTest, AdaptationSizeMismatchRejected) {
+  EXPECT_TRUE(ApplyAdaptation(buffer_.get(), 1, {rids_[0]}, {}, true)
+                  .IsInvalidArgument());
+}
+
+TEST_F(MaintenanceDmlTest, AdaptationNullBufferIsNoop) {
+  EXPECT_TRUE(ApplyAdaptation(nullptr, 1, {rids_[0]}, {0}, true).ok());
+}
+
+}  // namespace
+}  // namespace aib

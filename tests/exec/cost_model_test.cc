@@ -1,0 +1,63 @@
+#include "exec/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace aib {
+namespace {
+
+TEST(CostModelTest, EmptyStatsCostZero) {
+  CostModel model;
+  EXPECT_DOUBLE_EQ(model.QueryCost(QueryStats{}), 0.0);
+}
+
+TEST(CostModelTest, PageScansDominate) {
+  CostModel model;
+  QueryStats scan;
+  scan.pages_scanned = 1000;
+  QueryStats probe;
+  probe.ix_probes = 1;
+  probe.pages_fetched = 10;
+  EXPECT_GT(model.QueryCost(scan), model.QueryCost(probe) * 10);
+}
+
+TEST(CostModelTest, SkippedPagesAreFree) {
+  CostModel model;
+  QueryStats stats;
+  stats.pages_skipped = 100000;
+  EXPECT_DOUBLE_EQ(model.QueryCost(stats), 0.0);
+}
+
+TEST(CostModelTest, ComponentsAdd) {
+  CostModelOptions options;
+  options.page_scan_cost = 2.0;
+  options.page_fetch_cost = 3.0;
+  options.index_probe_cost = 0.5;
+  options.buffer_insert_cost = 0.25;
+  CostModel model(options);
+  QueryStats stats;
+  stats.pages_scanned = 2;
+  stats.pages_fetched = 1;
+  stats.ix_probes = 1;
+  stats.buffer_probes = 1;
+  stats.entries_added = 4;
+  EXPECT_DOUBLE_EQ(model.QueryCost(stats), 2 * 2.0 + 3.0 + 2 * 0.5 + 4 * 0.25);
+}
+
+TEST(CostModelTest, AdaptationCostScalesWithEntries) {
+  CostModel model;
+  EXPECT_DOUBLE_EQ(model.AdaptationCost(0), 0.0);
+  EXPECT_GT(model.AdaptationCost(100), model.AdaptationCost(10));
+}
+
+TEST(CostModelTest, BufferInsertMuchCheaperThanIxMaintenance) {
+  // The core premise: building Index Buffer information costs much less
+  // than adapting the disk-based partial index.
+  CostModelOptions options;
+  CostModel model(options);
+  QueryStats buffer_build;
+  buffer_build.entries_added = 100;
+  EXPECT_LT(model.QueryCost(buffer_build), model.AdaptationCost(100));
+}
+
+}  // namespace
+}  // namespace aib

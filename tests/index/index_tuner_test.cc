@@ -1,0 +1,170 @@
+#include "index/index_tuner.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/table.h"
+
+namespace aib {
+namespace {
+
+class IndexTunerTest : public ::testing::Test {
+ protected:
+  IndexTunerTest()
+      : disk_(2048),
+        pool_(&disk_, 128),
+        table_("t", Schema::PaperSchema(1, 16), &disk_, &pool_) {
+    for (Value v = 0; v < 50; ++v) {
+      rids_.push_back(table_.Insert(Tuple({v}, {"p"})).value());
+    }
+  }
+
+  IndexTuner::RidLookupFn Lookup() {
+    return [this](Value v) {
+      std::vector<Rid> rids;
+      (void)table_.heap().ForEachTuple([&](const Rid& rid, const Tuple& t) {
+        if (t.IntValue(table_.schema(), 0) == v) rids.push_back(rid);
+      });
+      return rids;
+    };
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Table table_;
+  std::vector<Rid> rids_;
+};
+
+TEST_F(IndexTunerTest, HitReportedForCoveredValue) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 9));
+  ASSERT_TRUE(index.Build().ok());
+  IndexTuner tuner(&index, {}, Lookup());
+  EXPECT_TRUE(tuner.OnQuery(5).hit);
+  EXPECT_FALSE(tuner.OnQuery(20).hit);
+}
+
+TEST_F(IndexTunerTest, ValueIndexedAfterThreshold) {
+  PartialIndex index(&table_, 0, ValueCoverage());
+  ASSERT_TRUE(index.Build().ok());
+  IndexTunerOptions options;
+  options.window_size = 20;
+  options.index_threshold = 6;
+  IndexTuner tuner(&index, options, Lookup());
+
+  for (int i = 0; i < 5; ++i) {
+    TunerReport report = tuner.OnQuery(42);
+    EXPECT_TRUE(report.values_added.empty()) << "query " << i;
+  }
+  TunerReport report = tuner.OnQuery(42);  // 6th occurrence
+  ASSERT_EQ(report.values_added.size(), 1u);
+  EXPECT_EQ(report.values_added[0], 42);
+  EXPECT_EQ(report.entries_added, 1u);
+  EXPECT_TRUE(index.Covers(42));
+
+  // Next query is a hit and triggers no further adaptation.
+  report = tuner.OnQuery(42);
+  EXPECT_TRUE(report.hit);
+  EXPECT_TRUE(report.values_added.empty());
+}
+
+TEST_F(IndexTunerTest, WindowExpiryPreventsIndexing) {
+  PartialIndex index(&table_, 0, ValueCoverage());
+  ASSERT_TRUE(index.Build().ok());
+  IndexTunerOptions options;
+  options.window_size = 10;
+  options.index_threshold = 6;
+  IndexTuner tuner(&index, options, Lookup());
+
+  // 5 queries for 42, then 10 for other values to expire them.
+  for (int i = 0; i < 5; ++i) tuner.OnQuery(42);
+  for (int i = 0; i < 10; ++i) tuner.OnQuery(static_cast<Value>(i));
+  // 42's count restarted; 5 more are not enough.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(tuner.OnQuery(42).values_added.empty());
+  }
+  EXPECT_FALSE(index.Covers(42));
+}
+
+TEST_F(IndexTunerTest, LruEvictionBeyondCapacity) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 2));  // 3 values
+  ASSERT_TRUE(index.Build().ok());
+  IndexTunerOptions options;
+  options.window_size = 20;
+  options.index_threshold = 2;
+  options.max_indexed_values = 3;
+  IndexTuner tuner(&index, options, Lookup());
+  EXPECT_EQ(tuner.IndexedValueCount(), 3u);
+
+  // Index value 40; capacity forces evicting the LRU value (0: least
+  // recently seeded).
+  tuner.OnQuery(40);
+  TunerReport report = tuner.OnQuery(40);
+  ASSERT_EQ(report.values_added.size(), 1u);
+  ASSERT_EQ(report.values_evicted.size(), 1u);
+  EXPECT_EQ(report.values_evicted[0], 0);
+  EXPECT_TRUE(index.Covers(40));
+  EXPECT_FALSE(index.Covers(0));
+  EXPECT_EQ(tuner.IndexedValueCount(), 3u);
+}
+
+TEST_F(IndexTunerTest, HitsRefreshLruOrder) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 1));  // values 0,1
+  ASSERT_TRUE(index.Build().ok());
+  IndexTunerOptions options;
+  options.window_size = 20;
+  options.index_threshold = 2;
+  options.max_indexed_values = 2;
+  IndexTuner tuner(&index, options, Lookup());
+
+  // Touch 0 so 1 becomes the LRU victim.
+  tuner.OnQuery(0);
+  tuner.OnQuery(30);
+  TunerReport report = tuner.OnQuery(30);
+  ASSERT_EQ(report.values_evicted.size(), 1u);
+  EXPECT_EQ(report.values_evicted[0], 1);
+  EXPECT_TRUE(index.Covers(0));
+}
+
+TEST_F(IndexTunerTest, AdaptCallbackInvoked) {
+  PartialIndex index(&table_, 0, ValueCoverage());
+  ASSERT_TRUE(index.Build().ok());
+  IndexTunerOptions options;
+  options.index_threshold = 2;
+  IndexTuner tuner(&index, options, Lookup());
+  std::vector<std::pair<Value, bool>> events;
+  tuner.SetAdaptCallback(
+      [&](Value v, const std::vector<Rid>&, bool added) {
+        events.emplace_back(v, added);
+      });
+  tuner.OnQuery(10);
+  tuner.OnQuery(10);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], std::make_pair(10, true));
+}
+
+TEST_F(IndexTunerTest, ControlLoopDelayShape) {
+  // A miniature Fig. 1: the workload shifts from value 1 to value 2; the
+  // tuner needs `threshold` repeat queries before adapting — the control
+  // loop delay.
+  PartialIndex index(&table_, 0, ValueCoverage::Range(1, 1));
+  ASSERT_TRUE(index.Build().ok());
+  IndexTunerOptions options;
+  options.window_size = 20;
+  options.index_threshold = 6;
+  options.max_indexed_values = 1;
+  IndexTuner tuner(&index, options, Lookup());
+
+  int misses_before_adaptation = 0;
+  for (int i = 0; i < 20; ++i) {
+    TunerReport report = tuner.OnQuery(2);
+    if (!report.hit) ++misses_before_adaptation;
+    if (!report.values_added.empty()) break;
+  }
+  EXPECT_EQ(misses_before_adaptation, 6);  // exactly the threshold
+  EXPECT_TRUE(index.Covers(2));
+  EXPECT_FALSE(index.Covers(1));  // evicted by capacity 1
+}
+
+}  // namespace
+}  // namespace aib

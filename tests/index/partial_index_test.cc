@@ -1,0 +1,143 @@
+#include "index/partial_index.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/table.h"
+
+namespace aib {
+namespace {
+
+class PartialIndexTest : public ::testing::Test {
+ protected:
+  PartialIndexTest()
+      : disk_(2048),
+        pool_(&disk_, 128),
+        table_("t", Schema::PaperSchema(1, 32), &disk_, &pool_) {
+    // 100 tuples, values 0..99.
+    for (Value v = 0; v < 100; ++v) {
+      rids_.push_back(table_.Insert(Tuple({v}, {"p"})).value());
+    }
+  }
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Table table_;
+  std::vector<Rid> rids_;
+};
+
+TEST_F(PartialIndexTest, BuildIndexesOnlyCoveredTuples) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 29));
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_EQ(index.EntryCount(), 30u);
+  std::vector<Rid> out;
+  index.Lookup(10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], rids_[10]);
+  out.clear();
+  index.Lookup(50, &out);  // not covered
+  EXPECT_TRUE(out.empty());
+}
+
+TEST_F(PartialIndexTest, CoversDelegatesToCoverage) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 29));
+  EXPECT_TRUE(index.Covers(0));
+  EXPECT_TRUE(index.Covers(29));
+  EXPECT_FALSE(index.Covers(30));
+}
+
+TEST_F(PartialIndexTest, ScanOrderedWithinCoverage) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 29));
+  ASSERT_TRUE(index.Build().ok());
+  std::vector<Value> keys;
+  index.Scan(5, 15, [&](Value key, const Rid&) { keys.push_back(key); });
+  ASSERT_EQ(keys.size(), 11u);
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+}
+
+TEST_F(PartialIndexTest, DmlHooks) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 29));
+  ASSERT_TRUE(index.Build().ok());
+  const Rid new_rid{100, 0};
+  index.Add(15, new_rid);
+  std::vector<Rid> out;
+  index.Lookup(15, &out);
+  EXPECT_EQ(out.size(), 2u);
+
+  index.Remove(15, new_rid);
+  out.clear();
+  index.Lookup(15, &out);
+  EXPECT_EQ(out.size(), 1u);
+
+  index.Update(15, rids_[15], 16, rids_[15]);
+  out.clear();
+  index.Lookup(15, &out);
+  EXPECT_TRUE(out.empty());
+  out.clear();
+  index.Lookup(16, &out);
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST_F(PartialIndexTest, AddValueExtendsCoverage) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 29));
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_FALSE(index.Covers(50));
+  const size_t added = index.AddValue(50, {rids_[50]});
+  EXPECT_EQ(added, 1u);
+  EXPECT_TRUE(index.Covers(50));
+  std::vector<Rid> out;
+  index.Lookup(50, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], rids_[50]);
+}
+
+TEST_F(PartialIndexTest, RemoveValueShrinksCoverageAndReturnsRids) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 29));
+  ASSERT_TRUE(index.Build().ok());
+  const std::vector<Rid> removed = index.RemoveValue(10);
+  ASSERT_EQ(removed.size(), 1u);
+  EXPECT_EQ(removed[0], rids_[10]);
+  EXPECT_FALSE(index.Covers(10));
+  EXPECT_EQ(index.EntryCount(), 29u);
+}
+
+TEST_F(PartialIndexTest, RemoveAbsentValueReturnsEmpty) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 29));
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_TRUE(index.RemoveValue(99).empty());
+}
+
+TEST_F(PartialIndexTest, HashStructureWorksToo) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 29),
+                     IndexStructureKind::kHash);
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_EQ(index.EntryCount(), 30u);
+  std::vector<Rid> out;
+  index.Lookup(7, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], rids_[7]);
+}
+
+TEST_F(PartialIndexTest, MetricsCounted) {
+  Metrics metrics;
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 9),
+                     IndexStructureKind::kBTree, &metrics);
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_EQ(metrics.Get(kMetricIndexInserts), 10);
+  std::vector<Rid> out;
+  index.Lookup(3, &out);
+  EXPECT_EQ(metrics.Get(kMetricIndexProbes), 1);
+}
+
+TEST_F(PartialIndexTest, RebuildIsIdempotent) {
+  PartialIndex index(&table_, 0, ValueCoverage::Range(0, 29));
+  ASSERT_TRUE(index.Build().ok());
+  ASSERT_TRUE(index.Build().ok());
+  EXPECT_EQ(index.EntryCount(), 30u);
+}
+
+}  // namespace
+}  // namespace aib

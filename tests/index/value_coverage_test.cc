@@ -1,0 +1,197 @@
+#include "index/value_coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+
+namespace aib {
+namespace {
+
+TEST(ValueCoverageTest, EmptyCoversNothing) {
+  ValueCoverage c;
+  EXPECT_TRUE(c.Empty());
+  EXPECT_FALSE(c.Covers(0));
+  EXPECT_EQ(c.CoveredValueCount(), 0u);
+}
+
+TEST(ValueCoverageTest, RangeFactory) {
+  ValueCoverage c = ValueCoverage::Range(1, 5000);
+  EXPECT_TRUE(c.Covers(1));
+  EXPECT_TRUE(c.Covers(2500));
+  EXPECT_TRUE(c.Covers(5000));
+  EXPECT_FALSE(c.Covers(0));
+  EXPECT_FALSE(c.Covers(5001));
+  EXPECT_EQ(c.CoveredValueCount(), 5000u);
+  EXPECT_EQ(c.IntervalCount(), 1u);
+}
+
+TEST(ValueCoverageTest, CoversRange) {
+  ValueCoverage c = ValueCoverage::Range(10, 20);
+  EXPECT_TRUE(c.CoversRange(10, 20));
+  EXPECT_TRUE(c.CoversRange(12, 15));
+  EXPECT_FALSE(c.CoversRange(5, 12));
+  EXPECT_FALSE(c.CoversRange(15, 25));
+  EXPECT_FALSE(c.CoversRange(30, 40));
+}
+
+TEST(ValueCoverageTest, IntersectsRange) {
+  ValueCoverage c = ValueCoverage::Range(10, 20);
+  EXPECT_TRUE(c.IntersectsRange(5, 12));
+  EXPECT_TRUE(c.IntersectsRange(15, 25));
+  EXPECT_TRUE(c.IntersectsRange(20, 30));
+  EXPECT_TRUE(c.IntersectsRange(1, 100));
+  EXPECT_FALSE(c.IntersectsRange(1, 9));
+  EXPECT_FALSE(c.IntersectsRange(21, 30));
+}
+
+TEST(ValueCoverageTest, AddSingleValues) {
+  ValueCoverage c;
+  EXPECT_TRUE(c.Add(5));
+  EXPECT_FALSE(c.Add(5));  // already covered
+  EXPECT_TRUE(c.Covers(5));
+  EXPECT_EQ(c.CoveredValueCount(), 1u);
+}
+
+TEST(ValueCoverageTest, AdjacentValuesMerge) {
+  ValueCoverage c;
+  c.Add(5);
+  c.Add(7);
+  EXPECT_EQ(c.IntervalCount(), 2u);
+  c.Add(6);  // bridges [5,5] and [7,7]
+  EXPECT_EQ(c.IntervalCount(), 1u);
+  EXPECT_TRUE(c.CoversRange(5, 7));
+}
+
+TEST(ValueCoverageTest, AddRangeMergesOverlapping) {
+  ValueCoverage c;
+  c.AddRange(1, 10);
+  c.AddRange(5, 20);
+  EXPECT_EQ(c.IntervalCount(), 1u);
+  EXPECT_TRUE(c.CoversRange(1, 20));
+  EXPECT_EQ(c.CoveredValueCount(), 20u);
+}
+
+TEST(ValueCoverageTest, AddRangeSwallowsContained) {
+  ValueCoverage c;
+  c.AddRange(5, 8);
+  c.AddRange(12, 15);
+  c.AddRange(1, 20);
+  EXPECT_EQ(c.IntervalCount(), 1u);
+  EXPECT_EQ(c.CoveredValueCount(), 20u);
+}
+
+TEST(ValueCoverageTest, RemoveSplitsInterval) {
+  ValueCoverage c = ValueCoverage::Range(1, 10);
+  EXPECT_TRUE(c.Remove(5));
+  EXPECT_FALSE(c.Covers(5));
+  EXPECT_TRUE(c.Covers(4));
+  EXPECT_TRUE(c.Covers(6));
+  EXPECT_EQ(c.IntervalCount(), 2u);
+  EXPECT_EQ(c.CoveredValueCount(), 9u);
+}
+
+TEST(ValueCoverageTest, RemoveEdges) {
+  ValueCoverage c = ValueCoverage::Range(1, 10);
+  EXPECT_TRUE(c.Remove(1));
+  EXPECT_TRUE(c.Remove(10));
+  EXPECT_EQ(c.IntervalCount(), 1u);
+  EXPECT_TRUE(c.CoversRange(2, 9));
+}
+
+TEST(ValueCoverageTest, RemoveUncoveredIsNoop) {
+  ValueCoverage c = ValueCoverage::Range(1, 10);
+  EXPECT_FALSE(c.Remove(20));
+  EXPECT_EQ(c.CoveredValueCount(), 10u);
+}
+
+TEST(ValueCoverageTest, RemoveSingletonInterval) {
+  ValueCoverage c;
+  c.Add(5);
+  EXPECT_TRUE(c.Remove(5));
+  EXPECT_TRUE(c.Empty());
+}
+
+TEST(ValueCoverageTest, ToStringRendersIntervals) {
+  ValueCoverage c;
+  c.AddRange(1, 3);
+  c.Add(7);
+  EXPECT_EQ(c.ToString(), "[1,3] [7,7]");
+}
+
+TEST(ValueCoverageTest, ExtremeValues) {
+  ValueCoverage c;
+  const Value max = std::numeric_limits<Value>::max();
+  const Value min = std::numeric_limits<Value>::min();
+  c.Add(max);
+  c.Add(min);
+  EXPECT_TRUE(c.Covers(max));
+  EXPECT_TRUE(c.Covers(min));
+  EXPECT_TRUE(c.Remove(max));
+  EXPECT_TRUE(c.Remove(min));
+  EXPECT_TRUE(c.Empty());
+}
+
+TEST(ValueCoverageTest, ForEachIntervalAscending) {
+  ValueCoverage c;
+  c.AddRange(10, 12);
+  c.AddRange(1, 3);
+  c.Add(7);
+  std::vector<std::pair<Value, Value>> intervals;
+  c.ForEachInterval([&](Value lo, Value hi) { intervals.emplace_back(lo, hi); });
+  ASSERT_EQ(intervals.size(), 3u);
+  EXPECT_EQ(intervals[0], std::make_pair(1, 3));
+  EXPECT_EQ(intervals[1], std::make_pair(7, 7));
+  EXPECT_EQ(intervals[2], std::make_pair(10, 12));
+}
+
+/// Property: random add/remove of single values agrees with a std::set
+/// reference model, and intervals stay maximal (merged).
+TEST(ValueCoverageTest, MatchesSetModelUnderRandomOps) {
+  ValueCoverage c;
+  std::set<Value> model;
+  Rng rng(321);
+  for (int op = 0; op < 20000; ++op) {
+    const Value v = static_cast<Value>(rng.UniformInt(0, 300));
+    if (rng.Bernoulli(0.6)) {
+      EXPECT_EQ(c.Add(v), model.insert(v).second);
+    } else {
+      EXPECT_EQ(c.Remove(v), model.erase(v) > 0);
+    }
+  }
+  EXPECT_EQ(c.CoveredValueCount(), model.size());
+  for (Value v = 0; v <= 300; ++v) {
+    EXPECT_EQ(c.Covers(v), model.contains(v)) << "value " << v;
+  }
+  // Intervals must be maximal: between consecutive intervals there is a gap.
+  Value prev_hi = 0;
+  bool first = true;
+  c.ForEachInterval([&](Value lo, Value hi) {
+    EXPECT_LE(lo, hi);
+    if (!first) {
+      EXPECT_GT(lo, prev_hi + 1) << "intervals not merged";
+    }
+    prev_hi = hi;
+    first = false;
+  });
+}
+
+TEST(ValueCoverageTest, RandomRangeAddsStayConsistent) {
+  ValueCoverage c;
+  std::set<Value> model;
+  Rng rng(99);
+  for (int op = 0; op < 500; ++op) {
+    const Value lo = static_cast<Value>(rng.UniformInt(0, 900));
+    const Value hi = lo + static_cast<Value>(rng.UniformInt(0, 50));
+    c.AddRange(lo, hi);
+    for (Value v = lo; v <= hi; ++v) model.insert(v);
+  }
+  EXPECT_EQ(c.CoveredValueCount(), model.size());
+  for (Value v = 0; v <= 960; ++v) {
+    EXPECT_EQ(c.Covers(v), model.contains(v)) << "value " << v;
+  }
+}
+
+}  // namespace
+}  // namespace aib

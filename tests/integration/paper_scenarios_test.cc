@@ -1,0 +1,209 @@
+// Integration tests that replay the paper's experiments at miniature scale
+// and assert their qualitative findings (the "shape" of Figures 6-9).
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/experiment.h"
+
+namespace aib {
+namespace {
+
+using ::aib::testing::MakeSmallPaperDb;
+
+ColumnMix UncoveredMix(ColumnId column, double weight = 1.0,
+                       Value covered_hi = 100, Value value_max = 1000) {
+  ColumnMix mix;
+  mix.column = column;
+  mix.weight = weight;
+  mix.hit_rate = 0.0;
+  mix.covered_lo = 1;
+  mix.covered_hi = covered_hi;
+  mix.uncovered_lo = covered_hi + 1;
+  mix.uncovered_hi = value_max;
+  return mix;
+}
+
+/// Experiment 1 (Fig. 6): a single Index Buffer with unlimited space makes
+/// repeated missing queries approach index-scan cost.
+TEST(PaperScenarioTest, Exp1SingleBufferConvergesToIndexScanCost) {
+  DatabaseOptions db_options;
+  db_options.max_tuples_per_page = 20;  // paper-like page granularity
+  auto db = MakeSmallPaperDb(3000, 1000, 100, db_options);
+  ASSERT_NE(db, nullptr);
+
+  const double full_scan_cost =
+      db->FullScan(Query::Point(0, 500))->stats.cost;
+  const double index_scan_cost =
+      db->IndexScan(Query::Point(0, 50))->stats.cost;
+  ASSERT_GT(full_scan_cost, index_scan_cost * 10);
+
+  PhaseSpec phase;
+  phase.num_queries = 40;
+  phase.mix = {UncoveredMix(0)};
+  WorkloadGenerator gen({phase}, 17);
+  Result<std::vector<SeriesPoint>> series = RunWorkload(db.get(), &gen);
+  ASSERT_TRUE(series.ok());
+
+  // Early queries cost at least a scan; late queries approach the index
+  // scan's cost level and skip everything.
+  const double first_cost = series->front().stats.cost;
+  const double last_cost = series->back().stats.cost;
+  EXPECT_GE(first_cost, full_scan_cost * 0.9);
+  EXPECT_LT(last_cost, full_scan_cost / 20);
+  EXPECT_EQ(series->back().stats.pages_scanned, 0u);
+  EXPECT_EQ(series->back().stats.pages_skipped, db->table().PageCount());
+
+  // With unlimited space, eventually every tuple outside the partial index
+  // is buffered.
+  size_t uncovered = 0;
+  (void)db->table().heap().ForEachTuple([&](const Rid&, const Tuple& t) {
+    if (t.IntValue(db->table().schema(), 0) > 100) ++uncovered;
+  });
+  EXPECT_EQ(series->back().buffer_entries[0], uncovered);
+}
+
+/// Experiment 2 (Fig. 7): higher I_MAX converges faster; a smaller space
+/// bound caps the achievable speedup.
+TEST(PaperScenarioTest, Exp2ImaxControlsAggressiveness) {
+  auto run = [&](size_t imax) {
+    DatabaseOptions options;
+    options.max_tuples_per_page = 20;
+    options.space.max_pages_per_scan = imax;
+    auto db = MakeSmallPaperDb(3000, 1000, 100, options);
+    EXPECT_NE(db, nullptr);
+    PhaseSpec phase;
+    phase.num_queries = 10;
+    phase.mix = {UncoveredMix(0)};
+    WorkloadGenerator gen({phase}, 23);
+    auto series = RunWorkload(db.get(), &gen);
+    EXPECT_TRUE(series.ok());
+    return series->back().buffer_entries[0];
+  };
+  const size_t aggressive = run(1000);
+  const size_t timid = run(5);
+  EXPECT_GT(aggressive, timid * 2);
+}
+
+TEST(PaperScenarioTest, Exp2SpaceBoundCapsSkippablePages) {
+  DatabaseOptions options;
+  options.space.max_entries = 300;
+  options.buffer.partition_pages = 4;
+  auto db = MakeSmallPaperDb(3000, 1000, 100, options);
+  ASSERT_NE(db, nullptr);
+  PhaseSpec phase;
+  phase.num_queries = 30;
+  phase.mix = {UncoveredMix(0)};
+  WorkloadGenerator gen({phase}, 29);
+  auto series = RunWorkload(db.get(), &gen);
+  ASSERT_TRUE(series.ok());
+  // The budget is never exceeded, and late queries still scan pages
+  // (the buffer cannot cover the whole table).
+  for (const SeriesPoint& point : *series) {
+    EXPECT_LE(point.buffer_entries[0], 300u);
+  }
+  EXPECT_GT(series->back().stats.pages_scanned, 0u);
+}
+
+/// Experiment 3 (Fig. 8): with a shared bounded space and a query-mix
+/// switch, the buffer allocation follows the workload.
+TEST(PaperScenarioTest, Exp3BuffersCompeteAndFollowMixSwitch) {
+  DatabaseOptions options;
+  options.space.max_entries = 2500;
+  options.space.seed = 77;
+  options.buffer.partition_pages = 4;
+  options.buffer.initial_interval = 10.0;
+  auto db = MakeSmallPaperDb(3000, 1000, 100, options);
+  ASSERT_NE(db, nullptr);
+
+  PhaseSpec first;
+  first.num_queries = 60;
+  first.mix = {UncoveredMix(0, 3.0), UncoveredMix(1, 2.0),
+               UncoveredMix(2, 1.0)};
+  PhaseSpec second;
+  second.num_queries = 60;
+  second.mix = {UncoveredMix(0, 1.0), UncoveredMix(1, 2.0),
+                UncoveredMix(2, 3.0)};
+  WorkloadGenerator gen({first, second}, 31);
+  auto series = RunWorkload(db.get(), &gen);
+  ASSERT_TRUE(series.ok());
+
+  const SeriesPoint& end_first = (*series)[59];
+  const SeriesPoint& end_second = series->back();
+  // Space is always within budget.
+  for (const SeriesPoint& point : *series) {
+    size_t total = 0;
+    for (size_t entries : point.buffer_entries) total += entries;
+    EXPECT_LE(total, 2500u);
+  }
+  // First period: A dominates C.
+  EXPECT_GT(end_first.buffer_entries[0], end_first.buffer_entries[2]);
+  // After the switch, C gains space and A loses it.
+  EXPECT_GT(end_second.buffer_entries[2], end_first.buffer_entries[2]);
+  EXPECT_LT(end_second.buffer_entries[0], end_first.buffer_entries[0]);
+}
+
+/// Experiment 4 (Fig. 9): a high partial-index hit rate starves the
+/// column's buffer; when the hit rate collapses, its buffer grows.
+///
+/// At miniature scale a single scan can re-index a large share of the
+/// table, so allocation moves in coarse steps; like the paper's figure, the
+/// signal is the *average* space a buffer holds per phase, measured over
+/// each phase's settled second half.
+TEST(PaperScenarioTest, Exp4HitRateSteersAllocation) {
+  DatabaseOptions options;
+  options.max_tuples_per_page = 20;  // 150 pages
+  options.space.max_entries = 1200;
+  options.space.max_pages_per_scan = 10;  // gradual allocation shifts
+  options.space.seed = 99;
+  options.buffer.partition_pages = 8;
+  options.buffer.initial_interval = 10.0;
+  auto db = MakeSmallPaperDb(3000, 1000, 100, options);
+  ASSERT_NE(db, nullptr);
+
+  auto mix_with_hit_rate = [&](double hit_rate_a) {
+    ColumnMix a = UncoveredMix(0, 3.0);
+    a.hit_rate = hit_rate_a;
+    return std::vector<ColumnMix>{a, UncoveredMix(1, 2.0),
+                                  UncoveredMix(2, 1.0)};
+  };
+  PhaseSpec first;
+  first.num_queries = 120;
+  first.mix = mix_with_hit_rate(0.8);
+  PhaseSpec second;
+  second.num_queries = 120;
+  second.mix = mix_with_hit_rate(0.2);
+  WorkloadGenerator gen({first, second}, 37);
+  auto series = RunWorkload(db.get(), &gen);
+  ASSERT_TRUE(series.ok());
+
+  auto mean_entries_a = [&](size_t from, size_t to) {
+    double sum = 0;
+    for (size_t i = from; i < to; ++i) sum += (*series)[i].buffer_entries[0];
+    return sum / static_cast<double>(to - from);
+  };
+  const double phase1_a = mean_entries_a(60, 120);
+  const double phase2_a = mean_entries_a(180, 240);
+  // After the hit-rate collapse, A holds more Index Buffer Space on
+  // average.
+  EXPECT_GT(phase2_a, phase1_a * 1.3);
+}
+
+/// The library's headline claim, end to end: the Index Buffer reduces the
+/// cost of partial-index misses by orders of magnitude once warm.
+TEST(PaperScenarioTest, HeadlineSpeedupHolds) {
+  auto db = MakeSmallPaperDb(3000, 1000, 100);
+  ASSERT_NE(db, nullptr);
+  double cold_cost = 0;
+  double warm_cost = 0;
+  for (int i = 0; i < 25; ++i) {
+    auto result = db->Execute(Query::Point(0, 500 + i));
+    ASSERT_TRUE(result.ok());
+    if (i == 0) cold_cost = result->stats.cost;
+    if (i == 24) warm_cost = result->stats.cost;
+  }
+  EXPECT_GT(cold_cost / warm_cost, 10.0);
+}
+
+}  // namespace
+}  // namespace aib

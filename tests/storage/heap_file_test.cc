@@ -1,0 +1,165 @@
+#include "storage/heap_file.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace aib {
+namespace {
+
+class HeapFileTest : public ::testing::Test {
+ protected:
+  HeapFileTest()
+      : schema_(Schema::PaperSchema(1, 64)),
+        disk_(1024),
+        pool_(&disk_, 64),
+        heap_(&disk_, &pool_, &schema_) {}
+
+  Tuple T(Value v, const std::string& payload = "p") {
+    return Tuple({v}, {payload});
+  }
+
+  Schema schema_;
+  DiskManager disk_;
+  BufferPool pool_;
+  HeapFile heap_;
+};
+
+TEST_F(HeapFileTest, InsertAndGet) {
+  Result<Rid> rid = heap_.Insert(T(42, "hello"));
+  ASSERT_TRUE(rid.ok());
+  Result<Tuple> tuple = heap_.Get(rid.value());
+  ASSERT_TRUE(tuple.ok());
+  EXPECT_EQ(tuple->IntValue(schema_, 0), 42);
+  EXPECT_EQ(tuple->strings()[0], "hello");
+}
+
+TEST_F(HeapFileTest, InsertSpillsToNewPages) {
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(heap_.Insert(T(i, std::string(40, 'x'))).ok());
+  }
+  EXPECT_GT(heap_.PageCount(), 1u);
+  EXPECT_EQ(heap_.TupleCount(), 300u);
+}
+
+TEST_F(HeapFileTest, PhysicalOrderIsInsertionOrder) {
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(heap_.Insert(T(i)).ok());
+  }
+  int expected = 0;
+  ASSERT_TRUE(heap_
+                  .ForEachTuple([&](const Rid&, const Tuple& tuple) {
+                    EXPECT_EQ(tuple.IntValue(schema_, 0), expected++);
+                  })
+                  .ok());
+  EXPECT_EQ(expected, 100);
+}
+
+TEST_F(HeapFileTest, DeleteRemovesTuple) {
+  Result<Rid> rid = heap_.Insert(T(1));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(heap_.Delete(rid.value()).ok());
+  EXPECT_TRUE(heap_.Get(rid.value()).status().IsNotFound());
+  EXPECT_EQ(heap_.TupleCount(), 0u);
+}
+
+TEST_F(HeapFileTest, UpdateInPlaceKeepsRid) {
+  Result<Rid> rid = heap_.Insert(T(1, "same-length"));
+  ASSERT_TRUE(rid.ok());
+  Result<Rid> new_rid = heap_.Update(rid.value(), T(2, "same-length"));
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_EQ(new_rid.value(), rid.value());
+  EXPECT_EQ(heap_.Get(rid.value())->IntValue(schema_, 0), 2);
+}
+
+TEST_F(HeapFileTest, UpdateGrowingRecordRelocates) {
+  Result<Rid> rid = heap_.Insert(T(1, "s"));
+  ASSERT_TRUE(rid.ok());
+  // Fill the first page so relocation must move to another page.
+  while (heap_.PageCount() == 1) {
+    ASSERT_TRUE(heap_.Insert(T(0, std::string(60, 'f'))).ok());
+  }
+  Result<Rid> new_rid =
+      heap_.Update(rid.value(), T(2, std::string(200, 'g')));
+  ASSERT_TRUE(new_rid.ok());
+  EXPECT_NE(new_rid.value(), rid.value());
+  EXPECT_TRUE(heap_.Get(rid.value()).status().IsNotFound());
+  EXPECT_EQ(heap_.Get(new_rid.value())->IntValue(schema_, 0), 2);
+}
+
+TEST_F(HeapFileTest, ForEachTupleOnPageSkipsTombstones) {
+  Result<Rid> a = heap_.Insert(T(1));
+  Result<Rid> b = heap_.Insert(T(2));
+  Result<Rid> c = heap_.Insert(T(3));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  ASSERT_TRUE(heap_.Delete(b.value()).ok());
+  std::vector<Value> seen;
+  ASSERT_TRUE(heap_
+                  .ForEachTupleOnPage(0,
+                                      [&](const Rid&, const Tuple& tuple) {
+                                        seen.push_back(
+                                            tuple.IntValue(schema_, 0));
+                                      })
+                  .ok());
+  EXPECT_EQ(seen, (std::vector<Value>{1, 3}));
+}
+
+TEST_F(HeapFileTest, LiveTuplesOnPage) {
+  Result<Rid> a = heap_.Insert(T(1));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(heap_.Insert(T(2)).ok());
+  Result<uint16_t> live = heap_.LiveTuplesOnPage(0);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(live.value(), 2);
+  ASSERT_TRUE(heap_.Delete(a.value()).ok());
+  EXPECT_EQ(heap_.LiveTuplesOnPage(0).value(), 1);
+}
+
+TEST_F(HeapFileTest, PageIndexOutOfRange) {
+  EXPECT_TRUE(heap_.LiveTuplesOnPage(5).status().IsInvalidArgument());
+  EXPECT_TRUE(heap_
+                  .ForEachTupleOnPage(5, [](const Rid&, const Tuple&) {})
+                  .IsInvalidArgument());
+}
+
+TEST(HeapFileCapTest, MaxTuplesPerPageHonored) {
+  Schema schema = Schema::PaperSchema(1, 16);
+  DiskManager disk(4096);
+  BufferPool pool(&disk, 64);
+  HeapFileOptions options;
+  options.max_tuples_per_page = 5;
+  HeapFile heap(&disk, &pool, &schema, options);
+  for (int i = 0; i < 23; ++i) {
+    ASSERT_TRUE(heap.Insert(Tuple({i}, {"x"})).ok());
+  }
+  EXPECT_EQ(heap.PageCount(), 5u);  // ceil(23 / 5)
+  for (size_t page = 0; page + 1 < heap.PageCount(); ++page) {
+    EXPECT_EQ(heap.LiveTuplesOnPage(page).value(), 5);
+  }
+  EXPECT_EQ(heap.LiveTuplesOnPage(heap.PageCount() - 1).value(), 3);
+}
+
+TEST(HeapFileLargeTest, ThousandsOfTuplesAcrossPages) {
+  Schema schema = Schema::PaperSchema(1, 64);
+  DiskManager disk(8192);
+  BufferPool pool(&disk, 8);  // smaller than the file: forces eviction
+  HeapFile heap(&disk, &pool, &schema);
+  std::vector<Rid> rids;
+  for (int i = 0; i < 5000; ++i) {
+    Result<Rid> rid = heap.Insert(Tuple({i}, {std::string(30, 'a')}));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(rid.value());
+  }
+  EXPECT_GT(heap.PageCount(), 8u);
+  // Spot-check random access after evictions.
+  EXPECT_EQ(heap.Get(rids[0])->IntValue(schema, 0), 0);
+  EXPECT_EQ(heap.Get(rids[4999])->IntValue(schema, 0), 4999);
+  EXPECT_EQ(heap.Get(rids[2500])->IntValue(schema, 0), 2500);
+}
+
+}  // namespace
+}  // namespace aib

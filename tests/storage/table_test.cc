@@ -1,0 +1,79 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+
+namespace aib {
+namespace {
+
+class TableTest : public ::testing::Test {
+ protected:
+  TableTest()
+      : disk_(1024),
+        pool_(&disk_, 64),
+        table_("flights", Schema::PaperSchema(1, 32), &disk_, &pool_) {}
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Table table_;
+};
+
+TEST_F(TableTest, NameAndSchema) {
+  EXPECT_EQ(table_.name(), "flights");
+  EXPECT_EQ(table_.schema().num_columns(), 2u);
+}
+
+TEST_F(TableTest, PageNumberOfFirstPage) {
+  Result<Rid> rid = table_.Insert(Tuple({1}, {"x"}));
+  ASSERT_TRUE(rid.ok());
+  Result<size_t> page = table_.PageNumberOf(rid.value());
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page.value(), 0u);
+}
+
+TEST_F(TableTest, PageNumbersAreDense) {
+  std::vector<Rid> rids;
+  for (int i = 0; i < 500; ++i) {
+    Result<Rid> rid = table_.Insert(Tuple({i}, {std::string(40, 'y')}));
+    ASSERT_TRUE(rid.ok());
+    rids.push_back(rid.value());
+  }
+  ASSERT_GT(table_.PageCount(), 2u);
+  size_t max_page = 0;
+  for (const Rid& rid : rids) {
+    Result<size_t> page = table_.PageNumberOf(rid);
+    ASSERT_TRUE(page.ok());
+    EXPECT_LT(page.value(), table_.PageCount());
+    max_page = std::max(max_page, page.value());
+  }
+  EXPECT_EQ(max_page, table_.PageCount() - 1);
+}
+
+TEST_F(TableTest, PageNumberOfForeignPageFails) {
+  ASSERT_TRUE(table_.Insert(Tuple({1}, {"x"})).ok());
+  Rid foreign{static_cast<PageId>(999), 0};
+  EXPECT_TRUE(table_.PageNumberOf(foreign).status().IsInvalidArgument());
+}
+
+TEST_F(TableTest, PageNumbersWithInterleavedAllocations) {
+  // A second table interleaves page allocations on the same disk; page
+  // numbers of each table must stay dense per-table.
+  Table other("other", Schema::PaperSchema(1, 32), &disk_, &pool_);
+  std::vector<Rid> mine;
+  for (int i = 0; i < 400; ++i) {
+    Result<Rid> a = table_.Insert(Tuple({i}, {std::string(40, 'a')}));
+    Result<Rid> b = other.Insert(Tuple({i}, {std::string(40, 'b')}));
+    ASSERT_TRUE(a.ok() && b.ok());
+    mine.push_back(a.value());
+  }
+  for (const Rid& rid : mine) {
+    Result<size_t> page = table_.PageNumberOf(rid);
+    ASSERT_TRUE(page.ok());
+    EXPECT_LT(page.value(), table_.PageCount());
+  }
+}
+
+}  // namespace
+}  // namespace aib

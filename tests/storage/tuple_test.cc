@@ -1,0 +1,119 @@
+#include "storage/tuple.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/schema.h"
+
+namespace aib {
+namespace {
+
+TEST(SchemaTest, PaperSchemaShape) {
+  Schema schema = Schema::PaperSchema();
+  ASSERT_EQ(schema.num_columns(), 4u);
+  EXPECT_EQ(schema.column(0).name, "A");
+  EXPECT_EQ(schema.column(1).name, "B");
+  EXPECT_EQ(schema.column(2).name, "C");
+  EXPECT_EQ(schema.column(3).name, "payload");
+  EXPECT_EQ(schema.column(3).type, ColumnType::kVarchar);
+  EXPECT_EQ(schema.column(3).max_length, 512);
+}
+
+TEST(SchemaTest, FindColumn) {
+  Schema schema = Schema::PaperSchema();
+  ColumnId id;
+  ASSERT_TRUE(schema.FindColumn("B", &id).ok());
+  EXPECT_EQ(id, 1);
+  EXPECT_TRUE(schema.FindColumn("nope", &id).IsNotFound());
+}
+
+TEST(SchemaTest, IntColumnIds) {
+  Schema schema = Schema::PaperSchema();
+  EXPECT_EQ(schema.IntColumnIds(), (std::vector<ColumnId>{0, 1, 2}));
+}
+
+TEST(TupleTest, SerializeRoundTrip) {
+  Schema schema = Schema::PaperSchema();
+  Tuple tuple({10, -20, 30}, {"payload-data"});
+  const std::vector<uint8_t> bytes = tuple.Serialize(schema);
+  Result<Tuple> parsed = Tuple::Deserialize(schema, bytes);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), tuple);
+}
+
+TEST(TupleTest, EmptyPayloadRoundTrip) {
+  Schema schema = Schema::PaperSchema();
+  Tuple tuple({1, 2, 3}, {""});
+  Result<Tuple> parsed = Tuple::Deserialize(schema, tuple.Serialize(schema));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), tuple);
+}
+
+TEST(TupleTest, MaxLengthPayloadRoundTrip) {
+  Schema schema = Schema::PaperSchema();
+  Tuple tuple({1, 2, 3}, {std::string(512, 'z')});
+  Result<Tuple> parsed = Tuple::Deserialize(schema, tuple.Serialize(schema));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().strings()[0].size(), 512u);
+}
+
+TEST(TupleTest, IntValueBySchemaColumn) {
+  Schema schema = Schema::PaperSchema();
+  Tuple tuple({7, 8, 9}, {"p"});
+  EXPECT_EQ(tuple.IntValue(schema, 0), 7);
+  EXPECT_EQ(tuple.IntValue(schema, 1), 8);
+  EXPECT_EQ(tuple.IntValue(schema, 2), 9);
+}
+
+TEST(TupleTest, SetIntValue) {
+  Schema schema = Schema::PaperSchema();
+  Tuple tuple({7, 8, 9}, {"p"});
+  tuple.SetIntValue(schema, 1, 100);
+  EXPECT_EQ(tuple.IntValue(schema, 1), 100);
+  EXPECT_EQ(tuple.IntValue(schema, 0), 7);
+}
+
+TEST(TupleTest, InterleavedSchemaRoundTrip) {
+  Schema schema({{"s1", ColumnType::kVarchar, 10},
+                 {"i1", ColumnType::kInt32, 0},
+                 {"s2", ColumnType::kVarchar, 10},
+                 {"i2", ColumnType::kInt32, 0}});
+  Tuple tuple({5, 6}, {"first", "second"});
+  Result<Tuple> parsed = Tuple::Deserialize(schema, tuple.Serialize(schema));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), tuple);
+  EXPECT_EQ(parsed.value().IntValue(schema, 1), 5);
+  EXPECT_EQ(parsed.value().IntValue(schema, 3), 6);
+}
+
+TEST(TupleTest, DeserializeTruncatedIntFails) {
+  Schema schema = Schema::PaperSchema();
+  std::vector<uint8_t> bytes(3, 0);  // too short for even one int
+  EXPECT_TRUE(Tuple::Deserialize(schema, bytes).status().IsCorruption());
+}
+
+TEST(TupleTest, DeserializeTruncatedVarcharFails) {
+  Schema schema = Schema::PaperSchema();
+  Tuple tuple({1, 2, 3}, {"abcdef"});
+  std::vector<uint8_t> bytes = tuple.Serialize(schema);
+  bytes.resize(bytes.size() - 2);  // cut into the varchar data
+  EXPECT_TRUE(Tuple::Deserialize(schema, bytes).status().IsCorruption());
+}
+
+TEST(TupleTest, DeserializeTrailingBytesFails) {
+  Schema schema = Schema::PaperSchema();
+  Tuple tuple({1, 2, 3}, {"abc"});
+  std::vector<uint8_t> bytes = tuple.Serialize(schema);
+  bytes.push_back(0xff);
+  EXPECT_TRUE(Tuple::Deserialize(schema, bytes).status().IsCorruption());
+}
+
+TEST(TupleTest, NegativeValuesSurvive) {
+  Schema schema = Schema::PaperSchema();
+  Tuple tuple({-2147483647, 0, 2147483647}, {"x"});
+  Result<Tuple> parsed = Tuple::Deserialize(schema, tuple.Serialize(schema));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), tuple);
+}
+
+}  // namespace
+}  // namespace aib

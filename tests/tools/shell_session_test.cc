@@ -1,0 +1,128 @@
+#include "tools/shell_session.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace aib::tools {
+namespace {
+
+class ShellTest : public ::testing::Test {
+ protected:
+  ShellTest() : session_(out_) {}
+
+  bool Exec(const std::string& line) { return session_.ExecuteLine(line); }
+  std::string Output() { return out_.str(); }
+
+  std::ostringstream out_;
+  ShellSession session_;
+};
+
+TEST_F(ShellTest, EmptyAndCommentLinesAccepted) {
+  EXPECT_TRUE(Exec(""));
+  EXPECT_TRUE(Exec("   "));
+  EXPECT_TRUE(Exec("# just a comment"));
+  EXPECT_TRUE(Output().empty());
+}
+
+TEST_F(ShellTest, UnknownCommandFails) {
+  EXPECT_FALSE(Exec("frobnicate"));
+  EXPECT_NE(Output().find("unknown command"), std::string::npos);
+}
+
+TEST_F(ShellTest, CreateLoadIndexQueryFlow) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 500 1 100 5"));
+  EXPECT_TRUE(Exec("create_index t 0 1 10"));
+  EXPECT_TRUE(Exec("query t 0 5"));
+  EXPECT_NE(Output().find("[index]"), std::string::npos);
+  EXPECT_TRUE(Exec("query t 0 50"));
+  EXPECT_NE(Output().find("[buffer]"), std::string::npos);
+}
+
+TEST_F(ShellTest, ConfigRecreatesCatalog) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("config space_entries=123 imax=7"));
+  EXPECT_EQ(session_.catalog()->GetTable("t"), nullptr);  // fresh catalog
+  EXPECT_EQ(session_.catalog()->options().space.max_entries, 123u);
+  EXPECT_EQ(session_.catalog()->options().space.max_pages_per_scan, 7u);
+}
+
+TEST_F(ShellTest, ConfigRejectsUnknownKey) {
+  EXPECT_FALSE(Exec("config bogus=1"));
+}
+
+TEST_F(ShellTest, QueryOnMissingTableFails) {
+  EXPECT_FALSE(Exec("query nope 0 5"));
+  EXPECT_NE(Output().find("no table"), std::string::npos);
+}
+
+TEST_F(ShellTest, BadNumberIsReportedNotThrown) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_FALSE(Exec("query t 0 not-a-number"));
+  EXPECT_NE(Output().find("bad argument"), std::string::npos);
+}
+
+TEST_F(ShellTest, InsertValidatesArity) {
+  EXPECT_TRUE(Exec("create_table t 2"));
+  EXPECT_FALSE(Exec("insert t 1"));
+  EXPECT_TRUE(Exec("insert t 1 2"));
+  EXPECT_NE(Output().find("inserted at"), std::string::npos);
+}
+
+TEST_F(ShellTest, RunReportsMeanCost) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 400 1 100 3"));
+  EXPECT_TRUE(Exec("create_index t 0 1 10"));
+  EXPECT_TRUE(Exec("run t 0 5 11 100 9"));
+  EXPECT_NE(Output().find("mean cost"), std::string::npos);
+}
+
+TEST_F(ShellTest, BuffersAndStatsAndConsistency) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 400 1 100 3"));
+  EXPECT_TRUE(Exec("create_index t 0 1 10"));
+  EXPECT_TRUE(Exec("query t 0 42"));
+  EXPECT_TRUE(Exec("buffers"));
+  EXPECT_NE(Output().find("t.col0"), std::string::npos);
+  EXPECT_TRUE(Exec("stats"));
+  EXPECT_NE(Output().find("storage.pages_read"), std::string::npos);
+  EXPECT_TRUE(Exec("consistency t"));
+  EXPECT_NE(Output().find("consistent"), std::string::npos);
+}
+
+TEST_F(ShellTest, TunerAttachAndAdapt) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 300 1 100 3"));
+  EXPECT_TRUE(Exec("create_index t 0 1 10"));
+  EXPECT_TRUE(Exec("attach_tuner t 0 20 2 0"));
+  EXPECT_TRUE(Exec("query t 0 50"));
+  EXPECT_TRUE(Exec("query t 0 50"));
+  Table* table = session_.catalog()->GetTable("t");
+  EXPECT_TRUE(session_.catalog()->GetIndex(table, 0)->Covers(50));
+}
+
+TEST_F(ShellTest, RunScriptCountsFailures) {
+  std::istringstream script(
+      "create_table t 1\n"
+      "load_random t 100 1 50 1\n"
+      "bogus_command\n"
+      "query t 0 5\n");
+  EXPECT_EQ(session_.Run(script), 1u);
+}
+
+TEST_F(ShellTest, SnapshotRoundTripViaShell) {
+  const std::string path = ::testing::TempDir() + "/shell_snapshot.bin";
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 300 1 100 3"));
+  EXPECT_TRUE(Exec("create_index t 0 1 10"));
+  EXPECT_TRUE(Exec("snapshot_save " + path));
+  EXPECT_TRUE(Exec("config"));  // wipe
+  EXPECT_TRUE(Exec("snapshot_load " + path));
+  EXPECT_TRUE(Exec("query t 0 5"));
+  EXPECT_NE(Output().find("[index]"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aib::tools

@@ -1,0 +1,90 @@
+#include "workload/correlation.h"
+
+#include <gtest/gtest.h>
+
+namespace aib {
+namespace {
+
+CorrelationSweepOptions SmallSweep() {
+  CorrelationSweepOptions options;
+  options.num_tuples = 10000;
+  options.tuples_per_page = 10;
+  options.coverage_fraction = 0.5;
+  options.steps = 20;
+  options.swaps_per_step = 500;
+  return options;
+}
+
+TEST(CorrelationTest, StartsPerfectlyClustered) {
+  const auto points = SimulateCorrelationSweep(SmallSweep());
+  ASSERT_FALSE(points.empty());
+  EXPECT_NEAR(points.front().correlation, 1.0, 1e-9);
+  // At correlation 1, the fully indexed fraction equals the coverage (§II).
+  EXPECT_NEAR(points.front().fully_indexed_fraction, 0.5, 0.01);
+}
+
+TEST(CorrelationTest, CorrelationDecreasesMonotonically) {
+  const auto points = SimulateCorrelationSweep(SmallSweep());
+  // Swaps only add disorder; allow tiny numerical jitter.
+  for (size_t i = 1; i < points.size(); ++i) {
+    EXPECT_LE(points[i].correlation, points[i - 1].correlation + 0.05);
+  }
+  EXPECT_LT(points.back().correlation, 0.7);
+}
+
+TEST(CorrelationTest, FractionCollapsesWithDisorder) {
+  // The paper's key observation: the fully-indexed fraction drops quickly
+  // once the clustering degrades.
+  const auto points = SimulateCorrelationSweep(SmallSweep());
+  EXPECT_LT(points.back().fully_indexed_fraction,
+            points.front().fully_indexed_fraction / 4);
+}
+
+TEST(CorrelationTest, SmallerPagesDegradeSlower) {
+  CorrelationSweepOptions small = SmallSweep();
+  small.tuples_per_page = 2;
+  CorrelationSweepOptions large = SmallSweep();
+  large.tuples_per_page = 50;
+  const auto small_points = SimulateCorrelationSweep(small);
+  const auto large_points = SimulateCorrelationSweep(large);
+  // At the same (mid-sweep) disorder, fewer tuples per page leave more
+  // pages fully indexed.
+  const size_t mid = small_points.size() / 2;
+  EXPECT_GT(small_points[mid].fully_indexed_fraction,
+            large_points[mid].fully_indexed_fraction);
+}
+
+TEST(CorrelationTest, CoverageFractionSetsIntercept) {
+  CorrelationSweepOptions options = SmallSweep();
+  options.coverage_fraction = 0.1;
+  const auto points = SimulateCorrelationSweep(options);
+  EXPECT_NEAR(points.front().fully_indexed_fraction, 0.1, 0.01);
+}
+
+TEST(CorrelationTest, DeterministicForSeed) {
+  const auto a = SimulateCorrelationSweep(SmallSweep());
+  const auto b = SimulateCorrelationSweep(SmallSweep());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].correlation, b[i].correlation);
+    EXPECT_DOUBLE_EQ(a[i].fully_indexed_fraction,
+                     b[i].fully_indexed_fraction);
+  }
+}
+
+TEST(CorrelationTest, StepCountProducesThatManyPoints) {
+  CorrelationSweepOptions options = SmallSweep();
+  options.steps = 7;
+  EXPECT_EQ(SimulateCorrelationSweep(options).size(), 8u);  // initial + 7
+}
+
+TEST(CorrelationTest, PartialLastPageHandled) {
+  CorrelationSweepOptions options = SmallSweep();
+  options.num_tuples = 10005;  // last page has 5 tuples
+  const auto points = SimulateCorrelationSweep(options);
+  ASSERT_FALSE(points.empty());
+  EXPECT_GT(points.front().fully_indexed_fraction, 0.0);
+}
+
+}  // namespace
+}  // namespace aib

@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <filesystem>
+
+#include "common/rng.h"
+#include "core/consistency.h"
+#include "workload/catalog.h"
+
+namespace aib {
+namespace {
+
+std::string TempPath(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("aib_snapshot_" + tag + ".bin"))
+      .string();
+}
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = TempPath(::testing::UnitTest::GetInstance()
+                         ->current_test_info()
+                         ->name());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  CatalogOptions Options() {
+    CatalogOptions options;
+    options.max_tuples_per_page = 10;
+    options.space.max_entries = 2000;
+    options.buffer.partition_pages = 5;
+    return options;
+  }
+
+  /// A catalog with one loaded, indexed, buffer-warmed table.
+  std::unique_ptr<Catalog> MakeWarmCatalog() {
+    auto catalog = std::make_unique<Catalog>(Options());
+    Table* table =
+        catalog->CreateTable("t", Schema::PaperSchema(1, 32)).value();
+    Rng rng(55);
+    for (int i = 0; i < 1000; ++i) {
+      Tuple tuple({static_cast<Value>(rng.UniformInt(1, 500))},
+                  {"payload-" + std::to_string(i)});
+      EXPECT_TRUE(catalog->LoadTuple(table, tuple).ok());
+    }
+    EXPECT_TRUE(
+        catalog->CreatePartialIndex(table, 0, ValueCoverage::Range(1, 50))
+            .ok());
+    // Warm the Index Buffer.
+    for (Value v = 100; v < 110; ++v) {
+      EXPECT_TRUE(catalog->Execute(table, Query::Point(0, v)).ok());
+    }
+    return catalog;
+  }
+
+  std::string path_;
+};
+
+TEST_F(SnapshotTest, RoundTripPreservesDataAndIndexes) {
+  auto original = MakeWarmCatalog();
+  Table* table = original->GetTable("t");
+  const size_t tuple_count = table->TupleCount();
+  const size_t page_count = table->PageCount();
+
+  ASSERT_TRUE(original->SaveSnapshot(path_).ok());
+  Result<std::unique_ptr<Catalog>> loaded_or =
+      Catalog::LoadSnapshot(path_, Options());
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  std::unique_ptr<Catalog> loaded = std::move(loaded_or).value();
+
+  Table* restored = loaded->GetTable("t");
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->TupleCount(), tuple_count);
+  EXPECT_EQ(restored->PageCount(), page_count);
+
+  // Schema survived.
+  EXPECT_EQ(restored->schema().num_columns(), 2u);
+  EXPECT_EQ(restored->schema().column(0).name, "A");
+
+  // The partial index was rebuilt with the same coverage.
+  PartialIndex* index = loaded->GetIndex(restored, 0);
+  ASSERT_NE(index, nullptr);
+  EXPECT_EQ(index->coverage().ToString(), "[1,50]");
+  EXPECT_EQ(index->EntryCount(),
+            original->GetIndex(table, 0)->EntryCount());
+
+  // Query results identical to the original.
+  for (Value v : {25, 100, 105, 400}) {
+    Result<QueryResult> a = original->Execute(table, Query::Point(0, v));
+    Result<QueryResult> b = loaded->Execute(restored, Query::Point(0, v));
+    ASSERT_TRUE(a.ok() && b.ok());
+    EXPECT_EQ(a->rids.size(), b->rids.size()) << "value " << v;
+  }
+}
+
+TEST_F(SnapshotTest, IndexBufferIsNotPersisted) {
+  auto original = MakeWarmCatalog();
+  Table* table = original->GetTable("t");
+  ASSERT_GT(original->GetBuffer(table, 0)->TotalEntries(), 0u);
+
+  ASSERT_TRUE(original->SaveSnapshot(path_).ok());
+  auto loaded = std::move(Catalog::LoadSnapshot(path_, Options())).value();
+  Table* restored = loaded->GetTable("t");
+
+  // Recovery-free: the buffer restarts empty with rebuilt counters...
+  IndexBuffer* buffer = loaded->GetBuffer(restored, 0);
+  ASSERT_NE(buffer, nullptr);
+  EXPECT_EQ(buffer->TotalEntries(), 0u);
+  EXPECT_EQ(buffer->PartitionCount(), 0u);
+  ASSERT_TRUE(CheckSpaceConsistency(*restored, *loaded->space()).ok());
+
+  // ...and rebuilds from the workload as usual.
+  Result<QueryResult> first = loaded->Execute(restored, Query::Point(0, 200));
+  Result<QueryResult> second =
+      loaded->Execute(restored, Query::Point(0, 201));
+  ASSERT_TRUE(first.ok() && second.ok());
+  EXPECT_GT(second->stats.pages_skipped, 0u);
+  EXPECT_GT(buffer->TotalEntries(), 0u);
+}
+
+TEST_F(SnapshotTest, MultipleTablesRoundTrip) {
+  auto catalog = std::make_unique<Catalog>(Options());
+  Table* a = catalog->CreateTable("alpha", Schema::PaperSchema(1, 16))
+                 .value();
+  Table* b =
+      catalog->CreateTable("beta", Schema::PaperSchema(2, 16)).value();
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(catalog->LoadTuple(a, Tuple({i % 100}, {"a"})).ok());
+    ASSERT_TRUE(
+        catalog->LoadTuple(b, Tuple({i % 50, i % 25}, {"b"})).ok());
+  }
+  ASSERT_TRUE(
+      catalog->CreatePartialIndex(a, 0, ValueCoverage::Range(0, 9)).ok());
+  ASSERT_TRUE(
+      catalog->CreatePartialIndex(b, 1, ValueCoverage::Range(0, 4),
+                                  IndexStructureKind::kHash)
+          .ok());
+
+  ASSERT_TRUE(catalog->SaveSnapshot(path_).ok());
+  auto loaded = std::move(Catalog::LoadSnapshot(path_, Options())).value();
+  EXPECT_EQ(loaded->TableNames(),
+            (std::vector<std::string>{"alpha", "beta"}));
+  Table* beta = loaded->GetTable("beta");
+  ASSERT_NE(beta, nullptr);
+  EXPECT_EQ(beta->TupleCount(), 300u);
+  PartialIndex* beta_index = loaded->GetIndex(beta, 1);
+  ASSERT_NE(beta_index, nullptr);
+  EXPECT_EQ(beta_index->structure_kind(), IndexStructureKind::kHash);
+  EXPECT_EQ(beta_index->coverage().ToString(), "[0,4]");
+}
+
+TEST_F(SnapshotTest, DmlAfterLoadStaysConsistent) {
+  auto original = MakeWarmCatalog();
+  ASSERT_TRUE(original->SaveSnapshot(path_).ok());
+  auto loaded = std::move(Catalog::LoadSnapshot(path_, Options())).value();
+  Table* table = loaded->GetTable("t");
+
+  Result<Rid> rid = loaded->Insert(table, Tuple({77}, {"new"}));
+  ASSERT_TRUE(rid.ok());
+  ASSERT_TRUE(loaded->Execute(table, Query::Point(0, 77)).ok());
+  ASSERT_TRUE(loaded->Delete(table, rid.value()).ok());
+  ASSERT_TRUE(CheckSpaceConsistency(*table, *loaded->space()).ok());
+}
+
+TEST_F(SnapshotTest, LoadMissingFileFails) {
+  EXPECT_TRUE(Catalog::LoadSnapshot("/nonexistent/aib.bin", Options())
+                  .status()
+                  .IsNotFound());
+}
+
+TEST_F(SnapshotTest, LoadGarbageFails) {
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << "this is not a snapshot";
+  }
+  EXPECT_TRUE(
+      Catalog::LoadSnapshot(path_, Options()).status().IsCorruption());
+}
+
+TEST_F(SnapshotTest, LoadTruncatedSnapshotFails) {
+  auto original = MakeWarmCatalog();
+  ASSERT_TRUE(original->SaveSnapshot(path_).ok());
+  const auto full_size = std::filesystem::file_size(path_);
+  std::filesystem::resize_file(path_, full_size / 2);
+  EXPECT_TRUE(
+      Catalog::LoadSnapshot(path_, Options()).status().IsCorruption());
+}
+
+}  // namespace
+}  // namespace aib

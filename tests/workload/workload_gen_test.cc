@@ -1,0 +1,134 @@
+#include "workload/workload_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace aib {
+namespace {
+
+PhaseSpec OnePhase(size_t n, std::vector<ColumnMix> mix) {
+  PhaseSpec phase;
+  phase.num_queries = n;
+  phase.mix = std::move(mix);
+  return phase;
+}
+
+TEST(WorkloadGenTest, ProducesRequestedCount) {
+  WorkloadGenerator gen({OnePhase(25, {{.column = 0}})}, 1);
+  EXPECT_EQ(gen.TotalQueries(), 25u);
+  size_t count = 0;
+  while (gen.Next().has_value()) ++count;
+  EXPECT_EQ(count, 25u);
+  EXPECT_FALSE(gen.Next().has_value());  // stays exhausted
+}
+
+TEST(WorkloadGenTest, DeterministicForSeed) {
+  auto phases = std::vector<PhaseSpec>{
+      OnePhase(50, {{.column = 0, .weight = 1.0},
+                    {.column = 1, .weight = 2.0}})};
+  WorkloadGenerator a(phases, 42);
+  WorkloadGenerator b(phases, 42);
+  for (int i = 0; i < 50; ++i) {
+    auto qa = a.Next();
+    auto qb = b.Next();
+    ASSERT_TRUE(qa.has_value() && qb.has_value());
+    EXPECT_EQ(qa->column, qb->column);
+    EXPECT_EQ(qa->lo, qb->lo);
+  }
+}
+
+TEST(WorkloadGenTest, ValuesStayInConfiguredRanges) {
+  ColumnMix mix;
+  mix.column = 0;
+  mix.hit_rate = 0.0;
+  mix.uncovered_lo = 100;
+  mix.uncovered_hi = 200;
+  WorkloadGenerator gen({OnePhase(200, {mix})}, 3);
+  while (auto q = gen.Next()) {
+    EXPECT_GE(q->lo, 100);
+    EXPECT_LE(q->lo, 200);
+    EXPECT_TRUE(q->IsPoint());
+  }
+}
+
+TEST(WorkloadGenTest, HitRateDrawsFromCoveredRange) {
+  ColumnMix mix;
+  mix.column = 0;
+  mix.hit_rate = 0.8;
+  mix.covered_lo = 1;
+  mix.covered_hi = 10;
+  mix.uncovered_lo = 1000;
+  mix.uncovered_hi = 2000;
+  WorkloadGenerator gen({OnePhase(5000, {mix})}, 5);
+  size_t covered = 0;
+  while (auto q = gen.Next()) {
+    if (q->lo <= 10) ++covered;
+  }
+  EXPECT_NEAR(static_cast<double>(covered) / 5000.0, 0.8, 0.03);
+}
+
+TEST(WorkloadGenTest, MixWeightsRespected) {
+  // The paper's Exp. 3 mix: 1/2 A, 1/3 B, 1/6 C.
+  auto phases = std::vector<PhaseSpec>{
+      OnePhase(12000, {{.column = 0, .weight = 3.0},
+                       {.column = 1, .weight = 2.0},
+                       {.column = 2, .weight = 1.0}})};
+  WorkloadGenerator gen(phases, 7);
+  std::map<ColumnId, size_t> counts;
+  while (auto q = gen.Next()) ++counts[q->column];
+  EXPECT_NEAR(static_cast<double>(counts[0]) / 12000.0, 0.5, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 12000.0, 1.0 / 3, 0.02);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / 12000.0, 1.0 / 6, 0.02);
+}
+
+TEST(WorkloadGenTest, PhaseSwitchChangesMix) {
+  std::vector<PhaseSpec> phases = {
+      OnePhase(100, {{.column = 0}}),
+      OnePhase(100, {{.column = 2}}),
+  };
+  WorkloadGenerator gen(phases, 11);
+  for (int i = 0; i < 100; ++i) {
+    auto q = gen.Next();
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->column, 0);
+  }
+  for (int i = 0; i < 100; ++i) {
+    auto q = gen.Next();
+    ASSERT_TRUE(q.has_value());
+    EXPECT_EQ(q->column, 2);
+  }
+}
+
+TEST(WorkloadGenTest, EmptyPhaseListProducesNothing) {
+  WorkloadGenerator gen({}, 1);
+  EXPECT_EQ(gen.TotalQueries(), 0u);
+  EXPECT_FALSE(gen.Next().has_value());
+}
+
+TEST(WorkloadGenTest, ZeroQueryPhaseSkipped) {
+  std::vector<PhaseSpec> phases = {
+      OnePhase(0, {{.column = 0}}),
+      OnePhase(5, {{.column = 1}}),
+  };
+  WorkloadGenerator gen(phases, 1);
+  size_t count = 0;
+  while (auto q = gen.Next()) {
+    EXPECT_EQ(q->column, 1);
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(WorkloadGenTest, PositionAdvances) {
+  WorkloadGenerator gen({OnePhase(3, {{.column = 0}})}, 1);
+  EXPECT_EQ(gen.position(), 0u);
+  gen.Next();
+  EXPECT_EQ(gen.position(), 1u);
+  gen.Next();
+  gen.Next();
+  EXPECT_EQ(gen.position(), 3u);
+}
+
+}  // namespace
+}  // namespace aib

@@ -1,0 +1,115 @@
+#include "workload/zipf.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "workload/workload_gen.h"
+
+namespace aib {
+namespace {
+
+TEST(ZipfTest, RanksStayInBounds) {
+  ZipfGenerator zipf(100, 0.9);
+  Rng rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const size_t rank = zipf.Sample(rng);
+    EXPECT_GE(rank, 1u);
+    EXPECT_LE(rank, 100u);
+  }
+}
+
+TEST(ZipfTest, SingleElementDomain) {
+  ZipfGenerator zipf(1, 0.5);
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.Sample(rng), 1u);
+}
+
+TEST(ZipfTest, ThetaZeroIsRoughlyUniform) {
+  ZipfGenerator zipf(10, 0.0);
+  Rng rng(3);
+  std::vector<int> counts(11, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.Sample(rng)];
+  for (size_t rank = 1; rank <= 10; ++rank) {
+    EXPECT_NEAR(static_cast<double>(counts[rank]) / kDraws, 0.1, 0.02)
+        << "rank " << rank;
+  }
+}
+
+TEST(ZipfTest, Rank1FrequencyMatchesTheory) {
+  const double theta = 0.9;
+  const size_t n = 1000;
+  ZipfGenerator zipf(n, theta);
+  Rng rng(4);
+  int rank1 = 0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (zipf.Sample(rng) == 1) ++rank1;
+  }
+  // Theoretical P(rank 1) = 1 / zeta(n, theta).
+  double zetan = 0;
+  for (size_t i = 1; i <= n; ++i) {
+    zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  EXPECT_NEAR(static_cast<double>(rank1) / kDraws, 1.0 / zetan, 0.01);
+}
+
+TEST(ZipfTest, SkewIncreasesWithTheta) {
+  const size_t n = 1000;
+  Rng rng(5);
+  auto head_share = [&](double theta) {
+    ZipfGenerator zipf(n, theta);
+    int head = 0;
+    for (int i = 0; i < 50000; ++i) {
+      if (zipf.Sample(rng) <= 10) ++head;
+    }
+    return head;
+  };
+  const int mild = head_share(0.2);
+  const int heavy = head_share(0.99);
+  EXPECT_GT(heavy, mild * 3);
+}
+
+TEST(ZipfTest, MonotoneRankPopularity) {
+  ZipfGenerator zipf(50, 0.8);
+  Rng rng(6);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 200000; ++i) ++counts[zipf.Sample(rng)];
+  // Popularity decreases with rank (allowing sampling noise between
+  // adjacent ranks: compare decade buckets instead).
+  int first = 0;
+  int middle = 0;
+  int last = 0;
+  for (size_t rank = 1; rank <= 10; ++rank) first += counts[rank];
+  for (size_t rank = 21; rank <= 30; ++rank) middle += counts[rank];
+  for (size_t rank = 41; rank <= 50; ++rank) last += counts[rank];
+  EXPECT_GT(first, middle);
+  EXPECT_GT(middle, last);
+}
+
+TEST(ZipfWorkloadTest, GeneratorUsesZipfWhenConfigured) {
+  ColumnMix mix;
+  mix.column = 0;
+  mix.hit_rate = 0.0;
+  mix.uncovered_lo = 1000;
+  mix.uncovered_hi = 1999;
+  mix.zipf_theta = 0.99;
+  PhaseSpec phase;
+  phase.num_queries = 20000;
+  phase.mix = {mix};
+  WorkloadGenerator gen({phase}, 7);
+  size_t head_hits = 0;
+  while (auto q = gen.Next()) {
+    ASSERT_GE(q->lo, 1000);
+    ASSERT_LE(q->lo, 1999);
+    if (q->lo < 1010) ++head_hits;
+  }
+  // With theta = 0.99 the 1% hottest values draw far more than 1% of the
+  // queries (uniform would give ~200 of 20000).
+  EXPECT_GT(head_hits, 2000u);
+}
+
+}  // namespace
+}  // namespace aib

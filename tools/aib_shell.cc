@@ -1,0 +1,29 @@
+// aib_shell: a line-oriented front end over the library's Catalog API.
+//
+//   $ ./aib_shell                 # interactive (reads stdin)
+//   $ ./aib_shell script.aib      # run a command script
+//
+// See tools/shell_session.h for the command reference, and
+// tools/demo.aib for a worked example.
+
+#include <fstream>
+#include <iostream>
+
+#include "tools/shell_session.h"
+
+int main(int argc, char** argv) {
+  aib::tools::ShellSession session(std::cout);
+  if (argc > 1) {
+    std::ifstream script(argv[1]);
+    if (!script.is_open()) {
+      std::cerr << "cannot open " << argv[1] << "\n";
+      return 2;
+    }
+    return session.Run(script) == 0 ? 0 : 1;
+  }
+  std::cout << "aib_shell — Adaptive Index Buffer demo shell. Commands:\n"
+               "  config / create_table / load_random / create_index /\n"
+               "  attach_tuner / query / range / run / insert / buffers /\n"
+               "  stats / consistency / snapshot_save / snapshot_load\n";
+  return session.Run(std::cin) == 0 ? 0 : 1;
+}

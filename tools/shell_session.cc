@@ -1,0 +1,290 @@
+#include "tools/shell_session.h"
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "core/consistency.h"
+
+namespace aib::tools {
+
+namespace {
+
+std::vector<std::string> Tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream stream(line);
+  std::string token;
+  while (stream >> token) {
+    if (token[0] == '#') break;
+    tokens.push_back(token);
+  }
+  return tokens;
+}
+
+/// Parses "key=value" into the target if the key matches.
+bool ParseKv(const std::string& token, const std::string& key,
+             size_t* target) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) return false;
+  *target = std::stoull(token.substr(prefix.size()));
+  return true;
+}
+
+IndexStructureKind ParseKind(const std::string& name) {
+  if (name == "hash") return IndexStructureKind::kHash;
+  if (name == "csb") return IndexStructureKind::kCsbTree;
+  return IndexStructureKind::kBTree;
+}
+
+}  // namespace
+
+ShellSession::ShellSession(std::ostream& out) : out_(out) {
+  catalog_ = std::make_unique<Catalog>(CatalogOptions{});
+}
+
+bool ShellSession::Fail(const std::string& message) {
+  out_ << "error: " << message << "\n";
+  return false;
+}
+
+size_t ShellSession::Run(std::istream& in) {
+  size_t failures = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!ExecuteLine(line)) ++failures;
+  }
+  return failures;
+}
+
+bool ShellSession::ExecuteLine(const std::string& line) {
+  const std::vector<std::string> tokens = Tokenize(line);
+  if (tokens.empty()) return true;
+  const std::string& command = tokens[0];
+
+  try {
+    if (command == "config") {
+      CatalogOptions options;
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        size_t value = 0;
+        if (ParseKv(tokens[i], "space_entries", &value)) {
+          options.space.max_entries = value;
+        } else if (ParseKv(tokens[i], "imax", &value)) {
+          options.space.max_pages_per_scan = value;
+        } else if (ParseKv(tokens[i], "partition_pages", &value)) {
+          options.buffer.partition_pages = value;
+        } else if (ParseKv(tokens[i], "tuples_per_page", &value)) {
+          options.max_tuples_per_page = static_cast<uint16_t>(value);
+        } else {
+          return Fail("unknown config key " + tokens[i]);
+        }
+      }
+      catalog_ = std::make_unique<Catalog>(options);
+      out_ << "ok: catalog configured\n";
+      return true;
+    }
+
+    if (command == "create_table") {
+      if (tokens.size() != 3) return Fail("create_table NAME INTCOLS");
+      const int int_cols = std::stoi(tokens[2]);
+      Result<Table*> table = catalog_->CreateTable(
+          tokens[1], Schema::PaperSchema(int_cols, 64));
+      if (!table.ok()) return Fail(table.status().ToString());
+      out_ << "ok: table " << tokens[1] << " with " << int_cols
+           << " int columns\n";
+      return true;
+    }
+
+    if (command == "load_random") {
+      if (tokens.size() < 5) return Fail("load_random NAME COUNT LO HI [SEED]");
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      const size_t count = std::stoull(tokens[2]);
+      const Value lo = std::stoi(tokens[3]);
+      const Value hi = std::stoi(tokens[4]);
+      Rng rng(tokens.size() > 5 ? std::stoull(tokens[5]) : 1);
+      const size_t int_cols = table->schema().IntColumnIds().size();
+      for (size_t i = 0; i < count; ++i) {
+        std::vector<Value> values;
+        for (size_t c = 0; c < int_cols; ++c) {
+          values.push_back(static_cast<Value>(rng.UniformInt(lo, hi)));
+        }
+        Result<Rid> rid =
+            catalog_->LoadTuple(table, Tuple(std::move(values), {"row"}));
+        if (!rid.ok()) return Fail(rid.status().ToString());
+      }
+      out_ << "ok: loaded " << count << " tuples into " << tokens[1] << " ("
+           << table->PageCount() << " pages)\n";
+      return true;
+    }
+
+    if (command == "create_index") {
+      if (tokens.size() < 5) {
+        return Fail("create_index NAME COLUMN LO HI [btree|hash|csb]");
+      }
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      const ColumnId column = static_cast<ColumnId>(std::stoi(tokens[2]));
+      const Status status = catalog_->CreatePartialIndex(
+          table, column,
+          ValueCoverage::Range(std::stoi(tokens[3]), std::stoi(tokens[4])),
+          ParseKind(tokens.size() > 5 ? tokens[5] : "btree"));
+      if (!status.ok()) return Fail(status.ToString());
+      out_ << "ok: partial index on " << tokens[1] << "." << column
+           << " covering [" << tokens[3] << "," << tokens[4] << "]\n";
+      return true;
+    }
+
+    if (command == "attach_tuner") {
+      if (tokens.size() < 3) {
+        return Fail("attach_tuner NAME COLUMN [WINDOW THRESHOLD CAPACITY]");
+      }
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      IndexTunerOptions options;
+      if (tokens.size() > 3) options.window_size = std::stoull(tokens[3]);
+      if (tokens.size() > 4) options.index_threshold = std::stoi(tokens[4]);
+      if (tokens.size() > 5) {
+        options.max_indexed_values = std::stoull(tokens[5]);
+      }
+      const Status status = catalog_->AttachTuner(
+          table, static_cast<ColumnId>(std::stoi(tokens[2])), options);
+      if (!status.ok()) return Fail(status.ToString());
+      out_ << "ok: tuner attached\n";
+      return true;
+    }
+
+    if (command == "query" || command == "range") {
+      const bool is_range = command == "range";
+      if (tokens.size() != (is_range ? 5u : 4u)) {
+        return Fail(is_range ? "range NAME COLUMN LO HI"
+                             : "query NAME COLUMN VALUE");
+      }
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      const ColumnId column = static_cast<ColumnId>(std::stoi(tokens[2]));
+      const Value lo = std::stoi(tokens[3]);
+      const Value hi = is_range ? std::stoi(tokens[4]) : lo;
+      Result<QueryResult> result =
+          catalog_->Execute(table, Query::Range(column, lo, hi));
+      if (!result.ok()) return Fail(result.status().ToString());
+      out_ << "rows=" << result->rids.size()
+           << " cost=" << result->stats.cost
+           << " scanned=" << result->stats.pages_scanned
+           << " skipped=" << result->stats.pages_skipped
+           << (result->stats.used_partial_index ? " [index]"
+               : result->stats.used_index_buffer ? " [buffer]"
+                                                 : " [scan]")
+           << "\n";
+      return true;
+    }
+
+    if (command == "run") {
+      if (tokens.size() < 6) return Fail("run NAME COLUMN COUNT LO HI [SEED]");
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      const ColumnId column = static_cast<ColumnId>(std::stoi(tokens[2]));
+      const size_t count = std::stoull(tokens[3]);
+      const Value lo = std::stoi(tokens[4]);
+      const Value hi = std::stoi(tokens[5]);
+      Rng rng(tokens.size() > 6 ? std::stoull(tokens[6]) : 7);
+      double total_cost = 0;
+      for (size_t i = 0; i < count; ++i) {
+        Result<QueryResult> result = catalog_->Execute(
+            table, Query::Point(column,
+                                static_cast<Value>(rng.UniformInt(lo, hi))));
+        if (!result.ok()) return Fail(result.status().ToString());
+        total_cost += result->stats.cost;
+      }
+      out_ << "ok: " << count << " queries, mean cost "
+           << total_cost / static_cast<double>(count) << "\n";
+      return true;
+    }
+
+    if (command == "insert") {
+      if (tokens.size() < 3) return Fail("insert NAME V1 [V2 ...]");
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      std::vector<Value> values;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        values.push_back(std::stoi(tokens[i]));
+      }
+      if (values.size() != table->schema().IntColumnIds().size()) {
+        return Fail("value count does not match schema");
+      }
+      Result<Rid> rid =
+          catalog_->Insert(table, Tuple(std::move(values), {"row"}));
+      if (!rid.ok()) return Fail(rid.status().ToString());
+      out_ << "ok: inserted at " << RidToString(rid.value()) << "\n";
+      return true;
+    }
+
+    if (command == "buffers") {
+      if (catalog_->space() == nullptr) {
+        out_ << "index buffer space disabled\n";
+        return true;
+      }
+      out_ << "space: " << catalog_->space()->TotalEntries() << " entries";
+      if (!catalog_->space()->Unlimited()) {
+        out_ << " / " << catalog_->space()->options().max_entries;
+      }
+      out_ << "\n";
+      for (const auto& [index, buffer] : catalog_->space()->buffers()) {
+        out_ << "  " << index->table().name() << ".col" << index->column()
+             << ": " << buffer->TotalEntries() << " entries, "
+             << buffer->PartitionCount() << " partitions, T="
+             << buffer->MeanInterval() << "\n";
+      }
+      return true;
+    }
+
+    if (command == "stats") {
+      out_ << catalog_->metrics().ToString();
+      return true;
+    }
+
+    if (command == "consistency") {
+      if (tokens.size() != 2) return Fail("consistency NAME");
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      if (catalog_->space() == nullptr) {
+        out_ << "ok: no space to check\n";
+        return true;
+      }
+      const Status status = CheckSpaceConsistency(*table, *catalog_->space());
+      if (!status.ok()) return Fail(status.ToString());
+      out_ << "ok: consistent\n";
+      return true;
+    }
+
+    if (command == "snapshot_save") {
+      if (tokens.size() != 2) return Fail("snapshot_save PATH");
+      const Status status = catalog_->SaveSnapshot(tokens[1]);
+      if (!status.ok()) return Fail(status.ToString());
+      out_ << "ok: snapshot saved to " << tokens[1] << "\n";
+      return true;
+    }
+
+    if (command == "snapshot_load") {
+      if (tokens.size() != 2) return Fail("snapshot_load PATH");
+      Result<std::unique_ptr<Catalog>> loaded =
+          Catalog::LoadSnapshot(tokens[1], catalog_->options());
+      if (!loaded.ok()) return Fail(loaded.status().ToString());
+      catalog_ = std::move(loaded).value();
+      out_ << "ok: snapshot loaded from " << tokens[1] << "\n";
+      return true;
+    }
+
+    if (command == "echo") {
+      for (size_t i = 1; i < tokens.size(); ++i) {
+        out_ << (i > 1 ? " " : "") << tokens[i];
+      }
+      out_ << "\n";
+      return true;
+    }
+  } catch (const std::exception& e) {
+    return Fail(std::string("bad argument: ") + e.what());
+  }
+
+  return Fail("unknown command " + command);
+}
+
+}  // namespace aib::tools

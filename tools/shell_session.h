@@ -1,0 +1,58 @@
+#ifndef AIB_TOOLS_SHELL_SESSION_H_
+#define AIB_TOOLS_SHELL_SESSION_H_
+
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workload/catalog.h"
+
+namespace aib::tools {
+
+/// The command interpreter behind the `aib_shell` binary: a line-oriented
+/// front end over the Catalog API, usable interactively, from script
+/// files, and from tests.
+///
+/// Commands (one per line, `#` starts a comment):
+///   config space_entries=N imax=N partition_pages=N tuples_per_page=N
+///                         — (re)creates the catalog; must come first
+///   create_table NAME INTCOLS
+///   load_random NAME COUNT LO HI [SEED]
+///   create_index NAME COLUMN LO HI [btree|hash|csb]
+///   attach_tuner NAME COLUMN [WINDOW THRESHOLD CAPACITY]
+///   query NAME COLUMN VALUE
+///   range NAME COLUMN LO HI
+///   run NAME COLUMN COUNT LO HI [SEED]   — COUNT random point queries
+///   insert NAME V1 [V2 ...]              — one tuple (payload auto)
+///   buffers                              — Index Buffer Space summary
+///   stats                                — metrics registry dump
+///   consistency NAME                     — validate buffers against NAME
+///   snapshot_save PATH
+///   snapshot_load PATH
+///   echo TEXT...
+class ShellSession {
+ public:
+  explicit ShellSession(std::ostream& out);
+
+  /// Executes one command line. Errors are reported to the output stream;
+  /// the return value is false only for unrecoverable input (used by tests
+  /// to assert acceptance).
+  bool ExecuteLine(const std::string& line);
+
+  /// Reads and executes lines until EOF. Returns the number of failed
+  /// commands.
+  size_t Run(std::istream& in);
+
+  Catalog* catalog() { return catalog_.get(); }
+
+ private:
+  bool Fail(const std::string& message);
+
+  std::ostream& out_;
+  std::unique_ptr<Catalog> catalog_;
+};
+
+}  // namespace aib::tools
+
+#endif  // AIB_TOOLS_SHELL_SESSION_H_
