@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_shinobi.dir/bench_baseline_shinobi.cc.o"
+  "CMakeFiles/bench_baseline_shinobi.dir/bench_baseline_shinobi.cc.o.d"
+  "bench_baseline_shinobi"
+  "bench_baseline_shinobi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_shinobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

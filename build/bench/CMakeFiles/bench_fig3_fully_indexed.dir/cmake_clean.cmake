@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_fully_indexed.dir/bench_fig3_fully_indexed.cc.o"
+  "CMakeFiles/bench_fig3_fully_indexed.dir/bench_fig3_fully_indexed.cc.o.d"
+  "bench_fig3_fully_indexed"
+  "bench_fig3_fully_indexed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_fully_indexed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_single_buffer.dir/bench_fig6_single_buffer.cc.o"
+  "CMakeFiles/bench_fig6_single_buffer.dir/bench_fig6_single_buffer.cc.o.d"
+  "bench_fig6_single_buffer"
+  "bench_fig6_single_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_single_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

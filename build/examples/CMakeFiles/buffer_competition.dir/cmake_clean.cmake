@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/buffer_competition.dir/buffer_competition.cpp.o"
+  "CMakeFiles/buffer_competition.dir/buffer_competition.cpp.o.d"
+  "buffer_competition"
+  "buffer_competition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/buffer_competition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

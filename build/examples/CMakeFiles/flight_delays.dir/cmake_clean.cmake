@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flight_delays.dir/flight_delays.cpp.o"
+  "CMakeFiles/flight_delays.dir/flight_delays.cpp.o.d"
+  "flight_delays"
+  "flight_delays.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flight_delays.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

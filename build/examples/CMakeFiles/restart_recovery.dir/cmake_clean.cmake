@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restart_recovery.dir/restart_recovery.cpp.o"
+  "CMakeFiles/restart_recovery.dir/restart_recovery.cpp.o.d"
+  "restart_recovery"
+  "restart_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restart_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/workload_shift.cpp" "examples/CMakeFiles/workload_shift.dir/workload_shift.cpp.o" "gcc" "examples/CMakeFiles/workload_shift.dir/workload_shift.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aib_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

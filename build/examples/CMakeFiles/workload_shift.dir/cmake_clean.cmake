@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_shift.dir/workload_shift.cpp.o"
+  "CMakeFiles/workload_shift.dir/workload_shift.cpp.o.d"
+  "workload_shift"
+  "workload_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

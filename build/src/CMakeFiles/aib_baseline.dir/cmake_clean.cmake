@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_baseline.dir/baseline/shinobi.cc.o"
+  "CMakeFiles/aib_baseline.dir/baseline/shinobi.cc.o.d"
+  "libaib_baseline.a"
+  "libaib_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

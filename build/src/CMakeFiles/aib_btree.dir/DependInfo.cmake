@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/btree/btree.cc" "src/CMakeFiles/aib_btree.dir/btree/btree.cc.o" "gcc" "src/CMakeFiles/aib_btree.dir/btree/btree.cc.o.d"
+  "/root/repo/src/btree/csb_tree.cc" "src/CMakeFiles/aib_btree.dir/btree/csb_tree.cc.o" "gcc" "src/CMakeFiles/aib_btree.dir/btree/csb_tree.cc.o.d"
+  "/root/repo/src/btree/hash_index.cc" "src/CMakeFiles/aib_btree.dir/btree/hash_index.cc.o" "gcc" "src/CMakeFiles/aib_btree.dir/btree/hash_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_btree.dir/btree/btree.cc.o"
+  "CMakeFiles/aib_btree.dir/btree/btree.cc.o.d"
+  "CMakeFiles/aib_btree.dir/btree/csb_tree.cc.o"
+  "CMakeFiles/aib_btree.dir/btree/csb_tree.cc.o.d"
+  "CMakeFiles/aib_btree.dir/btree/hash_index.cc.o"
+  "CMakeFiles/aib_btree.dir/btree/hash_index.cc.o.d"
+  "libaib_btree.a"
+  "libaib_btree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_btree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/ascii_chart.cc" "src/CMakeFiles/aib_common.dir/common/ascii_chart.cc.o" "gcc" "src/CMakeFiles/aib_common.dir/common/ascii_chart.cc.o.d"
+  "/root/repo/src/common/csv_writer.cc" "src/CMakeFiles/aib_common.dir/common/csv_writer.cc.o" "gcc" "src/CMakeFiles/aib_common.dir/common/csv_writer.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/aib_common.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/aib_common.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/aib_common.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/aib_common.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/metrics.cc" "src/CMakeFiles/aib_common.dir/common/metrics.cc.o" "gcc" "src/CMakeFiles/aib_common.dir/common/metrics.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/aib_common.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/aib_common.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/aib_common.dir/common/status.cc.o" "gcc" "src/CMakeFiles/aib_common.dir/common/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

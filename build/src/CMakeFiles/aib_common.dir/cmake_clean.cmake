@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_common.dir/common/ascii_chart.cc.o"
+  "CMakeFiles/aib_common.dir/common/ascii_chart.cc.o.d"
+  "CMakeFiles/aib_common.dir/common/csv_writer.cc.o"
+  "CMakeFiles/aib_common.dir/common/csv_writer.cc.o.d"
+  "CMakeFiles/aib_common.dir/common/histogram.cc.o"
+  "CMakeFiles/aib_common.dir/common/histogram.cc.o.d"
+  "CMakeFiles/aib_common.dir/common/logging.cc.o"
+  "CMakeFiles/aib_common.dir/common/logging.cc.o.d"
+  "CMakeFiles/aib_common.dir/common/metrics.cc.o"
+  "CMakeFiles/aib_common.dir/common/metrics.cc.o.d"
+  "CMakeFiles/aib_common.dir/common/rng.cc.o"
+  "CMakeFiles/aib_common.dir/common/rng.cc.o.d"
+  "CMakeFiles/aib_common.dir/common/status.cc.o"
+  "CMakeFiles/aib_common.dir/common/status.cc.o.d"
+  "libaib_common.a"
+  "libaib_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/buffer_partition.cc" "src/CMakeFiles/aib_core.dir/core/buffer_partition.cc.o" "gcc" "src/CMakeFiles/aib_core.dir/core/buffer_partition.cc.o.d"
+  "/root/repo/src/core/buffer_space.cc" "src/CMakeFiles/aib_core.dir/core/buffer_space.cc.o" "gcc" "src/CMakeFiles/aib_core.dir/core/buffer_space.cc.o.d"
+  "/root/repo/src/core/consistency.cc" "src/CMakeFiles/aib_core.dir/core/consistency.cc.o" "gcc" "src/CMakeFiles/aib_core.dir/core/consistency.cc.o.d"
+  "/root/repo/src/core/index_buffer.cc" "src/CMakeFiles/aib_core.dir/core/index_buffer.cc.o" "gcc" "src/CMakeFiles/aib_core.dir/core/index_buffer.cc.o.d"
+  "/root/repo/src/core/indexing_scan.cc" "src/CMakeFiles/aib_core.dir/core/indexing_scan.cc.o" "gcc" "src/CMakeFiles/aib_core.dir/core/indexing_scan.cc.o.d"
+  "/root/repo/src/core/lru_k_history.cc" "src/CMakeFiles/aib_core.dir/core/lru_k_history.cc.o" "gcc" "src/CMakeFiles/aib_core.dir/core/lru_k_history.cc.o.d"
+  "/root/repo/src/core/maintenance.cc" "src/CMakeFiles/aib_core.dir/core/maintenance.cc.o" "gcc" "src/CMakeFiles/aib_core.dir/core/maintenance.cc.o.d"
+  "/root/repo/src/core/page_counters.cc" "src/CMakeFiles/aib_core.dir/core/page_counters.cc.o" "gcc" "src/CMakeFiles/aib_core.dir/core/page_counters.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aib_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_core.dir/core/buffer_partition.cc.o"
+  "CMakeFiles/aib_core.dir/core/buffer_partition.cc.o.d"
+  "CMakeFiles/aib_core.dir/core/buffer_space.cc.o"
+  "CMakeFiles/aib_core.dir/core/buffer_space.cc.o.d"
+  "CMakeFiles/aib_core.dir/core/consistency.cc.o"
+  "CMakeFiles/aib_core.dir/core/consistency.cc.o.d"
+  "CMakeFiles/aib_core.dir/core/index_buffer.cc.o"
+  "CMakeFiles/aib_core.dir/core/index_buffer.cc.o.d"
+  "CMakeFiles/aib_core.dir/core/indexing_scan.cc.o"
+  "CMakeFiles/aib_core.dir/core/indexing_scan.cc.o.d"
+  "CMakeFiles/aib_core.dir/core/lru_k_history.cc.o"
+  "CMakeFiles/aib_core.dir/core/lru_k_history.cc.o.d"
+  "CMakeFiles/aib_core.dir/core/maintenance.cc.o"
+  "CMakeFiles/aib_core.dir/core/maintenance.cc.o.d"
+  "CMakeFiles/aib_core.dir/core/page_counters.cc.o"
+  "CMakeFiles/aib_core.dir/core/page_counters.cc.o.d"
+  "libaib_core.a"
+  "libaib_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_exec.dir/exec/cost_model.cc.o"
+  "CMakeFiles/aib_exec.dir/exec/cost_model.cc.o.d"
+  "CMakeFiles/aib_exec.dir/exec/executor.cc.o"
+  "CMakeFiles/aib_exec.dir/exec/executor.cc.o.d"
+  "libaib_exec.a"
+  "libaib_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/index/index_tuner.cc" "src/CMakeFiles/aib_index.dir/index/index_tuner.cc.o" "gcc" "src/CMakeFiles/aib_index.dir/index/index_tuner.cc.o.d"
+  "/root/repo/src/index/partial_index.cc" "src/CMakeFiles/aib_index.dir/index/partial_index.cc.o" "gcc" "src/CMakeFiles/aib_index.dir/index/partial_index.cc.o.d"
+  "/root/repo/src/index/value_coverage.cc" "src/CMakeFiles/aib_index.dir/index/value_coverage.cc.o" "gcc" "src/CMakeFiles/aib_index.dir/index/value_coverage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aib_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_index.dir/index/index_tuner.cc.o"
+  "CMakeFiles/aib_index.dir/index/index_tuner.cc.o.d"
+  "CMakeFiles/aib_index.dir/index/partial_index.cc.o"
+  "CMakeFiles/aib_index.dir/index/partial_index.cc.o.d"
+  "CMakeFiles/aib_index.dir/index/value_coverage.cc.o"
+  "CMakeFiles/aib_index.dir/index/value_coverage.cc.o.d"
+  "libaib_index.a"
+  "libaib_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/aib_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/aib_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/disk_manager.cc" "src/CMakeFiles/aib_storage.dir/storage/disk_manager.cc.o" "gcc" "src/CMakeFiles/aib_storage.dir/storage/disk_manager.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/aib_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/aib_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/aib_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/aib_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/aib_storage.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/aib_storage.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/aib_storage.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/aib_storage.dir/storage/table.cc.o.d"
+  "/root/repo/src/storage/tuple.cc" "src/CMakeFiles/aib_storage.dir/storage/tuple.cc.o" "gcc" "src/CMakeFiles/aib_storage.dir/storage/tuple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

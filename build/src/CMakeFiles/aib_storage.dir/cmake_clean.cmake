@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/aib_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/aib_storage.dir/storage/disk_manager.cc.o"
+  "CMakeFiles/aib_storage.dir/storage/disk_manager.cc.o.d"
+  "CMakeFiles/aib_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/aib_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/aib_storage.dir/storage/page.cc.o"
+  "CMakeFiles/aib_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/aib_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/aib_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/aib_storage.dir/storage/table.cc.o"
+  "CMakeFiles/aib_storage.dir/storage/table.cc.o.d"
+  "CMakeFiles/aib_storage.dir/storage/tuple.cc.o"
+  "CMakeFiles/aib_storage.dir/storage/tuple.cc.o.d"
+  "libaib_storage.a"
+  "libaib_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

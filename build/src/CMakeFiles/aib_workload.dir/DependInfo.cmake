@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/catalog.cc" "src/CMakeFiles/aib_workload.dir/workload/catalog.cc.o" "gcc" "src/CMakeFiles/aib_workload.dir/workload/catalog.cc.o.d"
+  "/root/repo/src/workload/correlation.cc" "src/CMakeFiles/aib_workload.dir/workload/correlation.cc.o" "gcc" "src/CMakeFiles/aib_workload.dir/workload/correlation.cc.o.d"
+  "/root/repo/src/workload/database.cc" "src/CMakeFiles/aib_workload.dir/workload/database.cc.o" "gcc" "src/CMakeFiles/aib_workload.dir/workload/database.cc.o.d"
+  "/root/repo/src/workload/experiment.cc" "src/CMakeFiles/aib_workload.dir/workload/experiment.cc.o" "gcc" "src/CMakeFiles/aib_workload.dir/workload/experiment.cc.o.d"
+  "/root/repo/src/workload/snapshot.cc" "src/CMakeFiles/aib_workload.dir/workload/snapshot.cc.o" "gcc" "src/CMakeFiles/aib_workload.dir/workload/snapshot.cc.o.d"
+  "/root/repo/src/workload/workload_gen.cc" "src/CMakeFiles/aib_workload.dir/workload/workload_gen.cc.o" "gcc" "src/CMakeFiles/aib_workload.dir/workload/workload_gen.cc.o.d"
+  "/root/repo/src/workload/zipf.cc" "src/CMakeFiles/aib_workload.dir/workload/zipf.cc.o" "gcc" "src/CMakeFiles/aib_workload.dir/workload/zipf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aib_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

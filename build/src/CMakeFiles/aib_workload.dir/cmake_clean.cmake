@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_workload.dir/workload/catalog.cc.o"
+  "CMakeFiles/aib_workload.dir/workload/catalog.cc.o.d"
+  "CMakeFiles/aib_workload.dir/workload/correlation.cc.o"
+  "CMakeFiles/aib_workload.dir/workload/correlation.cc.o.d"
+  "CMakeFiles/aib_workload.dir/workload/database.cc.o"
+  "CMakeFiles/aib_workload.dir/workload/database.cc.o.d"
+  "CMakeFiles/aib_workload.dir/workload/experiment.cc.o"
+  "CMakeFiles/aib_workload.dir/workload/experiment.cc.o.d"
+  "CMakeFiles/aib_workload.dir/workload/snapshot.cc.o"
+  "CMakeFiles/aib_workload.dir/workload/snapshot.cc.o.d"
+  "CMakeFiles/aib_workload.dir/workload/workload_gen.cc.o"
+  "CMakeFiles/aib_workload.dir/workload/workload_gen.cc.o.d"
+  "CMakeFiles/aib_workload.dir/workload/zipf.cc.o"
+  "CMakeFiles/aib_workload.dir/workload/zipf.cc.o.d"
+  "libaib_workload.a"
+  "libaib_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/buffer_partition_test.cc" "tests/CMakeFiles/core_test.dir/core/buffer_partition_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/buffer_partition_test.cc.o.d"
+  "/root/repo/tests/core/buffer_space_test.cc" "tests/CMakeFiles/core_test.dir/core/buffer_space_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/buffer_space_test.cc.o.d"
+  "/root/repo/tests/core/consistency_test.cc" "tests/CMakeFiles/core_test.dir/core/consistency_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/consistency_test.cc.o.d"
+  "/root/repo/tests/core/index_buffer_test.cc" "tests/CMakeFiles/core_test.dir/core/index_buffer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/index_buffer_test.cc.o.d"
+  "/root/repo/tests/core/indexing_scan_test.cc" "tests/CMakeFiles/core_test.dir/core/indexing_scan_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/indexing_scan_test.cc.o.d"
+  "/root/repo/tests/core/lru_k_history_test.cc" "tests/CMakeFiles/core_test.dir/core/lru_k_history_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/lru_k_history_test.cc.o.d"
+  "/root/repo/tests/core/maintenance_test.cc" "tests/CMakeFiles/core_test.dir/core/maintenance_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/maintenance_test.cc.o.d"
+  "/root/repo/tests/core/page_counters_test.cc" "tests/CMakeFiles/core_test.dir/core/page_counters_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/page_counters_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/aib_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_btree.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/aib_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/buffer_partition_test.cc.o"
+  "CMakeFiles/core_test.dir/core/buffer_partition_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/buffer_space_test.cc.o"
+  "CMakeFiles/core_test.dir/core/buffer_space_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/consistency_test.cc.o"
+  "CMakeFiles/core_test.dir/core/consistency_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/index_buffer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/index_buffer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/indexing_scan_test.cc.o"
+  "CMakeFiles/core_test.dir/core/indexing_scan_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/lru_k_history_test.cc.o"
+  "CMakeFiles/core_test.dir/core/lru_k_history_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/maintenance_test.cc.o"
+  "CMakeFiles/core_test.dir/core/maintenance_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/page_counters_test.cc.o"
+  "CMakeFiles/core_test.dir/core/page_counters_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_test.dir/index/index_tuner_test.cc.o"
+  "CMakeFiles/index_test.dir/index/index_tuner_test.cc.o.d"
+  "CMakeFiles/index_test.dir/index/partial_index_test.cc.o"
+  "CMakeFiles/index_test.dir/index/partial_index_test.cc.o.d"
+  "CMakeFiles/index_test.dir/index/value_coverage_test.cc.o"
+  "CMakeFiles/index_test.dir/index/value_coverage_test.cc.o.d"
+  "index_test"
+  "index_test.pdb"
+  "index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

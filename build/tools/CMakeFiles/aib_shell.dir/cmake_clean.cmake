@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_shell.dir/aib_shell.cc.o"
+  "CMakeFiles/aib_shell.dir/aib_shell.cc.o.d"
+  "aib_shell"
+  "aib_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

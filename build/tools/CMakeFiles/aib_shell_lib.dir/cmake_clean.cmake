@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aib_shell_lib.dir/shell_session.cc.o"
+  "CMakeFiles/aib_shell_lib.dir/shell_session.cc.o.d"
+  "libaib_shell_lib.a"
+  "libaib_shell_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aib_shell_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaib_shell_lib.a"
+)
