@@ -4,9 +4,34 @@
 
 namespace aib {
 
+std::atomic<int64_t>* Metrics::FindOrCreate(const std::string& name) {
+  Shard& shard = ShardFor(name);
+  {
+    std::shared_lock lock(shard.mu);
+    if (auto it = shard.counters.find(name); it != shard.counters.end()) {
+      return it->second.get();
+    }
+  }
+  std::unique_lock lock(shard.mu);
+  auto [it, inserted] = shard.counters.try_emplace(name);
+  if (inserted) it->second = std::make_unique<std::atomic<int64_t>>(0);
+  return it->second.get();
+}
+
+std::map<std::string, int64_t> Metrics::counters() const {
+  std::map<std::string, int64_t> merged;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [name, value] : shard.counters) {
+      merged[name] = value->load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
 std::string Metrics::ToString() const {
   std::ostringstream out;
-  for (const auto& [name, value] : counters_) {
+  for (const auto& [name, value] : counters()) {
     out << name << "=" << value << "\n";
   }
   return out.str();

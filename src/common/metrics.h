@@ -1,44 +1,90 @@
 #ifndef AIB_COMMON_METRICS_H_
 #define AIB_COMMON_METRICS_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
+#include <unordered_map>
 
 namespace aib {
 
-/// Simple named-counter registry used by the storage engine and executor to
-/// account simulated I/O and index work. Deliberately not thread-safe: the
-/// engine is single-threaded by design (the paper's mechanism is evaluated
-/// on a single query stream).
+/// Named-counter registry used by the storage engine, executor, and query
+/// service to account simulated I/O and index work.
+///
+/// Thread-safe: counters live in hash-sharded maps (shard chosen by name
+/// hash), each shard guarded by a reader-writer lock that is only taken
+/// exclusively when a counter name is seen for the first time; the hot
+/// Increment path is a shared-lock lookup plus one relaxed atomic add, so
+/// worker threads touching different counters do not contend.
 class Metrics {
  public:
+  Metrics() = default;
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
   void Increment(const std::string& name, int64_t delta = 1) {
-    counters_[name] += delta;
+    FindOrCreate(name)->fetch_add(delta, std::memory_order_relaxed);
   }
 
   int64_t Get(const std::string& name) const {
-    auto it = counters_.find(name);
-    return it == counters_.end() ? 0 : it->second;
+    const Shard& shard = ShardFor(name);
+    std::shared_lock lock(shard.mu);
+    auto it = shard.counters.find(name);
+    return it == shard.counters.end()
+               ? 0
+               : it->second->load(std::memory_order_relaxed);
   }
 
-  void Reset() { counters_.clear(); }
+  /// Drops every counter (names included).
+  void Reset() {
+    for (Shard& shard : shards_) {
+      std::unique_lock lock(shard.mu);
+      shard.counters.clear();
+    }
+  }
 
-  const std::map<std::string, int64_t>& counters() const { return counters_; }
+  /// Merged snapshot of all shards, sorted by name. Counters incremented
+  /// concurrently with the snapshot may or may not be reflected.
+  std::map<std::string, int64_t> counters() const;
 
   /// One "name=value" pair per line, sorted by name.
   std::string ToString() const;
 
  private:
-  std::map<std::string, int64_t> counters_;
+  static constexpr size_t kShards = 16;
+
+  struct Shard {
+    mutable std::shared_mutex mu;
+    /// Values are heap-allocated so rehashing never moves a live atomic.
+    std::unordered_map<std::string, std::unique_ptr<std::atomic<int64_t>>>
+        counters;
+  };
+
+  const Shard& ShardFor(const std::string& name) const {
+    return shards_[std::hash<std::string>{}(name) % kShards];
+  }
+  Shard& ShardFor(const std::string& name) {
+    return shards_[std::hash<std::string>{}(name) % kShards];
+  }
+
+  std::atomic<int64_t>* FindOrCreate(const std::string& name);
+
+  std::array<Shard, kShards> shards_;
 };
 
-// Well-known counter names, shared between storage, exec, and benches.
+// Well-known counter names, shared between storage, exec, service, and
+// benches.
 inline constexpr char kMetricPagesRead[] = "storage.pages_read";
 inline constexpr char kMetricPagesWritten[] = "storage.pages_written";
 inline constexpr char kMetricPagesSkipped[] = "exec.pages_skipped";
 inline constexpr char kMetricBufferHits[] = "bufferpool.hits";
 inline constexpr char kMetricBufferMisses[] = "bufferpool.misses";
+inline constexpr char kMetricBufferPinWaits[] = "bufferpool.pin_waits";
 inline constexpr char kMetricIndexProbes[] = "index.probes";
 inline constexpr char kMetricIndexInserts[] = "index.inserts";
 inline constexpr char kMetricIndexRemoves[] = "index.removes";
@@ -47,6 +93,12 @@ inline constexpr char kMetricIbEntriesDropped[] =
     "index_buffer.entries_dropped";
 inline constexpr char kMetricIbPartitionsDropped[] =
     "index_buffer.partitions_dropped";
+inline constexpr char kMetricServiceSubmitted[] = "service.queries_submitted";
+inline constexpr char kMetricServiceRejected[] = "service.queries_rejected";
+inline constexpr char kMetricServiceExecuted[] = "service.queries_executed";
+inline constexpr char kMetricSharedScanAttaches[] = "sharedscan.attaches";
+inline constexpr char kMetricSharedScanPagesShared[] =
+    "sharedscan.pages_shared";
 
 }  // namespace aib
 

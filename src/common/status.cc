@@ -22,6 +22,8 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kBusy:
+      return "Busy";
   }
   return "Unknown";
 }

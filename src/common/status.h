@@ -21,6 +21,9 @@ class Status {
     kAlreadyExists,
     kNotSupported,
     kInternal,
+    /// A transient resource shortage (all buffer frames pinned, admission
+    /// queue full). Retriable: the caller may back off and try again.
+    kBusy,
   };
 
   Status() = default;
@@ -47,6 +50,9 @@ class Status {
   static Status Internal(std::string_view msg = "") {
     return Status(Code::kInternal, msg);
   }
+  static Status Busy(std::string_view msg = "") {
+    return Status(Code::kBusy, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -56,6 +62,7 @@ class Status {
   bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsInternal() const { return code_ == Code::kInternal; }
+  bool IsBusy() const { return code_ == Code::kBusy; }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

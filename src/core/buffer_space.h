@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <set>
+#include <shared_mutex>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,18 @@ struct PageSelection {
 /// that hosts all Index Buffers, enforces the entry budget L, runs the page
 /// selection of Algorithm 2, and updates every buffer's LRU-K history per
 /// Table II on each query.
+///
+/// Concurrency: the space exposes one reader-writer latch (`latch()`)
+/// covering itself *and* every IndexBuffer (page counters, partitions,
+/// LRU-K histories) it owns — a single latch level, so there is no
+/// lock-ordering hazard between buffers. Callers running under concurrent
+/// queries (QueryService workers) must hold the latch exclusively around
+/// anything that mutates adaptive state (OnQuery history updates,
+/// CreateBuffer, SelectPagesForBuffer, and the whole indexing scan of
+/// Algorithm 1), and at least shared around read-only sampling
+/// (TotalEntries, FreeEntries, buffer statistics). The Executor acquires it
+/// accordingly; single-threaded callers may ignore the latch entirely, as
+/// the seed tests and benches do.
 class IndexBufferSpace {
  public:
   explicit IndexBufferSpace(BufferSpaceOptions options,
@@ -84,6 +97,10 @@ class IndexBufferSpace {
   /// partial index.
   void OnQuery(const PartialIndex* queried_index, bool partial_hit);
 
+  /// The space-level reader-writer latch (see class comment). Mutable so
+  /// read-side callers can take shared locks through a const space.
+  std::shared_mutex& latch() const { return latch_; }
+
   /// Algorithm 2 (SelectPagesForBuffer): chooses the pages the upcoming
   /// table scan should index into `target`, dropping just enough low-benefit
   /// partitions so that the new index information fits and is more
@@ -112,6 +129,7 @@ class IndexBufferSpace {
 
   BufferSpaceOptions options_;
   Metrics* metrics_;
+  mutable std::shared_mutex latch_;
   mutable Rng rng_;
   std::map<const PartialIndex*, std::unique_ptr<IndexBuffer>> buffers_;
 };

@@ -32,6 +32,16 @@ struct IndexBufferOptions {
 ///
 /// Owns the page counters C, the partitioned index structure, and the LRU-K
 /// access history that drives the benefit model.
+///
+/// Concurrency: an IndexBuffer carries no latch of its own — it is
+/// protected by its owning IndexBufferSpace's reader-writer latch
+/// (IndexBufferSpace::latch()), held exclusively across every mutation
+/// (AddTuple/RemoveTuple/MarkPageIndexed/DropPartition and the indexing
+/// scans that drive them) and shared for read-only probes that run
+/// concurrently with other readers. Keeping the latch one level up gives
+/// the whole adaptive state a single lock level, which is what makes the
+/// Algorithm 1 / Algorithm 2 critical section (counter updates + partition
+/// drops + space accounting) atomic under concurrent queries.
 class IndexBuffer {
  public:
   /// Does not own `index`. `metrics` may be null.

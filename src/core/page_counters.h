@@ -19,6 +19,13 @@ namespace aib {
 /// Table::PageNumberOf). Counters are initialized when the partial index is
 /// created and maintained incrementally afterwards (Table I, adaptation
 /// hooks, and MarkPageIndexed during indexing scans).
+///
+/// Concurrency: like the IndexBuffer that owns them, the counters are
+/// guarded by the owning IndexBufferSpace's latch — exclusive for
+/// Set/Increment/Decrement/EnsureSize, shared for reads. A torn C[p] would
+/// silently un-skip (or worse, wrongly skip) pages for every later scan, so
+/// counter updates only ever happen inside the latched Algorithm 1 / DML
+/// maintenance critical sections.
 class PageCounters {
  public:
   PageCounters() = default;

@@ -1,6 +1,7 @@
 #include "exec/executor.h"
 
 #include <chrono>
+#include <mutex>
 #include <unordered_set>
 
 namespace aib {
@@ -91,6 +92,13 @@ Result<QueryResult> Executor::ExecuteMiss(const Query& query,
     return FullScan(query);
   }
 
+  // The whole miss path mutates adaptive state — buffer creation, C[p]
+  // counters, partition drops, space accounting — so it runs under the
+  // space's exclusive latch. Concurrent misses serialize here (adaptive
+  // index maintenance needs the write latch); concurrent covered queries
+  // never take it and proceed in parallel.
+  std::unique_lock<std::shared_mutex> latch(space_->latch());
+
   IndexBuffer* buffer = space_->GetBuffer(index);
   if (buffer == nullptr) {
     // "Multiple Index Buffers are created over time" (§IV) — on the first
@@ -169,7 +177,12 @@ Result<QueryResult> Executor::Execute(const Query& query) {
 
   const int64_t start = NowNs();
   const bool hit = index->coverage().CoversRange(query.lo, query.hi);
-  if (space_ != nullptr) space_->OnQuery(index, hit);
+  if (space_ != nullptr) {
+    // Table II history updates touch every buffer's LRU-K state: a short
+    // exclusive critical section on the space latch.
+    std::unique_lock<std::shared_mutex> latch(space_->latch());
+    space_->OnQuery(index, hit);
+  }
 
   if (hit) {
     QueryResult result;

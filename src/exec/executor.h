@@ -32,6 +32,15 @@ struct QueryResult {
 ///     skipped pages (scanned pages already yielded their covered matches).
 ///
 /// Also dispatches the Table II history updates on every query.
+///
+/// Thread-safety: Execute may be called from concurrent QueryService
+/// workers *for read-only workloads* once setup (RegisterIndex /
+/// SetBufferOptions) is complete. Covered queries probe the immutable
+/// partial index and the latched BufferPool without further locking; miss
+/// paths and Table II history updates run under the IndexBufferSpace's
+/// exclusive latch (see buffer_space.h). Concurrent DML or tuner-driven
+/// coverage adaptation is NOT supported under concurrent Execute calls —
+/// quiesce the service first.
 class Executor {
  public:
   /// `space` may be null (no Index Buffer configured). Does not own

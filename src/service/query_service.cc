@@ -1,0 +1,120 @@
+#include "service/query_service.h"
+
+#include <chrono>
+
+namespace aib {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+QueryService::QueryService(Executor* executor, const Table* table,
+                           QueryServiceOptions options, Metrics* metrics)
+    : executor_(executor),
+      table_(table),
+      options_(options),
+      metrics_(metrics),
+      scans_(metrics),
+      queue_(options.queue_capacity) {
+  size_t workers = options_.num_workers;
+  if (workers == 0) {
+    workers = std::thread::hardware_concurrency();
+    if (workers == 0) workers = 1;
+  }
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+QueryService::~QueryService() { Shutdown(); }
+
+void QueryService::Shutdown() {
+  shutdown_.store(true, std::memory_order_relaxed);
+  queue_.Close();
+  std::lock_guard<std::mutex> lock(join_mu_);
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+Result<std::future<Result<QueryResult>>> QueryService::Submit(
+    const Query& query) {
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("query service is shut down");
+  }
+  Request request;
+  request.query = query;
+  std::future<Result<QueryResult>> future = request.promise.get_future();
+  if (!queue_.TryPush(std::move(request))) {
+    rejected_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->Increment(kMetricServiceRejected);
+    return Status::Busy("admission queue full");
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_ != nullptr) metrics_->Increment(kMetricServiceSubmitted);
+  return future;
+}
+
+Result<QueryResult> QueryService::Execute(const Query& query) {
+  AIB_ASSIGN_OR_RETURN(std::future<Result<QueryResult>> future,
+                       Submit(query));
+  return future.get();
+}
+
+void QueryService::WorkerLoop() {
+  while (std::optional<Request> request = queue_.Pop()) {
+    Result<QueryResult> result = RunQuery(request->query);
+    // Count before publishing: a caller woken by the future must already
+    // see this query in stats().executed.
+    executed_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_ != nullptr) metrics_->Increment(kMetricServiceExecuted);
+    request->promise.set_value(std::move(result));
+  }
+}
+
+Result<QueryResult> QueryService::RunQuery(const Query& query) {
+  if (!options_.shared_scans ||
+      executor_->GetIndex(query.column) != nullptr) {
+    return executor_->Execute(query);
+  }
+
+  // Unindexed column: a guaranteed full table scan, the case where
+  // concurrent queries would otherwise each pay a whole pass. Run it
+  // through the shared-scan group; the result matches Executor::FullScan
+  // (same stats shape, same cost), rid order differing only when the scan
+  // attached mid-pass.
+  const int64_t start = NowNs();
+  QueryResult result;
+  const Schema& schema = table_->schema();
+  SharedScanStats scan_stats;
+  const Status scan = scans_.Scan(
+      *table_,
+      [&](const Rid& rid, const Tuple& tuple) {
+        const Value v = tuple.IntValue(schema, query.column);
+        if (v >= query.lo && v <= query.hi) result.rids.push_back(rid);
+      },
+      &scan_stats);
+  AIB_RETURN_IF_ERROR(scan);
+  result.stats.pages_scanned = scan_stats.pages_delivered;
+  result.stats.result_count = result.rids.size();
+  result.stats.cost = executor_->cost_model().QueryCost(result.stats);
+  result.stats.wall_ns = NowNs() - start;
+  return result;
+}
+
+QueryServiceStats QueryService::stats() const {
+  QueryServiceStats stats;
+  stats.submitted = submitted_.load(std::memory_order_relaxed);
+  stats.rejected = rejected_.load(std::memory_order_relaxed);
+  stats.executed = executed_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace aib

@@ -1,0 +1,110 @@
+#ifndef AIB_SERVICE_QUERY_SERVICE_H_
+#define AIB_SERVICE_QUERY_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "exec/executor.h"
+#include "service/bounded_queue.h"
+#include "service/shared_scan_manager.h"
+
+namespace aib {
+
+struct QueryServiceOptions {
+  /// Worker threads. 0 = std::thread::hardware_concurrency(). 1 gives the
+  /// deterministic mode: FIFO execution, results identical to calling
+  /// Executor::Execute in submission order.
+  size_t num_workers = 4;
+  /// Admission bound: Submit rejects with Busy once this many requests are
+  /// queued (backpressure instead of unbounded growth).
+  size_t queue_capacity = 256;
+  /// Merge concurrent full table scans through the SharedScanManager.
+  /// Applies to queries on columns with no partial index; adaptive
+  /// indexing scans always run solo under the space latch.
+  bool shared_scans = true;
+};
+
+/// Point-in-time service counters (monotonic since construction).
+struct QueryServiceStats {
+  int64_t submitted = 0;
+  int64_t rejected = 0;
+  int64_t executed = 0;
+};
+
+/// The concurrent query front-end: a worker thread pool over a bounded
+/// admission queue. Callers Submit Query objects and collect results
+/// through futures; workers execute through the (latched) Executor, and
+/// full scans of unindexed columns are merged by a SharedScanManager so
+/// overlapping scans cost about one pass of page reads.
+///
+/// Serves read-only workloads: concurrent DML or tuner adaptation against
+/// the same table is not supported while the service is running (see
+/// Executor's thread-safety contract). Shutdown (or destruction) stops
+/// admission, drains already-accepted requests, and joins the workers, so
+/// every future obtained from Submit becomes ready.
+class QueryService {
+ public:
+  /// Does not own `executor`, `table`, or `metrics`. The table must be the
+  /// one the executor was built over.
+  QueryService(Executor* executor, const Table* table,
+               QueryServiceOptions options = {}, Metrics* metrics = nullptr);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  ~QueryService();
+
+  /// Enqueues `query`. Returns Busy when the admission queue is full (the
+  /// caller may retry after a backoff) or InvalidArgument after Shutdown.
+  Result<std::future<Result<QueryResult>>> Submit(const Query& query);
+
+  /// Convenience: Submit and wait. Still goes through admission; callers
+  /// sharing the service with Submit traffic see FIFO ordering.
+  Result<QueryResult> Execute(const Query& query);
+
+  /// Stops admission, drains the queue, joins all workers. Idempotent;
+  /// called by the destructor.
+  void Shutdown();
+
+  size_t num_workers() const { return workers_.size(); }
+  const QueryServiceOptions& options() const { return options_; }
+  QueryServiceStats stats() const;
+  SharedScanManager& shared_scans() { return scans_; }
+
+ private:
+  struct Request {
+    Query query;
+    std::promise<Result<QueryResult>> promise;
+  };
+
+  void WorkerLoop();
+
+  /// Executes one query on the calling worker: shared full scan for
+  /// unindexed columns (when enabled), latched Executor::Execute otherwise.
+  Result<QueryResult> RunQuery(const Query& query);
+
+  Executor* executor_;
+  const Table* table_;
+  QueryServiceOptions options_;
+  Metrics* metrics_;  // not owned; may be null
+  SharedScanManager scans_;
+  BoundedQueue<Request> queue_;
+  /// Serializes concurrent Shutdown calls around the joins.
+  std::mutex join_mu_;
+  std::vector<std::thread> workers_;
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> rejected_{0};
+  std::atomic<int64_t> executed_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace aib
+
+#endif  // AIB_SERVICE_QUERY_SERVICE_H_

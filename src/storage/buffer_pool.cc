@@ -4,8 +4,9 @@
 
 namespace aib {
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics)
-    : disk_(disk), capacity_(capacity), metrics_(metrics) {
+BufferPool::BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics,
+                       BufferPoolOptions options)
+    : disk_(disk), capacity_(capacity), metrics_(metrics), options_(options) {
   assert(capacity_ > 0);
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
@@ -13,37 +14,62 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics)
 }
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
-  if (auto it = table_.find(page_id); it != table_.end()) {
-    Frame& frame = frames_[it->second];
-    if (frame.in_lru) {
-      lru_.erase(frame.lru_pos);
-      frame.in_lru = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto deadline =
+      std::chrono::steady_clock::now() + options_.pin_wait_timeout;
+  bool waited = false;
+  for (;;) {
+    if (auto it = table_.find(page_id); it != table_.end()) {
+      Frame& frame = frames_[it->second];
+      if (frame.in_lru) {
+        lru_.erase(frame.lru_pos);
+        frame.in_lru = false;
+      }
+      ++frame.pin_count;
+      ++hits_;
+      if (metrics_ != nullptr) metrics_->Increment(kMetricBufferHits);
+      return frame.page.get();
     }
-    ++frame.pin_count;
-    ++hits_;
-    if (metrics_ != nullptr) metrics_->Increment(kMetricBufferHits);
+
+    Result<size_t> victim = GetVictimFrame();
+    if (!victim.ok()) {
+      if (!victim.status().IsBusy()) return victim.status();
+      // Every frame is pinned by in-flight queries. Block for an unpin
+      // instead of failing: pins are short-lived (a page scan, a tuple
+      // fetch), so a frame usually frees up well within the timeout.
+      if (!waited) {
+        waited = true;
+        ++pin_waits_;
+        if (metrics_ != nullptr) metrics_->Increment(kMetricBufferPinWaits);
+      }
+      if (frame_unpinned_.wait_until(lock, deadline) ==
+          std::cv_status::timeout) {
+        return Status::Busy("all buffer pool frames are pinned");
+      }
+      continue;  // re-check the table: the page may have been loaded
+    }
+
+    const size_t frame_index = victim.value();
+    Frame& frame = frames_[frame_index];
+    if (frame.page == nullptr) {
+      frame.page = std::make_unique<Page>(disk_->page_size());
+    }
+    if (Status read = disk_->ReadPage(page_id, frame.page.get());
+        !read.ok()) {
+      // The victim frame was already detached from the table/LRU; hand it
+      // back to the free list so the failed fetch does not leak capacity.
+      free_frames_.push_back(frame_index);
+      return read;
+    }
+    frame.page_id = page_id;
+    frame.pin_count = 1;
+    frame.dirty = false;
+    frame.in_lru = false;
+    table_[page_id] = frame_index;
+    ++misses_;
+    if (metrics_ != nullptr) metrics_->Increment(kMetricBufferMisses);
     return frame.page.get();
   }
-
-  AIB_ASSIGN_OR_RETURN(size_t frame_index, GetVictimFrame());
-  Frame& frame = frames_[frame_index];
-  if (frame.page == nullptr) {
-    frame.page = std::make_unique<Page>(disk_->page_size());
-  }
-  if (Status read = disk_->ReadPage(page_id, frame.page.get()); !read.ok()) {
-    // The victim frame was already detached from the table/LRU; hand it
-    // back to the free list so the failed fetch does not leak capacity.
-    free_frames_.push_back(frame_index);
-    return read;
-  }
-  frame.page_id = page_id;
-  frame.pin_count = 1;
-  frame.dirty = false;
-  frame.in_lru = false;
-  table_[page_id] = frame_index;
-  ++misses_;
-  if (metrics_ != nullptr) metrics_->Increment(kMetricBufferMisses);
-  return frame.page.get();
 }
 
 Result<size_t> BufferPool::GetVictimFrame() {
@@ -53,7 +79,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
     return index;
   }
   if (lru_.empty()) {
-    return Status::NoSpace("all buffer pool frames are pinned");
+    return Status::Busy("all buffer pool frames are pinned");
   }
   const size_t index = lru_.front();
   lru_.pop_front();
@@ -68,6 +94,7 @@ Result<size_t> BufferPool::GetVictimFrame() {
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = table_.find(page_id);
   if (it == table_.end()) {
     return Status::InvalidArgument("unpin of unbuffered page");
@@ -80,11 +107,13 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
   if (--frame.pin_count == 0) {
     frame.lru_pos = lru_.insert(lru_.end(), it->second);
     frame.in_lru = true;
+    frame_unpinned_.notify_all();
   }
   return Status::Ok();
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = table_.find(page_id);
   if (it == table_.end()) return Status::Ok();
   Frame& frame = frames_[it->second];
@@ -96,6 +125,7 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
+  std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [page_id, frame_index] : table_) {
     Frame& frame = frames_[frame_index];
     if (frame.dirty) {
@@ -104,6 +134,26 @@ Status BufferPool::FlushAll() {
     }
   }
   return Status::Ok();
+}
+
+size_t BufferPool::CachedPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return table_.size();
+}
+
+int64_t BufferPool::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+int64_t BufferPool::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+int64_t BufferPool::pin_waits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pin_waits_;
 }
 
 }  // namespace aib

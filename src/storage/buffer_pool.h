@@ -1,9 +1,12 @@
 #ifndef AIB_STORAGE_BUFFER_POOL_H_
 #define AIB_STORAGE_BUFFER_POOL_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,18 +19,38 @@
 
 namespace aib {
 
+struct BufferPoolOptions {
+  /// How long FetchPage blocks for a frame to be unpinned when every frame
+  /// is transiently pinned by concurrent queries, before giving up with a
+  /// retriable Busy status. 0 fails immediately (still Busy, still
+  /// retriable — unpinning any page unblocks the next attempt).
+  std::chrono::milliseconds pin_wait_timeout{50};
+};
+
 /// Database buffer: a fixed number of page frames over the simulated disk
 /// with LRU replacement and pin counting. The Index Buffer of the paper
 /// "resides within the database buffer"; in this library the Index Buffer
 /// Space is budgeted separately in entries (IndexBufferSpace), while the
 /// BufferPool provides the page-caching layer underneath the table scans.
+///
+/// Thread-safe: one pool-level latch guards the frame table, LRU list, and
+/// pin counts, so concurrent QueryService workers can fetch and unpin
+/// freely. Eviction is pin-count-aware (only unpinned frames are victims);
+/// when every frame is pinned, FetchPage blocks up to
+/// `options.pin_wait_timeout` for an unpin (counted in
+/// kMetricBufferPinWaits) instead of failing outright, and returns a
+/// retriable Busy when the wait times out. Page *contents* are protected by
+/// the pin protocol: a pinned page may be read concurrently; writers must
+/// hold the only pin (single-writer DML, as in the seed engine).
 class BufferPool {
  public:
   /// `capacity` is the number of frames. The pool does not own `disk`.
-  BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics = nullptr);
+  BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics = nullptr,
+             BufferPoolOptions options = {});
 
   /// Pins and returns the frame for `page_id`, reading it from disk on a
-  /// miss. Fails with NoSpace if every frame is pinned.
+  /// miss. Blocks up to the configured pin-wait timeout when every frame is
+  /// pinned; fails with Busy if none is released in time.
   Result<Page*> FetchPage(PageId page_id);
 
   /// Unpins the page; `dirty` marks the frame for write-back on eviction.
@@ -40,9 +63,10 @@ class BufferPool {
   Status FlushAll();
 
   size_t capacity() const { return capacity_; }
-  size_t CachedPages() const { return table_.size(); }
-  int64_t hits() const { return hits_; }
-  int64_t misses() const { return misses_; }
+  size_t CachedPages() const;
+  int64_t hits() const;
+  int64_t misses() const;
+  int64_t pin_waits() const;
 
  private:
   struct Frame {
@@ -56,11 +80,18 @@ class BufferPool {
   };
 
   /// Picks a frame to (re)use: a free one, else the coldest unpinned one.
+  /// Requires mu_ held; NoSpace means "every frame currently pinned" and is
+  /// translated into a wait by FetchPage.
   Result<size_t> GetVictimFrame();
 
   DiskManager* disk_;
   size_t capacity_;
   Metrics* metrics_;  // not owned; may be null
+  BufferPoolOptions options_;
+
+  mutable std::mutex mu_;
+  /// Signalled whenever a pin count drops to zero.
+  std::condition_variable frame_unpinned_;
   std::vector<Frame> frames_;
   std::vector<size_t> free_frames_;
   std::unordered_map<PageId, size_t> table_;
@@ -68,6 +99,7 @@ class BufferPool {
   std::list<size_t> lru_;
   int64_t hits_ = 0;
   int64_t misses_ = 0;
+  int64_t pin_waits_ = 0;
 };
 
 }  // namespace aib

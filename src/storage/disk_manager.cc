@@ -8,11 +8,13 @@ DiskManager::DiskManager(uint32_t page_size, Metrics* metrics)
     : page_size_(page_size), metrics_(metrics) {}
 
 PageId DiskManager::AllocatePage() {
+  std::lock_guard<std::mutex> lock(mu_);
   pages_.push_back(std::make_unique<Page>(page_size_));
   return static_cast<PageId>(pages_.size() - 1);
 }
 
 Status DiskManager::ReadPage(PageId page_id, Page* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= pages_.size()) {
     return Status::InvalidArgument("read of unallocated page");
   }
@@ -27,6 +29,7 @@ Status DiskManager::ReadPage(PageId page_id, Page* out) {
 }
 
 Status DiskManager::WritePage(PageId page_id, const Page& page) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= pages_.size()) {
     return Status::InvalidArgument("write of unallocated page");
   }
@@ -42,6 +45,7 @@ Status DiskManager::WritePage(PageId page_id, const Page& page) {
 
 Status DiskManager::RestorePage(PageId page_id,
                                 std::span<const uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   if (page_id >= pages_.size()) {
     return Status::InvalidArgument("restore of unallocated page");
   }

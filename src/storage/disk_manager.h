@@ -2,6 +2,7 @@
 #define AIB_STORAGE_DISK_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
@@ -20,6 +21,11 @@ namespace aib {
 /// here the "disk" is a heap-allocated page array and I/O cost is charged
 /// per page transfer. The figures' shapes depend on how many pages a scan
 /// touches, which this accounting preserves exactly.
+///
+/// Thread-safe: an internal latch serializes allocation and page transfers
+/// (the real-disk analogue of one request queue per device), so concurrent
+/// buffer pools and QueryService workers can share one disk. PeekPage is
+/// excluded — it is a test-only backdoor and must not race with writers.
 class DiskManager {
  public:
   explicit DiskManager(uint32_t page_size = kDefaultPageSize,
@@ -28,7 +34,10 @@ class DiskManager {
   uint32_t page_size() const { return page_size_; }
 
   /// Number of allocated pages; page ids are dense in [0, PageCount()).
-  size_t PageCount() const { return pages_.size(); }
+  size_t PageCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pages_.size();
+  }
 
   /// Allocates a fresh zeroed page and returns its id.
   PageId AllocatePage();
@@ -53,14 +62,21 @@ class DiskManager {
   /// Makes the next `count` ReadPage calls fail with Corruption. Used by
   /// the error-path tests to verify that I/O failures propagate as Status
   /// through every layer instead of crashing or corrupting state.
-  void InjectReadFaults(size_t count) { read_faults_ = count; }
+  void InjectReadFaults(size_t count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    read_faults_ = count;
+  }
 
   /// Makes the next `count` WritePage calls fail with Corruption.
-  void InjectWriteFaults(size_t count) { write_faults_ = count; }
+  void InjectWriteFaults(size_t count) {
+    std::lock_guard<std::mutex> lock(mu_);
+    write_faults_ = count;
+  }
 
  private:
   uint32_t page_size_;
   Metrics* metrics_;  // not owned; may be null
+  mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
   size_t read_faults_ = 0;
   size_t write_faults_ = 0;

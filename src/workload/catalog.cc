@@ -49,6 +49,11 @@ Catalog::TableState* Catalog::StateOf(const Table* table) const {
   return nullptr;
 }
 
+Executor* Catalog::executor(const Table* table) const {
+  TableState* state = StateOf(table);
+  return state == nullptr ? nullptr : state->executor.get();
+}
+
 Result<Rid> Catalog::Insert(Table* table, const Tuple& tuple) {
   TableState* state = StateOf(table);
   if (state == nullptr) return Status::InvalidArgument("unknown table");

@@ -83,6 +83,11 @@ class Catalog {
                      IndexTunerOptions options);
   IndexTuner* GetTuner(const Table* table, ColumnId column) const;
 
+  /// The executor of `table` (null for unknown tables). Exposed so a
+  /// QueryService can be stood up over a catalog-managed table; see
+  /// Executor's thread-safety contract for what concurrent use permits.
+  Executor* executor(const Table* table) const;
+
   // --- Queries --------------------------------------------------------------
 
   /// Executes with access-path selection on `table`; steps the column's

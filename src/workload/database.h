@@ -90,6 +90,10 @@ class Database {
     return catalog_.GetTuner(table_, column);
   }
 
+  /// The table's executor, for standing up a QueryService over this
+  /// database (service/query_service.h).
+  Executor* executor() const { return catalog_.executor(table_); }
+
   // --- Queries --------------------------------------------------------------
 
   /// Executes with access-path selection; also steps the column's tuner if

@@ -1,0 +1,85 @@
+#include "service/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace aib {
+namespace {
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_TRUE(queue.TryPush(3));
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_EQ(queue.Pop(), 2);
+  EXPECT_EQ(queue.Pop(), 3);
+}
+
+TEST(BoundedQueueTest, RejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // admission control, no blocking
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.Pop(), 1);
+  EXPECT_TRUE(queue.TryPush(3));  // freed one slot
+}
+
+TEST(BoundedQueueTest, CloseDrainsBacklogThenSignalsEnd) {
+  BoundedQueue<int> queue(4);
+  EXPECT_TRUE(queue.TryPush(7));
+  EXPECT_TRUE(queue.TryPush(8));
+  queue.Close();
+  EXPECT_FALSE(queue.TryPush(9));  // no admission after close
+  EXPECT_EQ(queue.Pop(), 7);       // backlog still served
+  EXPECT_EQ(queue.Pop(), 8);
+  EXPECT_EQ(queue.Pop(), std::nullopt);  // drained + closed
+}
+
+TEST(BoundedQueueTest, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> queue(4);
+  std::thread consumer([&] { EXPECT_EQ(queue.Pop(), std::nullopt); });
+  queue.Close();
+  consumer.join();
+}
+
+TEST(BoundedQueueTest, ConcurrentProducersConsumersDeliverExactlyOnce) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(16);
+  std::atomic<int> consumed{0};
+  std::atomic<int64_t> sum{0};
+
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (std::optional<int> item = queue.Pop()) {
+        sum.fetch_add(*item);
+        consumed.fetch_add(1);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        const int item = p * kPerProducer + i;
+        while (!queue.TryPush(item)) std::this_thread::yield();
+      }
+    });
+  }
+  for (size_t i = kConsumers; i < threads.size(); ++i) threads[i].join();
+  queue.Close();
+  for (int c = 0; c < kConsumers; ++c) threads[c].join();
+
+  const int total = kProducers * kPerProducer;
+  EXPECT_EQ(consumed.load(), total);
+  EXPECT_EQ(sum.load(), int64_t{total} * (total - 1) / 2);
+}
+
+}  // namespace
+}  // namespace aib

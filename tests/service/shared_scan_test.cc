@@ -1,0 +1,158 @@
+#include "service/shared_scan_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <barrier>
+#include <thread>
+#include <vector>
+
+#include "../test_util.h"
+
+namespace aib {
+namespace {
+
+using ::aib::testing::MakeSmallPaperDb;
+using ::aib::testing::Sorted;
+
+std::unique_ptr<Database> MakeUnindexedDb(size_t num_tuples,
+                                          size_t buffer_pool_pages) {
+  PaperSetupOptions options;
+  options.num_tuples = num_tuples;
+  options.value_min = 1;
+  options.value_max = 1000;
+  options.payload_min = 1;
+  options.payload_max = 64;
+  options.seed = 7;
+  options.create_indexes = false;
+  options.db.max_tuples_per_page = 10;
+  options.db.buffer_pool_pages = buffer_pool_pages;
+  auto result = BuildPaperDatabase(options);
+  return result.ok() ? std::move(result).value() : nullptr;
+}
+
+std::vector<Rid> AllRids(const Database& db) {
+  std::vector<Rid> rids;
+  (void)db.table().heap().ForEachTuple(
+      [&](const Rid& rid, const Tuple&) { rids.push_back(rid); });
+  return rids;
+}
+
+TEST(SharedScanTest, SoloScanDeliversEveryTupleOnceInPageOrder) {
+  auto db = MakeUnindexedDb(500, 1 << 10);
+  ASSERT_NE(db, nullptr);
+  SharedScanManager manager;
+  std::vector<Rid> seen;
+  SharedScanStats stats;
+  ASSERT_TRUE(manager
+                  .Scan(db->table(),
+                        [&](const Rid& rid, const Tuple&) {
+                          seen.push_back(rid);
+                        },
+                        &stats)
+                  .ok());
+  EXPECT_EQ(seen, AllRids(*db));  // page order, exactly once
+  EXPECT_EQ(stats.pages_delivered, db->table().PageCount());
+  EXPECT_EQ(stats.pages_driven, db->table().PageCount());
+  EXPECT_EQ(stats.pages_shared, 0u);
+  EXPECT_FALSE(stats.attached);
+  EXPECT_EQ(manager.ActiveGroups(), 0u);
+}
+
+TEST(SharedScanTest, ConcurrentScansShareOnePassOfPageReads) {
+  constexpr int kScans = 4;
+  // Buffer pool much smaller than the table, so unshared scans would each
+  // pay a full pass of disk reads.
+  auto db = MakeUnindexedDb(2000, /*buffer_pool_pages=*/16);
+  ASSERT_NE(db, nullptr);
+  const size_t pages = db->table().PageCount();
+  ASSERT_GT(pages, 64u);
+  const std::vector<Rid> expected = Sorted(AllRids(*db));
+
+  SharedScanManager manager(&db->metrics());
+  const int64_t reads_before = db->metrics().Get(kMetricPagesRead);
+
+  std::vector<std::vector<Rid>> seen(kScans);
+  std::vector<SharedScanStats> stats(kScans);
+  std::barrier start(kScans);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kScans; ++i) {
+    threads.emplace_back([&, i] {
+      start.arrive_and_wait();
+      ASSERT_TRUE(manager
+                      .Scan(db->table(),
+                            [&seen, i](const Rid& rid, const Tuple&) {
+                              seen[i].push_back(rid);
+                            },
+                            &stats[i])
+                      .ok());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Correctness: every scan saw every tuple exactly once.
+  for (int i = 0; i < kScans; ++i) {
+    EXPECT_EQ(Sorted(seen[i]), expected) << "scan " << i;
+    EXPECT_EQ(stats[i].pages_delivered, pages) << "scan " << i;
+  }
+
+  // Sharing: the group's combined page reads stay under two passes — the
+  // cooperative-scan acceptance bar — instead of kScans passes.
+  const int64_t reads = db->metrics().Get(kMetricPagesRead) - reads_before;
+  EXPECT_LT(reads, static_cast<int64_t>(2 * pages));
+  size_t driven_total = 0;
+  size_t shared_total = 0;
+  for (const SharedScanStats& s : stats) {
+    driven_total += s.pages_driven;
+    shared_total += s.pages_shared;
+  }
+  EXPECT_LT(driven_total, 2 * pages);
+  EXPECT_GT(shared_total, 0u);
+  EXPECT_EQ(driven_total + shared_total, kScans * pages);
+  EXPECT_EQ(manager.ActiveGroups(), 0u);
+}
+
+TEST(SharedScanTest, ScansOfDifferentTablesDoNotShare) {
+  auto db_a = MakeUnindexedDb(200, 1 << 10);
+  auto db_b = MakeUnindexedDb(200, 1 << 10);
+  ASSERT_NE(db_a, nullptr);
+  ASSERT_NE(db_b, nullptr);
+  SharedScanManager manager;
+  SharedScanStats stats_a;
+  SharedScanStats stats_b;
+  size_t count_a = 0;
+  size_t count_b = 0;
+  std::thread t([&] {
+    ASSERT_TRUE(manager
+                    .Scan(db_b->table(),
+                          [&](const Rid&, const Tuple&) { ++count_b; },
+                          &stats_b)
+                    .ok());
+  });
+  ASSERT_TRUE(manager
+                  .Scan(db_a->table(),
+                        [&](const Rid&, const Tuple&) { ++count_a; },
+                        &stats_a)
+                  .ok());
+  t.join();
+  EXPECT_EQ(count_a, db_a->table().TupleCount());
+  EXPECT_EQ(count_b, db_b->table().TupleCount());
+  EXPECT_EQ(stats_a.pages_shared, 0u);
+  EXPECT_EQ(stats_b.pages_shared, 0u);
+}
+
+TEST(SharedScanTest, EmptyTableScanIsANoop) {
+  DatabaseOptions options;
+  Database db(Schema::PaperSchema(1), options);
+  SharedScanManager manager;
+  size_t count = 0;
+  SharedScanStats stats;
+  ASSERT_TRUE(manager
+                  .Scan(db.table(),
+                        [&](const Rid&, const Tuple&) { ++count; }, &stats)
+                  .ok());
+  EXPECT_EQ(count, 0u);
+  EXPECT_EQ(stats.pages_delivered, 0u);
+}
+
+}  // namespace
+}  // namespace aib

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
 #include <vector>
 
 #include "storage/disk_manager.h"
@@ -76,17 +78,56 @@ TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(pool_.misses(), misses_before + 1);
 }
 
-TEST_F(BufferPoolTest, AllPinnedFailsFetch) {
+TEST_F(BufferPoolTest, AllPinnedReturnsRetriableBusy) {
   ASSERT_TRUE(pool_.FetchPage(0).ok());
   ASSERT_TRUE(pool_.FetchPage(1).ok());
   ASSERT_TRUE(pool_.FetchPage(2).ok());
-  EXPECT_TRUE(pool_.FetchPage(3).status().IsNoSpace());
-  // Unpinning one frame unblocks the fetch.
+  // Every frame pinned: the fetch waits out its timeout, then reports the
+  // transient Busy (not a terminal NoSpace) and counts a pin wait.
+  EXPECT_TRUE(pool_.FetchPage(3).status().IsBusy());
+  EXPECT_EQ(pool_.pin_waits(), 1);
+  EXPECT_EQ(metrics_.Get(kMetricBufferPinWaits), 1);
+  // Unpinning one frame makes the retry succeed.
   ASSERT_TRUE(pool_.UnpinPage(1, false).ok());
   EXPECT_TRUE(pool_.FetchPage(3).ok());
   ASSERT_TRUE(pool_.UnpinPage(0, false).ok());
   ASSERT_TRUE(pool_.UnpinPage(2, false).ok());
   ASSERT_TRUE(pool_.UnpinPage(3, false).ok());
+}
+
+TEST(BufferPoolPinWaitTest, ConcurrentUnpinUnblocksWaitingFetch) {
+  Metrics metrics;
+  DiskManager disk(512, &metrics);
+  for (int i = 0; i < 4; ++i) disk.AllocatePage();
+  BufferPoolOptions options;
+  options.pin_wait_timeout = std::chrono::milliseconds(2000);
+  BufferPool pool(&disk, 2, &metrics, options);
+  ASSERT_TRUE(pool.FetchPage(0).ok());
+  ASSERT_TRUE(pool.FetchPage(1).ok());
+
+  std::thread unpinner([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ASSERT_TRUE(pool.UnpinPage(0, false).ok());
+  });
+  // Blocks on the pinned pool until the other thread releases a frame —
+  // well before the 2 s timeout.
+  Result<Page*> fetched = pool.FetchPage(2);
+  unpinner.join();
+  ASSERT_TRUE(fetched.ok());
+  EXPECT_GE(pool.pin_waits(), 1);
+  ASSERT_TRUE(pool.UnpinPage(1, false).ok());
+  ASSERT_TRUE(pool.UnpinPage(2, false).ok());
+}
+
+TEST(BufferPoolPinWaitTest, ZeroTimeoutFailsFast) {
+  DiskManager disk(512);
+  for (int i = 0; i < 3; ++i) disk.AllocatePage();
+  BufferPoolOptions options;
+  options.pin_wait_timeout = std::chrono::milliseconds(0);
+  BufferPool pool(&disk, 1, nullptr, options);
+  ASSERT_TRUE(pool.FetchPage(0).ok());
+  EXPECT_TRUE(pool.FetchPage(1).status().IsBusy());
+  ASSERT_TRUE(pool.UnpinPage(0, false).ok());
 }
 
 TEST_F(BufferPoolTest, DirtyPageWrittenBackOnEviction) {
