@@ -72,7 +72,17 @@ int main() {
               << miss->stats.pages_scanned << " scanned)\n";
   }
 
-  // 7. The engine keeps everything consistent under DML, too.
+  // 7. EXPLAIN shows the physical plan the planner chose, with
+  //    per-operator statistics after execution.
+  std::unique_ptr<PhysicalPlan> plan =
+      db.executor()->PlanQuery(Query::Point(0, 5004));
+  if (Result<QueryResult> r = db.executor()->ExecutePlan(plan.get());
+      !r.ok()) {
+    return 1;
+  }
+  std::cout << "\nexplain (A=5004):\n" << ExplainPlan(*plan);
+
+  // 8. The engine keeps everything consistent under DML, too.
   Result<Rid> inserted = db.Insert(Tuple({5001}, {"fresh tuple"}));
   if (!inserted.ok()) return 1;
   Result<QueryResult> after = db.Execute(Query::Point(0, 5001));

@@ -2,6 +2,7 @@
 
 #include <cassert>
 #include <cmath>
+#include <sstream>
 
 namespace aib {
 
@@ -140,7 +141,33 @@ ShinobiBaseline::ShinobiStats ShinobiBaseline::Execute(ColumnId column,
     hot_pos_[key] = hot_lru_.begin();
     DemoteBeyondCapacity(&stats);
   }
+
+  last_column_ = column;
+  last_value_ = value;
+  last_index_matches_ = matches_in_index;
+  last_stats_ = stats;
+  has_last_ = true;
   return stats;
+}
+
+std::string ShinobiBaseline::ExplainLast() const {
+  if (!has_last_) return "";
+  std::ostringstream out;
+  out << "ShinobiQuery(col" << last_column_ << " = " << last_value_
+      << ")  [cost=" << last_stats_.query_cost << "]\n";
+  const bool has_scan = !last_stats_.hot_hit;
+  const bool has_move = last_stats_.tuples_moved > 0;
+  out << (has_scan || has_move ? "|- " : "`- ")
+      << "HotPartitionProbe  [rows=" << last_index_matches_ << " probes=1]\n";
+  if (has_scan) {
+    out << (has_move ? "|- " : "`- ") << "ColdPartitionScan  [scanned="
+        << last_stats_.cold_pages_scanned << "]\n";
+  }
+  if (has_move) {
+    out << "`- PartitionMove  [tuples_moved=" << last_stats_.tuples_moved
+        << " move_cost=" << last_stats_.move_cost << "]\n";
+  }
+  return out.str();
 }
 
 }  // namespace aib

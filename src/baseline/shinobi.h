@@ -70,6 +70,14 @@ class ShinobiBaseline {
   /// policy afterwards.
   ShinobiStats Execute(ColumnId column, Value value);
 
+  /// Renders the last Execute's access path in the same tree vocabulary as
+  /// ExplainPlan(): a hot hit is an index probe over the interesting
+  /// partition, a miss adds the cold-partition scan leg, and a migration
+  /// shows up as a PartitionMove node. Lets benches and tools print the
+  /// baseline's plan side by side with AIB plans. Empty before the first
+  /// Execute.
+  std::string ExplainLast() const;
+
   // --- Accounting -----------------------------------------------------------
 
   size_t TupleCount() const { return tuples_.size(); }
@@ -99,6 +107,12 @@ class ShinobiBaseline {
 
   size_t columns_;
   Options options_;
+  /// Snapshot for ExplainLast: the last query and its outcome.
+  ColumnId last_column_ = 0;
+  Value last_value_ = 0;
+  size_t last_index_matches_ = 0;
+  ShinobiStats last_stats_;
+  bool has_last_ = false;
   std::vector<TupleRec> tuples_;
   /// One full index per column over the hot tuples (keyed by tuple index
   /// packed into a Rid page/slot pair).

@@ -1,20 +1,51 @@
 #include "core/indexing_scan.h"
 
-#include <unordered_set>
-
 namespace aib {
 
-Status RunIndexingScan(const Table& table, IndexBufferSpace* space,
-                       IndexBuffer* buffer, Value lo, Value hi,
-                       std::vector<Rid>* out, IndexingScanStats* stats) {
+Status RunIndexingTableScan(
+    const Table& table, IndexBuffer* buffer,
+    const std::unordered_set<size_t>& selected, Value lo, Value hi,
+    const std::function<bool(const Tuple&)>& extra_match,
+    std::vector<Rid>* out, IndexingScanStats* stats) {
   const PartialIndex& index = buffer->partial_index();
   const ColumnId column = buffer->column();
   buffer->counters().EnsureSize(table.PageCount());
 
+  // Lines 11-17: table scan over pages with C[p] > 0.
+  const PageCounters& counters = buffer->counters();
+  for (size_t page = 0; page < table.PageCount(); ++page) {
+    if (counters.Get(page) == 0) {
+      if (stats != nullptr) ++stats->pages_skipped;
+      continue;
+    }
+    const bool index_this_page = selected.contains(page);
+    AIB_RETURN_IF_ERROR(table.heap().ForEachTupleOnPage(
+        page, [&](const Rid& rid, const Tuple& tuple) {
+          const Value v = tuple.IntValue(table.schema(), column);
+          if (v >= lo && v <= hi &&
+              (extra_match == nullptr || extra_match(tuple))) {
+            out->push_back(rid);
+          }
+          if (index_this_page && !index.Covers(v)) {
+            buffer->AddTuple(page, v, rid);
+            if (stats != nullptr) ++stats->entries_added;
+          }
+        }));
+    if (index_this_page) buffer->MarkPageIndexed(page);
+    if (stats != nullptr) ++stats->pages_scanned;
+  }
+  return Status::Ok();
+}
+
+Status RunIndexingScan(const Table& table, IndexBufferSpace* space,
+                       IndexBuffer* buffer, Value lo, Value hi,
+                       std::vector<Rid>* out, IndexingScanStats* stats) {
+  buffer->counters().EnsureSize(table.PageCount());
+
   // Line 7: I ← SelectPagesForBuffer().
   const PageSelection selection = space->SelectPagesForBuffer(buffer);
-  std::unordered_set<size_t> selected(selection.pages.begin(),
-                                      selection.pages.end());
+  const std::unordered_set<size_t> selected(selection.pages.begin(),
+                                            selection.pages.end());
   if (stats != nullptr) {
     stats->pages_selected = selection.pages.size();
     stats->partitions_dropped = selection.partitions_dropped;
@@ -30,27 +61,8 @@ Status RunIndexingScan(const Table& table, IndexBufferSpace* space,
   }
   if (stats != nullptr) stats->buffer_matches = out->size() - before_buffer;
 
-  // Lines 11-17: table scan over pages with C[p] > 0.
-  const PageCounters& counters = buffer->counters();
-  for (size_t page = 0; page < table.PageCount(); ++page) {
-    if (counters.Get(page) == 0) {
-      if (stats != nullptr) ++stats->pages_skipped;
-      continue;
-    }
-    const bool index_this_page = selected.contains(page);
-    AIB_RETURN_IF_ERROR(table.heap().ForEachTupleOnPage(
-        page, [&](const Rid& rid, const Tuple& tuple) {
-          const Value v = tuple.IntValue(table.schema(), column);
-          if (v >= lo && v <= hi) out->push_back(rid);
-          if (index_this_page && !index.Covers(v)) {
-            buffer->AddTuple(page, v, rid);
-            if (stats != nullptr) ++stats->entries_added;
-          }
-        }));
-    if (index_this_page) buffer->MarkPageIndexed(page);
-    if (stats != nullptr) ++stats->pages_scanned;
-  }
-  return Status::Ok();
+  return RunIndexingTableScan(table, buffer, selected, lo, hi,
+                              /*extra_match=*/nullptr, out, stats);
 }
 
 }  // namespace aib

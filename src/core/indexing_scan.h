@@ -1,6 +1,8 @@
 #ifndef AIB_CORE_INDEXING_SCAN_H_
 #define AIB_CORE_INDEXING_SCAN_H_
 
+#include <functional>
+#include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
@@ -22,14 +24,30 @@ struct IndexingScanStats {
   size_t entries_dropped = 0;
 };
 
-/// Algorithm 1 (IndexingScan): answers the predicate value ∈ [lo, hi] on
-/// the buffer's column with a table scan that (a) skips fully indexed pages
-/// (C[p] == 0), consulting the Index Buffer for their matches, and (b)
-/// opportunistically indexes the pages selected by Algorithm 2 along the
-/// way. Appends matching rids to `out`.
+/// Lines 11–17 of Algorithm 1: the table scan over pages with C[p] > 0,
+/// skipping fully indexed pages and opportunistically indexing the pages in
+/// `selected` (Algorithm 2's I) along the way. Appends rids matching
+/// value ∈ [lo, hi] on the buffer's column — further restricted by
+/// `extra_match` on the whole tuple when non-null (residual conjuncts
+/// pushed into the scan) — to `out`. Buffer insertion is predicate-blind:
+/// every uncovered tuple of a selected page is indexed regardless of match.
+///
+/// Exposed separately from RunIndexingScan so the execution layer's
+/// IndexingTableScan operator can interleave Algorithm 2, the Index Buffer
+/// probe, and this scan as distinct plan nodes.
+Status RunIndexingTableScan(
+    const Table& table, IndexBuffer* buffer,
+    const std::unordered_set<size_t>& selected, Value lo, Value hi,
+    const std::function<bool(const Tuple&)>& extra_match,
+    std::vector<Rid>* out, IndexingScanStats* stats);
+
+/// Algorithm 1 (IndexingScan), whole: runs Algorithm 2's page selection,
+/// probes the Index Buffer for matches on skipped pages, then runs the
+/// indexing table scan. Appends matching rids to `out` (buffer matches
+/// first, scan matches after — the order the executor's plans preserve).
 ///
 /// The predicate is assumed disjoint from the partial index coverage (the
-/// executor routes covered predicates to an index scan and mixed-coverage
+/// planner routes covered predicates to an index scan and mixed-coverage
 /// ranges through a hybrid path).
 Status RunIndexingScan(const Table& table, IndexBufferSpace* space,
                        IndexBuffer* buffer, Value lo, Value hi,

@@ -1,27 +1,17 @@
 #include "exec/executor.h"
 
-#include <chrono>
 #include <mutex>
-#include <unordered_set>
+#include <shared_mutex>
 
 namespace aib {
-
-namespace {
-
-int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 Executor::Executor(const Table* table, IndexBufferSpace* space,
                    CostModelOptions cost_options, Metrics* metrics)
     : table_(table),
       space_(space),
       cost_model_(cost_options),
-      metrics_(metrics) {}
+      metrics_(metrics),
+      planner_(table, space, IndexBufferOptions{}) {}
 
 void Executor::RegisterIndex(PartialIndex* index) {
   indexes_[index->column()] = index;
@@ -32,179 +22,41 @@ PartialIndex* Executor::GetIndex(ColumnId column) const {
   return it == indexes_.end() ? nullptr : it->second;
 }
 
-Status Executor::FetchRids(const std::vector<Rid>& rids,
-                           QueryStats* stats) const {
-  std::unordered_set<PageId> pages;
-  for (const Rid& rid : rids) {
-    AIB_RETURN_IF_ERROR(table_->Get(rid).status());
-    pages.insert(rid.page_id);
-  }
-  stats->pages_fetched += pages.size();
-  return Status::Ok();
+void Executor::SetBufferOptions(IndexBufferOptions options) {
+  planner_ = Planner(table_, space_, options);
 }
 
-Result<QueryResult> Executor::FullScan(const Query& query) {
-  const int64_t start = NowNs();
-  QueryResult result;
-  const Schema& schema = table_->schema();
-  for (size_t page = 0; page < table_->PageCount(); ++page) {
-    AIB_RETURN_IF_ERROR(table_->heap().ForEachTupleOnPage(
-        page, [&](const Rid& rid, const Tuple& tuple) {
-          const Value v = tuple.IntValue(schema, query.column);
-          if (v >= query.lo && v <= query.hi) result.rids.push_back(rid);
-        }));
-    ++result.stats.pages_scanned;
-  }
-  result.stats.result_count = result.rids.size();
-  result.stats.cost = cost_model_.QueryCost(result.stats);
-  result.stats.wall_ns = NowNs() - start;
-  return result;
+std::unique_ptr<PhysicalPlan> Executor::PlanQuery(const Query& query) const {
+  return planner_.Plan(query, indexes_);
 }
 
-Result<QueryResult> Executor::IndexScan(const Query& query) {
-  PartialIndex* index = GetIndex(query.column);
-  if (index == nullptr ||
-      !index->coverage().CoversRange(query.lo, query.hi)) {
-    return Status::InvalidArgument(
-        "predicate not fully covered by a partial index");
-  }
-  const int64_t start = NowNs();
-  QueryResult result;
-  result.stats.used_partial_index = true;
-  if (query.IsPoint()) {
-    index->Lookup(query.lo, &result.rids);
-  } else {
-    index->Scan(query.lo, query.hi,
-                [&](Value, const Rid& rid) { result.rids.push_back(rid); });
-  }
-  ++result.stats.ix_probes;
-  AIB_RETURN_IF_ERROR(FetchRids(result.rids, &result.stats));
-  result.stats.result_count = result.rids.size();
-  result.stats.cost = cost_model_.QueryCost(result.stats);
-  result.stats.wall_ns = NowNs() - start;
-  return result;
-}
-
-Result<QueryResult> Executor::ExecuteMiss(const Query& query,
-                                          PartialIndex* index) {
-  if (space_ == nullptr) {
-    // No Index Buffer configured: a miss degenerates to a full scan.
-    return FullScan(query);
-  }
-
-  // The whole miss path mutates adaptive state — buffer creation, C[p]
-  // counters, partition drops, space accounting — so it runs under the
-  // space's exclusive latch. Concurrent misses serialize here (adaptive
-  // index maintenance needs the write latch); concurrent covered queries
-  // never take it and proceed in parallel.
-  std::unique_lock<std::shared_mutex> latch(space_->latch());
-
-  IndexBuffer* buffer = space_->GetBuffer(index);
-  if (buffer == nullptr) {
-    // "Multiple Index Buffers are created over time" (§IV) — on the first
-    // miss of this column.
-    AIB_ASSIGN_OR_RETURN(buffer, space_->CreateBuffer(index, buffer_options_));
-  }
-
-  QueryResult result;
-  result.stats.used_index_buffer = true;
-  result.stats.buffer_probes = buffer->PartitionCount();
-
-  // Snapshot which pages the table scan will skip *before* the scan runs:
-  // pages selected by Algorithm 2 get their counters zeroed mid-scan, but
-  // they were scanned in this query, so the hybrid tail below must not
-  // re-report their covered matches.
-  const bool hybrid = !index->coverage().CoversRange(query.lo, query.hi) &&
-                      index->coverage().IntersectsRange(query.lo, query.hi);
-  std::vector<bool> skipped_before;
-  if (hybrid) {
-    buffer->counters().EnsureSize(table_->PageCount());
-    skipped_before.resize(table_->PageCount());
-    for (size_t page = 0; page < table_->PageCount(); ++page) {
-      skipped_before[page] = buffer->counters().Get(page) == 0;
-    }
-  }
-
-  IndexingScanStats scan_stats;
-  AIB_RETURN_IF_ERROR(RunIndexingScan(*table_, space_, buffer, query.lo,
-                                      query.hi, &result.rids, &scan_stats));
-  result.stats.pages_scanned = scan_stats.pages_scanned;
-  result.stats.pages_skipped = scan_stats.pages_skipped;
-  result.stats.entries_added = scan_stats.entries_added;
-  result.stats.buffer_matches = scan_stats.buffer_matches;
-  result.stats.partitions_dropped = scan_stats.partitions_dropped;
-  result.stats.entries_dropped = scan_stats.entries_dropped;
-
-  // Buffer matches reference skipped pages; materializing them costs tuple
-  // fetches (matches are few, skipped scan pages are many).
-  const std::vector<Rid> buffer_rids(
-      result.rids.begin(),
-      result.rids.begin() +
-          static_cast<ptrdiff_t>(scan_stats.buffer_matches));
-  AIB_RETURN_IF_ERROR(FetchRids(buffer_rids, &result.stats));
-
-  // Hybrid tail for range predicates that overlap the coverage: covered
-  // matches on *skipped* pages come from the partial index (scanned pages
-  // already yielded theirs during the table scan).
-  if (hybrid) {
-    std::vector<Rid> covered_on_skipped;
-    Status page_status = Status::Ok();
-    index->Scan(query.lo, query.hi, [&](Value, const Rid& rid) {
-      Result<size_t> page = table_->PageNumberOf(rid);
-      if (!page.ok()) {
-        page_status = page.status();
-        return;
-      }
-      if (page.value() < skipped_before.size() &&
-          skipped_before[page.value()]) {
-        covered_on_skipped.push_back(rid);
-      }
-    });
-    AIB_RETURN_IF_ERROR(page_status);
-    ++result.stats.ix_probes;
-    AIB_RETURN_IF_ERROR(FetchRids(covered_on_skipped, &result.stats));
-    result.rids.insert(result.rids.end(), covered_on_skipped.begin(),
-                       covered_on_skipped.end());
-  }
-
-  result.stats.result_count = result.rids.size();
-  return result;
-}
-
-Result<QueryResult> Executor::Execute(const Query& query) {
-  PartialIndex* index = GetIndex(query.column);
-  if (index == nullptr) return FullScan(query);
-
-  const int64_t start = NowNs();
-  const bool hit = index->coverage().CoversRange(query.lo, query.hi);
-  if (space_ != nullptr) {
+Result<QueryResult> Executor::ExecutePlan(PhysicalPlan* plan) {
+  if (plan->driver_index() != nullptr && space_ != nullptr) {
     // Table II history updates touch every buffer's LRU-K state: a short
     // exclusive critical section on the space latch.
     std::unique_lock<std::shared_mutex> latch(space_->latch());
-    space_->OnQuery(index, hit);
+    space_->OnQuery(plan->driver_index(), plan->driver_hit());
   }
+  return plan->Run(cost_model_);
+}
 
-  if (hit) {
-    QueryResult result;
-    result.stats.used_partial_index = true;
-    if (query.IsPoint()) {
-      index->Lookup(query.lo, &result.rids);
-    } else {
-      index->Scan(query.lo, query.hi,
-                  [&](Value, const Rid& rid) { result.rids.push_back(rid); });
-    }
-    ++result.stats.ix_probes;
-    AIB_RETURN_IF_ERROR(FetchRids(result.rids, &result.stats));
-    result.stats.result_count = result.rids.size();
-    result.stats.cost = cost_model_.QueryCost(result.stats);
-    result.stats.wall_ns = NowNs() - start;
-    return result;
+Result<QueryResult> Executor::Execute(const Query& query) {
+  std::unique_ptr<PhysicalPlan> plan = PlanQuery(query);
+  return ExecutePlan(plan.get());
+}
+
+Result<QueryResult> Executor::FullScan(const Query& query) {
+  return planner_.PlanFullScan(query)->Run(cost_model_);
+}
+
+Result<QueryResult> Executor::IndexScan(const Query& query) {
+  std::unique_ptr<PhysicalPlan> plan =
+      planner_.PlanIndexScan(query, indexes_);
+  if (plan == nullptr) {
+    return Status::InvalidArgument(
+        "predicate not fully covered by a partial index");
   }
-
-  AIB_ASSIGN_OR_RETURN(QueryResult result, ExecuteMiss(query, index));
-  result.stats.cost = cost_model_.QueryCost(result.stats);
-  result.stats.wall_ns = NowNs() - start;
-  return result;
+  return plan->Run(cost_model_);
 }
 
 }  // namespace aib

@@ -2,45 +2,44 @@
 #define AIB_EXEC_EXECUTOR_H_
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "common/result.h"
 #include "core/buffer_space.h"
-#include "core/indexing_scan.h"
 #include "exec/cost_model.h"
+#include "exec/plan.h"
+#include "exec/planner.h"
 #include "exec/query.h"
 #include "index/partial_index.h"
 #include "storage/table.h"
 
 namespace aib {
 
-/// Result of one query: matching rids plus execution statistics.
-struct QueryResult {
-  std::vector<Rid> rids;
-  QueryStats stats;
-};
-
-/// Access-path selection and execution over one table (§II/§III):
+/// The query front door of one table: a thin facade over the Planner and
+/// physical-plan execution (§II/§III access-path selection):
 ///
-///   - predicate fully covered by the column's partial index -> index scan
-///     (probe + tuple fetches);
+///   - predicate fully covered by a column's partial index -> index probe
+///     (+ residual Filter for conjunctions);
 ///   - predicate disjoint from the coverage -> indexing table scan
 ///     (Algorithm 1) when an Index Buffer Space is configured, else a plain
 ///     full scan;
 ///   - range predicate partially covered -> hybrid: indexing table scan for
-///     the uncovered population plus partial-index scan restricted to
+///     the uncovered population plus partial-index fetch restricted to
 ///     skipped pages (scanned pages already yielded their covered matches).
 ///
-/// Also dispatches the Table II history updates on every query.
+/// Also dispatches the Table II history updates on every query. Callers
+/// needing the plan itself (EXPLAIN, custom execution) use PlanQuery /
+/// ExecutePlan; Execute is Plan + ExecutePlan in one call.
 ///
 /// Thread-safety: Execute may be called from concurrent QueryService
 /// workers *for read-only workloads* once setup (RegisterIndex /
 /// SetBufferOptions) is complete. Covered queries probe the immutable
 /// partial index and the latched BufferPool without further locking; miss
-/// paths and Table II history updates run under the IndexBufferSpace's
-/// exclusive latch (see buffer_space.h). Concurrent DML or tuner-driven
-/// coverage adaptation is NOT supported under concurrent Execute calls —
-/// quiesce the service first.
+/// plans (IndexingTableScan) and Table II history updates run under the
+/// IndexBufferSpace's exclusive latch (see buffer_space.h). Concurrent DML
+/// or tuner-driven coverage adaptation is NOT supported under concurrent
+/// Execute calls — quiesce the service first.
 class Executor {
  public:
   /// `space` may be null (no Index Buffer configured). Does not own
@@ -55,33 +54,35 @@ class Executor {
 
   /// Options used when an Index Buffer is lazily created on the first
   /// partial-index miss of a column.
-  void SetBufferOptions(IndexBufferOptions options) {
-    buffer_options_ = options;
-  }
+  void SetBufferOptions(IndexBufferOptions options);
 
   const CostModel& cost_model() const { return cost_model_; }
 
   /// Executes `query` through access-path selection.
   Result<QueryResult> Execute(const Query& query);
 
+  /// Plans `query` without executing it. The plan is single-use: run it
+  /// through ExecutePlan, then render with ExplainPlan(*plan).
+  std::unique_ptr<PhysicalPlan> PlanQuery(const Query& query) const;
+
+  /// Executes a plan obtained from PlanQuery (dispatching the Table II
+  /// history update for the plan's driving index, exactly as Execute).
+  Result<QueryResult> ExecutePlan(PhysicalPlan* plan);
+
   /// Baseline: always a full table scan, no index or buffer interaction.
   Result<QueryResult> FullScan(const Query& query);
 
-  /// Baseline: pure index scan; InvalidArgument if the predicate is not
-  /// fully covered by the column's partial index.
+  /// Baseline: pure index scan; InvalidArgument if the primary predicate
+  /// is not fully covered by the column's partial index. Residual
+  /// conjuncts are applied as a Filter.
   Result<QueryResult> IndexScan(const Query& query);
 
  private:
-  /// Fetches the tuples behind `rids` and counts distinct pages touched.
-  Status FetchRids(const std::vector<Rid>& rids, QueryStats* stats) const;
-
-  Result<QueryResult> ExecuteMiss(const Query& query, PartialIndex* index);
-
   const Table* table_;
   IndexBufferSpace* space_;
   CostModel cost_model_;
   Metrics* metrics_;
-  IndexBufferOptions buffer_options_;
+  Planner planner_;
   std::map<ColumnId, PartialIndex*> indexes_;
 };
 

@@ -1,0 +1,404 @@
+#include "exec/operators.h"
+
+#include <sstream>
+
+namespace aib {
+
+std::string PredicateToString(ColumnId column, Value lo, Value hi) {
+  std::ostringstream out;
+  out << "col" << column;
+  if (lo == hi) {
+    out << " = " << lo;
+  } else {
+    out << " in [" << lo << "," << hi << "]";
+  }
+  return out.str();
+}
+
+std::string PredicatesToString(
+    const std::vector<ColumnPredicate>& predicates) {
+  std::string result;
+  for (const ColumnPredicate& p : predicates) {
+    if (!result.empty()) result += " AND ";
+    result += PredicateToString(p.column, p.lo, p.hi);
+  }
+  return result;
+}
+
+bool MatchesAll(const Tuple& tuple, const Schema& schema,
+                const std::vector<ColumnPredicate>& predicates) {
+  for (const ColumnPredicate& p : predicates) {
+    if (!p.Matches(tuple.IntValue(schema, p.column))) return false;
+  }
+  return true;
+}
+
+// --- FullTableScan ----------------------------------------------------------
+
+FullTableScan::FullTableScan(const Table* table,
+                             std::vector<ColumnPredicate> predicates)
+    : table_(table), predicates_(std::move(predicates)) {}
+
+std::string FullTableScan::Describe() const {
+  return PredicatesToString(predicates_);
+}
+
+Status FullTableScan::Open(ExecContext*) {
+  next_page_ = 0;
+  return Status::Ok();
+}
+
+Result<bool> FullTableScan::Next(Batch* out) {
+  out->Clear();
+  if (next_page_ >= table_->PageCount()) return false;
+  const Schema& schema = table_->schema();
+  AIB_RETURN_IF_ERROR(table_->heap().ForEachTupleOnPage(
+      next_page_, [&](const Rid& rid, const Tuple& tuple) {
+        if (MatchesAll(tuple, schema, predicates_)) out->rids.push_back(rid);
+      }));
+  ++next_page_;
+  ++stats_.pages_scanned;
+  stats_.rows_out += out->rids.size();
+  return true;
+}
+
+Status FullTableScan::Close() { return Status::Ok(); }
+
+// --- PartialIndexProbe ------------------------------------------------------
+
+PartialIndexProbe::PartialIndexProbe(const PartialIndex* index, Value lo,
+                                     Value hi)
+    : index_(index), lo_(lo), hi_(hi) {}
+
+std::string PartialIndexProbe::Describe() const {
+  return PredicateToString(index_->column(), lo_, hi_);
+}
+
+Status PartialIndexProbe::Open(ExecContext*) {
+  done_ = false;
+  return Status::Ok();
+}
+
+Result<bool> PartialIndexProbe::Next(Batch* out) {
+  out->Clear();
+  if (done_) return false;
+  done_ = true;
+  if (lo_ == hi_) {
+    index_->Lookup(lo_, &out->rids);
+  } else {
+    index_->Scan(lo_, hi_,
+                 [&](Value, const Rid& rid) { out->rids.push_back(rid); });
+  }
+  ++stats_.ix_probes;
+  stats_.rows_out += out->rids.size();
+  out->needs_fetch = true;
+  return true;
+}
+
+Status PartialIndexProbe::Close() { return Status::Ok(); }
+
+// --- IndexBufferProbe -------------------------------------------------------
+
+IndexBufferProbe::IndexBufferProbe(ColumnId column, Value lo, Value hi)
+    : column_(column), lo_(lo), hi_(hi) {}
+
+std::string IndexBufferProbe::Describe() const {
+  return PredicateToString(column_, lo_, hi_);
+}
+
+Status IndexBufferProbe::Open(ExecContext*) {
+  if (buffer_ == nullptr) {
+    return Status::Internal("IndexBufferProbe opened without a bound buffer");
+  }
+  done_ = false;
+  // The historical stat: partitions present when the query arrived, before
+  // Algorithm 2 drops any.
+  stats_.buffer_probes += buffer_->PartitionCount();
+  return Status::Ok();
+}
+
+Result<bool> IndexBufferProbe::Next(Batch* out) {
+  out->Clear();
+  if (done_) return false;
+  done_ = true;
+  if (lo_ == hi_) {
+    buffer_->Lookup(lo_, &out->rids);
+  } else {
+    buffer_->Scan(lo_, hi_,
+                  [&](Value, const Rid& rid) { out->rids.push_back(rid); });
+  }
+  stats_.buffer_matches += out->rids.size();
+  stats_.rows_out += out->rids.size();
+  out->needs_fetch = true;
+  return true;
+}
+
+Status IndexBufferProbe::Close() { return Status::Ok(); }
+
+// --- CoveredOnSkippedFetch --------------------------------------------------
+
+CoveredOnSkippedFetch::CoveredOnSkippedFetch(
+    const PartialIndex* index, const Table* table, Value lo, Value hi,
+    std::shared_ptr<const std::vector<bool>> skipped)
+    : index_(index),
+      table_(table),
+      lo_(lo),
+      hi_(hi),
+      skipped_(std::move(skipped)) {}
+
+std::string CoveredOnSkippedFetch::Describe() const {
+  return PredicateToString(index_->column(), lo_, hi_);
+}
+
+Status CoveredOnSkippedFetch::Open(ExecContext*) {
+  done_ = false;
+  return Status::Ok();
+}
+
+Result<bool> CoveredOnSkippedFetch::Next(Batch* out) {
+  out->Clear();
+  if (done_) return false;
+  done_ = true;
+  const std::vector<bool>& skipped = *skipped_;
+  Status page_status = Status::Ok();
+  index_->Scan(lo_, hi_, [&](Value, const Rid& rid) {
+    Result<size_t> page = table_->PageNumberOf(rid);
+    if (!page.ok()) {
+      page_status = page.status();
+      return;
+    }
+    if (page.value() < skipped.size() && skipped[page.value()]) {
+      out->rids.push_back(rid);
+    }
+  });
+  AIB_RETURN_IF_ERROR(page_status);
+  ++stats_.ix_probes;
+  stats_.rows_out += out->rids.size();
+  out->needs_fetch = true;
+  return true;
+}
+
+Status CoveredOnSkippedFetch::Close() { return Status::Ok(); }
+
+// --- IndexingTableScan ------------------------------------------------------
+
+IndexingTableScan::IndexingTableScan(
+    const Table* table, IndexBufferSpace* space, PartialIndex* index,
+    IndexBufferOptions buffer_options,
+    std::vector<ColumnPredicate> predicates,
+    std::unique_ptr<PhysicalOperator> probe_pipeline, IndexBufferProbe* probe,
+    std::unique_ptr<PhysicalOperator> tail_pipeline,
+    std::shared_ptr<std::vector<bool>> snapshot)
+    : table_(table),
+      space_(space),
+      index_(index),
+      buffer_options_(buffer_options),
+      predicates_(std::move(predicates)),
+      probe_pipeline_(std::move(probe_pipeline)),
+      probe_(probe),
+      tail_pipeline_(std::move(tail_pipeline)),
+      snapshot_(std::move(snapshot)) {}
+
+std::string IndexingTableScan::Describe() const {
+  return PredicatesToString(predicates_);
+}
+
+std::vector<const PhysicalOperator*> IndexingTableScan::Children() const {
+  std::vector<const PhysicalOperator*> children;
+  children.push_back(probe_pipeline_.get());
+  if (tail_pipeline_ != nullptr) children.push_back(tail_pipeline_.get());
+  return children;
+}
+
+Status IndexingTableScan::Open(ExecContext* ctx) {
+  // The whole miss path mutates adaptive state — buffer creation, C[p]
+  // counters, partition drops, space accounting — so it runs under the
+  // space's exclusive latch until Close. Concurrent misses serialize here;
+  // concurrent covered queries never take it and proceed in parallel.
+  latch_ = std::unique_lock<std::shared_mutex>(space_->latch());
+
+  IndexBuffer* buffer = space_->GetBuffer(index_);
+  if (buffer == nullptr) {
+    // "Multiple Index Buffers are created over time" (§IV) — on the first
+    // miss of this column.
+    AIB_ASSIGN_OR_RETURN(buffer,
+                         space_->CreateBuffer(index_, buffer_options_));
+  }
+  buffer->counters().EnsureSize(table_->PageCount());
+  probe_->BindBuffer(buffer);
+
+  // Snapshot which pages the table scan will skip *before* Algorithm 2 and
+  // the scan run: pages selected by Algorithm 2 get their counters zeroed
+  // mid-scan, but they were scanned in this query, so the hybrid tail must
+  // not re-report their covered matches.
+  if (snapshot_ != nullptr) {
+    snapshot_->assign(table_->PageCount(), false);
+    for (size_t page = 0; page < table_->PageCount(); ++page) {
+      (*snapshot_)[page] = buffer->counters().Get(page) == 0;
+    }
+  }
+
+  // Probe opens before Algorithm 2 so buffer_probes reflects the arriving
+  // partition count, but drains after it (drops change what the probe
+  // sees — line 7 precedes lines 8-10).
+  AIB_RETURN_IF_ERROR(probe_pipeline_->Open(ctx));
+
+  // Line 7: I ← SelectPagesForBuffer().
+  const PageSelection selection = space_->SelectPagesForBuffer(buffer);
+  stats_.pages_selected = selection.pages.size();
+  stats_.partitions_dropped = selection.partitions_dropped;
+  stats_.entries_dropped = selection.entries_dropped;
+  const std::unordered_set<size_t> selected(selection.pages.begin(),
+                                            selection.pages.end());
+
+  // Lines 8-10: drain the probe pipeline (buffer matches, possibly
+  // residual-filtered).
+  Batch batch;
+  for (;;) {
+    AIB_ASSIGN_OR_RETURN(const bool more, probe_pipeline_->Next(&batch));
+    if (!more) break;
+    probe_rids_.insert(probe_rids_.end(), batch.rids.begin(),
+                       batch.rids.end());
+  }
+
+  // Lines 11-17: the indexing table scan, residuals pushed into the
+  // per-tuple predicate. predicates_[0] is the driving predicate (the
+  // planner puts it first); the scan evaluates it itself.
+  IndexingScanStats scan_stats;
+  const std::vector<ColumnPredicate> residuals(predicates_.begin() + 1,
+                                               predicates_.end());
+  std::function<bool(const Tuple&)> extra_match;
+  if (!residuals.empty()) {
+    const Schema& schema = table_->schema();
+    extra_match = [&residuals, &schema](const Tuple& tuple) {
+      return MatchesAll(tuple, schema, residuals);
+    };
+  }
+  const Value lo = predicates_.front().lo;
+  const Value hi = predicates_.front().hi;
+  AIB_RETURN_IF_ERROR(RunIndexingTableScan(*table_, buffer, selected, lo, hi,
+                                           extra_match, &scan_rids_,
+                                           &scan_stats));
+  stats_.pages_scanned = scan_stats.pages_scanned;
+  stats_.pages_skipped = scan_stats.pages_skipped;
+  stats_.entries_added = scan_stats.entries_added;
+
+  if (tail_pipeline_ != nullptr) {
+    AIB_RETURN_IF_ERROR(tail_pipeline_->Open(ctx));
+  }
+  stage_ = Stage::kProbe;
+  return Status::Ok();
+}
+
+Result<bool> IndexingTableScan::Next(Batch* out) {
+  out->Clear();
+  switch (stage_) {
+    case Stage::kProbe:
+      stage_ = Stage::kScan;
+      out->rids = std::move(probe_rids_);
+      out->needs_fetch = true;
+      stats_.rows_out += out->rids.size();
+      return true;
+    case Stage::kScan:
+      stage_ = tail_pipeline_ != nullptr ? Stage::kTail : Stage::kDone;
+      out->rids = std::move(scan_rids_);
+      out->needs_fetch = false;
+      stats_.rows_out += out->rids.size();
+      return true;
+    case Stage::kTail: {
+      AIB_ASSIGN_OR_RETURN(const bool more, tail_pipeline_->Next(out));
+      if (!more) {
+        stage_ = Stage::kDone;
+        return false;
+      }
+      stats_.rows_out += out->rids.size();
+      return true;
+    }
+    case Stage::kDone:
+      return false;
+  }
+  return Status::Internal("unreachable");
+}
+
+Status IndexingTableScan::Close() {
+  Status status = probe_pipeline_->Close();
+  if (tail_pipeline_ != nullptr) {
+    const Status tail = tail_pipeline_->Close();
+    if (status.ok()) status = tail;
+  }
+  if (latch_.owns_lock()) latch_.unlock();
+  return status;
+}
+
+// --- Filter -----------------------------------------------------------------
+
+Filter::Filter(std::unique_ptr<PhysicalOperator> child, const Table* table,
+               std::vector<ColumnPredicate> predicates)
+    : child_(std::move(child)),
+      table_(table),
+      predicates_(std::move(predicates)) {}
+
+std::string Filter::Describe() const {
+  return PredicatesToString(predicates_);
+}
+
+std::vector<const PhysicalOperator*> Filter::Children() const {
+  return {child_.get()};
+}
+
+Status Filter::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<bool> Filter::Next(Batch* out) {
+  out->Clear();
+  Batch batch;
+  AIB_ASSIGN_OR_RETURN(const bool more, child_->Next(&batch));
+  if (!more) return false;
+  const Schema& schema = table_->schema();
+  stats_.rows_in += batch.rids.size();
+  for (const Rid& rid : batch.rids) {
+    AIB_ASSIGN_OR_RETURN(const Tuple tuple, table_->Get(rid));
+    if (ctx_->fetched_pages.insert(rid.page_id).second) {
+      ++stats_.pages_fetched;
+    }
+    if (MatchesAll(tuple, schema, predicates_)) out->rids.push_back(rid);
+  }
+  stats_.rows_out += out->rids.size();
+  // Evaluating the residual fetched the tuples; nothing left to fetch.
+  out->needs_fetch = false;
+  return true;
+}
+
+Status Filter::Close() { return child_->Close(); }
+
+// --- Materialize ------------------------------------------------------------
+
+Materialize::Materialize(std::unique_ptr<PhysicalOperator> child)
+    : child_(std::move(child)) {}
+
+std::vector<const PhysicalOperator*> Materialize::Children() const {
+  return {child_.get()};
+}
+
+Status Materialize::Open(ExecContext* ctx) {
+  ctx_ = ctx;
+  return child_->Open(ctx);
+}
+
+Result<bool> Materialize::Next(Batch* out) {
+  out->Clear();
+  AIB_ASSIGN_OR_RETURN(const bool more, child_->Next(out));
+  if (!more) return false;
+  if (out->needs_fetch) {
+    AIB_RETURN_IF_ERROR(ctx_->FetchRids(out->rids, &stats_));
+    out->needs_fetch = false;
+  }
+  stats_.rows_out += out->rids.size();
+  return true;
+}
+
+Status Materialize::Close() { return child_->Close(); }
+
+}  // namespace aib

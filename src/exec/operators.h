@@ -1,0 +1,211 @@
+#ifndef AIB_EXEC_OPERATORS_H_
+#define AIB_EXEC_OPERATORS_H_
+
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "core/buffer_space.h"
+#include "core/indexing_scan.h"
+#include "exec/operator.h"
+#include "exec/query.h"
+#include "index/partial_index.h"
+
+namespace aib {
+
+/// Leaf: scans every page of the table, evaluating the whole conjunction
+/// per tuple. Emits one batch per page (rids need no fetch — the tuples
+/// were just read). The baseline access path and the miss path when no
+/// Index Buffer Space is configured.
+class FullTableScan : public PhysicalOperator {
+ public:
+  FullTableScan(const Table* table, std::vector<ColumnPredicate> predicates);
+
+  std::string Name() const override { return "FullTableScan"; }
+  std::string Describe() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Batch* out) override;
+  Status Close() override;
+
+ private:
+  const Table* table_;
+  std::vector<ColumnPredicate> predicates_;
+  size_t next_page_ = 0;
+};
+
+/// Leaf: probes the partial index for value ∈ [lo, hi] (fully covered by
+/// construction — the planner guarantees it). Emits one batch of rids that
+/// still need fetching.
+class PartialIndexProbe : public PhysicalOperator {
+ public:
+  PartialIndexProbe(const PartialIndex* index, Value lo, Value hi);
+
+  std::string Name() const override { return "PartialIndexProbe"; }
+  std::string Describe() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Batch* out) override;
+  Status Close() override;
+
+ private:
+  const PartialIndex* index_;
+  Value lo_;
+  Value hi_;
+  bool done_ = false;
+};
+
+/// Leaf: probes the Index Buffer for matches on skipped pages (lines 8–10
+/// of Algorithm 1). The buffer is bound late by the enclosing
+/// IndexingTableScan (it may be created on this very query's first miss);
+/// buffer_probes is recorded at Open time, before Algorithm 2 drops
+/// partitions. Emitted rids need fetching.
+class IndexBufferProbe : public PhysicalOperator {
+ public:
+  IndexBufferProbe(ColumnId column, Value lo, Value hi);
+
+  /// Called by the owning IndexingTableScan before Open.
+  void BindBuffer(IndexBuffer* buffer) { buffer_ = buffer; }
+
+  std::string Name() const override { return "IndexBufferProbe"; }
+  std::string Describe() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Batch* out) override;
+  Status Close() override;
+
+ private:
+  ColumnId column_;
+  Value lo_;
+  Value hi_;
+  IndexBuffer* buffer_ = nullptr;
+  bool done_ = false;
+};
+
+/// Leaf of the hybrid tail: scans the partial index over the covered part
+/// of a range and keeps only rids on pages that were already fully indexed
+/// (skipped) *before* this query's table scan ran — scanned pages yielded
+/// their covered matches during the scan. Reads the skipped-page snapshot
+/// filled by the enclosing IndexingTableScan. Emitted rids need fetching.
+class CoveredOnSkippedFetch : public PhysicalOperator {
+ public:
+  CoveredOnSkippedFetch(const PartialIndex* index, const Table* table,
+                        Value lo, Value hi,
+                        std::shared_ptr<const std::vector<bool>> skipped);
+
+  std::string Name() const override { return "CoveredOnSkippedFetch"; }
+  std::string Describe() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Batch* out) override;
+  Status Close() override;
+
+ private:
+  const PartialIndex* index_;
+  const Table* table_;
+  Value lo_;
+  Value hi_;
+  std::shared_ptr<const std::vector<bool>> skipped_;
+  bool done_ = false;
+};
+
+/// Algorithm 1 as an operator, owning the space-latch scope: Open acquires
+/// the IndexBufferSpace's exclusive latch (creating the Index Buffer on
+/// the column's first miss), snapshots the skipped-page set for the hybrid
+/// tail, runs Algorithm 2's page selection, and executes the indexing
+/// table scan; Close releases the latch — so the whole adaptive mutation,
+/// including everything its children emit, is one atomic critical section,
+/// exactly as the paper's pseudocode assumes.
+///
+/// Emission order (the order the pre-refactor executor produced): the
+/// probe pipeline's buffer matches, then the scan's matches, then the
+/// hybrid tail's covered-on-skipped matches.
+class IndexingTableScan : public PhysicalOperator {
+ public:
+  /// `probe_pipeline` must contain `probe` (possibly wrapped in a Filter);
+  /// `tail_pipeline` is the hybrid covered-on-skipped pipeline or null.
+  /// `snapshot` is shared with the tail's CoveredOnSkippedFetch and filled
+  /// during Open; pass null for non-hybrid plans.
+  IndexingTableScan(const Table* table, IndexBufferSpace* space,
+                    PartialIndex* index, IndexBufferOptions buffer_options,
+                    std::vector<ColumnPredicate> predicates,
+                    std::unique_ptr<PhysicalOperator> probe_pipeline,
+                    IndexBufferProbe* probe,
+                    std::unique_ptr<PhysicalOperator> tail_pipeline,
+                    std::shared_ptr<std::vector<bool>> snapshot);
+
+  std::string Name() const override { return "IndexingTableScan"; }
+  std::string Describe() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Batch* out) override;
+  Status Close() override;
+  std::vector<const PhysicalOperator*> Children() const override;
+
+ private:
+  enum class Stage { kProbe, kScan, kTail, kDone };
+
+  const Table* table_;
+  IndexBufferSpace* space_;
+  PartialIndex* index_;
+  IndexBufferOptions buffer_options_;
+  std::vector<ColumnPredicate> predicates_;
+  std::unique_ptr<PhysicalOperator> probe_pipeline_;
+  IndexBufferProbe* probe_;  // owned via probe_pipeline_
+  std::unique_ptr<PhysicalOperator> tail_pipeline_;
+  std::shared_ptr<std::vector<bool>> snapshot_;
+
+  std::unique_lock<std::shared_mutex> latch_;
+  std::vector<Rid> probe_rids_;
+  std::vector<Rid> scan_rids_;
+  Stage stage_ = Stage::kProbe;
+};
+
+/// Applies residual conjuncts to rid batches whose tuples are not read
+/// yet (index/buffer probe output): fetches each tuple, keeps matching
+/// rids. The fetched pages are charged here (query-wide deduped), so the
+/// emitted batch needs no further fetch. Scans never need a Filter — the
+/// planner pushes residuals into their per-tuple predicate for free.
+class Filter : public PhysicalOperator {
+ public:
+  Filter(std::unique_ptr<PhysicalOperator> child, const Table* table,
+         std::vector<ColumnPredicate> predicates);
+
+  std::string Name() const override { return "Filter"; }
+  std::string Describe() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Batch* out) override;
+  Status Close() override;
+  std::vector<const PhysicalOperator*> Children() const override;
+
+ private:
+  std::unique_ptr<PhysicalOperator> child_;
+  const Table* table_;
+  std::vector<ColumnPredicate> predicates_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// Root of probe-shaped plans: pulls child batches and fetches the tuples
+/// behind rids that need it, charging distinct pages query-wide.
+class Materialize : public PhysicalOperator {
+ public:
+  explicit Materialize(std::unique_ptr<PhysicalOperator> child);
+
+  std::string Name() const override { return "Materialize"; }
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Batch* out) override;
+  Status Close() override;
+  std::vector<const PhysicalOperator*> Children() const override;
+
+ private:
+  std::unique_ptr<PhysicalOperator> child_;
+  ExecContext* ctx_ = nullptr;
+};
+
+/// True iff `tuple` satisfies every predicate in `predicates`.
+bool MatchesAll(const Tuple& tuple, const Schema& schema,
+                const std::vector<ColumnPredicate>& predicates);
+
+/// "colN = v" / "colN ∈ [lo,hi]" rendering joined with " AND ".
+std::string PredicatesToString(const std::vector<ColumnPredicate>& predicates);
+
+}  // namespace aib
+
+#endif  // AIB_EXEC_OPERATORS_H_

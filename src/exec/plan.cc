@@ -1,0 +1,118 @@
+#include "exec/plan.h"
+
+#include <chrono>
+#include <sstream>
+
+namespace aib {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Aggregate(const PhysicalOperator& op, QueryStats* stats) {
+  const OperatorStats& s = op.stats();
+  stats->pages_scanned += s.pages_scanned;
+  stats->pages_skipped += s.pages_skipped;
+  stats->pages_fetched += s.pages_fetched;
+  stats->ix_probes += s.ix_probes;
+  stats->buffer_probes += s.buffer_probes;
+  stats->buffer_matches += s.buffer_matches;
+  stats->entries_added += s.entries_added;
+  stats->entries_dropped += s.entries_dropped;
+  stats->partitions_dropped += s.partitions_dropped;
+  for (const PhysicalOperator* child : op.Children()) {
+    Aggregate(*child, stats);
+  }
+}
+
+void AppendStats(const PhysicalOperator& op, std::ostringstream* out) {
+  const OperatorStats& s = op.stats();
+  *out << "  [rows=" << s.rows_out;
+  if (s.rows_in > 0) *out << " rows_in=" << s.rows_in;
+  if (s.pages_scanned > 0) *out << " scanned=" << s.pages_scanned;
+  if (s.pages_skipped > 0) *out << " skipped=" << s.pages_skipped;
+  if (s.pages_fetched > 0) *out << " fetched=" << s.pages_fetched;
+  if (s.ix_probes > 0) *out << " probes=" << s.ix_probes;
+  if (s.buffer_probes > 0) *out << " buffer_probes=" << s.buffer_probes;
+  if (s.buffer_matches > 0) *out << " buffer_matches=" << s.buffer_matches;
+  if (s.pages_selected > 0) *out << " selected=" << s.pages_selected;
+  if (s.entries_added > 0) *out << " entries_added=" << s.entries_added;
+  if (s.entries_dropped > 0) *out << " entries_dropped=" << s.entries_dropped;
+  if (s.partitions_dropped > 0) {
+    *out << " partitions_dropped=" << s.partitions_dropped;
+  }
+  *out << "]";
+}
+
+void RenderNode(const PhysicalOperator& op, const std::string& prefix,
+                bool is_last, bool is_root, std::ostringstream* out) {
+  if (!is_root) {
+    *out << prefix << (is_last ? "`- " : "|- ");
+  }
+  *out << op.Name();
+  const std::string detail = op.Describe();
+  if (!detail.empty()) *out << "(" << detail << ")";
+  AppendStats(op, out);
+  *out << "\n";
+  const std::vector<const PhysicalOperator*> children = op.Children();
+  const std::string child_prefix =
+      is_root ? "" : prefix + (is_last ? "   " : "|  ");
+  for (size_t i = 0; i < children.size(); ++i) {
+    RenderNode(*children[i], child_prefix, i + 1 == children.size(), false,
+               out);
+  }
+}
+
+}  // namespace
+
+PhysicalPlan::PhysicalPlan(std::unique_ptr<PhysicalOperator> root,
+                           const Table* table)
+    : root_(std::move(root)), table_(table) {}
+
+Result<QueryResult> PhysicalPlan::Run(const CostModel& cost_model) {
+  const int64_t start = NowNs();
+  executed_ = true;
+  ExecContext ctx;
+  ctx.table = table_;
+
+  QueryResult result;
+  Status status = root_->Open(&ctx);
+  if (status.ok()) {
+    Batch batch;
+    for (;;) {
+      Result<bool> more = root_->Next(&batch);
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      if (!more.value()) break;
+      result.rids.insert(result.rids.end(), batch.rids.begin(),
+                         batch.rids.end());
+    }
+  }
+  // Close unconditionally: operators holding latch scopes (the indexing
+  // scan's space latch) release them here even when Open/Next failed.
+  const Status close_status = root_->Close();
+  AIB_RETURN_IF_ERROR(status);
+  AIB_RETURN_IF_ERROR(close_status);
+
+  result.stats.used_partial_index = used_partial_index_;
+  result.stats.used_index_buffer = used_index_buffer_;
+  Aggregate(*root_, &result.stats);
+  result.stats.result_count = result.rids.size();
+  result.stats.cost = cost_model.QueryCost(result.stats);
+  result.stats.wall_ns = NowNs() - start;
+  return result;
+}
+
+std::string ExplainPlan(const PhysicalPlan& plan) {
+  std::ostringstream out;
+  RenderNode(plan.root(), "", /*is_last=*/true, /*is_root=*/true, &out);
+  return out.str();
+}
+
+}  // namespace aib

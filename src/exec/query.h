@@ -2,25 +2,66 @@
 #define AIB_EXEC_QUERY_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/types.h"
 
 namespace aib {
 
-/// A selection query against one integer column: value ∈ [lo, hi]
-/// (inclusive). The paper's evaluation uses point queries (lo == hi); range
-/// predicates exercise the hybrid execution path.
-struct Query {
+/// One conjunct of a selection predicate: column value ∈ [lo, hi]
+/// (inclusive).
+struct ColumnPredicate {
   ColumnId column = 0;
   Value lo = 0;
   Value hi = 0;
 
-  static Query Point(ColumnId column, Value v) { return {column, v, v}; }
+  bool IsPoint() const { return lo == hi; }
+  bool Matches(Value v) const { return v >= lo && v <= hi; }
+
+  friend bool operator==(const ColumnPredicate&,
+                         const ColumnPredicate&) = default;
+};
+
+/// A selection query: a conjunction of per-column range predicates over the
+/// integer columns of one table. The *primary* predicate (column/lo/hi)
+/// drives access-path selection exactly as in the paper's single-predicate
+/// evaluation; `residuals` holds additional ANDed conjuncts, which the
+/// planner either pushes into scans or applies as a residual Filter above
+/// an index probe. The paper's evaluation uses point queries (lo == hi);
+/// range predicates exercise the hybrid execution path.
+struct Query {
+  ColumnId column = 0;
+  Value lo = 0;
+  Value hi = 0;
+  /// Additional ANDed predicates beyond the primary one. Empty for the
+  /// paper's single-column workloads.
+  std::vector<ColumnPredicate> residuals;
+
+  static Query Point(ColumnId column, Value v) { return {column, v, v, {}}; }
   static Query Range(ColumnId column, Value lo, Value hi) {
-    return {column, lo, hi};
+    return {column, lo, hi, {}};
   }
 
+  /// Builder for conjunctions: Query::Point(0, 5).And(1, 10, 20).
+  Query& And(ColumnId c, Value a_lo, Value a_hi) {
+    residuals.push_back({c, a_lo, a_hi});
+    return *this;
+  }
+
+  /// True for a single-predicate point query (the granularity the online
+  /// tuner adapts at).
   bool IsPoint() const { return lo == hi; }
+
+  bool IsConjunctive() const { return !residuals.empty(); }
+
+  /// Primary predicate followed by the residual conjuncts.
+  std::vector<ColumnPredicate> AllPredicates() const {
+    std::vector<ColumnPredicate> preds;
+    preds.reserve(1 + residuals.size());
+    preds.push_back({column, lo, hi});
+    preds.insert(preds.end(), residuals.begin(), residuals.end());
+    return preds;
+  }
 };
 
 /// Per-query execution statistics, consumed by the cost model and the
@@ -34,7 +75,9 @@ struct QueryStats {
   size_t result_count = 0;
   size_t pages_scanned = 0;
   size_t pages_skipped = 0;
-  /// Distinct pages touched to fetch index-matched tuples.
+  /// Distinct pages touched to fetch index-matched tuples. Deduplicated
+  /// across the whole query: a page fetched by both the buffer-match
+  /// materialization and the hybrid covered-on-skipped tail counts once.
   size_t pages_fetched = 0;
   size_t ix_probes = 0;
   /// Index Buffer partitions probed.

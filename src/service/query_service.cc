@@ -1,18 +1,8 @@
 #include "service/query_service.h"
 
-#include <chrono>
+#include "service/shared_scan_operator.h"
 
 namespace aib {
-
-namespace {
-
-int64_t NowNs() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 QueryService::QueryService(Executor* executor, const Table* table,
                            QueryServiceOptions options, Metrics* metrics)
@@ -80,33 +70,28 @@ void QueryService::WorkerLoop() {
 }
 
 Result<QueryResult> QueryService::RunQuery(const Query& query) {
-  if (!options_.shared_scans ||
-      executor_->GetIndex(query.column) != nullptr) {
-    return executor_->Execute(query);
+  if (options_.shared_scans) {
+    bool any_indexed = false;
+    for (const ColumnPredicate& pred : query.AllPredicates()) {
+      if (executor_->GetIndex(pred.column) != nullptr) {
+        any_indexed = true;
+        break;
+      }
+    }
+    if (!any_indexed) {
+      // Fully unindexed conjunction: a guaranteed full table scan, the
+      // case where concurrent queries would otherwise each pay a whole
+      // pass. Plan it with the cooperative scan operator in place of
+      // FullTableScan; the result matches Executor::FullScan (same stats
+      // shape, same cost), rid order differing only when the scan
+      // attached mid-pass.
+      PhysicalPlan plan(std::make_unique<SharedScanOperator>(
+                            &scans_, table_, query.AllPredicates()),
+                        table_);
+      return plan.Run(executor_->cost_model());
+    }
   }
-
-  // Unindexed column: a guaranteed full table scan, the case where
-  // concurrent queries would otherwise each pay a whole pass. Run it
-  // through the shared-scan group; the result matches Executor::FullScan
-  // (same stats shape, same cost), rid order differing only when the scan
-  // attached mid-pass.
-  const int64_t start = NowNs();
-  QueryResult result;
-  const Schema& schema = table_->schema();
-  SharedScanStats scan_stats;
-  const Status scan = scans_.Scan(
-      *table_,
-      [&](const Rid& rid, const Tuple& tuple) {
-        const Value v = tuple.IntValue(schema, query.column);
-        if (v >= query.lo && v <= query.hi) result.rids.push_back(rid);
-      },
-      &scan_stats);
-  AIB_RETURN_IF_ERROR(scan);
-  result.stats.pages_scanned = scan_stats.pages_delivered;
-  result.stats.result_count = result.rids.size();
-  result.stats.cost = executor_->cost_model().QueryCost(result.stats);
-  result.stats.wall_ns = NowNs() - start;
-  return result;
+  return executor_->Execute(query);
 }
 
 QueryServiceStats QueryService::stats() const {

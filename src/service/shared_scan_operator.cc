@@ -1,0 +1,37 @@
+#include "service/shared_scan_operator.h"
+
+namespace aib {
+
+SharedScanOperator::SharedScanOperator(SharedScanManager* scans,
+                                       const Table* table,
+                                       std::vector<ColumnPredicate> predicates)
+    : scans_(scans), table_(table), predicates_(std::move(predicates)) {}
+
+std::string SharedScanOperator::Describe() const {
+  return PredicatesToString(predicates_);
+}
+
+Status SharedScanOperator::Open(ExecContext*) {
+  done_ = false;
+  return Status::Ok();
+}
+
+Result<bool> SharedScanOperator::Next(Batch* out) {
+  out->Clear();
+  if (done_) return false;
+  done_ = true;
+  const Schema& schema = table_->schema();
+  AIB_RETURN_IF_ERROR(scans_->Scan(
+      *table_,
+      [&](const Rid& rid, const Tuple& tuple) {
+        if (MatchesAll(tuple, schema, predicates_)) out->rids.push_back(rid);
+      },
+      &scan_stats_));
+  stats_.pages_scanned = scan_stats_.pages_delivered;
+  stats_.rows_out += out->rids.size();
+  return true;
+}
+
+Status SharedScanOperator::Close() { return Status::Ok(); }
+
+}  // namespace aib

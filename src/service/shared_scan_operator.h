@@ -1,0 +1,43 @@
+#ifndef AIB_SERVICE_SHARED_SCAN_OPERATOR_H_
+#define AIB_SERVICE_SHARED_SCAN_OPERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/operators.h"
+#include "service/shared_scan_manager.h"
+
+namespace aib {
+
+/// The service layer's scan operator: a FullTableScan-shaped leaf that
+/// rides the SharedScanManager's cooperative cursor instead of reading
+/// pages itself, so K concurrent scans of one table cost about one pass.
+/// Plugs into the same plan/Volcano machinery as the exec operators — the
+/// QueryService attaches to plans at the scan-operator level.
+///
+/// Emits one batch (the cooperative scan is a blocking one-shot); rid
+/// order differs from FullTableScan only when the scan attached mid-pass.
+class SharedScanOperator : public PhysicalOperator {
+ public:
+  SharedScanOperator(SharedScanManager* scans, const Table* table,
+                     std::vector<ColumnPredicate> predicates);
+
+  std::string Name() const override { return "SharedScan"; }
+  std::string Describe() const override;
+  Status Open(ExecContext* ctx) override;
+  Result<bool> Next(Batch* out) override;
+  Status Close() override;
+
+  const SharedScanStats& scan_stats() const { return scan_stats_; }
+
+ private:
+  SharedScanManager* scans_;
+  const Table* table_;
+  std::vector<ColumnPredicate> predicates_;
+  SharedScanStats scan_stats_;
+  bool done_ = false;
+};
+
+}  // namespace aib
+
+#endif  // AIB_SERVICE_SHARED_SCAN_OPERATOR_H_

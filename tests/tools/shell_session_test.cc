@@ -102,6 +102,34 @@ TEST_F(ShellTest, TunerAttachAndAdapt) {
   EXPECT_TRUE(session_.catalog()->GetIndex(table, 0)->Covers(50));
 }
 
+TEST_F(ShellTest, ExplainPrintsPlanTree) {
+  EXPECT_TRUE(Exec("create_table t 2"));
+  EXPECT_TRUE(Exec("load_random t 500 1 100 5"));
+  EXPECT_TRUE(Exec("create_index t 0 1 10"));
+  EXPECT_TRUE(Exec("explain t 0 5 5"));
+  EXPECT_NE(Output().find("Materialize"), std::string::npos);
+  EXPECT_NE(Output().find("PartialIndexProbe(col0 = 5)"), std::string::npos);
+  out_.str("");
+  EXPECT_TRUE(Exec("explain t 0 50 50"));
+  EXPECT_NE(Output().find("IndexingTableScan(col0 = 50)"), std::string::npos);
+  EXPECT_NE(Output().find("IndexBufferProbe"), std::string::npos);
+  out_.str("");
+  // Conjunctive: covered driver + residual triplet renders a Filter node.
+  EXPECT_TRUE(Exec("explain t 0 5 5 1 1 50"));
+  EXPECT_NE(Output().find("Filter(col1 in [1,50])"), std::string::npos);
+  EXPECT_FALSE(Exec("explain t 0 5 5 1 1"));  // malformed triplet
+}
+
+TEST_F(ShellTest, ConjunctiveQueryViaShell) {
+  EXPECT_TRUE(Exec("create_table t 2"));
+  EXPECT_TRUE(Exec("load_random t 500 1 100 5"));
+  EXPECT_TRUE(Exec("create_index t 0 1 10"));
+  EXPECT_TRUE(Exec("query t 0 5 1 1 100"));
+  EXPECT_NE(Output().find("[index]"), std::string::npos);
+  EXPECT_TRUE(Exec("range t 0 20 60 1 1 50"));
+  EXPECT_NE(Output().find("[buffer]"), std::string::npos);
+}
+
 TEST_F(ShellTest, RunScriptCountsFailures) {
   std::istringstream script(
       "create_table t 1\n"

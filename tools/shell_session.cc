@@ -35,6 +35,18 @@ IndexStructureKind ParseKind(const std::string& name) {
   return IndexStructureKind::kBTree;
 }
 
+/// Appends residual conjuncts parsed from COLUMN LO HI triplets starting at
+/// `tokens[from]`. Throws (caught by ExecuteLine) on malformed numbers.
+bool ParseResiduals(const std::vector<std::string>& tokens, size_t from,
+                    Query* query) {
+  if ((tokens.size() - from) % 3 != 0) return false;
+  for (size_t i = from; i + 2 < tokens.size(); i += 3) {
+    query->And(static_cast<ColumnId>(std::stoi(tokens[i])),
+               std::stoi(tokens[i + 1]), std::stoi(tokens[i + 2]));
+  }
+  return true;
+}
+
 }  // namespace
 
 ShellSession::ShellSession(std::ostream& out) : out_(out) {
@@ -154,17 +166,21 @@ bool ShellSession::ExecuteLine(const std::string& line) {
 
     if (command == "query" || command == "range") {
       const bool is_range = command == "range";
-      if (tokens.size() != (is_range ? 5u : 4u)) {
-        return Fail(is_range ? "range NAME COLUMN LO HI"
-                             : "query NAME COLUMN VALUE");
+      const size_t base = is_range ? 5u : 4u;
+      if (tokens.size() < base) {
+        return Fail(is_range ? "range NAME COLUMN LO HI [COLUMN LO HI ...]"
+                             : "query NAME COLUMN VALUE [COLUMN LO HI ...]");
       }
       Table* table = catalog_->GetTable(tokens[1]);
       if (table == nullptr) return Fail("no table " + tokens[1]);
       const ColumnId column = static_cast<ColumnId>(std::stoi(tokens[2]));
       const Value lo = std::stoi(tokens[3]);
       const Value hi = is_range ? std::stoi(tokens[4]) : lo;
-      Result<QueryResult> result =
-          catalog_->Execute(table, Query::Range(column, lo, hi));
+      Query query = Query::Range(column, lo, hi);
+      if (!ParseResiduals(tokens, base, &query)) {
+        return Fail("residual predicates must be COLUMN LO HI triplets");
+      }
+      Result<QueryResult> result = catalog_->Execute(table, query);
       if (!result.ok()) return Fail(result.status().ToString());
       out_ << "rows=" << result->rids.size()
            << " cost=" << result->stats.cost
@@ -174,6 +190,27 @@ bool ShellSession::ExecuteLine(const std::string& line) {
                : result->stats.used_index_buffer ? " [buffer]"
                                                  : " [scan]")
            << "\n";
+      return true;
+    }
+
+    if (command == "explain") {
+      if (tokens.size() < 5) {
+        return Fail("explain NAME COLUMN LO HI [COLUMN LO HI ...]");
+      }
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      Query query = Query::Range(static_cast<ColumnId>(std::stoi(tokens[2])),
+                                 std::stoi(tokens[3]), std::stoi(tokens[4]));
+      if (!ParseResiduals(tokens, 5, &query)) {
+        return Fail("residual predicates must be COLUMN LO HI triplets");
+      }
+      Executor* executor = catalog_->executor(table);
+      std::unique_ptr<PhysicalPlan> plan = executor->PlanQuery(query);
+      Result<QueryResult> result = executor->ExecutePlan(plan.get());
+      if (!result.ok()) return Fail(result.status().ToString());
+      out_ << ExplainPlan(*plan);
+      out_ << "rows=" << result->rids.size()
+           << " cost=" << result->stats.cost << "\n";
       return true;
     }
 

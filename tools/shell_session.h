@@ -21,8 +21,12 @@ namespace aib::tools {
 ///   load_random NAME COUNT LO HI [SEED]
 ///   create_index NAME COLUMN LO HI [btree|hash|csb]
 ///   attach_tuner NAME COLUMN [WINDOW THRESHOLD CAPACITY]
-///   query NAME COLUMN VALUE
-///   range NAME COLUMN LO HI
+///   query NAME COLUMN VALUE [COLUMN LO HI ...]
+///   range NAME COLUMN LO HI [COLUMN LO HI ...]
+///   explain NAME COLUMN LO HI [COLUMN LO HI ...]
+///                         — executes and prints the physical plan tree
+///                           with per-operator statistics; trailing
+///                           COLUMN LO HI triplets add residual conjuncts
 ///   run NAME COLUMN COUNT LO HI [SEED]   — COUNT random point queries
 ///   insert NAME V1 [V2 ...]              — one tuple (payload auto)
 ///   buffers                              — Index Buffer Space summary
