@@ -99,6 +99,14 @@ inline constexpr char kMetricServiceExecuted[] = "service.queries_executed";
 inline constexpr char kMetricSharedScanAttaches[] = "sharedscan.attaches";
 inline constexpr char kMetricSharedScanPagesShared[] =
     "sharedscan.pages_shared";
+inline constexpr char kMetricFaultsInjected[] = "faults.injected";
+inline constexpr char kMetricFaultLatencyTicks[] = "faults.latency_ticks";
+inline constexpr char kMetricTransientRetries[] = "faults.transient_retries";
+inline constexpr char kMetricQueriesTimedOut[] = "service.queries_timed_out";
+inline constexpr char kMetricQueriesCancelled[] = "service.queries_cancelled";
+inline constexpr char kMetricPartitionsQuarantined[] =
+    "index_buffer.partitions_quarantined";
+inline constexpr char kMetricDegradedQueries[] = "exec.degraded_queries";
 
 }  // namespace aib
 

@@ -1,0 +1,57 @@
+#ifndef AIB_COMMON_QUERY_CONTROL_H_
+#define AIB_COMMON_QUERY_CONTROL_H_
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+
+#include "common/status.h"
+
+namespace aib {
+
+/// Shared flag used to cancel a query cooperatively. The submitter keeps one
+/// reference and flips it; operators observe it between batches/pages.
+using CancelToken = std::shared_ptr<std::atomic<bool>>;
+
+inline CancelToken MakeCancelToken() {
+  return std::make_shared<std::atomic<bool>>(false);
+}
+
+/// Per-query deadline + cancellation context, threaded from QueryService /
+/// the shell down to plan operators and the indexing scan. Checked
+/// cooperatively (per batch in `Next()`, per page inside the scan loop) so an
+/// over-budget or abandoned query returns Timeout/Cancelled instead of
+/// occupying a worker. Lives in common/ because both core and exec consume it
+/// and core must not depend on exec.
+struct QueryControl {
+  std::chrono::steady_clock::time_point deadline =
+      std::chrono::steady_clock::time_point::max();
+  CancelToken cancel;
+
+  static QueryControl WithDeadline(std::chrono::milliseconds budget) {
+    QueryControl control;
+    control.deadline = std::chrono::steady_clock::now() + budget;
+    return control;
+  }
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point::max();
+  }
+
+  /// Ok while the query may keep running; Cancelled/Timeout once it must
+  /// stop. Cancellation wins over an expired deadline: it expresses an
+  /// explicit caller decision.
+  Status Check() const {
+    if (cancel && cancel->load(std::memory_order_relaxed)) {
+      return Status::Cancelled("query cancelled");
+    }
+    if (has_deadline() && std::chrono::steady_clock::now() >= deadline) {
+      return Status::Timeout("query deadline exceeded");
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace aib
+
+#endif  // AIB_COMMON_QUERY_CONTROL_H_

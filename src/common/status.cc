@@ -24,6 +24,12 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kBusy:
       return "Busy";
+    case Status::Code::kIoError:
+      return "IoError";
+    case Status::Code::kTimeout:
+      return "Timeout";
+    case Status::Code::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

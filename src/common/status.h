@@ -24,6 +24,13 @@ class Status {
     /// A transient resource shortage (all buffer frames pinned, admission
     /// queue full). Retriable: the caller may back off and try again.
     kBusy,
+    /// A transient I/O failure reported by the (simulated) disk. Retriable:
+    /// re-issuing the read/write is expected to succeed.
+    kIoError,
+    /// The query exceeded its deadline. Not retriable within the query.
+    kTimeout,
+    /// The query was cancelled cooperatively. Not retriable.
+    kCancelled,
   };
 
   Status() = default;
@@ -53,6 +60,15 @@ class Status {
   static Status Busy(std::string_view msg = "") {
     return Status(Code::kBusy, msg);
   }
+  static Status IoError(std::string_view msg = "") {
+    return Status(Code::kIoError, msg);
+  }
+  static Status Timeout(std::string_view msg = "") {
+    return Status(Code::kTimeout, msg);
+  }
+  static Status Cancelled(std::string_view msg = "") {
+    return Status(Code::kCancelled, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -63,6 +79,15 @@ class Status {
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
   bool IsInternal() const { return code_ == Code::kInternal; }
   bool IsBusy() const { return code_ == Code::kBusy; }
+  bool IsIoError() const { return code_ == Code::kIoError; }
+  bool IsTimeout() const { return code_ == Code::kTimeout; }
+  bool IsCancelled() const { return code_ == Code::kCancelled; }
+
+  /// True for failures that a bounded retry is expected to clear (resource
+  /// shortage, transient I/O). Corruption, Timeout, and Cancelled are
+  /// deliberately *not* transient: corruption needs degradation handling,
+  /// and deadline/cancel outcomes are final for the query.
+  bool IsTransient() const { return IsBusy() || IsIoError(); }
 
   Code code() const { return code_; }
   const std::string& message() const { return message_; }

@@ -12,7 +12,10 @@ constexpr double kMinBenefit = 1e-9;
 
 IndexBufferSpace::IndexBufferSpace(BufferSpaceOptions options,
                                    Metrics* metrics)
-    : options_(options), metrics_(metrics), rng_(options.seed) {}
+    : options_(options),
+      metrics_(metrics),
+      rng_(options.seed),
+      degradation_(metrics) {}
 
 Result<IndexBuffer*> IndexBufferSpace::CreateBuffer(
     const PartialIndex* index, IndexBufferOptions buffer_options) {
@@ -121,10 +124,15 @@ PageSelection IndexBufferSpace::SelectPagesForBuffer(IndexBuffer* target) {
   // Candidate pages: C[p] > 0, ascending by counter — cheap pages (few
   // missing entries per skippable page) first.
   const PageCounters& counters = target->counters();
+  const PartialIndex* target_index = &target->partial_index();
   std::vector<std::pair<uint32_t, size_t>> candidates;
   for (size_t page = 0; page < counters.size(); ++page) {
     const uint32_t c = counters.Get(page);
-    if (c > 0) candidates.emplace_back(c, page);
+    if (c == 0) continue;
+    // Quarantined pages are never re-indexed while the quarantine holds;
+    // the scan still visits them (C[p] > 0), it just won't buffer them.
+    if (degradation_.IsQuarantined(target_index, page)) continue;
+    candidates.emplace_back(c, page);
   }
   switch (options_.selection_policy) {
     case PageSelectionPolicy::kCounterAscending:

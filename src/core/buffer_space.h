@@ -11,6 +11,7 @@
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "core/degradation.h"
 #include "core/index_buffer.h"
 
 namespace aib {
@@ -105,8 +106,14 @@ class IndexBufferSpace {
   /// table scan should index into `target`, dropping just enough low-benefit
   /// partitions so that the new index information fits and is more
   /// beneficial than what it displaces. Partitions are dropped before this
-  /// returns.
+  /// returns. Pages quarantined by the degradation manager are excluded
+  /// from the candidates — they stay scan-only until the quarantine lifts.
   PageSelection SelectPagesForBuffer(IndexBuffer* target);
+
+  /// Quarantine/degradation book-keeping (see DegradationManager). Guarded
+  /// by the same space latch as the buffers.
+  DegradationManager& degradation() { return degradation_; }
+  const DegradationManager& degradation() const { return degradation_; }
 
  private:
   struct VictimRef {
@@ -132,6 +139,7 @@ class IndexBufferSpace {
   mutable std::shared_mutex latch_;
   mutable Rng rng_;
   std::map<const PartialIndex*, std::unique_ptr<IndexBuffer>> buffers_;
+  DegradationManager degradation_;
 };
 
 }  // namespace aib

@@ -1,0 +1,74 @@
+#ifndef AIB_CORE_DEGRADATION_H_
+#define AIB_CORE_DEGRADATION_H_
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+
+namespace aib {
+
+class PartialIndex;
+
+/// One quarantine decision: a fault hit `page` while it interacted with the
+/// Index Buffer of `index`, so that page's partition was dropped.
+struct QuarantineEvent {
+  const PartialIndex* index = nullptr;
+  size_t page = 0;
+  size_t partition_id = 0;
+  std::string reason;
+};
+
+/// Book-keeper for graceful degradation (ISSUE 3 / §1 of the paper): because
+/// the Index Buffer is a recovery-free scratch-pad, any partition may be
+/// dropped at any time without losing correctness. When corruption or
+/// repeated faults touch a buffered page, the degradation path drops that
+/// page's partition and records the page here as *quarantined*:
+/// SelectPagesForBuffer excludes quarantined pages from Algorithm 2's
+/// candidates, so they are never skipped and never re-indexed — until a
+/// subsequent indexing scan completes cleanly over the whole table, proving
+/// the pages readable again, at which point the quarantine is lifted and the
+/// ordinary adaptive machinery rebuilds the dropped partitions on demand.
+///
+/// Concurrency: owned by IndexBufferSpace and protected by the space latch
+/// (held exclusively around every mutation, like the buffers themselves); no
+/// internal lock.
+class DegradationManager {
+ public:
+  explicit DegradationManager(Metrics* metrics = nullptr)
+      : metrics_(metrics) {}
+
+  /// Records one quarantine. Idempotent per (index, page) for the page set;
+  /// every call appends an event.
+  void Quarantine(const PartialIndex* index, size_t page, size_t partition_id,
+                  std::string reason);
+
+  bool IsQuarantined(const PartialIndex* index, size_t page) const;
+
+  size_t QuarantinedPageCount(const PartialIndex* index) const;
+
+  /// Lifts the quarantine for `index`: called after an indexing table scan
+  /// covered every C[p] > 0 page without a fault, which demonstrates the
+  /// previously failing pages read cleanly again.
+  void OnCleanScan(const PartialIndex* index);
+
+  void RecordDegradedQuery() { ++degraded_queries_; }
+
+  const std::vector<QuarantineEvent>& events() const { return events_; }
+  size_t degraded_queries() const { return degraded_queries_; }
+
+ private:
+  Metrics* metrics_;  // not owned; may be null
+  std::unordered_map<const PartialIndex*, std::unordered_set<size_t>>
+      quarantined_;
+  std::vector<QuarantineEvent> events_;
+  size_t degraded_queries_ = 0;
+};
+
+}  // namespace aib
+
+#endif  // AIB_CORE_DEGRADATION_H_

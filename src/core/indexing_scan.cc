@@ -6,7 +6,8 @@ Status RunIndexingTableScan(
     const Table& table, IndexBuffer* buffer,
     const std::unordered_set<size_t>& selected, Value lo, Value hi,
     const std::function<bool(const Tuple&)>& extra_match,
-    std::vector<Rid>* out, IndexingScanStats* stats) {
+    std::vector<Rid>* out, IndexingScanStats* stats,
+    const QueryControl* control, IndexingScanFailure* failure) {
   const PartialIndex& index = buffer->partial_index();
   const ColumnId column = buffer->column();
   buffer->counters().EnsureSize(table.PageCount());
@@ -18,19 +19,33 @@ Status RunIndexingTableScan(
       if (stats != nullptr) ++stats->pages_skipped;
       continue;
     }
+    // Deadline/cancel check before the page is touched: an abort here
+    // leaves the buffer exactly as the previous page left it.
+    if (control != nullptr) AIB_RETURN_IF_ERROR(control->Check());
     const bool index_this_page = selected.contains(page);
-    AIB_RETURN_IF_ERROR(table.heap().ForEachTupleOnPage(
-        page, [&](const Rid& rid, const Tuple& tuple) {
-          const Value v = tuple.IntValue(table.schema(), column);
-          if (v >= lo && v <= hi &&
-              (extra_match == nullptr || extra_match(tuple))) {
-            out->push_back(rid);
-          }
-          if (index_this_page && !index.Covers(v)) {
-            buffer->AddTuple(page, v, rid);
-            if (stats != nullptr) ++stats->entries_added;
-          }
-        }));
+    if (Status page_status = table.heap().ForEachTupleOnPage(
+            page,
+            [&](const Rid& rid, const Tuple& tuple) {
+              const Value v = tuple.IntValue(table.schema(), column);
+              if (v >= lo && v <= hi &&
+                  (extra_match == nullptr || extra_match(tuple))) {
+                out->push_back(rid);
+              }
+              if (index_this_page && !index.Covers(v)) {
+                buffer->AddTuple(page, v, rid);
+                if (stats != nullptr) ++stats->entries_added;
+              }
+            });
+        !page_status.ok()) {
+      // MarkPageIndexed has not run, so C[page] still holds the pre-scan
+      // value — capture it before any repair overwrites it.
+      if (failure != nullptr) {
+        failure->failed = true;
+        failure->page = page;
+        failure->counter_before = counters.Get(page);
+      }
+      return page_status;
+    }
     if (index_this_page) buffer->MarkPageIndexed(page);
     if (stats != nullptr) ++stats->pages_scanned;
   }

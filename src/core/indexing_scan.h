@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/query_control.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "core/buffer_space.h"
@@ -24,6 +25,17 @@ struct IndexingScanStats {
   size_t entries_dropped = 0;
 };
 
+/// Where an indexing table scan failed, reported so the caller can repair
+/// the Index Buffer (quarantine the page's partition and restore C[page] to
+/// `counter_before`, the pre-scan value captured at failure time — the page
+/// may have been partially indexed when the fault struck, which would
+/// otherwise leave both the partition coverage and the counter wrong).
+struct IndexingScanFailure {
+  bool failed = false;
+  size_t page = 0;
+  uint32_t counter_before = 0;
+};
+
 /// Lines 11–17 of Algorithm 1: the table scan over pages with C[p] > 0,
 /// skipping fully indexed pages and opportunistically indexing the pages in
 /// `selected` (Algorithm 2's I) along the way. Appends rids matching
@@ -35,11 +47,21 @@ struct IndexingScanStats {
 /// Exposed separately from RunIndexingScan so the execution layer's
 /// IndexingTableScan operator can interleave Algorithm 2, the Index Buffer
 /// probe, and this scan as distinct plan nodes.
+///
+/// `control`, when non-null, is consulted before each page: an expired
+/// deadline or a set cancel token aborts the scan with Timeout/Cancelled.
+/// The check runs *before* the page is touched, so a control abort never
+/// leaves a partially indexed page — no repair needed, unlike I/O faults.
+/// `failure`, when non-null, records the failing page and its pre-scan
+/// counter for fault statuses (not for control aborts) so the caller can
+/// quarantine and repair.
 Status RunIndexingTableScan(
     const Table& table, IndexBuffer* buffer,
     const std::unordered_set<size_t>& selected, Value lo, Value hi,
     const std::function<bool(const Tuple&)>& extra_match,
-    std::vector<Rid>* out, IndexingScanStats* stats);
+    std::vector<Rid>* out, IndexingScanStats* stats,
+    const QueryControl* control = nullptr,
+    IndexingScanFailure* failure = nullptr);
 
 /// Algorithm 1 (IndexingScan), whole: runs Algorithm 2's page selection,
 /// probes the Index Buffer for matches on skipped pages, then runs the

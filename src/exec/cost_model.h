@@ -23,6 +23,10 @@ struct CostModelOptions {
   /// Adding/removing one entry of the disk-based partial index (used by the
   /// Fig. 1 adaptation-cost accounting).
   double ix_entry_cost = 0.05;
+  /// One latency tick injected by the FaultInjector (a slow, not failed,
+  /// page transfer). Benches price the faults.latency_ticks metric with
+  /// this via LatencyCost().
+  double latency_tick_cost = 0.01;
 };
 
 /// Turns per-query statistics into simulated cost units.
@@ -37,6 +41,11 @@ class CostModel {
 
   /// Cost of one partial-index adaptation touching `entries` entries.
   double AdaptationCost(size_t entries) const;
+
+  /// Cost of `ticks` injected latency ticks (chaos benches).
+  double LatencyCost(uint64_t ticks) const {
+    return static_cast<double>(ticks) * options_.latency_tick_cost;
+  }
 
  private:
   CostModelOptions options_;

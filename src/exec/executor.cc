@@ -30,19 +30,31 @@ std::unique_ptr<PhysicalPlan> Executor::PlanQuery(const Query& query) const {
   return planner_.Plan(query, indexes_);
 }
 
-Result<QueryResult> Executor::ExecutePlan(PhysicalPlan* plan) {
+Result<QueryResult> Executor::ExecutePlan(PhysicalPlan* plan,
+                                          const QueryControl* control) {
   if (plan->driver_index() != nullptr && space_ != nullptr) {
     // Table II history updates touch every buffer's LRU-K state: a short
     // exclusive critical section on the space latch.
     std::unique_lock<std::shared_mutex> latch(space_->latch());
     space_->OnQuery(plan->driver_index(), plan->driver_hit());
   }
-  return plan->Run(cost_model_);
+  Result<QueryResult> result = plan->Run(cost_model_, control);
+  if (metrics_ != nullptr) {
+    if (!result.ok() && result.status().IsTimeout()) {
+      metrics_->Increment(kMetricQueriesTimedOut);
+    } else if (!result.ok() && result.status().IsCancelled()) {
+      metrics_->Increment(kMetricQueriesCancelled);
+    } else if (result.ok() && result.value().stats.degraded) {
+      metrics_->Increment(kMetricDegradedQueries);
+    }
+  }
+  return result;
 }
 
-Result<QueryResult> Executor::Execute(const Query& query) {
+Result<QueryResult> Executor::Execute(const Query& query,
+                                      const QueryControl* control) {
   std::unique_ptr<PhysicalPlan> plan = PlanQuery(query);
-  return ExecutePlan(plan.get());
+  return ExecutePlan(plan.get(), control);
 }
 
 Result<QueryResult> Executor::FullScan(const Query& query) {

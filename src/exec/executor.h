@@ -58,8 +58,11 @@ class Executor {
 
   const CostModel& cost_model() const { return cost_model_; }
 
-  /// Executes `query` through access-path selection.
-  Result<QueryResult> Execute(const Query& query);
+  /// Executes `query` through access-path selection. `control`, when
+  /// non-null, imposes the caller's deadline/cancellation on the execution
+  /// (timed-out and cancelled executions are counted in the metrics).
+  Result<QueryResult> Execute(const Query& query,
+                              const QueryControl* control = nullptr);
 
   /// Plans `query` without executing it. The plan is single-use: run it
   /// through ExecutePlan, then render with ExplainPlan(*plan).
@@ -67,7 +70,8 @@ class Executor {
 
   /// Executes a plan obtained from PlanQuery (dispatching the Table II
   /// history update for the plan's driving index, exactly as Execute).
-  Result<QueryResult> ExecutePlan(PhysicalPlan* plan);
+  Result<QueryResult> ExecutePlan(PhysicalPlan* plan,
+                                  const QueryControl* control = nullptr);
 
   /// Baseline: always a full table scan, no index or buffer interaction.
   Result<QueryResult> FullScan(const Query& query);

@@ -5,6 +5,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/query_control.h"
 #include "common/result.h"
 #include "common/types.h"
 #include "storage/table.h"
@@ -31,6 +32,10 @@ struct OperatorStats {
   size_t partitions_dropped = 0;
   /// |I| of Algorithm 2 (pages selected for indexing this scan).
   size_t pages_selected = 0;
+  /// Pages quarantined by this operator after a fault (degradation path).
+  size_t partitions_quarantined = 0;
+  /// The operator fell back to a plain scan after a fault.
+  bool degraded = false;
 };
 
 /// Shared per-execution state threaded through Open(). Owns the query-wide
@@ -39,6 +44,9 @@ struct OperatorStats {
 /// are charged exactly once to pages_fetched.
 struct ExecContext {
   const Table* table = nullptr;
+  /// Deadline/cancellation context; null when the caller set no budget.
+  /// Operators with long Open/Next phases consult it cooperatively.
+  const QueryControl* control = nullptr;
   std::unordered_set<PageId> fetched_pages;
 
   /// Fetches the tuples behind `rids`; charges each page not yet fetched

@@ -2,6 +2,9 @@
 
 #include <sstream>
 
+#include "core/consistency.h"
+#include "storage/fault_injector.h"
+
 namespace aib {
 
 std::string PredicateToString(ColumnId column, Value lo, Value hi) {
@@ -261,10 +264,22 @@ Status IndexingTableScan::Open(ExecContext* ctx) {
                        batch.rids.end());
   }
 
-  // Lines 11-17: the indexing table scan, residuals pushed into the
-  // per-tuple predicate. predicates_[0] is the driving predicate (the
-  // planner puts it first); the scan evaluates it itself.
-  IndexingScanStats scan_stats;
+  // Lines 11-17: the indexing table scan (with fault degradation).
+  AIB_RETURN_IF_ERROR(RunScanLeg(buffer, selected, ctx->control));
+
+  if (tail_pipeline_ != nullptr) {
+    AIB_RETURN_IF_ERROR(tail_pipeline_->Open(ctx));
+  }
+  stage_ = Stage::kProbe;
+  return Status::Ok();
+}
+
+Status IndexingTableScan::RunScanLeg(IndexBuffer* buffer,
+                                     const std::unordered_set<size_t>& selected,
+                                     const QueryControl* control) {
+  // Residuals pushed into the per-tuple predicate. predicates_[0] is the
+  // driving predicate (the planner puts it first); the scan evaluates it
+  // itself.
   const std::vector<ColumnPredicate> residuals(predicates_.begin() + 1,
                                                predicates_.end());
   std::function<bool(const Tuple&)> extra_match;
@@ -276,18 +291,98 @@ Status IndexingTableScan::Open(ExecContext* ctx) {
   }
   const Value lo = predicates_.front().lo;
   const Value hi = predicates_.front().hi;
-  AIB_RETURN_IF_ERROR(RunIndexingTableScan(*table_, buffer, selected, lo, hi,
-                                           extra_match, &scan_rids_,
-                                           &scan_stats));
-  stats_.pages_scanned = scan_stats.pages_scanned;
-  stats_.pages_skipped = scan_stats.pages_skipped;
-  stats_.entries_added = scan_stats.entries_added;
 
-  if (tail_pipeline_ != nullptr) {
-    AIB_RETURN_IF_ERROR(tail_pipeline_->Open(ctx));
+  IndexingScanStats scan_stats;
+  IndexingScanFailure failure;
+  const Status scan =
+      RunIndexingTableScan(*table_, buffer, selected, lo, hi, extra_match,
+                           &scan_rids_, &scan_stats, control, &failure);
+  stats_.pages_scanned += scan_stats.pages_scanned;
+  stats_.pages_skipped += scan_stats.pages_skipped;
+  stats_.entries_added += scan_stats.entries_added;
+  if (scan.ok()) {
+    // The scan just read every C[p] > 0 page cleanly — including any
+    // quarantined ones, whose counters stay positive — so the pages are
+    // demonstrably readable again and the quarantine can lift.
+    space_->degradation().OnCleanScan(index_);
+    return Status::Ok();
   }
-  stage_ = Stage::kProbe;
+  if (scan.IsTimeout() || scan.IsCancelled() || !failure.failed) {
+    // Control aborts fire before a page is touched (buffer untouched), and
+    // failures without a page report have nothing to repair.
+    return scan;
+  }
+
+  AIB_RETURN_IF_ERROR(QuarantineAndRepair(buffer, failure, scan));
+  return PlainScanFallback(control);
+}
+
+Status IndexingTableScan::QuarantineAndRepair(
+    IndexBuffer* buffer, const IndexingScanFailure& failure,
+    const Status& cause) {
+  // Recovery-free repair: drop the failing page's whole partition (always
+  // legal), then restore C[page] to its pre-scan value — the page may have
+  // been partially indexed when the fault struck, in which case both the
+  // partition's coverage and the per-page entry count DropPartition
+  // restores from are wrong for this page.
+  const size_t partition_id = buffer->PartitionIdFor(failure.page);
+  buffer->DropPartition(partition_id);
+  buffer->counters().Set(failure.page, failure.counter_before);
+  space_->degradation().Quarantine(index_, failure.page, partition_id,
+                                   cause.ToString());
+  ++stats_.partitions_quarantined;
+
+  // Re-validate the repaired buffer. Injection is suspended on this thread:
+  // the checker reads through the same disk path, and a fresh injected
+  // fault would make the verdict about the injector, not the buffer.
+  FaultInjector::ScopedSuspend suspend;
+  if (!CheckBufferConsistency(*table_, *buffer).ok()) {
+    // The targeted repair was not enough — fall back to dropping the whole
+    // buffer and rebuilding the counters from the table, the recovery-free
+    // reset the paper guarantees is always available.
+    buffer->Clear();
+    AIB_RETURN_IF_ERROR(buffer->InitCounters());
+  }
   return Status::Ok();
+}
+
+Status IndexingTableScan::PlainScanFallback(const QueryControl* control) {
+  space_->degradation().RecordDegradedQuery();
+  stats_.degraded = true;
+  // The plain scan reads every page and evaluates the whole conjunction, so
+  // it subsumes the probe leg (buffer matches), the scan leg, and the
+  // hybrid tail (covered matches on skipped pages).
+  probe_rids_.clear();
+  if (snapshot_ != nullptr) {
+    snapshot_->assign(table_->PageCount(), false);
+  }
+  const Schema& schema = table_->schema();
+  constexpr size_t kMaxFallbackAttempts = 4;
+  Status status;
+  for (size_t attempt = 0; attempt < kMaxFallbackAttempts; ++attempt) {
+    scan_rids_.clear();
+    status = Status::Ok();
+    for (size_t page = 0; page < table_->PageCount(); ++page) {
+      if (control != nullptr) {
+        status = control->Check();
+        if (!status.ok()) break;
+      }
+      status = table_->heap().ForEachTupleOnPage(
+          page, [&](const Rid& rid, const Tuple& tuple) {
+            if (MatchesAll(tuple, schema, predicates_)) {
+              scan_rids_.push_back(rid);
+            }
+          });
+      if (!status.ok()) break;
+      ++stats_.pages_scanned;
+    }
+    if (status.ok() || status.IsTimeout() || status.IsCancelled()) {
+      return status;
+    }
+    // Another injected fault hit the fallback itself; redraws are
+    // independent, so a bounded restart is expected to get through.
+  }
+  return status;
 }
 
 Result<bool> IndexingTableScan::Next(Batch* out) {

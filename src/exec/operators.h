@@ -118,6 +118,15 @@ class CoveredOnSkippedFetch : public PhysicalOperator {
 /// Emission order (the order the pre-refactor executor produced): the
 /// probe pipeline's buffer matches, then the scan's matches, then the
 /// hybrid tail's covered-on-skipped matches.
+///
+/// Degradation (see DegradationManager): when the indexing table scan hits
+/// an I/O fault, the failing page's partition is dropped and the page
+/// quarantined — legal at any time by the recovery-free property — the
+/// buffer is re-validated, and the whole query is answered by a plain
+/// full-table scan leg instead (probe/tail legs are cleared; the plain scan
+/// subsumes them). Deadline/cancel aborts are *not* degraded: the per-page
+/// control check fires before a page is touched, so the buffer is already
+/// consistent and Timeout/Cancelled propagates as-is.
 class IndexingTableScan : public PhysicalOperator {
  public:
   /// `probe_pipeline` must contain `probe` (possibly wrapped in a Filter);
@@ -141,6 +150,22 @@ class IndexingTableScan : public PhysicalOperator {
 
  private:
   enum class Stage { kProbe, kScan, kTail, kDone };
+
+  /// The scan leg of Open: Algorithm 1 lines 11–17 with fault handling.
+  Status RunScanLeg(IndexBuffer* buffer,
+                    const std::unordered_set<size_t>& selected,
+                    const QueryControl* control);
+
+  /// Drops the failing page's partition, restores its counter, records the
+  /// quarantine, and re-validates the buffer (clearing it wholesale if the
+  /// targeted repair did not restore the invariants).
+  Status QuarantineAndRepair(IndexBuffer* buffer,
+                             const IndexingScanFailure& failure,
+                             const Status& cause);
+
+  /// Degraded leg: answers the whole conjunction with a plain scan that
+  /// never touches the Index Buffer; probe/tail contributions are cleared.
+  Status PlainScanFallback(const QueryControl* control);
 
   const Table* table_;
   IndexBufferSpace* space_;

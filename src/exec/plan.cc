@@ -24,6 +24,8 @@ void Aggregate(const PhysicalOperator& op, QueryStats* stats) {
   stats->entries_added += s.entries_added;
   stats->entries_dropped += s.entries_dropped;
   stats->partitions_dropped += s.partitions_dropped;
+  stats->partitions_quarantined += s.partitions_quarantined;
+  stats->degraded = stats->degraded || s.degraded;
   for (const PhysicalOperator* child : op.Children()) {
     Aggregate(*child, stats);
   }
@@ -45,6 +47,10 @@ void AppendStats(const PhysicalOperator& op, std::ostringstream* out) {
   if (s.partitions_dropped > 0) {
     *out << " partitions_dropped=" << s.partitions_dropped;
   }
+  if (s.partitions_quarantined > 0) {
+    *out << " quarantined=" << s.partitions_quarantined;
+  }
+  if (s.degraded) *out << " degraded";
   *out << "]";
 }
 
@@ -73,17 +79,25 @@ PhysicalPlan::PhysicalPlan(std::unique_ptr<PhysicalOperator> root,
                            const Table* table)
     : root_(std::move(root)), table_(table) {}
 
-Result<QueryResult> PhysicalPlan::Run(const CostModel& cost_model) {
+Result<QueryResult> PhysicalPlan::Run(const CostModel& cost_model,
+                                      const QueryControl* control) {
   const int64_t start = NowNs();
   executed_ = true;
   ExecContext ctx;
   ctx.table = table_;
+  ctx.control = control;
 
   QueryResult result;
-  Status status = root_->Open(&ctx);
+  Status status = control != nullptr ? control->Check() : Status::Ok();
+  if (status.ok()) status = root_->Open(&ctx);
   if (status.ok()) {
     Batch batch;
     for (;;) {
+      // Cooperative deadline/cancel check at every batch boundary.
+      if (control != nullptr) {
+        status = control->Check();
+        if (!status.ok()) break;
+      }
       Result<bool> more = root_->Next(&batch);
       if (!more.ok()) {
         status = more.status();

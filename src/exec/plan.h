@@ -45,8 +45,12 @@ class PhysicalPlan {
 
   /// Opens, drains, and closes the operator tree; aggregates per-operator
   /// stats into QueryStats and prices them through `cost_model`. Close is
-  /// guaranteed on error paths (latch scopes release).
-  Result<QueryResult> Run(const CostModel& cost_model);
+  /// guaranteed on error paths (latch scopes release). `control`, when
+  /// non-null, is checked before Open and before every root Next, so an
+  /// over-budget or cancelled query stops at the next batch boundary with
+  /// Timeout/Cancelled instead of draining the plan.
+  Result<QueryResult> Run(const CostModel& cost_model,
+                          const QueryControl* control = nullptr);
 
   bool executed() const { return executed_; }
 

@@ -86,6 +86,12 @@ struct QueryStats {
   size_t entries_added = 0;
   size_t entries_dropped = 0;
   size_t partitions_dropped = 0;
+  /// Pages quarantined by fault-degradation during this query.
+  size_t partitions_quarantined = 0;
+  /// The query was answered through the degraded plain-scan leg after a
+  /// fault (results are still exact — only slower, per the recovery-free
+  /// argument).
+  bool degraded = false;
 
   /// Simulated cost units (CostModel) — the "runtime" axis of the figures.
   double cost = 0;

@@ -36,11 +36,23 @@ void QueryService::Shutdown() {
 
 Result<std::future<Result<QueryResult>>> QueryService::Submit(
     const Query& query) {
+  return Submit(query, SubmitOptions{});
+}
+
+Result<std::future<Result<QueryResult>>> QueryService::Submit(
+    const Query& query, const SubmitOptions& submit) {
   if (shutdown_.load(std::memory_order_relaxed)) {
     return Status::InvalidArgument("query service is shut down");
   }
   Request request;
   request.query = query;
+  const std::chrono::milliseconds budget =
+      submit.deadline.count() > 0 ? submit.deadline
+                                  : options_.default_deadline;
+  if (budget.count() > 0) {
+    request.control.deadline = std::chrono::steady_clock::now() + budget;
+  }
+  request.control.cancel = submit.cancel;
   std::future<Result<QueryResult>> future = request.promise.get_future();
   if (!queue_.TryPush(std::move(request))) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
@@ -60,7 +72,20 @@ Result<QueryResult> QueryService::Execute(const Query& query) {
 
 void QueryService::WorkerLoop() {
   while (std::optional<Request> request = queue_.Pop()) {
-    Result<QueryResult> result = RunQuery(request->query);
+    // Pre-execution short-circuit: a query that timed out in the queue or
+    // was cancelled before a worker reached it resolves immediately — the
+    // worker spends nothing on it. These are the only Timeout/Cancelled
+    // outcomes the *service* adds to the metrics registry; the Executor
+    // accounts the ones that strike mid-execution.
+    const Status admitted = request->control.Check();
+    Result<QueryResult> result =
+        admitted.ok() ? RunQuery(request->query, &request->control)
+                      : Result<QueryResult>(admitted);
+    if (!admitted.ok() && metrics_ != nullptr) {
+      metrics_->Increment(admitted.IsTimeout() ? kMetricQueriesTimedOut
+                                               : kMetricQueriesCancelled);
+    }
+    RecordOutcome(result);
     // Count before publishing: a caller woken by the future must already
     // see this query in stats().executed.
     executed_.fetch_add(1, std::memory_order_relaxed);
@@ -69,7 +94,39 @@ void QueryService::WorkerLoop() {
   }
 }
 
-Result<QueryResult> QueryService::RunQuery(const Query& query) {
+void QueryService::RecordOutcome(const Result<QueryResult>& result) {
+  if (result.ok()) {
+    if (result.value().stats.degraded) {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (result.status().IsTimeout()) {
+    timed_out_.fetch_add(1, std::memory_order_relaxed);
+  } else if (result.status().IsCancelled()) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+Result<QueryResult> QueryService::RunQuery(const Query& query,
+                                           const QueryControl* control) {
+  Result<QueryResult> result = RunQueryOnce(query, control);
+  for (size_t retry = 0; retry < options_.max_query_retries; ++retry) {
+    if (result.ok()) break;
+    const Status& status = result.status();
+    // Transient shortages and corruption are retried whole-query: the
+    // recovery-free property makes a re-plan from current coverage always
+    // valid, and fault redraws are independent. Timeout/Cancelled are
+    // final.
+    if (!status.IsTransient() && !status.IsCorruption()) break;
+    if (control != nullptr && !control->Check().ok()) break;
+    retried_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+    result = RunQueryOnce(query, control);
+  }
+  return result;
+}
+
+Result<QueryResult> QueryService::RunQueryOnce(const Query& query,
+                                               const QueryControl* control) {
   if (options_.shared_scans) {
     bool any_indexed = false;
     for (const ColumnPredicate& pred : query.AllPredicates()) {
@@ -88,10 +145,10 @@ Result<QueryResult> QueryService::RunQuery(const Query& query) {
       PhysicalPlan plan(std::make_unique<SharedScanOperator>(
                             &scans_, table_, query.AllPredicates()),
                         table_);
-      return plan.Run(executor_->cost_model());
+      return plan.Run(executor_->cost_model(), control);
     }
   }
-  return executor_->Execute(query);
+  return executor_->Execute(query, control);
 }
 
 QueryServiceStats QueryService::stats() const {
@@ -99,6 +156,10 @@ QueryServiceStats QueryService::stats() const {
   stats.submitted = submitted_.load(std::memory_order_relaxed);
   stats.rejected = rejected_.load(std::memory_order_relaxed);
   stats.executed = executed_.load(std::memory_order_relaxed);
+  stats.timed_out = timed_out_.load(std::memory_order_relaxed);
+  stats.cancelled = cancelled_.load(std::memory_order_relaxed);
+  stats.retried = retried_.load(std::memory_order_relaxed);
+  stats.degraded = degraded_.load(std::memory_order_relaxed);
   return stats;
 }
 

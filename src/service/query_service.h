@@ -2,6 +2,7 @@
 #define AIB_SERVICE_QUERY_SERVICE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <future>
 #include <memory>
@@ -10,6 +11,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/query_control.h"
 #include "common/result.h"
 #include "exec/executor.h"
 #include "service/bounded_queue.h"
@@ -29,6 +31,23 @@ struct QueryServiceOptions {
   /// Applies to queries on columns with no partial index; adaptive
   /// indexing scans always run solo under the space latch.
   bool shared_scans = true;
+  /// Deadline applied to every query submitted without an explicit one.
+  /// Zero = unbounded. The clock starts at submission, so queue time counts
+  /// against the budget.
+  std::chrono::milliseconds default_deadline{0};
+  /// Whole-query retries when execution fails with a transient status or
+  /// corruption. Re-running is always safe: the adaptive state is
+  /// recovery-free and each run re-plans from current coverage.
+  size_t max_query_retries = 3;
+};
+
+/// Per-submission overrides for deadlines and cancellation.
+struct SubmitOptions {
+  /// Zero = use the service's default_deadline.
+  std::chrono::milliseconds deadline{0};
+  /// When set, flipping the token cancels the query cooperatively (before
+  /// execution or at the next batch/page boundary).
+  CancelToken cancel;
 };
 
 /// Point-in-time service counters (monotonic since construction).
@@ -36,6 +55,12 @@ struct QueryServiceStats {
   int64_t submitted = 0;
   int64_t rejected = 0;
   int64_t executed = 0;
+  int64_t timed_out = 0;
+  int64_t cancelled = 0;
+  /// Whole-query retries performed after transient/corruption failures.
+  int64_t retried = 0;
+  /// Queries answered through the degraded plain-scan path.
+  int64_t degraded = 0;
 };
 
 /// The concurrent query front-end: a worker thread pool over a bounded
@@ -65,6 +90,13 @@ class QueryService {
   /// caller may retry after a backoff) or InvalidArgument after Shutdown.
   Result<std::future<Result<QueryResult>>> Submit(const Query& query);
 
+  /// Submit with an explicit deadline and/or cancellation token. A query
+  /// whose deadline expires (queueing included) or whose token is set
+  /// resolves its future with Timeout/Cancelled — the worker moves on, it
+  /// never hangs on the query.
+  Result<std::future<Result<QueryResult>>> Submit(const Query& query,
+                                                  const SubmitOptions& submit);
+
   /// Convenience: Submit and wait. Still goes through admission; callers
   /// sharing the service with Submit traffic see FIFO ordering.
   Result<QueryResult> Execute(const Query& query);
@@ -81,6 +113,7 @@ class QueryService {
  private:
   struct Request {
     Query query;
+    QueryControl control;
     std::promise<Result<QueryResult>> promise;
   };
 
@@ -88,7 +121,15 @@ class QueryService {
 
   /// Executes one query on the calling worker: shared full scan for
   /// unindexed columns (when enabled), latched Executor::Execute otherwise.
-  Result<QueryResult> RunQuery(const Query& query);
+  /// Retries transient/corruption failures up to max_query_retries times.
+  Result<QueryResult> RunQuery(const Query& query,
+                               const QueryControl* control);
+
+  Result<QueryResult> RunQueryOnce(const Query& query,
+                                   const QueryControl* control);
+
+  /// Tallies timed_out/cancelled/degraded for one finished query.
+  void RecordOutcome(const Result<QueryResult>& result);
 
   Executor* executor_;
   const Table* table_;
@@ -102,6 +143,10 @@ class QueryService {
   std::atomic<int64_t> submitted_{0};
   std::atomic<int64_t> rejected_{0};
   std::atomic<int64_t> executed_{0};
+  std::atomic<int64_t> timed_out_{0};
+  std::atomic<int64_t> cancelled_{0};
+  std::atomic<int64_t> retried_{0};
+  std::atomic<int64_t> degraded_{0};
   std::atomic<bool> shutdown_{false};
 };
 

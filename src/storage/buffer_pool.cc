@@ -1,6 +1,7 @@
 #include "storage/buffer_pool.h"
 
 #include <cassert>
+#include <thread>
 
 namespace aib {
 
@@ -54,7 +55,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     if (frame.page == nullptr) {
       frame.page = std::make_unique<Page>(disk_->page_size());
     }
-    if (Status read = disk_->ReadPage(page_id, frame.page.get());
+    if (Status read = ReadWithRetry(page_id, frame.page.get());
         !read.ok()) {
       // The victim frame was already detached from the table/LRU; hand it
       // back to the free list so the failed fetch does not leak capacity.
@@ -87,10 +88,34 @@ Result<size_t> BufferPool::GetVictimFrame() {
   frame.in_lru = false;
   assert(frame.pin_count == 0);
   if (frame.dirty) {
-    AIB_RETURN_IF_ERROR(disk_->WritePage(frame.page_id, *frame.page));
+    AIB_RETURN_IF_ERROR(WriteWithRetry(frame.page_id, *frame.page));
   }
   table_.erase(frame.page_id);
   return index;
+}
+
+Status BufferPool::ReadWithRetry(PageId page_id, Page* out) {
+  Status status = disk_->ReadPage(page_id, out);
+  for (size_t attempt = 0;
+       status.IsTransient() && attempt < options_.max_transient_retries;
+       ++attempt) {
+    if (metrics_ != nullptr) metrics_->Increment(kMetricTransientRetries);
+    std::this_thread::yield();
+    status = disk_->ReadPage(page_id, out);
+  }
+  return status;
+}
+
+Status BufferPool::WriteWithRetry(PageId page_id, const Page& page) {
+  Status status = disk_->WritePage(page_id, page);
+  for (size_t attempt = 0;
+       status.IsTransient() && attempt < options_.max_transient_retries;
+       ++attempt) {
+    if (metrics_ != nullptr) metrics_->Increment(kMetricTransientRetries);
+    std::this_thread::yield();
+    status = disk_->WritePage(page_id, page);
+  }
+  return status;
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
@@ -118,7 +143,7 @@ Status BufferPool::FlushPage(PageId page_id) {
   if (it == table_.end()) return Status::Ok();
   Frame& frame = frames_[it->second];
   if (frame.dirty) {
-    AIB_RETURN_IF_ERROR(disk_->WritePage(page_id, *frame.page));
+    AIB_RETURN_IF_ERROR(WriteWithRetry(page_id, *frame.page));
     frame.dirty = false;
   }
   return Status::Ok();
@@ -129,7 +154,7 @@ Status BufferPool::FlushAll() {
   for (const auto& [page_id, frame_index] : table_) {
     Frame& frame = frames_[frame_index];
     if (frame.dirty) {
-      AIB_RETURN_IF_ERROR(disk_->WritePage(page_id, *frame.page));
+      AIB_RETURN_IF_ERROR(WriteWithRetry(page_id, *frame.page));
       frame.dirty = false;
     }
   }

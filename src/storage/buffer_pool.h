@@ -25,6 +25,13 @@ struct BufferPoolOptions {
   /// retriable Busy status. 0 fails immediately (still Busy, still
   /// retriable — unpinning any page unblocks the next attempt).
   std::chrono::milliseconds pin_wait_timeout{50};
+
+  /// How many times a disk read/write that fails with a *transient* status
+  /// (see Status::IsTransient) is re-issued before the failure is surfaced.
+  /// The bounded retry absorbs the FaultInjector's transient I/O errors so
+  /// they never reach query results; corruption is surfaced immediately for
+  /// the degradation path to handle.
+  size_t max_transient_retries = 3;
 };
 
 /// Database buffer: a fixed number of page frames over the simulated disk
@@ -83,6 +90,13 @@ class BufferPool {
   /// Requires mu_ held; NoSpace means "every frame currently pinned" and is
   /// translated into a wait by FetchPage.
   Result<size_t> GetVictimFrame();
+
+  /// Reads `page_id` into `out`, retrying transient failures up to
+  /// `options_.max_transient_retries` times. Requires mu_ held.
+  Status ReadWithRetry(PageId page_id, Page* out);
+
+  /// Writes `page` back, retrying transient failures. Requires mu_ held.
+  Status WriteWithRetry(PageId page_id, const Page& page);
 
   DiskManager* disk_;
   size_t capacity_;

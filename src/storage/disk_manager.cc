@@ -5,7 +5,21 @@
 namespace aib {
 
 DiskManager::DiskManager(uint32_t page_size, Metrics* metrics)
-    : page_size_(page_size), metrics_(metrics) {}
+    : page_size_(page_size), metrics_(metrics), injector_(metrics) {}
+
+namespace {
+
+Status FaultStatus(FaultKind kind, FaultOp op) {
+  const bool read = op == FaultOp::kRead;
+  if (kind == FaultKind::kTransient) {
+    return Status::IoError(read ? "injected transient read fault"
+                                : "injected transient write fault");
+  }
+  return Status::Corruption(read ? "injected read fault"
+                                 : "injected write fault");
+}
+
+}  // namespace
 
 PageId DiskManager::AllocatePage() {
   std::lock_guard<std::mutex> lock(mu_);
@@ -18,9 +32,9 @@ Status DiskManager::ReadPage(PageId page_id, Page* out) {
   if (page_id >= pages_.size()) {
     return Status::InvalidArgument("read of unallocated page");
   }
-  if (read_faults_ > 0) {
-    --read_faults_;
-    return Status::Corruption("injected read fault");
+  const FaultDecision fault = injector_.Decide(FaultOp::kRead);
+  if (fault.kind != FaultKind::kNone) {
+    return FaultStatus(fault.kind, FaultOp::kRead);
   }
   std::memcpy(out->mutable_raw().data(), pages_[page_id]->raw().data(),
               page_size_);
@@ -33,9 +47,9 @@ Status DiskManager::WritePage(PageId page_id, const Page& page) {
   if (page_id >= pages_.size()) {
     return Status::InvalidArgument("write of unallocated page");
   }
-  if (write_faults_ > 0) {
-    --write_faults_;
-    return Status::Corruption("injected write fault");
+  const FaultDecision fault = injector_.Decide(FaultOp::kWrite);
+  if (fault.kind != FaultKind::kNone) {
+    return FaultStatus(fault.kind, FaultOp::kWrite);
   }
   std::memcpy(pages_[page_id]->mutable_raw().data(), page.raw().data(),
               page_size_);

@@ -9,6 +9,7 @@
 #include "common/metrics.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "storage/fault_injector.h"
 #include "storage/page.h"
 
 namespace aib {
@@ -57,29 +58,31 @@ class DiskManager {
   /// pool.
   const Page& PeekPage(PageId page_id) const { return *pages_[page_id]; }
 
-  // --- Fault injection (tests only) ----------------------------------------
+  // --- Fault injection ------------------------------------------------------
 
-  /// Makes the next `count` ReadPage calls fail with Corruption. Used by
-  /// the error-path tests to verify that I/O failures propagate as Status
-  /// through every layer instead of crashing or corrupting state.
+  /// The programmable fault source every ReadPage/WritePage consults. Tests
+  /// and the shell arm it with a seed and per-operation rates; chaos runs
+  /// replay bit-identically for a given seed.
+  FaultInjector& fault_injector() { return injector_; }
+
+  /// Makes the next `count` ReadPage calls fail with Corruption. Thin shim
+  /// over the FaultInjector's deterministic one-shot counters, kept for the
+  /// pre-injector error-path tests.
   void InjectReadFaults(size_t count) {
-    std::lock_guard<std::mutex> lock(mu_);
-    read_faults_ = count;
+    injector_.InjectOneShot(FaultOp::kRead, count);
   }
 
   /// Makes the next `count` WritePage calls fail with Corruption.
   void InjectWriteFaults(size_t count) {
-    std::lock_guard<std::mutex> lock(mu_);
-    write_faults_ = count;
+    injector_.InjectOneShot(FaultOp::kWrite, count);
   }
 
  private:
   uint32_t page_size_;
   Metrics* metrics_;  // not owned; may be null
+  FaultInjector injector_;
   mutable std::mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
-  size_t read_faults_ = 0;
-  size_t write_faults_ = 0;
 };
 
 }  // namespace aib

@@ -1,0 +1,61 @@
+#include "storage/fault_injector.h"
+
+namespace aib {
+
+thread_local int FaultInjector::suspend_depth_ = 0;
+
+void FaultInjector::Arm(const FaultInjectorOptions& options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = true;
+  options_ = options;
+  rng_ = Rng(options.seed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_ = false;
+  one_shot_read_ = 0;
+  one_shot_write_ = 0;
+}
+
+void FaultInjector::InjectOneShot(FaultOp op, size_t count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (op == FaultOp::kRead ? one_shot_read_ : one_shot_write_) = count;
+}
+
+FaultDecision FaultInjector::Decide(FaultOp op) {
+  if (Suspended()) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t& one_shot = op == FaultOp::kRead ? one_shot_read_ : one_shot_write_;
+  if (one_shot > 0) {
+    --one_shot;
+    ++faults_injected_;
+    if (metrics_ != nullptr) metrics_->Increment(kMetricFaultsInjected);
+    return {FaultKind::kCorruption, 0};
+  }
+  if (!armed_) return {};
+
+  FaultDecision decision;
+  const double fail_rate = op == FaultOp::kRead ? options_.read_fault_rate
+                                                : options_.write_fault_rate;
+  // Both draws are always consumed so the stream replays for a given seed
+  // regardless of rates.
+  const bool fail = rng_.Bernoulli(fail_rate);
+  const bool corrupt = rng_.Bernoulli(options_.corruption_fraction);
+  const bool slow = rng_.Bernoulli(options_.latency_rate);
+  if (fail) {
+    decision.kind = corrupt ? FaultKind::kCorruption : FaultKind::kTransient;
+    ++faults_injected_;
+    if (metrics_ != nullptr) metrics_->Increment(kMetricFaultsInjected);
+  }
+  if (slow) {
+    decision.latency_ticks = options_.latency_ticks;
+    if (metrics_ != nullptr) {
+      metrics_->Increment(kMetricFaultLatencyTicks,
+                          static_cast<int64_t>(options_.latency_ticks));
+    }
+  }
+  return decision;
+}
+
+}  // namespace aib

@@ -1,0 +1,118 @@
+#ifndef AIB_STORAGE_FAULT_INJECTOR_H_
+#define AIB_STORAGE_FAULT_INJECTOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+#include "common/metrics.h"
+#include "common/rng.h"
+
+namespace aib {
+
+/// The disk operation a fault decision applies to.
+enum class FaultOp { kRead, kWrite };
+
+/// What the injector decided for one operation.
+enum class FaultKind : uint8_t {
+  kNone = 0,
+  /// Fails with Status::IoError; re-issuing the operation is expected to
+  /// succeed (subject to independent redraws). Retry policy lives in the
+  /// buffer pool.
+  kTransient,
+  /// Fails with Status::Corruption; never retried. Triggers partition
+  /// quarantine / degraded execution upstream.
+  kCorruption,
+};
+
+struct FaultDecision {
+  FaultKind kind = FaultKind::kNone;
+  /// Extra simulated latency charged to the latency-ticks metric even when
+  /// the operation itself succeeds (models a slow, not failed, device).
+  uint64_t latency_ticks = 0;
+};
+
+/// Probabilities and shape of the injected fault stream. All draws come from
+/// one seeded Rng, so a chaos run replays bit-identically for a given seed
+/// and operation sequence.
+struct FaultInjectorOptions {
+  uint64_t seed = 1;
+  /// Per-ReadPage / per-WritePage probability of failing the operation.
+  double read_fault_rate = 0.0;
+  double write_fault_rate = 0.0;
+  /// Of the injected failures, this fraction is corruption; the rest are
+  /// transient I/O errors.
+  double corruption_fraction = 0.5;
+  /// Per-operation probability of charging `latency_ticks` of extra
+  /// simulated latency (independent of failure).
+  double latency_rate = 0.0;
+  uint64_t latency_ticks = 10;
+};
+
+/// Seeded, programmable fault source consulted by DiskManager on every page
+/// transfer. Replaces the old ad-hoc one-shot counters (which survive as
+/// deterministic overrides checked before the probabilistic draw, so legacy
+/// tests keep their exact semantics).
+///
+/// Thread-safe: one internal mutex guards the Rng and counters. This sits on
+/// the disk path, which is already serialized by the DiskManager latch, so
+/// the extra lock adds no real contention.
+class FaultInjector {
+ public:
+  explicit FaultInjector(Metrics* metrics = nullptr) : metrics_(metrics) {}
+
+  /// Starts (or re-seeds) probabilistic injection.
+  void Arm(const FaultInjectorOptions& options);
+
+  /// Stops probabilistic injection. One-shot counters are cleared too.
+  void Disarm();
+
+  bool armed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return armed_;
+  }
+
+  /// Legacy deterministic faults: the next `count` operations of the given
+  /// kind fail with corruption. Checked before any probabilistic draw.
+  void InjectOneShot(FaultOp op, size_t count);
+
+  /// Decides the fate of one disk operation. Draws are consumed even for
+  /// kNone so the fault stream is a pure function of (seed, op sequence).
+  FaultDecision Decide(FaultOp op);
+
+  /// Total faults injected (one-shot + probabilistic) since construction.
+  size_t faults_injected() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return faults_injected_;
+  }
+
+  /// RAII suspension of injection on the current thread. Used by consistency
+  /// re-checks during quarantine repair: the checker walks the table through
+  /// the same disk path, and a fresh injected fault there would make the
+  /// verdict about the injector, not the buffer.
+  class ScopedSuspend {
+   public:
+    ScopedSuspend() { ++suspend_depth_; }
+    ~ScopedSuspend() { --suspend_depth_; }
+    ScopedSuspend(const ScopedSuspend&) = delete;
+    ScopedSuspend& operator=(const ScopedSuspend&) = delete;
+  };
+
+ private:
+  static bool Suspended() { return suspend_depth_ > 0; }
+
+  static thread_local int suspend_depth_;
+
+  Metrics* metrics_;  // not owned; may be null
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  FaultInjectorOptions options_;
+  Rng rng_;
+  size_t one_shot_read_ = 0;
+  size_t one_shot_write_ = 0;
+  size_t faults_injected_ = 0;
+};
+
+}  // namespace aib
+
+#endif  // AIB_STORAGE_FAULT_INJECTOR_H_

@@ -179,11 +179,12 @@ IndexTuner* Catalog::GetTuner(const Table* table, ColumnId column) const {
   return it == state->tuners.end() ? nullptr : it->second.get();
 }
 
-Result<QueryResult> Catalog::Execute(Table* table, const Query& query) {
+Result<QueryResult> Catalog::Execute(Table* table, const Query& query,
+                                     const QueryControl* control) {
   TableState* state = StateOf(table);
   if (state == nullptr) return Status::InvalidArgument("unknown table");
   AIB_ASSIGN_OR_RETURN(QueryResult result,
-                       state->executor->Execute(query));
+                       state->executor->Execute(query, control));
   if (query.IsPoint()) {
     if (IndexTuner* tuner = GetTuner(table, query.column); tuner != nullptr) {
       tuner->OnQuery(query.lo);

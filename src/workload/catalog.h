@@ -49,6 +49,9 @@ class Catalog {
   Metrics& metrics() { return metrics_; }
   IndexBufferSpace* space() { return space_.get(); }
   BufferPool& buffer_pool() { return *pool_; }
+  /// The shared disk manager — exposed so tools/tests can arm its
+  /// FaultInjector (chaos mode).
+  DiskManager& disk() { return *disk_; }
 
   /// Creates an empty table. AlreadyExists if the name is taken.
   Result<Table*> CreateTable(const std::string& name, Schema schema);
@@ -91,8 +94,11 @@ class Catalog {
   // --- Queries --------------------------------------------------------------
 
   /// Executes with access-path selection on `table`; steps the column's
-  /// tuner if one is attached (point queries only).
-  Result<QueryResult> Execute(Table* table, const Query& query);
+  /// tuner if one is attached (point queries only). `control` (optional)
+  /// carries a deadline/cancellation token checked cooperatively during
+  /// execution.
+  Result<QueryResult> Execute(Table* table, const Query& query,
+                              const QueryControl* control = nullptr);
 
   Result<QueryResult> FullScan(Table* table, const Query& query);
   Result<QueryResult> IndexScan(Table* table, const Query& query);

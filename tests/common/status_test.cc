@@ -23,6 +23,30 @@ TEST(StatusTest, FactoryCodesRoundTrip) {
   EXPECT_TRUE(Status::Internal().IsInternal());
 }
 
+TEST(StatusTest, RobustnessCodesRoundTrip) {
+  EXPECT_TRUE(Status::IoError().IsIoError());
+  EXPECT_TRUE(Status::Timeout().IsTimeout());
+  EXPECT_TRUE(Status::Cancelled().IsCancelled());
+  EXPECT_EQ(Status::IoError("disk hiccup").ToString(),
+            "IoError: disk hiccup");
+  EXPECT_EQ(Status::Timeout("deadline exceeded").ToString(),
+            "Timeout: deadline exceeded");
+  EXPECT_EQ(Status::Cancelled("caller gave up").ToString(),
+            "Cancelled: caller gave up");
+}
+
+TEST(StatusTest, TransienceClassification) {
+  // Retry-worthy: the operation may succeed if simply re-issued.
+  EXPECT_TRUE(Status::IoError().IsTransient());
+  EXPECT_TRUE(Status::Busy().IsTransient());
+  // Not retry-worthy: data-level damage or a caller-side decision.
+  EXPECT_FALSE(Status::Corruption().IsTransient());
+  EXPECT_FALSE(Status::Timeout().IsTransient());
+  EXPECT_FALSE(Status::Cancelled().IsTransient());
+  EXPECT_FALSE(Status::NotFound().IsTransient());
+  EXPECT_FALSE(Status::Ok().IsTransient());
+}
+
 TEST(StatusTest, MessagePreserved) {
   Status s = Status::NotFound("missing thing");
   EXPECT_EQ(s.message(), "missing thing");

@@ -130,6 +130,65 @@ TEST_F(ShellTest, ConjunctiveQueryViaShell) {
   EXPECT_NE(Output().find("[buffer]"), std::string::npos);
 }
 
+TEST_F(ShellTest, StatsIncludesRobustnessSummary) {
+  EXPECT_TRUE(Exec("stats"));
+  EXPECT_NE(Output().find("robustness: faults_armed=no"), std::string::npos);
+  EXPECT_NE(Output().find("quarantined=0"), std::string::npos);
+}
+
+TEST_F(ShellTest, FaultArmAndDisarm) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 400 1 100 3"));
+  EXPECT_TRUE(Exec("create_index t 0 1 10"));
+  EXPECT_TRUE(Exec("fault arm 42 0.05"));
+  EXPECT_NE(Output().find("faults armed seed=42"), std::string::npos);
+  EXPECT_TRUE(Exec("stats"));
+  EXPECT_NE(Output().find("faults_armed=yes"), std::string::npos);
+  // Queries under faults still succeed: the pool retries transients and the
+  // shell re-plans whole queries on corruption, like the QueryService.
+  EXPECT_TRUE(Exec("run t 0 50 1 100 9"));
+  // The consistency audit masks injection, so it stays clean even while
+  // faults are armed at a rate that would otherwise trip its page reads.
+  EXPECT_TRUE(Exec("consistency t"));
+  EXPECT_NE(Output().find("consistent"), std::string::npos);
+  EXPECT_TRUE(Exec("fault off"));
+  EXPECT_NE(Output().find("faults disarmed"), std::string::npos);
+  out_.str("");
+  EXPECT_TRUE(Exec("stats"));
+  EXPECT_NE(Output().find("faults_armed=no"), std::string::npos);
+  EXPECT_TRUE(Exec("consistency t"));
+  EXPECT_NE(Output().find("consistent"), std::string::npos);
+}
+
+TEST_F(ShellTest, FaultCommandValidatesArguments) {
+  EXPECT_FALSE(Exec("fault"));
+  EXPECT_FALSE(Exec("fault arm"));
+  EXPECT_FALSE(Exec("fault arm 1"));
+  EXPECT_FALSE(Exec("fault sideways 1 0.5"));
+  EXPECT_FALSE(Exec("fault arm x 0.5"));
+  EXPECT_NE(Output().find("bad argument"), std::string::npos);
+}
+
+TEST_F(ShellTest, DeadlineSetAndClear) {
+  EXPECT_TRUE(Exec("deadline 250"));
+  EXPECT_NE(Output().find("deadline 250 ms"), std::string::npos);
+  EXPECT_TRUE(Exec("deadline 0"));
+  EXPECT_NE(Output().find("deadline cleared"), std::string::npos);
+  EXPECT_FALSE(Exec("deadline"));
+  EXPECT_FALSE(Exec("deadline -5"));
+}
+
+TEST_F(ShellTest, GenerousDeadlineDoesNotPerturbQueries) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 400 1 100 3"));
+  EXPECT_TRUE(Exec("create_index t 0 1 10"));
+  EXPECT_TRUE(Exec("deadline 60000"));
+  EXPECT_TRUE(Exec("query t 0 50"));
+  EXPECT_NE(Output().find("[buffer]"), std::string::npos);
+  EXPECT_TRUE(Exec("run t 0 5 11 100 9"));
+  EXPECT_NE(Output().find("mean cost"), std::string::npos);
+}
+
 TEST_F(ShellTest, RunScriptCountsFailures) {
   std::istringstream script(
       "create_table t 1\n"

@@ -4,6 +4,7 @@
 
 #include "common/rng.h"
 #include "core/consistency.h"
+#include "storage/fault_injector.h"
 
 namespace aib::tools {
 
@@ -58,6 +59,30 @@ bool ShellSession::Fail(const std::string& message) {
   return false;
 }
 
+QueryControl ShellSession::MakeControl() const {
+  return deadline_.count() > 0 ? QueryControl::WithDeadline(deadline_)
+                               : QueryControl{};
+}
+
+Result<QueryResult> ShellSession::ExecuteQuery(Table* table,
+                                               const Query& query) {
+  // Same whole-query retry policy as the QueryService: transients and
+  // corruption get a fresh plan (quarantine/fallback inside the scan
+  // operators heals the buffer between attempts); Timeout/Cancelled do not.
+  Result<QueryResult> result =
+      Result<QueryResult>(Status::Internal("query not attempted"));
+  for (int attempt = 0; attempt < 4; ++attempt) {
+    const QueryControl control = MakeControl();
+    result = catalog_->Execute(table, query,
+                               deadline_.count() > 0 ? &control : nullptr);
+    if (result.ok() || (!result.status().IsTransient() &&
+                        !result.status().IsCorruption())) {
+      break;
+    }
+  }
+  return result;
+}
+
 size_t ShellSession::Run(std::istream& in) {
   size_t failures = 0;
   std::string line;
@@ -85,6 +110,8 @@ bool ShellSession::ExecuteLine(const std::string& line) {
           options.buffer.partition_pages = value;
         } else if (ParseKv(tokens[i], "tuples_per_page", &value)) {
           options.max_tuples_per_page = static_cast<uint16_t>(value);
+        } else if (ParseKv(tokens[i], "pool_pages", &value)) {
+          options.buffer_pool_pages = value;
         } else {
           return Fail("unknown config key " + tokens[i]);
         }
@@ -180,7 +207,7 @@ bool ShellSession::ExecuteLine(const std::string& line) {
       if (!ParseResiduals(tokens, base, &query)) {
         return Fail("residual predicates must be COLUMN LO HI triplets");
       }
-      Result<QueryResult> result = catalog_->Execute(table, query);
+      Result<QueryResult> result = ExecuteQuery(table, query);
       if (!result.ok()) return Fail(result.status().ToString());
       out_ << "rows=" << result->rids.size()
            << " cost=" << result->stats.cost
@@ -225,7 +252,9 @@ bool ShellSession::ExecuteLine(const std::string& line) {
       Rng rng(tokens.size() > 6 ? std::stoull(tokens[6]) : 7);
       double total_cost = 0;
       for (size_t i = 0; i < count; ++i) {
-        Result<QueryResult> result = catalog_->Execute(
+        // Each query (and each retry attempt) gets a fresh budget; a session
+        // deadline bounds the individual queries, not the whole batch.
+        Result<QueryResult> result = ExecuteQuery(
             table, Query::Point(column,
                                 static_cast<Value>(rng.UniformInt(lo, hi))));
         if (!result.ok()) return Fail(result.status().ToString());
@@ -273,8 +302,62 @@ bool ShellSession::ExecuteLine(const std::string& line) {
       return true;
     }
 
+    if (command == "fault") {
+      if (tokens.size() < 2) {
+        return Fail(
+            "fault arm SEED RATE [CORRUPT_FRACTION [LATENCY_RATE "
+            "[LATENCY_TICKS]]] | fault off");
+      }
+      FaultInjector& injector = catalog_->disk().fault_injector();
+      if (tokens[1] == "off") {
+        injector.Disarm();
+        out_ << "ok: faults disarmed\n";
+        return true;
+      }
+      if (tokens[1] != "arm" || tokens.size() < 4) {
+        return Fail(
+            "fault arm SEED RATE [CORRUPT_FRACTION [LATENCY_RATE "
+            "[LATENCY_TICKS]]] | fault off");
+      }
+      FaultInjectorOptions options;
+      options.seed = std::stoull(tokens[2]);
+      options.read_fault_rate = std::stod(tokens[3]);
+      options.write_fault_rate = options.read_fault_rate;
+      if (tokens.size() > 4) options.corruption_fraction = std::stod(tokens[4]);
+      if (tokens.size() > 5) options.latency_rate = std::stod(tokens[5]);
+      if (tokens.size() > 6) options.latency_ticks = std::stoull(tokens[6]);
+      injector.Arm(options);
+      out_ << "ok: faults armed seed=" << options.seed
+           << " rate=" << options.read_fault_rate << "\n";
+      return true;
+    }
+
+    if (command == "deadline") {
+      if (tokens.size() != 2) return Fail("deadline MS (0 clears)");
+      deadline_ = std::chrono::milliseconds(std::stoll(tokens[1]));
+      if (deadline_.count() < 0) {
+        deadline_ = std::chrono::milliseconds(0);
+        return Fail("deadline must be >= 0");
+      }
+      if (deadline_.count() == 0) {
+        out_ << "ok: deadline cleared\n";
+      } else {
+        out_ << "ok: deadline " << deadline_.count() << " ms\n";
+      }
+      return true;
+    }
+
     if (command == "stats") {
       out_ << catalog_->metrics().ToString();
+      const Metrics& metrics = catalog_->metrics();
+      out_ << "robustness: faults_armed="
+           << (catalog_->disk().fault_injector().armed() ? "yes" : "no")
+           << " faults_injected=" << metrics.Get(kMetricFaultsInjected)
+           << " transient_retries=" << metrics.Get(kMetricTransientRetries)
+           << " quarantined=" << metrics.Get(kMetricPartitionsQuarantined)
+           << " degraded=" << metrics.Get(kMetricDegradedQueries)
+           << " timed_out=" << metrics.Get(kMetricQueriesTimedOut)
+           << " cancelled=" << metrics.Get(kMetricQueriesCancelled) << "\n";
       return true;
     }
 
@@ -286,6 +369,10 @@ bool ShellSession::ExecuteLine(const std::string& line) {
         out_ << "ok: no space to check\n";
         return true;
       }
+      // The check audits engine state; mask fault injection so it does not
+      // roll the dice on its own page reads (mirrors the engine's internal
+      // post-quarantine re-check).
+      FaultInjector::ScopedSuspend suspend;
       const Status status = CheckSpaceConsistency(*table, *catalog_->space());
       if (!status.ok()) return Fail(status.ToString());
       out_ << "ok: consistent\n";

@@ -1,11 +1,13 @@
 #ifndef AIB_TOOLS_SHELL_SESSION_H_
 #define AIB_TOOLS_SHELL_SESSION_H_
 
+#include <chrono>
 #include <iostream>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/query_control.h"
 #include "workload/catalog.h"
 
 namespace aib::tools {
@@ -16,7 +18,9 @@ namespace aib::tools {
 ///
 /// Commands (one per line, `#` starts a comment):
 ///   config space_entries=N imax=N partition_pages=N tuples_per_page=N
-///                         — (re)creates the catalog; must come first
+///          pool_pages=N   — (re)creates the catalog; must come first
+///                           (a pool smaller than the table keeps reads
+///                           hitting the disk path, where faults inject)
 ///   create_table NAME INTCOLS
 ///   load_random NAME COUNT LO HI [SEED]
 ///   create_index NAME COLUMN LO HI [btree|hash|csb]
@@ -29,8 +33,16 @@ namespace aib::tools {
 ///                           COLUMN LO HI triplets add residual conjuncts
 ///   run NAME COLUMN COUNT LO HI [SEED]   — COUNT random point queries
 ///   insert NAME V1 [V2 ...]              — one tuple (payload auto)
+///   fault arm SEED RATE [CORRUPT_FRACTION [LATENCY_RATE [LATENCY_TICKS]]]
+///                         — arms the disk FaultInjector: RATE applies to
+///                           both reads and writes; `config` and
+///                           snapshot_load rebuild the catalog and disarm
+///   fault off             — disarms the injector
+///   deadline MS           — per-query deadline for query/range/run
+///                           (0 clears)
 ///   buffers                              — Index Buffer Space summary
-///   stats                                — metrics registry dump
+///   stats                                — metrics registry dump plus a
+///                                          robustness summary line
 ///   consistency NAME                     — validate buffers against NAME
 ///   snapshot_save PATH
 ///   snapshot_load PATH
@@ -53,8 +65,18 @@ class ShellSession {
  private:
   bool Fail(const std::string& message);
 
+  /// Control for one query: carries the session deadline when one is set.
+  QueryControl MakeControl() const;
+
+  /// Executes one query with the session deadline and the same whole-query
+  /// retry policy as the QueryService (retries transients and corruption,
+  /// never Timeout/Cancelled).
+  Result<QueryResult> ExecuteQuery(Table* table, const Query& query);
+
   std::ostream& out_;
   std::unique_ptr<Catalog> catalog_;
+  /// Session deadline applied to each query/range/run query; zero = none.
+  std::chrono::milliseconds deadline_{0};
 };
 
 }  // namespace aib::tools
