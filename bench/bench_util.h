@@ -18,12 +18,15 @@
 // construction; the series *shapes* are the reproduction target (see
 // EXPERIMENTS.md).
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "workload/experiment.h"
 
@@ -34,6 +37,14 @@ struct BenchArgs {
   std::string scale = "small";
   std::optional<std::string> csv_path;
   uint64_t seed = 1;
+  /// Parallel-scan worker count (--workers=N; benches that fan out).
+  size_t workers = 4;
+  /// Timed repetitions per measurement (--reps=K; median is reported).
+  int reps = 5;
+  /// JSON result sink (--json=PATH; benches that gate in CI emit one).
+  std::optional<std::string> json_path;
+  /// Exit nonzero when a regression/correctness gate fails (--check).
+  bool check = false;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -62,10 +73,18 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.csv_path = *v;
     } else if (auto v = value_of("--seed=")) {
       args.seed = std::stoull(*v);
+    } else if (auto v = value_of("--workers=")) {
+      args.workers = std::stoull(*v);
+    } else if (auto v = value_of("--reps=")) {
+      args.reps = std::stoi(*v);
+    } else if (auto v = value_of("--json=")) {
+      args.json_path = *v;
+    } else if (arg == "--check") {
+      args.check = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--scale=small|medium|paper] [--csv=PATH] "
-          "[--seed=N]\n",
+          "[--seed=N] [--workers=N] [--reps=K] [--json=PATH] [--check]\n",
           argv[0]);
       std::exit(0);
     }
@@ -101,6 +120,26 @@ inline ColumnMix PaperMix(ColumnId column, double weight = 1.0,
   mix.uncovered_lo = 5001;
   mix.uncovered_hi = 50000;
   return mix;
+}
+
+/// Runs `fn` once untimed (warmup: page cache, allocator pools, branch
+/// predictors), then `reps` timed repetitions, and returns the median
+/// wall-clock milliseconds. The median over warmed repetitions is what
+/// makes bench deltas stable enough to gate CI on.
+template <typename Fn>
+inline double MedianWallMs(int reps, Fn&& fn) {
+  fn();  // warmup
+  std::vector<double> ms;
+  ms.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const auto end = std::chrono::steady_clock::now();
+    ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  std::sort(ms.begin(), ms.end());
+  return ms[ms.size() / 2];
 }
 
 /// Opens the CSV sink if requested; returns nullptr otherwise.

@@ -12,6 +12,12 @@ void HashIndex::Insert(Value key, const Rid& rid) {
   ++entry_count_;
 }
 
+void HashIndex::Reserve(size_t expected_entries) {
+  // Upper bound: at most one bucket per entry. Avoids the rehash cascade
+  // during the bulk inserts of an indexing scan leg.
+  map_.reserve(map_.size() + expected_entries);
+}
+
 bool HashIndex::Remove(Value key, const Rid& rid) {
   auto it = map_.find(key);
   if (it == map_.end()) return false;

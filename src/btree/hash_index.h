@@ -17,6 +17,7 @@ class HashIndex final : public IndexStructure {
   HashIndex() = default;
 
   void Insert(Value key, const Rid& rid) override;
+  void Reserve(size_t expected_entries) override;
   bool Remove(Value key, const Rid& rid) override;
   size_t RemoveKey(Value key) override;
   void Lookup(Value key, std::vector<Rid>* out) const override;

@@ -22,6 +22,13 @@ class IndexStructure {
   /// callers of this library never insert duplicates.
   virtual void Insert(Value key, const Rid& rid) = 0;
 
+  /// Hints that about `expected_entries` inserts are coming so the
+  /// structure can size itself up front (an indexing scan knows the exact
+  /// count from the C[p] counters before it starts staging entries).
+  /// Purely advisory — the default does nothing, which is right for the
+  /// node-at-a-time trees.
+  virtual void Reserve(size_t expected_entries) { (void)expected_entries; }
+
   /// Removes one (key, rid) entry. Returns false if absent.
   virtual bool Remove(Value key, const Rid& rid) = 0;
 

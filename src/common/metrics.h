@@ -31,6 +31,16 @@ class Metrics {
     FindOrCreate(name)->fetch_add(delta, std::memory_order_relaxed);
   }
 
+  /// Stable handle to a counter for hot paths: resolve the name once, then
+  /// bump the atomic directly (relaxed) with no map lookup per event.
+  /// Handles stay valid for the lifetime of the Metrics object — values
+  /// are heap-allocated and never move — EXCEPT across Reset(), which
+  /// drops the counters a handle points into; re-resolve after Reset()
+  /// (engine components never Reset a live registry; only tests do).
+  std::atomic<int64_t>* Counter(const std::string& name) {
+    return FindOrCreate(name);
+  }
+
   int64_t Get(const std::string& name) const {
     const Shard& shard = ShardFor(name);
     std::shared_lock lock(shard.mu);
@@ -107,6 +117,9 @@ inline constexpr char kMetricQueriesCancelled[] = "service.queries_cancelled";
 inline constexpr char kMetricPartitionsQuarantined[] =
     "index_buffer.partitions_quarantined";
 inline constexpr char kMetricDegradedQueries[] = "exec.degraded_queries";
+inline constexpr char kMetricPrefetchHints[] = "storage.prefetch_hints";
+inline constexpr char kMetricPrefetchedPages[] =
+    "bufferpool.prefetched_pages";
 
 }  // namespace aib
 

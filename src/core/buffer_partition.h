@@ -35,6 +35,10 @@ class BufferPartition {
   /// unindexed tuples all matched the partial index already).
   void CoverPage(size_t page);
 
+  /// Sizes the underlying structure for `expected_entries` further inserts
+  /// (advisory; see IndexStructure::Reserve).
+  void Reserve(size_t expected_entries) { structure_->Reserve(expected_entries); }
+
   bool CoversPage(size_t page) const {
     return page_entries_.find(page) != page_entries_.end();
   }

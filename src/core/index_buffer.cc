@@ -11,6 +11,9 @@ IndexBuffer::IndexBuffer(const PartialIndex* index, IndexBufferOptions options,
       metrics_(metrics),
       history_(options.lru_k, options.initial_interval) {
   assert(options_.partition_pages > 0);
+  if (metrics_ != nullptr) {
+    entries_added_ = metrics_->Counter(kMetricIbEntriesAdded);
+  }
 }
 
 Status IndexBuffer::InitCounters() {
@@ -25,8 +28,27 @@ BufferPartition* IndexBuffer::GetOrCreatePartition(size_t page) {
              .emplace(id, std::make_unique<BufferPartition>(
                               id, options_.structure))
              .first;
+    if (auto hint = reserve_hints_.find(id); hint != reserve_hints_.end()) {
+      it->second->Reserve(hint->second);
+      reserve_hints_.erase(hint);
+    }
   }
   return it->second.get();
+}
+
+void IndexBuffer::SetReserveHints(const std::vector<size_t>& selected_pages) {
+  reserve_hints_.clear();
+  for (size_t page : selected_pages) {
+    reserve_hints_[PartitionIdFor(page)] += counters_.Get(page);
+  }
+  for (auto it = reserve_hints_.begin(); it != reserve_hints_.end();) {
+    if (auto part = partitions_.find(it->first); part != partitions_.end()) {
+      part->second->Reserve(it->second);
+      it = reserve_hints_.erase(it);
+    } else {
+      ++it;
+    }
+  }
 }
 
 const BufferPartition* IndexBuffer::FindPartitionForPage(size_t page) const {
@@ -41,7 +63,9 @@ bool IndexBuffer::PageInBuffer(size_t page) const {
 
 void IndexBuffer::AddTuple(size_t page, Value value, const Rid& rid) {
   GetOrCreatePartition(page)->AddEntry(page, value, rid);
-  if (metrics_ != nullptr) metrics_->Increment(kMetricIbEntriesAdded);
+  if (entries_added_ != nullptr) {
+    entries_added_->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 bool IndexBuffer::RemoveTuple(size_t page, Value value, const Rid& rid) {

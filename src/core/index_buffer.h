@@ -1,6 +1,7 @@
 #ifndef AIB_CORE_INDEX_BUFFER_H_
 #define AIB_CORE_INDEX_BUFFER_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <vector>
@@ -86,6 +87,15 @@ class IndexBuffer {
   /// with its partition (Algorithm 1, line 17).
   void MarkPageIndexed(size_t page);
 
+  /// Sizes partition structures ahead of a bulk insert: for the pages an
+  /// indexing scan is about to cover, C[p] bounds the entries each page
+  /// will add, so the per-partition totals are known up front. Existing
+  /// partitions reserve immediately; partitions that do not exist yet get
+  /// a pending hint applied on creation (they are *not* pre-created —
+  /// PartitionCount feeds the benefit model and must only count partitions
+  /// that hold state). Hints are consumed on use and cleared on each call.
+  void SetReserveHints(const std::vector<size_t>& selected_pages);
+
   // --- Scans ---------------------------------------------------------------
 
   /// Point probe across all partitions. Counts one probe per partition.
@@ -134,6 +144,11 @@ class IndexBuffer {
   const PartialIndex* index_;
   IndexBufferOptions options_;
   Metrics* metrics_;
+  /// Cached handle for the AddTuple hot path (null when metrics_ is null);
+  /// bulk inserts bump one relaxed atomic instead of a registry lookup.
+  std::atomic<int64_t>* entries_added_ = nullptr;
+  /// partition id -> expected further entries; see SetReserveHints.
+  std::map<size_t, size_t> reserve_hints_;
   PageCounters counters_;
   LruKHistory history_;
   /// partition id -> partition.

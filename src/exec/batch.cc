@@ -1,0 +1,34 @@
+#include "exec/batch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+
+namespace aib {
+
+size_t RefineSelection(const std::vector<ColumnPredicate>& predicates,
+                       TupleBatch* batch) {
+  assert(batch->lanes.size() >= predicates.size());
+  for (size_t i = 0; i < predicates.size(); ++i) {
+    if (batch->sel.empty()) break;
+    RefineSelectionInRange(batch->lanes[i], predicates[i].lo,
+                           predicates[i].hi, &batch->sel);
+  }
+  return batch->sel.size();
+}
+
+bool EmitRidChunk(const std::vector<Rid>& rids, size_t* cursor,
+                  bool needs_fetch, TupleBatch* out) {
+  out->Clear();
+  if (*cursor >= rids.size()) return false;
+  const size_t count =
+      std::min(TupleBatch::kCapacity, rids.size() - *cursor);
+  out->rids.assign(rids.begin() + static_cast<std::ptrdiff_t>(*cursor),
+                   rids.begin() + static_cast<std::ptrdiff_t>(*cursor + count));
+  *cursor += count;
+  out->SetIdentitySelection();
+  out->needs_fetch = needs_fetch;
+  return true;
+}
+
+}  // namespace aib

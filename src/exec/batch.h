@@ -1,0 +1,103 @@
+#ifndef AIB_EXEC_BATCH_H_
+#define AIB_EXEC_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "exec/query.h"
+
+namespace aib {
+
+/// A batch of record references flowing up the operator tree, the unit of
+/// the vectorized execution model: a column of rids, optional key lanes
+/// (one lane per predicate column, parallel to `rids`, filled by scans
+/// that just read the tuples), and an explicit selection vector.
+///
+/// The selection vector (`sel`) holds indices into `rids`; only selected
+/// entries are live. Scans fill a page's worth of rids with the identity
+/// selection and predicates *refine* `sel` in place with the branch-free
+/// kernels below instead of branching per tuple. Operators that emit
+/// already-qualified rids (index/buffer probes) use the identity selection.
+///
+/// `kCapacity` is a soft bound: producers chunk their output near it, but a
+/// page's tuples never split across batches — page granularity is what the
+/// morsel layer's deterministic merge relies on.
+struct TupleBatch {
+  static constexpr size_t kCapacity = 1024;
+
+  std::vector<Rid> rids;
+  /// Key lanes, parallel to `rids`. Scans fill one lane per predicate
+  /// column; rid-only producers leave this empty.
+  std::vector<std::vector<Value>> lanes;
+  /// Selection vector: indices into `rids`, ascending. Only these entries
+  /// are live.
+  std::vector<uint32_t> sel;
+  /// True when the tuples behind the selected rids have not been read yet
+  /// (index/buffer probe output); Materialize fetches them.
+  bool needs_fetch = false;
+
+  size_t ActiveCount() const { return sel.size(); }
+  bool Empty() const { return sel.empty(); }
+
+  /// Empties the batch but keeps lane capacity: scans reuse one batch per
+  /// morsel, and reallocating the lanes per page costs more than the
+  /// predicate evaluation itself.
+  void Clear() {
+    rids.clear();
+    for (std::vector<Value>& lane : lanes) lane.clear();
+    sel.clear();
+    needs_fetch = false;
+  }
+
+  /// sel = [0, rids.size()): everything selected.
+  void SetIdentitySelection() {
+    sel.resize(rids.size());
+    for (uint32_t i = 0; i < static_cast<uint32_t>(rids.size()); ++i) {
+      sel[i] = i;
+    }
+  }
+
+  /// Appends the selected rids to `out` in selection order.
+  void AppendSelectedTo(std::vector<Rid>* out) const {
+    for (const uint32_t index : sel) out->push_back(rids[index]);
+  }
+};
+
+/// Branch-free selection refinement: keeps only the entries of `sel` whose
+/// lane value falls in [lo, hi]. The loop body is a compare-and-advance
+/// with no data-dependent branch — the store happens unconditionally and
+/// the cursor advances by the comparison result — which is what lets the
+/// compiler vectorize the scan's predicate evaluation. Returns the new
+/// selection count. `sel` order (ascending) is preserved, so refined
+/// batches emit rids in exactly the order a per-tuple scan would.
+inline size_t RefineSelectionInRange(const std::vector<Value>& lane, Value lo,
+                                     Value hi, std::vector<uint32_t>* sel) {
+  size_t kept = 0;
+  std::vector<uint32_t>& s = *sel;
+  for (size_t i = 0; i < s.size(); ++i) {
+    const uint32_t index = s[i];
+    const Value v = lane[index];
+    s[kept] = index;
+    kept += static_cast<size_t>(v >= lo) & static_cast<size_t>(v <= hi);
+  }
+  s.resize(kept);
+  return kept;
+}
+
+/// Refines `batch->sel` through every predicate, lane i against
+/// predicates[i]. Requires one lane per predicate.
+size_t RefineSelection(const std::vector<ColumnPredicate>& predicates,
+                       TupleBatch* batch);
+
+/// Chunked emission helper for operators that hold a fully materialized rid
+/// list (probe pipelines, the staged legs of IndexingTableScan): moves up
+/// to TupleBatch::kCapacity rids starting at `*cursor` into `out` with the
+/// identity selection, advancing the cursor. Returns false when the cursor
+/// is at the end (out left cleared).
+bool EmitRidChunk(const std::vector<Rid>& rids, size_t* cursor,
+                  bool needs_fetch, TupleBatch* out);
+
+}  // namespace aib
+
+#endif  // AIB_EXEC_BATCH_H_

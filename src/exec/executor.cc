@@ -38,7 +38,8 @@ Result<QueryResult> Executor::ExecutePlan(PhysicalPlan* plan,
     std::unique_lock<std::shared_mutex> latch(space_->latch());
     space_->OnQuery(plan->driver_index(), plan->driver_hit());
   }
-  Result<QueryResult> result = plan->Run(cost_model_, control);
+  Result<QueryResult> result =
+      plan->Run(cost_model_, control, dispatcher_, parallel_options_);
   if (metrics_ != nullptr) {
     if (!result.ok() && result.status().IsTimeout()) {
       metrics_->Increment(kMetricQueriesTimedOut);
@@ -58,7 +59,8 @@ Result<QueryResult> Executor::Execute(const Query& query,
 }
 
 Result<QueryResult> Executor::FullScan(const Query& query) {
-  return planner_.PlanFullScan(query)->Run(cost_model_);
+  return planner_.PlanFullScan(query)->Run(cost_model_, nullptr, dispatcher_,
+                                           parallel_options_);
 }
 
 Result<QueryResult> Executor::IndexScan(const Query& query) {

@@ -58,6 +58,21 @@ class Executor {
 
   const CostModel& cost_model() const { return cost_model_; }
 
+  /// Enables morsel-parallel scans for every execution through this
+  /// facade. `dispatcher` is borrowed and must outlive the Executor; null
+  /// reverts to serial scans. Results and cost-model stats are identical
+  /// to serial execution for any worker count (see exec/morsel.h).
+  void SetParallelScan(MorselDispatcher* dispatcher,
+                       ParallelScanOptions options = {}) {
+    dispatcher_ = dispatcher;
+    parallel_options_ = options;
+  }
+
+  MorselDispatcher* parallel_dispatcher() const { return dispatcher_; }
+  const ParallelScanOptions& parallel_options() const {
+    return parallel_options_;
+  }
+
   /// Executes `query` through access-path selection. `control`, when
   /// non-null, imposes the caller's deadline/cancellation on the execution
   /// (timed-out and cancelled executions are counted in the metrics).
@@ -88,6 +103,8 @@ class Executor {
   Metrics* metrics_;
   Planner planner_;
   std::map<ColumnId, PartialIndex*> indexes_;
+  MorselDispatcher* dispatcher_ = nullptr;
+  ParallelScanOptions parallel_options_;
 };
 
 }  // namespace aib

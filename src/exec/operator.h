@@ -8,9 +8,29 @@
 #include "common/query_control.h"
 #include "common/result.h"
 #include "common/types.h"
+#include "exec/batch.h"
 #include "storage/table.h"
 
 namespace aib {
+
+class MorselDispatcher;
+
+/// Knobs of the morsel-parallel scan path (see exec/morsel.h). Threaded
+/// through ExecContext; scans fall back to the serial batch loop when no
+/// dispatcher is configured or the table is below the parallel floor.
+struct ParallelScanOptions {
+  /// Pages per morsel. Morsels are aligned so none spans an Index Buffer
+  /// partition boundary.
+  size_t morsel_pages = 32;
+  /// Tables smaller than this many pages scan serially even with a
+  /// dispatcher: the fan-out overhead outweighs a few pages of work.
+  size_t min_pages_for_parallel = 64;
+  /// Issue a buffer-pool prefetch for the next page of a morsel while the
+  /// current one is processed. Off by default: prefetch reads bypass the
+  /// fault injector (suspended, so no draws are consumed), but benches are
+  /// the only place the readahead win matters.
+  bool prefetch = false;
+};
 
 /// Per-operator execution statistics, aggregated into QueryStats by the
 /// plan and rendered per node by ExplainPlan().
@@ -47,6 +67,9 @@ struct ExecContext {
   /// Deadline/cancellation context; null when the caller set no budget.
   /// Operators with long Open/Next phases consult it cooperatively.
   const QueryControl* control = nullptr;
+  /// Morsel dispatcher for intra-query parallel scans; null = serial.
+  MorselDispatcher* dispatcher = nullptr;
+  ParallelScanOptions parallel;
   std::unordered_set<PageId> fetched_pages;
 
   /// Fetches the tuples behind `rids`; charges each page not yet fetched
@@ -60,26 +83,15 @@ struct ExecContext {
   }
 };
 
-/// A batch of rids flowing up the operator tree. `needs_fetch` marks rids
-/// whose tuples have not been read yet (index/buffer probes); Materialize
-/// fetches those. Scan output was read in place and needs no fetch.
-struct Batch {
-  std::vector<Rid> rids;
-  bool needs_fetch = false;
-
-  void Clear() {
-    rids.clear();
-    needs_fetch = false;
-  }
-};
-
-/// The Volcano-style physical operator interface: Open / Next-batch /
-/// Close, with per-operator stats and child links for plan rendering.
+/// The Volcano-style physical operator interface, batch-at-a-time: Open /
+/// NextBatch / Close, with per-operator stats and child links for plan
+/// rendering. Batches carry a selection vector (see exec/batch.h); parents
+/// consume only the selected entries.
 ///
-/// Lifecycle: Open(ctx) once, Next(&batch) until it returns false, Close()
-/// once (also on error paths — Close must be safe after a failed Open).
-/// Operators own their children and are single-use: a plan executes once
-/// and afterwards serves only ExplainPlan().
+/// Lifecycle: Open(ctx) once, NextBatch(&batch) until it returns false,
+/// Close() once (also on error paths — Close must be safe after a failed
+/// Open). Operators own their children and are single-use: a plan executes
+/// once and afterwards serves only ExplainPlan().
 class PhysicalOperator {
  public:
   virtual ~PhysicalOperator() = default;
@@ -94,7 +106,7 @@ class PhysicalOperator {
 
   /// Fills `out` with the next batch; returns false when exhausted.
   /// `out` is cleared by the callee.
-  virtual Result<bool> Next(Batch* out) = 0;
+  virtual Result<bool> NextBatch(TupleBatch* out) = 0;
 
   virtual Status Close() = 0;
 

@@ -3,6 +3,8 @@
 #include <sstream>
 
 #include "core/consistency.h"
+#include "exec/batch.h"
+#include "exec/morsel.h"
 #include "storage/fault_injector.h"
 
 namespace aib {
@@ -46,22 +48,38 @@ std::string FullTableScan::Describe() const {
   return PredicatesToString(predicates_);
 }
 
-Status FullTableScan::Open(ExecContext*) {
+Status FullTableScan::Open(ExecContext* ctx) {
   next_page_ = 0;
+  cursor_ = 0;
+  rids_.clear();
+  columns_ = PredicateColumns(predicates_);
+  eager_ = ctx->dispatcher != nullptr &&
+           ctx->dispatcher->worker_count() > 1 &&
+           table_->PageCount() >= ctx->parallel.min_pages_for_parallel;
+  if (eager_) {
+    size_t pages = 0;
+    const Status scan =
+        MorselPlainScan(*table_, predicates_, *ctx, &rids_, &pages);
+    // On failure rids_/pages hold the serial prefix before the failing
+    // page, so the stats match a streaming scan that died on that page.
+    stats_.pages_scanned += pages;
+    stats_.rows_out += rids_.size();
+    AIB_RETURN_IF_ERROR(scan);
+  }
   return Status::Ok();
 }
 
-Result<bool> FullTableScan::Next(Batch* out) {
+Result<bool> FullTableScan::NextBatch(TupleBatch* out) {
   out->Clear();
+  if (eager_) {
+    return EmitRidChunk(rids_, &cursor_, /*needs_fetch=*/false, out);
+  }
   if (next_page_ >= table_->PageCount()) return false;
-  const Schema& schema = table_->schema();
-  AIB_RETURN_IF_ERROR(table_->heap().ForEachTupleOnPage(
-      next_page_, [&](const Rid& rid, const Tuple& tuple) {
-        if (MatchesAll(tuple, schema, predicates_)) out->rids.push_back(rid);
-      }));
+  AIB_RETURN_IF_ERROR(LoadPageBatch(*table_, next_page_, columns_, out));
+  RefineSelection(predicates_, out);
   ++next_page_;
   ++stats_.pages_scanned;
-  stats_.rows_out += out->rids.size();
+  stats_.rows_out += out->ActiveCount();
   return true;
 }
 
@@ -78,23 +96,28 @@ std::string PartialIndexProbe::Describe() const {
 }
 
 Status PartialIndexProbe::Open(ExecContext*) {
-  done_ = false;
+  probed_ = false;
+  pending_.clear();
+  cursor_ = 0;
   return Status::Ok();
 }
 
-Result<bool> PartialIndexProbe::Next(Batch* out) {
+Result<bool> PartialIndexProbe::NextBatch(TupleBatch* out) {
   out->Clear();
-  if (done_) return false;
-  done_ = true;
-  if (lo_ == hi_) {
-    index_->Lookup(lo_, &out->rids);
-  } else {
-    index_->Scan(lo_, hi_,
-                 [&](Value, const Rid& rid) { out->rids.push_back(rid); });
+  if (!probed_) {
+    probed_ = true;
+    if (lo_ == hi_) {
+      index_->Lookup(lo_, &pending_);
+    } else {
+      index_->Scan(lo_, hi_,
+                   [&](Value, const Rid& rid) { pending_.push_back(rid); });
+    }
+    ++stats_.ix_probes;
   }
-  ++stats_.ix_probes;
-  stats_.rows_out += out->rids.size();
-  out->needs_fetch = true;
+  if (!EmitRidChunk(pending_, &cursor_, /*needs_fetch=*/true, out)) {
+    return false;
+  }
+  stats_.rows_out += out->ActiveCount();
   return true;
 }
 
@@ -113,26 +136,31 @@ Status IndexBufferProbe::Open(ExecContext*) {
   if (buffer_ == nullptr) {
     return Status::Internal("IndexBufferProbe opened without a bound buffer");
   }
-  done_ = false;
+  probed_ = false;
+  pending_.clear();
+  cursor_ = 0;
   // The historical stat: partitions present when the query arrived, before
   // Algorithm 2 drops any.
   stats_.buffer_probes += buffer_->PartitionCount();
   return Status::Ok();
 }
 
-Result<bool> IndexBufferProbe::Next(Batch* out) {
+Result<bool> IndexBufferProbe::NextBatch(TupleBatch* out) {
   out->Clear();
-  if (done_) return false;
-  done_ = true;
-  if (lo_ == hi_) {
-    buffer_->Lookup(lo_, &out->rids);
-  } else {
-    buffer_->Scan(lo_, hi_,
-                  [&](Value, const Rid& rid) { out->rids.push_back(rid); });
+  if (!probed_) {
+    probed_ = true;
+    if (lo_ == hi_) {
+      buffer_->Lookup(lo_, &pending_);
+    } else {
+      buffer_->Scan(lo_, hi_,
+                    [&](Value, const Rid& rid) { pending_.push_back(rid); });
+    }
+    stats_.buffer_matches += pending_.size();
   }
-  stats_.buffer_matches += out->rids.size();
-  stats_.rows_out += out->rids.size();
-  out->needs_fetch = true;
+  if (!EmitRidChunk(pending_, &cursor_, /*needs_fetch=*/true, out)) {
+    return false;
+  }
+  stats_.rows_out += out->ActiveCount();
   return true;
 }
 
@@ -154,30 +182,35 @@ std::string CoveredOnSkippedFetch::Describe() const {
 }
 
 Status CoveredOnSkippedFetch::Open(ExecContext*) {
-  done_ = false;
+  probed_ = false;
+  pending_.clear();
+  cursor_ = 0;
   return Status::Ok();
 }
 
-Result<bool> CoveredOnSkippedFetch::Next(Batch* out) {
+Result<bool> CoveredOnSkippedFetch::NextBatch(TupleBatch* out) {
   out->Clear();
-  if (done_) return false;
-  done_ = true;
-  const std::vector<bool>& skipped = *skipped_;
-  Status page_status = Status::Ok();
-  index_->Scan(lo_, hi_, [&](Value, const Rid& rid) {
-    Result<size_t> page = table_->PageNumberOf(rid);
-    if (!page.ok()) {
-      page_status = page.status();
-      return;
-    }
-    if (page.value() < skipped.size() && skipped[page.value()]) {
-      out->rids.push_back(rid);
-    }
-  });
-  AIB_RETURN_IF_ERROR(page_status);
-  ++stats_.ix_probes;
-  stats_.rows_out += out->rids.size();
-  out->needs_fetch = true;
+  if (!probed_) {
+    probed_ = true;
+    const std::vector<bool>& skipped = *skipped_;
+    Status page_status = Status::Ok();
+    index_->Scan(lo_, hi_, [&](Value, const Rid& rid) {
+      Result<size_t> page = table_->PageNumberOf(rid);
+      if (!page.ok()) {
+        page_status = page.status();
+        return;
+      }
+      if (page.value() < skipped.size() && skipped[page.value()]) {
+        pending_.push_back(rid);
+      }
+    });
+    AIB_RETURN_IF_ERROR(page_status);
+    ++stats_.ix_probes;
+  }
+  if (!EmitRidChunk(pending_, &cursor_, /*needs_fetch=*/true, out)) {
+    return false;
+  }
+  stats_.rows_out += out->ActiveCount();
   return true;
 }
 
@@ -217,7 +250,9 @@ Status IndexingTableScan::Open(ExecContext* ctx) {
   // The whole miss path mutates adaptive state — buffer creation, C[p]
   // counters, partition drops, space accounting — so it runs under the
   // space's exclusive latch until Close. Concurrent misses serialize here;
-  // concurrent covered queries never take it and proceed in parallel.
+  // concurrent covered queries never take it and proceed in parallel. The
+  // morsel workers of the scan leg never touch this latch (they are
+  // read-only), so fanning out while holding it is deadlock-free.
   latch_ = std::unique_lock<std::shared_mutex>(space_->latch());
 
   IndexBuffer* buffer = space_->GetBuffer(index_);
@@ -253,50 +288,39 @@ Status IndexingTableScan::Open(ExecContext* ctx) {
   stats_.entries_dropped = selection.entries_dropped;
   const std::unordered_set<size_t> selected(selection.pages.begin(),
                                             selection.pages.end());
+  // Size the partition index structures for the bulk inserts the scan leg
+  // is about to stage (C[p] bounds the entries each selected page adds).
+  buffer->SetReserveHints(selection.pages);
 
   // Lines 8-10: drain the probe pipeline (buffer matches, possibly
   // residual-filtered).
-  Batch batch;
+  TupleBatch batch;
   for (;;) {
-    AIB_ASSIGN_OR_RETURN(const bool more, probe_pipeline_->Next(&batch));
+    AIB_ASSIGN_OR_RETURN(const bool more, probe_pipeline_->NextBatch(&batch));
     if (!more) break;
-    probe_rids_.insert(probe_rids_.end(), batch.rids.begin(),
-                       batch.rids.end());
+    batch.AppendSelectedTo(&probe_rids_);
   }
 
   // Lines 11-17: the indexing table scan (with fault degradation).
-  AIB_RETURN_IF_ERROR(RunScanLeg(buffer, selected, ctx->control));
+  AIB_RETURN_IF_ERROR(RunScanLeg(buffer, selected, ctx));
 
   if (tail_pipeline_ != nullptr) {
     AIB_RETURN_IF_ERROR(tail_pipeline_->Open(ctx));
   }
+  probe_cursor_ = 0;
+  scan_cursor_ = 0;
   stage_ = Stage::kProbe;
   return Status::Ok();
 }
 
 Status IndexingTableScan::RunScanLeg(IndexBuffer* buffer,
                                      const std::unordered_set<size_t>& selected,
-                                     const QueryControl* control) {
-  // Residuals pushed into the per-tuple predicate. predicates_[0] is the
-  // driving predicate (the planner puts it first); the scan evaluates it
-  // itself.
-  const std::vector<ColumnPredicate> residuals(predicates_.begin() + 1,
-                                               predicates_.end());
-  std::function<bool(const Tuple&)> extra_match;
-  if (!residuals.empty()) {
-    const Schema& schema = table_->schema();
-    extra_match = [&residuals, &schema](const Tuple& tuple) {
-      return MatchesAll(tuple, schema, residuals);
-    };
-  }
-  const Value lo = predicates_.front().lo;
-  const Value hi = predicates_.front().hi;
-
+                                     ExecContext* ctx) {
   IndexingScanStats scan_stats;
   IndexingScanFailure failure;
   const Status scan =
-      RunIndexingTableScan(*table_, buffer, selected, lo, hi, extra_match,
-                           &scan_rids_, &scan_stats, control, &failure);
+      MorselIndexingScan(*table_, buffer, selected, predicates_, *ctx,
+                         &scan_rids_, &scan_stats, &failure);
   stats_.pages_scanned += scan_stats.pages_scanned;
   stats_.pages_skipped += scan_stats.pages_skipped;
   stats_.entries_added += scan_stats.entries_added;
@@ -314,7 +338,7 @@ Status IndexingTableScan::RunScanLeg(IndexBuffer* buffer,
   }
 
   AIB_RETURN_IF_ERROR(QuarantineAndRepair(buffer, failure, scan));
-  return PlainScanFallback(control);
+  return PlainScanFallback(ctx);
 }
 
 Status IndexingTableScan::QuarantineAndRepair(
@@ -346,7 +370,7 @@ Status IndexingTableScan::QuarantineAndRepair(
   return Status::Ok();
 }
 
-Status IndexingTableScan::PlainScanFallback(const QueryControl* control) {
+Status IndexingTableScan::PlainScanFallback(ExecContext* ctx) {
   space_->degradation().RecordDegradedQuery();
   stats_.degraded = true;
   // The plain scan reads every page and evaluates the whole conjunction, so
@@ -356,26 +380,13 @@ Status IndexingTableScan::PlainScanFallback(const QueryControl* control) {
   if (snapshot_ != nullptr) {
     snapshot_->assign(table_->PageCount(), false);
   }
-  const Schema& schema = table_->schema();
   constexpr size_t kMaxFallbackAttempts = 4;
   Status status;
   for (size_t attempt = 0; attempt < kMaxFallbackAttempts; ++attempt) {
     scan_rids_.clear();
-    status = Status::Ok();
-    for (size_t page = 0; page < table_->PageCount(); ++page) {
-      if (control != nullptr) {
-        status = control->Check();
-        if (!status.ok()) break;
-      }
-      status = table_->heap().ForEachTupleOnPage(
-          page, [&](const Rid& rid, const Tuple& tuple) {
-            if (MatchesAll(tuple, schema, predicates_)) {
-              scan_rids_.push_back(rid);
-            }
-          });
-      if (!status.ok()) break;
-      ++stats_.pages_scanned;
-    }
+    size_t pages = 0;
+    status = MorselPlainScan(*table_, predicates_, *ctx, &scan_rids_, &pages);
+    stats_.pages_scanned += pages;
     if (status.ok() || status.IsTimeout() || status.IsCancelled()) {
       return status;
     }
@@ -385,34 +396,39 @@ Status IndexingTableScan::PlainScanFallback(const QueryControl* control) {
   return status;
 }
 
-Result<bool> IndexingTableScan::Next(Batch* out) {
+Result<bool> IndexingTableScan::NextBatch(TupleBatch* out) {
   out->Clear();
-  switch (stage_) {
-    case Stage::kProbe:
-      stage_ = Stage::kScan;
-      out->rids = std::move(probe_rids_);
-      out->needs_fetch = true;
-      stats_.rows_out += out->rids.size();
-      return true;
-    case Stage::kScan:
-      stage_ = tail_pipeline_ != nullptr ? Stage::kTail : Stage::kDone;
-      out->rids = std::move(scan_rids_);
-      out->needs_fetch = false;
-      stats_.rows_out += out->rids.size();
-      return true;
-    case Stage::kTail: {
-      AIB_ASSIGN_OR_RETURN(const bool more, tail_pipeline_->Next(out));
-      if (!more) {
-        stage_ = Stage::kDone;
-        return false;
+  for (;;) {
+    switch (stage_) {
+      case Stage::kProbe:
+        if (EmitRidChunk(probe_rids_, &probe_cursor_, /*needs_fetch=*/true,
+                         out)) {
+          stats_.rows_out += out->ActiveCount();
+          return true;
+        }
+        stage_ = Stage::kScan;
+        break;
+      case Stage::kScan:
+        if (EmitRidChunk(scan_rids_, &scan_cursor_, /*needs_fetch=*/false,
+                         out)) {
+          stats_.rows_out += out->ActiveCount();
+          return true;
+        }
+        stage_ = tail_pipeline_ != nullptr ? Stage::kTail : Stage::kDone;
+        break;
+      case Stage::kTail: {
+        AIB_ASSIGN_OR_RETURN(const bool more, tail_pipeline_->NextBatch(out));
+        if (!more) {
+          stage_ = Stage::kDone;
+          return false;
+        }
+        stats_.rows_out += out->ActiveCount();
+        return true;
       }
-      stats_.rows_out += out->rids.size();
-      return true;
+      case Stage::kDone:
+        return false;
     }
-    case Stage::kDone:
-      return false;
   }
-  return Status::Internal("unreachable");
 }
 
 Status IndexingTableScan::Close() {
@@ -446,21 +462,23 @@ Status Filter::Open(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-Result<bool> Filter::Next(Batch* out) {
+Result<bool> Filter::NextBatch(TupleBatch* out) {
   out->Clear();
-  Batch batch;
-  AIB_ASSIGN_OR_RETURN(const bool more, child_->Next(&batch));
+  TupleBatch batch;
+  AIB_ASSIGN_OR_RETURN(const bool more, child_->NextBatch(&batch));
   if (!more) return false;
   const Schema& schema = table_->schema();
-  stats_.rows_in += batch.rids.size();
-  for (const Rid& rid : batch.rids) {
+  stats_.rows_in += batch.ActiveCount();
+  for (const uint32_t index : batch.sel) {
+    const Rid& rid = batch.rids[index];
     AIB_ASSIGN_OR_RETURN(const Tuple tuple, table_->Get(rid));
     if (ctx_->fetched_pages.insert(rid.page_id).second) {
       ++stats_.pages_fetched;
     }
     if (MatchesAll(tuple, schema, predicates_)) out->rids.push_back(rid);
   }
-  stats_.rows_out += out->rids.size();
+  out->SetIdentitySelection();
+  stats_.rows_out += out->ActiveCount();
   // Evaluating the residual fetched the tuples; nothing left to fetch.
   out->needs_fetch = false;
   return true;
@@ -482,15 +500,21 @@ Status Materialize::Open(ExecContext* ctx) {
   return child_->Open(ctx);
 }
 
-Result<bool> Materialize::Next(Batch* out) {
+Result<bool> Materialize::NextBatch(TupleBatch* out) {
   out->Clear();
-  AIB_ASSIGN_OR_RETURN(const bool more, child_->Next(out));
+  AIB_ASSIGN_OR_RETURN(const bool more, child_->NextBatch(out));
   if (!more) return false;
   if (out->needs_fetch) {
-    AIB_RETURN_IF_ERROR(ctx_->FetchRids(out->rids, &stats_));
+    for (const uint32_t index : out->sel) {
+      const Rid& rid = out->rids[index];
+      AIB_RETURN_IF_ERROR(ctx_->table->Get(rid).status());
+      if (ctx_->fetched_pages.insert(rid.page_id).second) {
+        ++stats_.pages_fetched;
+      }
+    }
     out->needs_fetch = false;
   }
-  stats_.rows_out += out->rids.size();
+  stats_.rows_out += out->ActiveCount();
   return true;
 }
 

@@ -16,9 +16,12 @@
 namespace aib {
 
 /// Leaf: scans every page of the table, evaluating the whole conjunction
-/// per tuple. Emits one batch per page (rids need no fetch — the tuples
-/// were just read). The baseline access path and the miss path when no
-/// Index Buffer Space is configured.
+/// with the branch-free batch kernel. Serially it streams one page per
+/// batch (rids need no fetch — the tuples were just read); with a morsel
+/// dispatcher configured and a table above the parallel floor, Open fans
+/// the pages out as morsels and NextBatch chunks the merged result. The
+/// baseline access path and the miss path when no Index Buffer Space is
+/// configured.
 class FullTableScan : public PhysicalOperator {
  public:
   FullTableScan(const Table* table, std::vector<ColumnPredicate> predicates);
@@ -26,18 +29,23 @@ class FullTableScan : public PhysicalOperator {
   std::string Name() const override { return "FullTableScan"; }
   std::string Describe() const override;
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Batch* out) override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   Status Close() override;
 
  private:
   const Table* table_;
   std::vector<ColumnPredicate> predicates_;
+  std::vector<ColumnId> columns_;
   size_t next_page_ = 0;
+  /// Parallel mode: the scan ran eagerly in Open; NextBatch chunks rids_.
+  bool eager_ = false;
+  std::vector<Rid> rids_;
+  size_t cursor_ = 0;
 };
 
 /// Leaf: probes the partial index for value ∈ [lo, hi] (fully covered by
-/// construction — the planner guarantees it). Emits one batch of rids that
-/// still need fetching.
+/// construction — the planner guarantees it). Emits capacity-bounded
+/// batches of rids that still need fetching.
 class PartialIndexProbe : public PhysicalOperator {
  public:
   PartialIndexProbe(const PartialIndex* index, Value lo, Value hi);
@@ -45,14 +53,16 @@ class PartialIndexProbe : public PhysicalOperator {
   std::string Name() const override { return "PartialIndexProbe"; }
   std::string Describe() const override;
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Batch* out) override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   Status Close() override;
 
  private:
   const PartialIndex* index_;
   Value lo_;
   Value hi_;
-  bool done_ = false;
+  bool probed_ = false;
+  std::vector<Rid> pending_;
+  size_t cursor_ = 0;
 };
 
 /// Leaf: probes the Index Buffer for matches on skipped pages (lines 8–10
@@ -70,7 +80,7 @@ class IndexBufferProbe : public PhysicalOperator {
   std::string Name() const override { return "IndexBufferProbe"; }
   std::string Describe() const override;
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Batch* out) override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   Status Close() override;
 
  private:
@@ -78,7 +88,9 @@ class IndexBufferProbe : public PhysicalOperator {
   Value lo_;
   Value hi_;
   IndexBuffer* buffer_ = nullptr;
-  bool done_ = false;
+  bool probed_ = false;
+  std::vector<Rid> pending_;
+  size_t cursor_ = 0;
 };
 
 /// Leaf of the hybrid tail: scans the partial index over the covered part
@@ -95,7 +107,7 @@ class CoveredOnSkippedFetch : public PhysicalOperator {
   std::string Name() const override { return "CoveredOnSkippedFetch"; }
   std::string Describe() const override;
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Batch* out) override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   Status Close() override;
 
  private:
@@ -104,7 +116,9 @@ class CoveredOnSkippedFetch : public PhysicalOperator {
   Value lo_;
   Value hi_;
   std::shared_ptr<const std::vector<bool>> skipped_;
-  bool done_ = false;
+  bool probed_ = false;
+  std::vector<Rid> pending_;
+  size_t cursor_ = 0;
 };
 
 /// Algorithm 1 as an operator, owning the space-latch scope: Open acquires
@@ -115,9 +129,15 @@ class CoveredOnSkippedFetch : public PhysicalOperator {
 /// including everything its children emit, is one atomic critical section,
 /// exactly as the paper's pseudocode assumes.
 ///
+/// The scan leg runs through MorselIndexingScan (exec/morsel.h): with a
+/// dispatcher configured it fans pages out to read-only workers and merges
+/// the staged per-page results under this latch, bit-identical to the
+/// serial scan for any worker count.
+///
 /// Emission order (the order the pre-refactor executor produced): the
 /// probe pipeline's buffer matches, then the scan's matches, then the
-/// hybrid tail's covered-on-skipped matches.
+/// hybrid tail's covered-on-skipped matches — each chunked to batch
+/// capacity.
 ///
 /// Degradation (see DegradationManager): when the indexing table scan hits
 /// an I/O fault, the failing page's partition is dropped and the page
@@ -144,7 +164,7 @@ class IndexingTableScan : public PhysicalOperator {
   std::string Name() const override { return "IndexingTableScan"; }
   std::string Describe() const override;
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Batch* out) override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   Status Close() override;
   std::vector<const PhysicalOperator*> Children() const override;
 
@@ -154,7 +174,7 @@ class IndexingTableScan : public PhysicalOperator {
   /// The scan leg of Open: Algorithm 1 lines 11–17 with fault handling.
   Status RunScanLeg(IndexBuffer* buffer,
                     const std::unordered_set<size_t>& selected,
-                    const QueryControl* control);
+                    ExecContext* ctx);
 
   /// Drops the failing page's partition, restores its counter, records the
   /// quarantine, and re-validates the buffer (clearing it wholesale if the
@@ -165,7 +185,7 @@ class IndexingTableScan : public PhysicalOperator {
 
   /// Degraded leg: answers the whole conjunction with a plain scan that
   /// never touches the Index Buffer; probe/tail contributions are cleared.
-  Status PlainScanFallback(const QueryControl* control);
+  Status PlainScanFallback(ExecContext* ctx);
 
   const Table* table_;
   IndexBufferSpace* space_;
@@ -180,14 +200,16 @@ class IndexingTableScan : public PhysicalOperator {
   std::unique_lock<std::shared_mutex> latch_;
   std::vector<Rid> probe_rids_;
   std::vector<Rid> scan_rids_;
+  size_t probe_cursor_ = 0;
+  size_t scan_cursor_ = 0;
   Stage stage_ = Stage::kProbe;
 };
 
 /// Applies residual conjuncts to rid batches whose tuples are not read
-/// yet (index/buffer probe output): fetches each tuple, keeps matching
-/// rids. The fetched pages are charged here (query-wide deduped), so the
-/// emitted batch needs no further fetch. Scans never need a Filter — the
-/// planner pushes residuals into their per-tuple predicate for free.
+/// yet (index/buffer probe output): fetches each selected tuple, keeps
+/// matching rids. The fetched pages are charged here (query-wide deduped),
+/// so the emitted batch needs no further fetch. Scans never need a Filter —
+/// the planner pushes residuals into their batch kernel for free.
 class Filter : public PhysicalOperator {
  public:
   Filter(std::unique_ptr<PhysicalOperator> child, const Table* table,
@@ -196,7 +218,7 @@ class Filter : public PhysicalOperator {
   std::string Name() const override { return "Filter"; }
   std::string Describe() const override;
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Batch* out) override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   Status Close() override;
   std::vector<const PhysicalOperator*> Children() const override;
 
@@ -208,14 +230,14 @@ class Filter : public PhysicalOperator {
 };
 
 /// Root of probe-shaped plans: pulls child batches and fetches the tuples
-/// behind rids that need it, charging distinct pages query-wide.
+/// behind selected rids that need it, charging distinct pages query-wide.
 class Materialize : public PhysicalOperator {
  public:
   explicit Materialize(std::unique_ptr<PhysicalOperator> child);
 
   std::string Name() const override { return "Materialize"; }
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Batch* out) override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   Status Close() override;
   std::vector<const PhysicalOperator*> Children() const override;
 

@@ -80,32 +80,35 @@ PhysicalPlan::PhysicalPlan(std::unique_ptr<PhysicalOperator> root,
     : root_(std::move(root)), table_(table) {}
 
 Result<QueryResult> PhysicalPlan::Run(const CostModel& cost_model,
-                                      const QueryControl* control) {
+                                      const QueryControl* control,
+                                      MorselDispatcher* dispatcher,
+                                      const ParallelScanOptions& parallel) {
   const int64_t start = NowNs();
   executed_ = true;
   ExecContext ctx;
   ctx.table = table_;
   ctx.control = control;
+  ctx.dispatcher = dispatcher;
+  ctx.parallel = parallel;
 
   QueryResult result;
   Status status = control != nullptr ? control->Check() : Status::Ok();
   if (status.ok()) status = root_->Open(&ctx);
   if (status.ok()) {
-    Batch batch;
+    TupleBatch batch;
     for (;;) {
       // Cooperative deadline/cancel check at every batch boundary.
       if (control != nullptr) {
         status = control->Check();
         if (!status.ok()) break;
       }
-      Result<bool> more = root_->Next(&batch);
+      Result<bool> more = root_->NextBatch(&batch);
       if (!more.ok()) {
         status = more.status();
         break;
       }
       if (!more.value()) break;
-      result.rids.insert(result.rids.end(), batch.rids.begin(),
-                         batch.rids.end());
+      batch.AppendSelectedTo(&result.rids);
     }
   }
   // Close unconditionally: operators holding latch scopes (the indexing

@@ -46,11 +46,15 @@ class PhysicalPlan {
   /// Opens, drains, and closes the operator tree; aggregates per-operator
   /// stats into QueryStats and prices them through `cost_model`. Close is
   /// guaranteed on error paths (latch scopes release). `control`, when
-  /// non-null, is checked before Open and before every root Next, so an
-  /// over-budget or cancelled query stops at the next batch boundary with
-  /// Timeout/Cancelled instead of draining the plan.
+  /// non-null, is checked before Open and before every root NextBatch, so
+  /// an over-budget or cancelled query stops at the next batch boundary
+  /// with Timeout/Cancelled instead of draining the plan. `dispatcher`,
+  /// when non-null, enables morsel-parallel scans with the given options;
+  /// results and cost-model stats are identical to the serial run.
   Result<QueryResult> Run(const CostModel& cost_model,
-                          const QueryControl* control = nullptr);
+                          const QueryControl* control = nullptr,
+                          MorselDispatcher* dispatcher = nullptr,
+                          const ParallelScanOptions& parallel = {});
 
   bool executed() const { return executed_; }
 

@@ -12,6 +12,11 @@ QueryService::QueryService(Executor* executor, const Table* table,
       metrics_(metrics),
       scans_(metrics),
       queue_(options.queue_capacity) {
+  if (options_.scan_workers > 1) {
+    dispatcher_ =
+        std::make_unique<MorselDispatcher>(options_.scan_workers - 1);
+    executor_->SetParallelScan(dispatcher_.get(), options_.parallel_scan);
+  }
   size_t workers = options_.num_workers;
   if (workers == 0) {
     workers = std::thread::hardware_concurrency();
@@ -31,6 +36,12 @@ void QueryService::Shutdown() {
   std::lock_guard<std::mutex> lock(join_mu_);
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
+  }
+  if (dispatcher_ != nullptr) {
+    // Unwire before tearing down the helper pool so the borrowed pointer
+    // in the Executor never dangles for post-shutdown direct callers.
+    executor_->SetParallelScan(nullptr);
+    dispatcher_.reset();
   }
 }
 

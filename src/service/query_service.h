@@ -14,6 +14,7 @@
 #include "common/query_control.h"
 #include "common/result.h"
 #include "exec/executor.h"
+#include "exec/morsel.h"
 #include "service/bounded_queue.h"
 #include "service/shared_scan_manager.h"
 
@@ -39,6 +40,15 @@ struct QueryServiceOptions {
   /// corruption. Re-running is always safe: the adaptive state is
   /// recovery-free and each run re-plans from current coverage.
   size_t max_query_retries = 3;
+  /// Intra-query scan parallelism: workers (including the executing
+  /// thread) a single scan fans its morsels out to. 0 or 1 = serial scans.
+  /// The service owns the MorselDispatcher and wires it into the Executor;
+  /// the dispatcher's helper pool is separate from num_workers on purpose
+  /// (service workers can block on the space latch — see exec/morsel.h).
+  /// Results and cost-model stats are identical to serial for any value.
+  size_t scan_workers = 0;
+  /// Options for the morsel-parallel scan path when scan_workers > 1.
+  ParallelScanOptions parallel_scan;
 };
 
 /// Per-submission overrides for deadlines and cancellation.
@@ -135,6 +145,9 @@ class QueryService {
   const Table* table_;
   QueryServiceOptions options_;
   Metrics* metrics_;  // not owned; may be null
+  /// Owned helper pool for morsel-parallel scans (scan_workers > 1); wired
+  /// into the Executor at construction, unwired at Shutdown.
+  std::unique_ptr<MorselDispatcher> dispatcher_;
   SharedScanManager scans_;
   BoundedQueue<Request> queue_;
   /// Serializes concurrent Shutdown calls around the joins.

@@ -12,23 +12,31 @@ std::string SharedScanOperator::Describe() const {
 }
 
 Status SharedScanOperator::Open(ExecContext*) {
-  done_ = false;
+  scanned_ = false;
+  pending_.clear();
+  cursor_ = 0;
   return Status::Ok();
 }
 
-Result<bool> SharedScanOperator::Next(Batch* out) {
+Result<bool> SharedScanOperator::NextBatch(TupleBatch* out) {
   out->Clear();
-  if (done_) return false;
-  done_ = true;
-  const Schema& schema = table_->schema();
-  AIB_RETURN_IF_ERROR(scans_->Scan(
-      *table_,
-      [&](const Rid& rid, const Tuple& tuple) {
-        if (MatchesAll(tuple, schema, predicates_)) out->rids.push_back(rid);
-      },
-      &scan_stats_));
-  stats_.pages_scanned = scan_stats_.pages_delivered;
-  stats_.rows_out += out->rids.size();
+  if (!scanned_) {
+    scanned_ = true;
+    const Schema& schema = table_->schema();
+    AIB_RETURN_IF_ERROR(scans_->Scan(
+        *table_,
+        [&](const Rid& rid, const Tuple& tuple) {
+          if (MatchesAll(tuple, schema, predicates_)) {
+            pending_.push_back(rid);
+          }
+        },
+        &scan_stats_));
+    stats_.pages_scanned = scan_stats_.pages_delivered;
+  }
+  if (!EmitRidChunk(pending_, &cursor_, /*needs_fetch=*/false, out)) {
+    return false;
+  }
+  stats_.rows_out += out->ActiveCount();
   return true;
 }
 

@@ -15,8 +15,9 @@ namespace aib {
 /// Plugs into the same plan/Volcano machinery as the exec operators — the
 /// QueryService attaches to plans at the scan-operator level.
 ///
-/// Emits one batch (the cooperative scan is a blocking one-shot); rid
-/// order differs from FullTableScan only when the scan attached mid-pass.
+/// The cooperative scan is a blocking one-shot; its matches are chunked
+/// into capacity-bounded batches. Rid order differs from FullTableScan
+/// only when the scan attached mid-pass.
 class SharedScanOperator : public PhysicalOperator {
  public:
   SharedScanOperator(SharedScanManager* scans, const Table* table,
@@ -25,7 +26,7 @@ class SharedScanOperator : public PhysicalOperator {
   std::string Name() const override { return "SharedScan"; }
   std::string Describe() const override;
   Status Open(ExecContext* ctx) override;
-  Result<bool> Next(Batch* out) override;
+  Result<bool> NextBatch(TupleBatch* out) override;
   Status Close() override;
 
   const SharedScanStats& scan_stats() const { return scan_stats_; }
@@ -35,7 +36,9 @@ class SharedScanOperator : public PhysicalOperator {
   const Table* table_;
   std::vector<ColumnPredicate> predicates_;
   SharedScanStats scan_stats_;
-  bool done_ = false;
+  bool scanned_ = false;
+  std::vector<Rid> pending_;
+  size_t cursor_ = 0;
 };
 
 }  // namespace aib

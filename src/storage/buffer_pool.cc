@@ -1,7 +1,10 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <thread>
+
+#include "storage/fault_injector.h"
 
 namespace aib {
 
@@ -9,41 +12,67 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics,
                        BufferPoolOptions options)
     : disk_(disk), capacity_(capacity), metrics_(metrics), options_(options) {
   assert(capacity_ > 0);
-  frames_.resize(capacity_);
-  free_frames_.reserve(capacity_);
-  for (size_t i = capacity_; i > 0; --i) free_frames_.push_back(i - 1);
+  if (metrics_ != nullptr) {
+    hits_counter_ = metrics_->Counter(kMetricBufferHits);
+    misses_counter_ = metrics_->Counter(kMetricBufferMisses);
+    pin_waits_counter_ = metrics_->Counter(kMetricBufferPinWaits);
+    retries_counter_ = metrics_->Counter(kMetricTransientRetries);
+    prefetched_counter_ = metrics_->Counter(kMetricPrefetchedPages);
+  }
+  // Small pools keep one shard: their eviction order is observable (and
+  // tested) at pool granularity, and a 3-frame pool split three ways would
+  // change semantics, not just contention.
+  size_t num_shards = std::min(std::max<size_t>(options_.shards, 1),
+                               std::max<size_t>(1, capacity_ / 8));
+  shards_ = std::vector<Shard>(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    const size_t shard_capacity =
+        capacity_ / num_shards + (s < capacity_ % num_shards ? 1 : 0);
+    Shard& shard = shards_[s];
+    shard.frames.resize(shard_capacity);
+    shard.free_frames.reserve(shard_capacity);
+    for (size_t i = shard_capacity; i > 0; --i) {
+      shard.free_frames.push_back(i - 1);
+    }
+  }
 }
 
 Result<Page*> BufferPool::FetchPage(PageId page_id) {
-  std::unique_lock<std::mutex> lock(mu_);
+  Shard& shard = ShardFor(page_id);
+  std::unique_lock<std::mutex> lock(shard.mu);
   const auto deadline =
       std::chrono::steady_clock::now() + options_.pin_wait_timeout;
   bool waited = false;
   for (;;) {
-    if (auto it = table_.find(page_id); it != table_.end()) {
-      Frame& frame = frames_[it->second];
+    if (auto it = shard.table.find(page_id); it != shard.table.end()) {
+      Frame& frame = shard.frames[it->second];
       if (frame.in_lru) {
-        lru_.erase(frame.lru_pos);
+        shard.lru.erase(frame.lru_pos);
         frame.in_lru = false;
       }
       ++frame.pin_count;
-      ++hits_;
-      if (metrics_ != nullptr) metrics_->Increment(kMetricBufferHits);
+      ++shard.hits;
+      if (hits_counter_ != nullptr) {
+        hits_counter_->fetch_add(1, std::memory_order_relaxed);
+      }
       return frame.page.get();
     }
 
-    Result<size_t> victim = GetVictimFrame();
+    Result<size_t> victim = GetVictimFrame(shard);
     if (!victim.ok()) {
       if (!victim.status().IsBusy()) return victim.status();
-      // Every frame is pinned by in-flight queries. Block for an unpin
-      // instead of failing: pins are short-lived (a page scan, a tuple
-      // fetch), so a frame usually frees up well within the timeout.
+      // Every frame of this shard is pinned by in-flight queries. Block
+      // for an unpin instead of failing: pins are short-lived (a page
+      // scan, a tuple fetch), so a frame usually frees up well within the
+      // timeout.
       if (!waited) {
         waited = true;
-        ++pin_waits_;
-        if (metrics_ != nullptr) metrics_->Increment(kMetricBufferPinWaits);
+        ++shard.pin_waits;
+        if (pin_waits_counter_ != nullptr) {
+          pin_waits_counter_->fetch_add(1, std::memory_order_relaxed);
+        }
       }
-      if (frame_unpinned_.wait_until(lock, deadline) ==
+      if (shard.frame_unpinned.wait_until(lock, deadline) ==
           std::cv_status::timeout) {
         return Status::Busy("all buffer pool frames are pinned");
       }
@@ -51,7 +80,7 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     }
 
     const size_t frame_index = victim.value();
-    Frame& frame = frames_[frame_index];
+    Frame& frame = shard.frames[frame_index];
     if (frame.page == nullptr) {
       frame.page = std::make_unique<Page>(disk_->page_size());
     }
@@ -59,38 +88,40 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
         !read.ok()) {
       // The victim frame was already detached from the table/LRU; hand it
       // back to the free list so the failed fetch does not leak capacity.
-      free_frames_.push_back(frame_index);
+      shard.free_frames.push_back(frame_index);
       return read;
     }
     frame.page_id = page_id;
     frame.pin_count = 1;
     frame.dirty = false;
     frame.in_lru = false;
-    table_[page_id] = frame_index;
-    ++misses_;
-    if (metrics_ != nullptr) metrics_->Increment(kMetricBufferMisses);
+    shard.table[page_id] = frame_index;
+    ++shard.misses;
+    if (misses_counter_ != nullptr) {
+      misses_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
     return frame.page.get();
   }
 }
 
-Result<size_t> BufferPool::GetVictimFrame() {
-  if (!free_frames_.empty()) {
-    const size_t index = free_frames_.back();
-    free_frames_.pop_back();
+Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
+  if (!shard.free_frames.empty()) {
+    const size_t index = shard.free_frames.back();
+    shard.free_frames.pop_back();
     return index;
   }
-  if (lru_.empty()) {
+  if (shard.lru.empty()) {
     return Status::Busy("all buffer pool frames are pinned");
   }
-  const size_t index = lru_.front();
-  lru_.pop_front();
-  Frame& frame = frames_[index];
+  const size_t index = shard.lru.front();
+  shard.lru.pop_front();
+  Frame& frame = shard.frames[index];
   frame.in_lru = false;
   assert(frame.pin_count == 0);
   if (frame.dirty) {
     AIB_RETURN_IF_ERROR(WriteWithRetry(frame.page_id, *frame.page));
   }
-  table_.erase(frame.page_id);
+  shard.table.erase(frame.page_id);
   return index;
 }
 
@@ -99,7 +130,9 @@ Status BufferPool::ReadWithRetry(PageId page_id, Page* out) {
   for (size_t attempt = 0;
        status.IsTransient() && attempt < options_.max_transient_retries;
        ++attempt) {
-    if (metrics_ != nullptr) metrics_->Increment(kMetricTransientRetries);
+    if (retries_counter_ != nullptr) {
+      retries_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
     std::this_thread::yield();
     status = disk_->ReadPage(page_id, out);
   }
@@ -111,7 +144,9 @@ Status BufferPool::WriteWithRetry(PageId page_id, const Page& page) {
   for (size_t attempt = 0;
        status.IsTransient() && attempt < options_.max_transient_retries;
        ++attempt) {
-    if (metrics_ != nullptr) metrics_->Increment(kMetricTransientRetries);
+    if (retries_counter_ != nullptr) {
+      retries_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
     std::this_thread::yield();
     status = disk_->WritePage(page_id, page);
   }
@@ -119,29 +154,31 @@ Status BufferPool::WriteWithRetry(PageId page_id, const Page& page) {
 }
 
 Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = table_.find(page_id);
-  if (it == table_.end()) {
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(page_id);
+  if (it == shard.table.end()) {
     return Status::InvalidArgument("unpin of unbuffered page");
   }
-  Frame& frame = frames_[it->second];
+  Frame& frame = shard.frames[it->second];
   if (frame.pin_count <= 0) {
     return Status::InvalidArgument("unpin of unpinned page");
   }
   frame.dirty = frame.dirty || dirty;
   if (--frame.pin_count == 0) {
-    frame.lru_pos = lru_.insert(lru_.end(), it->second);
+    frame.lru_pos = shard.lru.insert(shard.lru.end(), it->second);
     frame.in_lru = true;
-    frame_unpinned_.notify_all();
+    shard.frame_unpinned.notify_all();
   }
   return Status::Ok();
 }
 
 Status BufferPool::FlushPage(PageId page_id) {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = table_.find(page_id);
-  if (it == table_.end()) return Status::Ok();
-  Frame& frame = frames_[it->second];
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.table.find(page_id);
+  if (it == shard.table.end()) return Status::Ok();
+  Frame& frame = shard.frames[it->second];
   if (frame.dirty) {
     AIB_RETURN_IF_ERROR(WriteWithRetry(page_id, *frame.page));
     frame.dirty = false;
@@ -150,35 +187,83 @@ Status BufferPool::FlushPage(PageId page_id) {
 }
 
 Status BufferPool::FlushAll() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& [page_id, frame_index] : table_) {
-    Frame& frame = frames_[frame_index];
-    if (frame.dirty) {
-      AIB_RETURN_IF_ERROR(WriteWithRetry(page_id, *frame.page));
-      frame.dirty = false;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [page_id, frame_index] : shard.table) {
+      Frame& frame = shard.frames[frame_index];
+      if (frame.dirty) {
+        AIB_RETURN_IF_ERROR(WriteWithRetry(page_id, *frame.page));
+        frame.dirty = false;
+      }
     }
   }
   return Status::Ok();
 }
 
+void BufferPool::Prefetch(PageId page_id) {
+  Shard& shard = ShardFor(page_id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (shard.table.contains(page_id)) return;  // already resident
+  if (shard.free_frames.empty()) return;      // never evict for a hint
+  disk_->PrefetchHint(page_id);
+  const size_t frame_index = shard.free_frames.back();
+  shard.free_frames.pop_back();
+  Frame& frame = shard.frames[frame_index];
+  if (frame.page == nullptr) {
+    frame.page = std::make_unique<Page>(disk_->page_size());
+  }
+  // Single attempt, injection suspended: a hint must neither surface
+  // errors (the real FetchPage will) nor consume fault-stream draws.
+  FaultInjector::ScopedSuspend suspend;
+  if (!disk_->ReadPage(page_id, frame.page.get()).ok()) {
+    shard.free_frames.push_back(frame_index);
+    return;
+  }
+  frame.page_id = page_id;
+  frame.pin_count = 0;
+  frame.dirty = false;
+  frame.lru_pos = shard.lru.insert(shard.lru.end(), frame_index);
+  frame.in_lru = true;
+  shard.table[page_id] = frame_index;
+  if (prefetched_counter_ != nullptr) {
+    prefetched_counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 size_t BufferPool::CachedPages() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return table_.size();
+  size_t cached = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    cached += shard.table.size();
+  }
+  return cached;
 }
 
 int64_t BufferPool::hits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return hits_;
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.hits;
+  }
+  return total;
 }
 
 int64_t BufferPool::misses() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return misses_;
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.misses;
+  }
+  return total;
 }
 
 int64_t BufferPool::pin_waits() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return pin_waits_;
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    total += shard.pin_waits;
+  }
+  return total;
 }
 
 }  // namespace aib

@@ -1,6 +1,7 @@
 #ifndef AIB_STORAGE_BUFFER_POOL_H_
 #define AIB_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -32,6 +33,13 @@ struct BufferPoolOptions {
   /// they never reach query results; corruption is surfaced immediately for
   /// the degradation path to handle.
   size_t max_transient_retries = 3;
+
+  /// Latch shards the frames are partitioned into (page -> shard by id).
+  /// The effective count is min(shards, max(1, capacity / 8)), so small
+  /// pools — where per-pool LRU order is observable and tested — keep a
+  /// single latch, while large pools let morsel-parallel scan workers
+  /// fetch pages without contending on one mutex.
+  size_t shards = 8;
 };
 
 /// Database buffer: a fixed number of page frames over the simulated disk
@@ -40,15 +48,17 @@ struct BufferPoolOptions {
 /// Space is budgeted separately in entries (IndexBufferSpace), while the
 /// BufferPool provides the page-caching layer underneath the table scans.
 ///
-/// Thread-safe: one pool-level latch guards the frame table, LRU list, and
-/// pin counts, so concurrent QueryService workers can fetch and unpin
-/// freely. Eviction is pin-count-aware (only unpinned frames are victims);
-/// when every frame is pinned, FetchPage blocks up to
-/// `options.pin_wait_timeout` for an unpin (counted in
+/// Thread-safe and latch-sharded: frames are partitioned by page id into
+/// independent shards, each with its own latch, frame table, free list,
+/// and LRU list, so concurrent QueryService workers and morsel-parallel
+/// scan workers touching different pages rarely contend. Eviction is
+/// pin-count-aware per shard (only unpinned frames are victims); when
+/// every frame of a page's shard is pinned, FetchPage blocks up to
+/// `options.pin_wait_timeout` for an unpin in that shard (counted in
 /// kMetricBufferPinWaits) instead of failing outright, and returns a
-/// retriable Busy when the wait times out. Page *contents* are protected by
-/// the pin protocol: a pinned page may be read concurrently; writers must
-/// hold the only pin (single-writer DML, as in the seed engine).
+/// retriable Busy when the wait times out. Page *contents* are protected
+/// by the pin protocol: a pinned page may be read concurrently; writers
+/// must hold the only pin (single-writer DML, as in the seed engine).
 class BufferPool {
  public:
   /// `capacity` is the number of frames. The pool does not own `disk`.
@@ -56,8 +66,9 @@ class BufferPool {
              BufferPoolOptions options = {});
 
   /// Pins and returns the frame for `page_id`, reading it from disk on a
-  /// miss. Blocks up to the configured pin-wait timeout when every frame is
-  /// pinned; fails with Busy if none is released in time.
+  /// miss. Blocks up to the configured pin-wait timeout when every frame of
+  /// the page's shard is pinned; fails with Busy if none is released in
+  /// time.
   Result<Page*> FetchPage(PageId page_id);
 
   /// Unpins the page; `dirty` marks the frame for write-back on eviction.
@@ -69,7 +80,16 @@ class BufferPool {
   /// Flushes every dirty frame.
   Status FlushAll();
 
+  /// Best-effort readahead: stages `page_id` into a *free* frame of its
+  /// shard, unpinned, so the next FetchPage hits. Never evicts (a hint must
+  /// not displace working-set pages), never fails (errors are swallowed —
+  /// the later FetchPage surfaces them), and never consumes fault-injector
+  /// draws (the read runs under FaultInjector::ScopedSuspend, so prefetch
+  /// cannot perturb a deterministic fault stream).
+  void Prefetch(PageId page_id);
+
   size_t capacity() const { return capacity_; }
+  size_t num_shards() const { return shards_.size(); }
   size_t CachedPages() const;
   int64_t hits() const;
   int64_t misses() const;
@@ -81,39 +101,57 @@ class BufferPool {
     int pin_count = 0;
     bool dirty = false;
     std::unique_ptr<Page> page;
-    /// Position in lru_ when pin_count == 0.
+    /// Position in the shard's lru when pin_count == 0.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
-  /// Picks a frame to (re)use: a free one, else the coldest unpinned one.
-  /// Requires mu_ held; NoSpace means "every frame currently pinned" and is
-  /// translated into a wait by FetchPage.
-  Result<size_t> GetVictimFrame();
+  /// One latch domain: a slice of the frames with its own table and LRU.
+  struct Shard {
+    mutable std::mutex mu;
+    /// Signalled whenever a pin count drops to zero.
+    std::condition_variable frame_unpinned;
+    std::vector<Frame> frames;
+    std::vector<size_t> free_frames;
+    std::unordered_map<PageId, size_t> table;
+    /// Unpinned frame indices, least-recently-used first.
+    std::list<size_t> lru;
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t pin_waits = 0;
+  };
+
+  Shard& ShardFor(PageId page_id) {
+    return shards_[page_id % shards_.size()];
+  }
+  const Shard& ShardFor(PageId page_id) const {
+    return shards_[page_id % shards_.size()];
+  }
+
+  /// Picks a frame to (re)use in `shard`: a free one, else the coldest
+  /// unpinned one. Requires the shard latch held; NoSpace means "every
+  /// frame currently pinned" and is translated into a wait by FetchPage.
+  Result<size_t> GetVictimFrame(Shard& shard);
 
   /// Reads `page_id` into `out`, retrying transient failures up to
-  /// `options_.max_transient_retries` times. Requires mu_ held.
+  /// `options_.max_transient_retries` times.
   Status ReadWithRetry(PageId page_id, Page* out);
 
-  /// Writes `page` back, retrying transient failures. Requires mu_ held.
+  /// Writes `page` back, retrying transient failures.
   Status WriteWithRetry(PageId page_id, const Page& page);
 
   DiskManager* disk_;
   size_t capacity_;
   Metrics* metrics_;  // not owned; may be null
   BufferPoolOptions options_;
+  /// Cached counter handles (null when metrics_ is null).
+  std::atomic<int64_t>* hits_counter_ = nullptr;
+  std::atomic<int64_t>* misses_counter_ = nullptr;
+  std::atomic<int64_t>* pin_waits_counter_ = nullptr;
+  std::atomic<int64_t>* retries_counter_ = nullptr;
+  std::atomic<int64_t>* prefetched_counter_ = nullptr;
 
-  mutable std::mutex mu_;
-  /// Signalled whenever a pin count drops to zero.
-  std::condition_variable frame_unpinned_;
-  std::vector<Frame> frames_;
-  std::vector<size_t> free_frames_;
-  std::unordered_map<PageId, size_t> table_;
-  /// Unpinned frame indices, least-recently-used first.
-  std::list<size_t> lru_;
-  int64_t hits_ = 0;
-  int64_t misses_ = 0;
-  int64_t pin_waits_ = 0;
+  std::vector<Shard> shards_;
 };
 
 }  // namespace aib

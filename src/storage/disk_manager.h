@@ -1,8 +1,10 @@
 #ifndef AIB_STORAGE_DISK_MANAGER_H_
 #define AIB_STORAGE_DISK_MANAGER_H_
 
+#include <atomic>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -23,9 +25,11 @@ namespace aib {
 /// per page transfer. The figures' shapes depend on how many pages a scan
 /// touches, which this accounting preserves exactly.
 ///
-/// Thread-safe: an internal latch serializes allocation and page transfers
-/// (the real-disk analogue of one request queue per device), so concurrent
-/// buffer pools and QueryService workers can share one disk. PeekPage is
+/// Thread-safe: a reader-writer latch lets concurrent ReadPage calls — the
+/// hot path of morsel-parallel scans — copy pages in parallel (the page
+/// array is append-only and page contents are immutable between writes);
+/// allocation and writes serialize exclusively. Metric counters are cached
+/// atomic handles, so a parallel read costs no registry lookup. PeekPage is
 /// excluded — it is a test-only backdoor and must not race with writers.
 class DiskManager {
  public:
@@ -36,7 +40,7 @@ class DiskManager {
 
   /// Number of allocated pages; page ids are dense in [0, PageCount()).
   size_t PageCount() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_lock<std::shared_mutex> lock(mu_);
     return pages_.size();
   }
 
@@ -52,6 +56,11 @@ class DiskManager {
 
   /// Restores raw page bytes without I/O accounting (snapshot load only).
   Status RestorePage(PageId page_id, std::span<const uint8_t> bytes);
+
+  /// Readahead hint: the caller expects to read `page_id` soon. The
+  /// simulated disk has no request queue to reorder, so this only accounts
+  /// the hint; the buffer pool's Prefetch does the actual staging.
+  void PrefetchHint(PageId page_id);
 
   /// Direct const view of the authoritative page, charging nothing. Used by
   /// tests and integrity checks only — the engine goes through the buffer
@@ -80,8 +89,13 @@ class DiskManager {
  private:
   uint32_t page_size_;
   Metrics* metrics_;  // not owned; may be null
+  /// Cached counter handles (null when metrics_ is null): one relaxed
+  /// atomic add per transfer instead of a name lookup.
+  std::atomic<int64_t>* pages_read_ = nullptr;
+  std::atomic<int64_t>* pages_written_ = nullptr;
+  std::atomic<int64_t>* prefetch_hints_ = nullptr;
   FaultInjector injector_;
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   std::vector<std::unique_ptr<Page>> pages_;
 };
 

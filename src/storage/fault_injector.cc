@@ -9,6 +9,7 @@ void FaultInjector::Arm(const FaultInjectorOptions& options) {
   armed_ = true;
   options_ = options;
   rng_ = Rng(options.seed);
+  UpdateActive();
 }
 
 void FaultInjector::Disarm() {
@@ -16,19 +17,52 @@ void FaultInjector::Disarm() {
   armed_ = false;
   one_shot_read_ = 0;
   one_shot_write_ = 0;
+  page_faults_.clear();
+  UpdateActive();
 }
 
 void FaultInjector::InjectOneShot(FaultOp op, size_t count) {
   std::lock_guard<std::mutex> lock(mu_);
   (op == FaultOp::kRead ? one_shot_read_ : one_shot_write_) = count;
+  UpdateActive();
+}
+
+void FaultInjector::InjectPageFault(FaultOp op, PageId page, FaultKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  page_faults_[PageKey(op, page)] = kind;
+  UpdateActive();
 }
 
 FaultDecision FaultInjector::Decide(FaultOp op) {
   if (Suspended()) return {};
+  if (!active_.load(std::memory_order_acquire)) return {};
   std::lock_guard<std::mutex> lock(mu_);
+  return DecideLocked(op);
+}
+
+FaultDecision FaultInjector::Decide(FaultOp op, PageId page) {
+  if (Suspended()) return {};
+  if (!active_.load(std::memory_order_acquire)) return {};
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = page_faults_.find(PageKey(op, page));
+  if (it != page_faults_.end()) {
+    const FaultKind kind = it->second;
+    page_faults_.erase(it);
+    UpdateActive();
+    ++faults_injected_;
+    if (metrics_ != nullptr) metrics_->Increment(kMetricFaultsInjected);
+    // No Rng draw consumed: the targeted fault's placement must not depend
+    // on which thread reaches the page first.
+    return {kind, 0};
+  }
+  return DecideLocked(op);
+}
+
+FaultDecision FaultInjector::DecideLocked(FaultOp op) {
   size_t& one_shot = op == FaultOp::kRead ? one_shot_read_ : one_shot_write_;
   if (one_shot > 0) {
     --one_shot;
+    UpdateActive();
     ++faults_injected_;
     if (metrics_ != nullptr) metrics_->Increment(kMetricFaultsInjected);
     return {FaultKind::kCorruption, 0};

@@ -1,12 +1,15 @@
 #ifndef AIB_STORAGE_FAULT_INJECTOR_H_
 #define AIB_STORAGE_FAULT_INJECTOR_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
+#include <unordered_map>
 
 #include "common/metrics.h"
 #include "common/rng.h"
+#include "common/types.h"
 
 namespace aib {
 
@@ -76,9 +79,23 @@ class FaultInjector {
   /// kind fail with corruption. Checked before any probabilistic draw.
   void InjectOneShot(FaultOp op, size_t count);
 
+  /// One-shot fault targeted at a specific page: the next operation of the
+  /// given kind on `page` fails with `kind`, regardless of which thread
+  /// issues it. Unlike the probabilistic stream, a targeted fault consumes
+  /// no Rng draws, so its placement is independent of operation order —
+  /// the tool the parallel-vs-serial equivalence tests use to make chaos
+  /// deterministic under any worker interleaving (typically with all rates
+  /// at zero).
+  void InjectPageFault(FaultOp op, PageId page,
+                       FaultKind kind = FaultKind::kCorruption);
+
   /// Decides the fate of one disk operation. Draws are consumed even for
   /// kNone so the fault stream is a pure function of (seed, op sequence).
   FaultDecision Decide(FaultOp op);
+
+  /// Page-aware variant: checks page-targeted one-shots first, then falls
+  /// through to Decide(op).
+  FaultDecision Decide(FaultOp op, PageId page);
 
   /// Total faults injected (one-shot + probabilistic) since construction.
   size_t faults_injected() const {
@@ -101,15 +118,35 @@ class FaultInjector {
  private:
   static bool Suspended() { return suspend_depth_ > 0; }
 
+  /// Recomputes the lock-free fast-path flag; call under mu_.
+  void UpdateActive() {
+    active_.store(armed_ || one_shot_read_ > 0 || one_shot_write_ > 0 ||
+                      !page_faults_.empty(),
+                  std::memory_order_release);
+  }
+
+  FaultDecision DecideLocked(FaultOp op);
+
+  static uint64_t PageKey(FaultOp op, PageId page) {
+    return (static_cast<uint64_t>(op) << 32) | page;
+  }
+
   static thread_local int suspend_depth_;
 
   Metrics* metrics_;  // not owned; may be null
   mutable std::mutex mu_;
+  /// True iff any fault source is configured. Checked without mu_ on the
+  /// hot path so an unarmed injector costs one relaxed atomic load per
+  /// disk operation instead of a mutex round-trip shared by every scan
+  /// worker.
+  std::atomic<bool> active_{false};
   bool armed_ = false;
   FaultInjectorOptions options_;
   Rng rng_;
   size_t one_shot_read_ = 0;
   size_t one_shot_write_ = 0;
+  /// (op, page) -> pending targeted fault.
+  std::unordered_map<uint64_t, FaultKind> page_faults_;
   size_t faults_injected_ = 0;
 };
 

@@ -1,6 +1,8 @@
 #include "storage/heap_file.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstring>
 
 namespace aib {
 
@@ -89,6 +91,67 @@ Result<uint16_t> HeapFile::LiveTuplesOnPage(size_t page_index) const {
   const uint16_t live = page->live_count();
   AIB_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
   return live;
+}
+
+Status HeapFile::GatherColumnsOnPage(
+    size_t page_index, const std::vector<ColumnId>& columns,
+    std::vector<Rid>* rids, std::vector<std::vector<Value>>* lanes) const {
+  if (page_index >= page_ids_.size()) {
+    return Status::InvalidArgument("page index out of range");
+  }
+  if (lanes->size() != columns.size()) {
+    return Status::InvalidArgument("one lane per gathered column required");
+  }
+  ColumnId max_col = 0;
+  for (ColumnId c : columns) {
+    if (c >= schema_->num_columns() ||
+        schema_->column(c).type != ColumnType::kInt32) {
+      return Status::InvalidArgument("gather of non-int column");
+    }
+    max_col = std::max(max_col, c);
+  }
+  const PageId page_id = page_ids_[page_index];
+  AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
+  Status status = Status::Ok();
+  // Per-tuple decode of the record prefix [0, max_col]; values land in a
+  // reused scratch slot per schema column, then fan out to the lanes (a
+  // column may back several lanes when a conjunction repeats it).
+  std::vector<Value> decoded(static_cast<size_t>(max_col) + 1, 0);
+  for (SlotId slot = 0; slot < page->slot_count(); ++slot) {
+    std::span<const uint8_t> record;
+    if (!page->Read(slot, &record).ok()) continue;  // tombstone
+    size_t pos = 0;
+    bool truncated = false;
+    for (ColumnId c = 0; c <= max_col && !truncated; ++c) {
+      if (schema_->column(c).type == ColumnType::kInt32) {
+        if (pos + sizeof(Value) > record.size()) {
+          truncated = true;
+          break;
+        }
+        std::memcpy(&decoded[c], record.data() + pos, sizeof(Value));
+        pos += sizeof(Value);
+      } else {
+        if (pos + sizeof(uint16_t) > record.size()) {
+          truncated = true;
+          break;
+        }
+        uint16_t len;
+        std::memcpy(&len, record.data() + pos, sizeof(len));
+        pos += sizeof(len) + len;
+        if (pos > record.size()) truncated = true;
+      }
+    }
+    if (truncated) {
+      status = Status::Corruption("tuple truncated in column gather");
+      break;
+    }
+    rids->push_back(Rid{page_id, slot});
+    for (size_t i = 0; i < columns.size(); ++i) {
+      (*lanes)[i].push_back(decoded[columns[i]]);
+    }
+  }
+  AIB_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
+  return status;
 }
 
 Status HeapFile::ForEachTupleOnPage(

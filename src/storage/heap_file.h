@@ -63,9 +63,30 @@ class HeapFile {
       size_t page_index,
       const std::function<void(const Rid&, const Tuple&)>& fn) const;
 
+  /// Columnar gather: appends the rid and the requested kInt32 column
+  /// values of every live tuple on the idx-th page to `rids` and
+  /// `(*lanes)[i]` (parallel vectors, slot order). Decodes only the record
+  /// prefix up to the last requested column — no Tuple materialization, no
+  /// per-tuple allocation — which is what makes the batch scan path cheaper
+  /// than the per-tuple iteration. `lanes` must have one entry per
+  /// requested column.
+  Status GatherColumnsOnPage(size_t page_index,
+                             const std::vector<ColumnId>& columns,
+                             std::vector<Rid>* rids,
+                             std::vector<std::vector<Value>>* lanes) const;
+
   /// Full-file scan in physical order.
   Status ForEachTuple(
       const std::function<void(const Rid&, const Tuple&)>& fn) const;
+
+  /// Best-effort readahead hint for the idx-th page (see
+  /// BufferPool::Prefetch): never fails, never evicts, never consumes
+  /// fault-injector draws. Out-of-range indices are ignored.
+  void PrefetchPage(size_t page_index) const {
+    if (page_index < page_ids_.size()) {
+      pool_->Prefetch(page_ids_[page_index]);
+    }
+  }
 
   /// Restores the file's bookkeeping after a snapshot load: the page ids
   /// (ascending physical order) and the live tuple count. The pages

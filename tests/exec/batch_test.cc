@@ -1,0 +1,162 @@
+#include "exec/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "exec/morsel.h"
+
+namespace aib {
+namespace {
+
+/// Branchy reference for the branch-free kernel.
+std::vector<uint32_t> BranchyRefine(const std::vector<Value>& lane, Value lo,
+                                    Value hi,
+                                    const std::vector<uint32_t>& sel) {
+  std::vector<uint32_t> kept;
+  for (uint32_t index : sel) {
+    if (lane[index] >= lo && lane[index] <= hi) kept.push_back(index);
+  }
+  return kept;
+}
+
+TEST(RefineSelectionInRangeTest, MatchesBranchyReferenceOnRandomData) {
+  Rng rng(7);
+  for (int round = 0; round < 50; ++round) {
+    std::vector<Value> lane;
+    for (int i = 0; i < 200; ++i) {
+      lane.push_back(static_cast<Value>(rng.UniformInt(0, 100)));
+    }
+    const Value lo = static_cast<Value>(rng.UniformInt(0, 100));
+    const Value hi = static_cast<Value>(rng.UniformInt(lo, 100));
+    std::vector<uint32_t> sel(lane.size());
+    for (uint32_t i = 0; i < sel.size(); ++i) sel[i] = i;
+    const std::vector<uint32_t> expected = BranchyRefine(lane, lo, hi, sel);
+    RefineSelectionInRange(lane, lo, hi, &sel);
+    EXPECT_EQ(sel, expected) << "lo=" << lo << " hi=" << hi;
+  }
+}
+
+TEST(RefineSelectionInRangeTest, BoundariesAreInclusive) {
+  const std::vector<Value> lane = {4, 5, 6, 9, 10, 11};
+  std::vector<uint32_t> sel = {0, 1, 2, 3, 4, 5};
+  RefineSelectionInRange(lane, 5, 10, &sel);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{1, 2, 3, 4}));
+}
+
+TEST(RefineSelectionInRangeTest, EmptySelectionStaysEmpty) {
+  const std::vector<Value> lane = {1, 2, 3};
+  std::vector<uint32_t> sel;
+  EXPECT_EQ(RefineSelectionInRange(lane, 0, 10, &sel), 0u);
+  EXPECT_TRUE(sel.empty());
+}
+
+TEST(RefineSelectionInRangeTest, FullMatchKeepsEverySlot) {
+  const std::vector<Value> lane = {1, 2, 3, 4};
+  std::vector<uint32_t> sel = {0, 1, 2, 3};
+  EXPECT_EQ(RefineSelectionInRange(lane, 0, 10, &sel), 4u);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{0, 1, 2, 3}));
+}
+
+TEST(RefineSelectionInRangeTest, RefinesAnAlreadyPartialSelection) {
+  // Second predicate over a selection the first one already thinned.
+  const std::vector<Value> lane = {10, 20, 30, 40, 50};
+  std::vector<uint32_t> sel = {1, 3, 4};  // values 20, 40, 50
+  RefineSelectionInRange(lane, 25, 45, &sel);
+  EXPECT_EQ(sel, (std::vector<uint32_t>{3}));
+}
+
+TEST(RefineSelectionTest, ConjunctionRefinesLanePerPredicate) {
+  TupleBatch batch;
+  batch.rids = {{0, 0}, {0, 1}, {0, 2}, {0, 3}};
+  batch.lanes = {{1, 5, 9, 5}, {100, 200, 300, 400}};
+  batch.SetIdentitySelection();
+  const std::vector<ColumnPredicate> predicates = {{0, 5, 9}, {1, 150, 350}};
+  EXPECT_EQ(RefineSelection(predicates, &batch), 2u);
+  EXPECT_EQ(batch.sel, (std::vector<uint32_t>{1, 2}));
+}
+
+TEST(TupleBatchTest, ClearKeepsLaneCapacityButEmptiesThem) {
+  TupleBatch batch;
+  batch.lanes = {{1, 2, 3}, {4, 5, 6}};
+  batch.rids = {{0, 0}};
+  batch.SetIdentitySelection();
+  batch.needs_fetch = true;
+  batch.Clear();
+  ASSERT_EQ(batch.lanes.size(), 2u);
+  EXPECT_TRUE(batch.lanes[0].empty());
+  EXPECT_TRUE(batch.lanes[1].empty());
+  EXPECT_TRUE(batch.rids.empty());
+  EXPECT_TRUE(batch.Empty());
+  EXPECT_FALSE(batch.needs_fetch);
+}
+
+TEST(EmitRidChunkTest, ChunksAtCapacityAndAdvancesCursor) {
+  std::vector<Rid> rids;
+  for (uint32_t i = 0; i < TupleBatch::kCapacity + 100; ++i) {
+    rids.push_back(Rid{i, 0});
+  }
+  size_t cursor = 0;
+  TupleBatch out;
+  ASSERT_TRUE(EmitRidChunk(rids, &cursor, true, &out));
+  EXPECT_EQ(out.rids.size(), TupleBatch::kCapacity);
+  EXPECT_EQ(out.ActiveCount(), TupleBatch::kCapacity);
+  EXPECT_TRUE(out.needs_fetch);
+  EXPECT_EQ(cursor, TupleBatch::kCapacity);
+
+  ASSERT_TRUE(EmitRidChunk(rids, &cursor, true, &out));
+  EXPECT_EQ(out.rids.size(), 100u);
+  EXPECT_EQ(out.rids.front(), (Rid{TupleBatch::kCapacity, 0}));
+  EXPECT_EQ(cursor, rids.size());
+
+  EXPECT_FALSE(EmitRidChunk(rids, &cursor, true, &out));
+  EXPECT_TRUE(out.Empty());
+}
+
+TEST(EmitRidChunkTest, EmptyInputEmitsNothing) {
+  std::vector<Rid> rids;
+  size_t cursor = 0;
+  TupleBatch out;
+  EXPECT_FALSE(EmitRidChunk(rids, &cursor, false, &out));
+  EXPECT_EQ(cursor, 0u);
+}
+
+TEST(MakeMorselsTest, CoversEveryPageExactlyOnce) {
+  for (size_t pages : {0u, 1u, 7u, 64u, 100u}) {
+    for (size_t morsel_pages : {0u, 1u, 8u, 200u}) {
+      const std::vector<Morsel> morsels = MakeMorsels(pages, morsel_pages);
+      size_t next = 0;
+      for (const Morsel& m : morsels) {
+        EXPECT_EQ(m.first_page, next);
+        EXPECT_GT(m.page_count, 0u);
+        next += m.page_count;
+      }
+      EXPECT_EQ(next, pages);
+    }
+  }
+}
+
+TEST(MakeMorselsTest, AlignmentNeverCrossesPartitionBoundary) {
+  const std::vector<Morsel> morsels = MakeMorsels(23, 4, /*align_pages=*/5);
+  size_t next = 0;
+  for (const Morsel& m : morsels) {
+    EXPECT_EQ(m.first_page, next);
+    // [first, first + count) stays within one partition of 5 pages.
+    EXPECT_EQ(m.first_page / 5, (m.first_page + m.page_count - 1) / 5);
+    next += m.page_count;
+  }
+  EXPECT_EQ(next, 23u);
+}
+
+TEST(MakeMorselsTest, ZeroMorselPagesFallsBackToSinglePages) {
+  const std::vector<Morsel> morsels = MakeMorsels(3, 0);
+  ASSERT_EQ(morsels.size(), 3u);
+  for (size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(morsels[i].first_page, i);
+    EXPECT_EQ(morsels[i].page_count, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace aib

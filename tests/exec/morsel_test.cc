@@ -1,0 +1,142 @@
+#include "exec/morsel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/table.h"
+#include "storage/tuple.h"
+#include "../test_util.h"
+
+namespace aib {
+namespace {
+
+TEST(MorselDispatcherTest, RunsEveryIndexExactlyOnce) {
+  for (size_t helpers : {0u, 1u, 3u}) {
+    MorselDispatcher dispatcher(helpers);
+    EXPECT_EQ(dispatcher.worker_count(), helpers + 1);
+    for (size_t count : {0u, 1u, 7u, 100u}) {
+      std::vector<std::atomic<int>> hits(count);
+      for (auto& h : hits) h.store(0);
+      dispatcher.RunJob(count, [&](size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+      });
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << "helpers=" << helpers << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST(MorselDispatcherTest, SequentialJobsReuseTheSamePool) {
+  MorselDispatcher dispatcher(2);
+  std::atomic<size_t> total{0};
+  for (int job = 0; job < 20; ++job) {
+    dispatcher.RunJob(13, [&](size_t) {
+      total.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 20u * 13u);
+}
+
+class GatherTest : public ::testing::Test {
+ protected:
+  GatherTest()
+      : disk_(8192),
+        pool_(&disk_, 64),
+        table_("t", Schema::PaperSchema(2, 16), &disk_, &pool_,
+               HeapFileOptions{.max_tuples_per_page = 10}) {}
+
+  DiskManager disk_;
+  BufferPool pool_;
+  Table table_;
+};
+
+TEST_F(GatherTest, MatchesForEachTupleIncludingTombstones) {
+  std::vector<Rid> rids;
+  for (Value v = 0; v < 45; ++v) {
+    rids.push_back(table_
+                       .Insert(Tuple({v, v * 10}, {"pay"}))
+                       .value());
+  }
+  // Tombstone a few tuples scattered over the pages, plus one whole page.
+  for (size_t victim : {3u, 17u, 18u, 44u}) {
+    ASSERT_TRUE(table_.Delete(rids[victim]).ok());
+  }
+  for (size_t victim = 20; victim < 30; ++victim) {  // page 2 entirely
+    ASSERT_TRUE(table_.Delete(rids[victim]).ok());
+  }
+
+  const std::vector<ColumnId> columns = {0, 1, 0};  // repeated column too
+  for (size_t page = 0; page < table_.PageCount(); ++page) {
+    std::vector<Rid> got_rids;
+    std::vector<std::vector<Value>> lanes(columns.size());
+    ASSERT_TRUE(table_.heap()
+                    .GatherColumnsOnPage(page, columns, &got_rids, &lanes)
+                    .ok());
+
+    std::vector<Rid> want_rids;
+    std::vector<std::vector<Value>> want_lanes(columns.size());
+    ASSERT_TRUE(table_.heap()
+                    .ForEachTupleOnPage(
+                        page,
+                        [&](const Rid& rid, const Tuple& tuple) {
+                          want_rids.push_back(rid);
+                          for (size_t i = 0; i < columns.size(); ++i) {
+                            // Int columns precede the payload in
+                            // PaperSchema, so ColumnId == ints() index.
+                            want_lanes[i].push_back(
+                                tuple.ints()[columns[i]]);
+                          }
+                        })
+                    .ok());
+    EXPECT_EQ(got_rids, want_rids) << "page " << page;
+    EXPECT_EQ(lanes, want_lanes) << "page " << page;
+    if (page == 2) {
+      EXPECT_TRUE(got_rids.empty());  // fully tombstoned page
+    }
+  }
+}
+
+TEST_F(GatherTest, RejectsVarcharColumns) {
+  ASSERT_TRUE(table_.Insert(Tuple({1, 2}, {"pay"})).ok());
+  std::vector<Rid> rids;
+  std::vector<std::vector<Value>> lanes(1);
+  // Column 2 is the VARCHAR payload.
+  const Status status =
+      table_.heap().GatherColumnsOnPage(0, {2}, &rids, &lanes);
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+TEST_F(GatherTest, RejectsLaneCountMismatch) {
+  ASSERT_TRUE(table_.Insert(Tuple({1, 2}, {"pay"})).ok());
+  std::vector<Rid> rids;
+  std::vector<std::vector<Value>> lanes(2);
+  EXPECT_TRUE(table_.heap()
+                  .GatherColumnsOnPage(0, {0}, &rids, &lanes)
+                  .IsInvalidArgument());
+}
+
+TEST_F(GatherTest, LoadPageBatchSetsIdentitySelection) {
+  for (Value v = 0; v < 25; ++v) {
+    ASSERT_TRUE(table_.Insert(Tuple({v, -v}, {"pay"})).ok());
+  }
+  TupleBatch batch;
+  ASSERT_TRUE(LoadPageBatch(table_, 1, {0, 1}, &batch).ok());
+  ASSERT_EQ(batch.rids.size(), 10u);
+  EXPECT_EQ(batch.ActiveCount(), 10u);
+  EXPECT_FALSE(batch.needs_fetch);
+  ASSERT_EQ(batch.lanes.size(), 2u);
+  for (uint32_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(batch.sel[i], i);
+    EXPECT_EQ(batch.lanes[0][i], static_cast<Value>(10 + i));
+    EXPECT_EQ(batch.lanes[1][i], -static_cast<Value>(10 + i));
+  }
+}
+
+}  // namespace
+}  // namespace aib
