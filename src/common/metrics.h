@@ -120,6 +120,8 @@ inline constexpr char kMetricDegradedQueries[] = "exec.degraded_queries";
 inline constexpr char kMetricPrefetchHints[] = "storage.prefetch_hints";
 inline constexpr char kMetricPrefetchedPages[] =
     "bufferpool.prefetched_pages";
+inline constexpr char kMetricDmlStatements[] = "exec.dml_statements";
+inline constexpr char kMetricServiceDmlExecuted[] = "service.dml_executed";
 
 }  // namespace aib
 

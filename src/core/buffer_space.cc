@@ -10,6 +10,12 @@ namespace {
 constexpr double kMinBenefit = 1e-9;
 }  // namespace
 
+bool IndexBufferSpace::OrderByColumn::operator()(
+    const PartialIndex* a, const PartialIndex* b) const {
+  if (a->column() != b->column()) return a->column() < b->column();
+  return a < b;
+}
+
 IndexBufferSpace::IndexBufferSpace(BufferSpaceOptions options,
                                    Metrics* metrics)
     : options_(options),

@@ -67,6 +67,20 @@ struct PageSelection {
 /// the seed tests and benches do.
 class IndexBufferSpace {
  public:
+  /// Buffers are kept ordered by indexed column, not by pointer value:
+  /// victim candidates and Table II history updates iterate this map, and a
+  /// pointer-keyed order would make Algorithm 2's seeded victim draw depend
+  /// on heap addresses — two identically-built spaces replaying the same
+  /// workload could then adapt differently. Column order (pointer as a
+  /// same-column tiebreak) keeps the whole adaptive trajectory a pure
+  /// function of (workload, seed).
+  struct OrderByColumn {
+    bool operator()(const PartialIndex* a, const PartialIndex* b) const;
+  };
+  using BufferMap =
+      std::map<const PartialIndex*, std::unique_ptr<IndexBuffer>,
+               OrderByColumn>;
+
   explicit IndexBufferSpace(BufferSpaceOptions options,
                             Metrics* metrics = nullptr);
 
@@ -80,10 +94,7 @@ class IndexBufferSpace {
   /// Null if no buffer exists for `index`.
   IndexBuffer* GetBuffer(const PartialIndex* index) const;
 
-  const std::map<const PartialIndex*, std::unique_ptr<IndexBuffer>>& buffers()
-      const {
-    return buffers_;
-  }
+  const BufferMap& buffers() const { return buffers_; }
 
   bool Unlimited() const { return options_.max_entries == 0; }
 
@@ -138,7 +149,7 @@ class IndexBufferSpace {
   Metrics* metrics_;
   mutable std::shared_mutex latch_;
   mutable Rng rng_;
-  std::map<const PartialIndex*, std::unique_ptr<IndexBuffer>> buffers_;
+  BufferMap buffers_;
   DegradationManager degradation_;
 };
 

@@ -1,0 +1,122 @@
+#ifndef AIB_EXEC_DML_OPERATORS_H_
+#define AIB_EXEC_DML_OPERATORS_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+
+#include "core/buffer_space.h"
+#include "core/maintenance.h"
+#include "exec/operator.h"
+#include "exec/statement.h"
+#include "index/partial_index.h"
+
+namespace aib {
+
+/// Base of the three write-path leaves. A DML operator is the single place
+/// Table I maintenance runs: it mutates the heap and immediately applies
+/// partial-index upkeep, Index Buffer upkeep, and C[p] adjustment for every
+/// registered index, all inside one critical section.
+///
+/// Latching: Open acquires the IndexBufferSpace latch *exclusively* (the
+/// writer acquisition — same latch, same mode as an indexing table scan),
+/// so the heap change and its maintenance are atomic against indexing
+/// scans, buffer probes, degradation, and Table II updates. The executor
+/// additionally serializes DML against plain read plans (full scans,
+/// covered probes, shared scans — which take no space latch) through its
+/// statement latch, acquired exclusively *before* Open runs; the lock order
+/// is always statement latch → space latch.
+///
+/// Fault atomicity: only the pre-mutation read phase (fetching the old
+/// tuple image) is exposed to the fault injector. The commit section —
+/// heap write plus the maintenance loop — runs under
+/// FaultInjector::ScopedSuspend, modeling a WAL-protected atomic commit:
+/// a failed statement has mutated nothing, which is what makes whole-
+/// statement retries by the service safe.
+///
+/// Each operator emits its affected rid as a one-row batch, so row counts
+/// flow up through the same batch interface as query results.
+class DmlOperator : public PhysicalOperator {
+ public:
+  DmlOperator(Table* table, IndexBufferSpace* space,
+              const std::map<ColumnId, PartialIndex*>* indexes);
+
+  Status Open(ExecContext* ctx) override;
+  Status Close() override;
+
+ protected:
+  /// Runs the Table I matrix against every registered index (an index's
+  /// buffer may be absent — partial-index upkeep still runs). `old_tuple`
+  /// is null for inserts, `new_tuple` null for deletes; the per-column key
+  /// values of each TupleChange are extracted here.
+  Status Maintain(const Tuple* old_tuple, const Rid& old_rid, size_t old_page,
+                  const Tuple* new_tuple, const Rid& new_rid,
+                  size_t new_page);
+
+  /// "pidx+ibuf+C[p]" / "pidx" / "none" — which maintenance applies here.
+  std::string MaintenanceSummary() const;
+
+  /// "col0=5, col1=105" over the schema's int columns of `tuple`.
+  std::string RenderValues(const Tuple& tuple) const;
+
+  Table* table_;
+  IndexBufferSpace* space_;
+  const std::map<ColumnId, PartialIndex*>* indexes_;
+  std::unique_lock<std::shared_mutex> latch_;
+  bool done_ = false;
+};
+
+/// Leaf: inserts one tuple, maintains every index, emits the new rid.
+class InsertOp : public DmlOperator {
+ public:
+  InsertOp(Table* table, IndexBufferSpace* space,
+           const std::map<ColumnId, PartialIndex*>* indexes, Tuple tuple);
+
+  std::string Name() const override { return "Insert"; }
+  std::string Describe() const override;
+  Result<bool> NextBatch(TupleBatch* out) override;
+
+ private:
+  Tuple tuple_;
+};
+
+/// Leaf: replaces the tuple at `target` with a new image, maintains every
+/// index with the old/new incarnation pair (Table I's full matrix), emits
+/// the post-update rid — which differs from `target` when the new image no
+/// longer fit its slot and the heap relocated it.
+class UpdateOp : public DmlOperator {
+ public:
+  UpdateOp(Table* table, IndexBufferSpace* space,
+           const std::map<ColumnId, PartialIndex*>* indexes, const Rid& target,
+           Tuple tuple);
+
+  std::string Name() const override { return "Update"; }
+  std::string Describe() const override;
+  Result<bool> NextBatch(TupleBatch* out) override;
+
+ private:
+  Rid target_;
+  Tuple tuple_;
+};
+
+/// Leaf: deletes the tuple at `target`, maintains every index, emits the
+/// removed rid.
+class DeleteOp : public DmlOperator {
+ public:
+  DeleteOp(Table* table, IndexBufferSpace* space,
+           const std::map<ColumnId, PartialIndex*>* indexes,
+           const Rid& target);
+
+  std::string Name() const override { return "Delete"; }
+  std::string Describe() const override;
+  Result<bool> NextBatch(TupleBatch* out) override;
+
+ private:
+  Rid target_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_EXEC_DML_OPERATORS_H_

@@ -32,6 +32,19 @@ std::unique_ptr<PhysicalPlan> Executor::PlanQuery(const Query& query) const {
 
 Result<QueryResult> Executor::ExecutePlan(PhysicalPlan* plan,
                                           const QueryControl* control) {
+  // Statement latch first (always before the space latch): shared for read
+  // plans, exclusive for DML plans — the exclusion that keeps unlatched
+  // read paths (covered probes, full scans) away from concurrent heap
+  // mutation.
+  std::shared_lock<std::shared_mutex> read_latch(stmt_latch_,
+                                                 std::defer_lock);
+  std::unique_lock<std::shared_mutex> write_latch(stmt_latch_,
+                                                  std::defer_lock);
+  if (plan->IsDml()) {
+    write_latch.lock();
+  } else {
+    read_latch.lock();
+  }
   if (plan->driver_index() != nullptr && space_ != nullptr) {
     // Table II history updates touch every buffer's LRU-K state: a short
     // exclusive critical section on the space latch.
@@ -59,6 +72,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
 }
 
 Result<QueryResult> Executor::FullScan(const Query& query) {
+  std::shared_lock<std::shared_mutex> latch(stmt_latch_);
   return planner_.PlanFullScan(query)->Run(cost_model_, nullptr, dispatcher_,
                                            parallel_options_);
 }
@@ -70,7 +84,35 @@ Result<QueryResult> Executor::IndexScan(const Query& query) {
     return Status::InvalidArgument(
         "predicate not fully covered by a partial index");
   }
+  std::shared_lock<std::shared_mutex> latch(stmt_latch_);
   return plan->Run(cost_model_);
+}
+
+std::unique_ptr<PhysicalPlan> Executor::PlanStatement(
+    const Statement& statement) const {
+  return planner_.PlanStatement(statement, indexes_, write_table_);
+}
+
+Result<StatementResult> Executor::ExecuteStatement(
+    const Statement& statement, const QueryControl* control) {
+  if (statement.IsDml() && write_table_ == nullptr) {
+    return Status::InvalidArgument(
+        "executor has no write table (SetWriteTable)");
+  }
+  std::unique_ptr<PhysicalPlan> plan = PlanStatement(statement);
+  if (plan == nullptr) {
+    return Status::InvalidArgument("statement cannot be planned");
+  }
+  AIB_ASSIGN_OR_RETURN(QueryResult result,
+                       ExecutePlan(plan.get(), control));
+  if (statement.IsDml() && metrics_ != nullptr) {
+    metrics_->Increment(kMetricDmlStatements);
+  }
+  StatementResult out;
+  out.rids = std::move(result.rids);
+  out.rows_affected = statement.IsDml() ? out.rids.size() : 0;
+  out.stats = result.stats;
+  return out;
 }
 
 }  // namespace aib

@@ -3,6 +3,7 @@
 
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -11,6 +12,7 @@
 #include "exec/plan.h"
 #include "exec/planner.h"
 #include "exec/query.h"
+#include "exec/statement.h"
 #include "index/partial_index.h"
 #include "storage/table.h"
 
@@ -32,14 +34,26 @@ namespace aib {
 /// needing the plan itself (EXPLAIN, custom execution) use PlanQuery /
 /// ExecutePlan; Execute is Plan + ExecutePlan in one call.
 ///
-/// Thread-safety: Execute may be called from concurrent QueryService
-/// workers *for read-only workloads* once setup (RegisterIndex /
-/// SetBufferOptions) is complete. Covered queries probe the immutable
-/// partial index and the latched BufferPool without further locking; miss
-/// plans (IndexingTableScan) and Table II history updates run under the
-/// IndexBufferSpace's exclusive latch (see buffer_space.h). Concurrent DML
-/// or tuner-driven coverage adaptation is NOT supported under concurrent
-/// Execute calls — quiesce the service first.
+/// Since the statement-pipeline refactor the executor is also the write
+/// front door: ExecuteStatement plans Insert/Update/Delete into write
+/// operators (exec/dml_operators.h) and runs them through the same
+/// ExecutePlan path as queries.
+///
+/// Thread-safety: Execute and ExecuteStatement may be called from
+/// concurrent QueryService workers once setup (RegisterIndex /
+/// SetBufferOptions / SetWriteTable) is complete. Two latches, always in
+/// this order:
+///
+///   1. the executor's *statement latch* — shared around every read plan,
+///      exclusive around every DML plan. Read plans that never touch the
+///      space latch (covered probes, full scans, shared scans) are still
+///      excluded from concurrent heap mutation by it, which is what makes
+///      the pin-protocol BufferPool contract safe with writers in the mix;
+///   2. the IndexBufferSpace latch — exclusive for indexing scans, Table II
+///      history updates, and the DML operators' maintenance section.
+///
+/// Tuner-driven coverage adaptation remains a facade-only operation (see
+/// Catalog::Execute) and is not safe under concurrent Execute calls.
 class Executor {
  public:
   /// `space` may be null (no Index Buffer configured). Does not own
@@ -49,6 +63,18 @@ class Executor {
 
   /// Registers the partial index for its column. One index per column.
   void RegisterIndex(PartialIndex* index);
+
+  /// The mutable handle DML statements execute against; must be the same
+  /// table the executor was built over. Unset (the default) makes every
+  /// DML statement fail with InvalidArgument — a read-only executor.
+  void SetWriteTable(Table* table) { write_table_ = table; }
+  Table* write_table() const { return write_table_; }
+
+  /// The reader-writer latch serializing DML against read plans. Exposed
+  /// for execution paths that run plans without going through ExecutePlan
+  /// (the service's shared-scan path) — they must hold it shared for the
+  /// duration of the run. Lock order: statement latch before space latch.
+  std::shared_mutex& statement_latch() const { return stmt_latch_; }
 
   PartialIndex* GetIndex(ColumnId column) const;
 
@@ -85,8 +111,22 @@ class Executor {
 
   /// Executes a plan obtained from PlanQuery (dispatching the Table II
   /// history update for the plan's driving index, exactly as Execute).
+  /// Takes the statement latch in the mode the plan's kind requires:
+  /// shared for selects, exclusive for DML plans.
   Result<QueryResult> ExecutePlan(PhysicalPlan* plan,
                                   const QueryControl* control = nullptr);
+
+  /// Plans `statement` (selects via access-path selection, DML into write
+  /// operators). Null for DML when no write table is set.
+  std::unique_ptr<PhysicalPlan> PlanStatement(const Statement& statement)
+      const;
+
+  /// Executes `statement` through the pipeline: plan, latch, run, convert
+  /// the row results. The single maintenance code path — Database/Catalog
+  /// DML delegates here.
+  Result<StatementResult> ExecuteStatement(const Statement& statement,
+                                           const QueryControl* control =
+                                               nullptr);
 
   /// Baseline: always a full table scan, no index or buffer interaction.
   Result<QueryResult> FullScan(const Query& query);
@@ -98,6 +138,7 @@ class Executor {
 
  private:
   const Table* table_;
+  Table* write_table_ = nullptr;
   IndexBufferSpace* space_;
   CostModel cost_model_;
   Metrics* metrics_;
@@ -105,6 +146,9 @@ class Executor {
   std::map<ColumnId, PartialIndex*> indexes_;
   MorselDispatcher* dispatcher_ = nullptr;
   ParallelScanOptions parallel_options_;
+  /// Readers (query plans) shared, writers (DML plans) exclusive. Mutable:
+  /// read latching is not a logical mutation.
+  mutable std::shared_mutex stmt_latch_;
 };
 
 }  // namespace aib

@@ -7,6 +7,7 @@
 #include "exec/cost_model.h"
 #include "exec/operator.h"
 #include "exec/query.h"
+#include "exec/statement.h"
 #include "index/partial_index.h"
 
 namespace aib {
@@ -32,6 +33,13 @@ class PhysicalPlan {
   /// Access-path flags copied into QueryStats by Run().
   void SetUsedPartialIndex(bool used) { used_partial_index_ = used; }
   void SetUsedIndexBuffer(bool used) { used_index_buffer_ = used; }
+
+  /// What kind of statement this plan executes. Selects (the default) run
+  /// under the executor's shared statement latch; DML plans run under the
+  /// exclusive acquisition (see Executor::ExecutePlan).
+  void SetStatementKind(StatementKind kind) { statement_kind_ = kind; }
+  StatementKind statement_kind() const { return statement_kind_; }
+  bool IsDml() const { return statement_kind_ != StatementKind::kSelect; }
 
   /// The partial index of the driving predicate (null when the plan full
   /// scans an unindexed conjunction) and whether its coverage fully
@@ -61,6 +69,7 @@ class PhysicalPlan {
  private:
   std::unique_ptr<PhysicalOperator> root_;
   const Table* table_;
+  StatementKind statement_kind_ = StatementKind::kSelect;
   PartialIndex* driver_index_ = nullptr;
   bool driver_hit_ = false;
   bool used_partial_index_ = false;

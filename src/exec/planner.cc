@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "exec/dml_operators.h"
 #include "exec/operators.h"
 
 namespace aib {
@@ -146,6 +147,38 @@ std::unique_ptr<PhysicalPlan> Planner::Plan(
 
   // 3. No usable index anywhere in the conjunction.
   return PlanFullScan(query);
+}
+
+std::unique_ptr<PhysicalPlan> Planner::PlanStatement(
+    const Statement& statement,
+    const std::map<ColumnId, PartialIndex*>& indexes,
+    Table* write_table) const {
+  if (statement.kind == StatementKind::kSelect) {
+    return Plan(statement.query, indexes);
+  }
+  if (write_table == nullptr) return nullptr;
+  // `indexes` is the executor's registry; its address stays valid for the
+  // single-use plan's lifetime (plans execute immediately).
+  std::unique_ptr<PhysicalOperator> root;
+  switch (statement.kind) {
+    case StatementKind::kInsert:
+      root = std::make_unique<InsertOp>(write_table, space_, &indexes,
+                                        statement.tuple);
+      break;
+    case StatementKind::kUpdate:
+      root = std::make_unique<UpdateOp>(write_table, space_, &indexes,
+                                        statement.target, statement.tuple);
+      break;
+    case StatementKind::kDelete:
+      root = std::make_unique<DeleteOp>(write_table, space_, &indexes,
+                                        statement.target);
+      break;
+    case StatementKind::kSelect:
+      return nullptr;  // unreachable
+  }
+  auto plan = std::make_unique<PhysicalPlan>(std::move(root), table_);
+  plan->SetStatementKind(statement.kind);
+  return plan;
 }
 
 }  // namespace aib

@@ -7,6 +7,7 @@
 #include "core/buffer_space.h"
 #include "exec/plan.h"
 #include "exec/query.h"
+#include "exec/statement.h"
 #include "index/partial_index.h"
 
 namespace aib {
@@ -37,6 +38,17 @@ class Planner {
   std::unique_ptr<PhysicalPlan> Plan(
       const Query& query,
       const std::map<ColumnId, PartialIndex*>& indexes) const;
+
+  /// Statement planning: selects go through Plan() above; Insert/Update/
+  /// Delete become single-operator write plans (InsertOp/UpdateOp/DeleteOp)
+  /// rooted directly — the operator owns the whole mutation including its
+  /// Table I maintenance. `write_table` is the mutable table handle DML
+  /// plans execute against; null yields a null plan for DML (the executor
+  /// reports the configuration error).
+  std::unique_ptr<PhysicalPlan> PlanStatement(
+      const Statement& statement,
+      const std::map<ColumnId, PartialIndex*>& indexes,
+      Table* write_table) const;
 
   /// Baseline plan: always a full table scan of the whole conjunction.
   std::unique_ptr<PhysicalPlan> PlanFullScan(const Query& query) const;

@@ -4,6 +4,23 @@
 
 namespace aib {
 
+namespace {
+
+/// Deadline/cancel wiring shared by both Submit flavors.
+QueryControl MakeControl(const SubmitOptions& submit,
+                         const QueryServiceOptions& options) {
+  QueryControl control;
+  const std::chrono::milliseconds budget =
+      submit.deadline.count() > 0 ? submit.deadline : options.default_deadline;
+  if (budget.count() > 0) {
+    control.deadline = std::chrono::steady_clock::now() + budget;
+  }
+  control.cancel = submit.cancel;
+  return control;
+}
+
+}  // namespace
+
 QueryService::QueryService(Executor* executor, const Table* table,
                            QueryServiceOptions options, Metrics* metrics)
     : executor_(executor),
@@ -53,18 +70,34 @@ Result<std::future<Result<QueryResult>>> QueryService::Submit(
 Result<std::future<Result<QueryResult>>> QueryService::Submit(
     const Query& query, const SubmitOptions& submit) {
   if (shutdown_.load(std::memory_order_relaxed)) {
-    return Status::InvalidArgument("query service is shut down");
+    return Status::Cancelled("query service is shut down");
   }
   Request request;
-  request.query = query;
-  const std::chrono::milliseconds budget =
-      submit.deadline.count() > 0 ? submit.deadline
-                                  : options_.default_deadline;
-  if (budget.count() > 0) {
-    request.control.deadline = std::chrono::steady_clock::now() + budget;
-  }
-  request.control.cancel = submit.cancel;
+  request.statement = Statement::Select(query);
+  request.control = MakeControl(submit, options_);
   std::future<Result<QueryResult>> future = request.promise.get_future();
+  AIB_RETURN_IF_ERROR(Enqueue(std::move(request)));
+  return future;
+}
+
+Result<std::future<Result<StatementResult>>> QueryService::Submit(
+    const Statement& statement, const SubmitOptions& submit) {
+  if (shutdown_.load(std::memory_order_relaxed)) {
+    // Same contract for DML and reads: a statement arriving after shutdown
+    // began is Cancelled, never silently dropped or half-admitted.
+    return Status::Cancelled("query service is shut down");
+  }
+  Request request;
+  request.statement = statement;
+  request.is_statement = true;
+  request.control = MakeControl(submit, options_);
+  std::future<Result<StatementResult>> future =
+      request.statement_promise.get_future();
+  AIB_RETURN_IF_ERROR(Enqueue(std::move(request)));
+  return future;
+}
+
+Status QueryService::Enqueue(Request request) {
   if (!queue_.TryPush(std::move(request))) {
     rejected_.fetch_add(1, std::memory_order_relaxed);
     if (metrics_ != nullptr) metrics_->Increment(kMetricServiceRejected);
@@ -72,7 +105,7 @@ Result<std::future<Result<QueryResult>>> QueryService::Submit(
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) metrics_->Increment(kMetricServiceSubmitted);
-  return future;
+  return Status::Ok();
 }
 
 Result<QueryResult> QueryService::Execute(const Query& query) {
@@ -81,40 +114,91 @@ Result<QueryResult> QueryService::Execute(const Query& query) {
   return future.get();
 }
 
+Result<StatementResult> QueryService::ExecuteStatement(
+    const Statement& statement) {
+  AIB_ASSIGN_OR_RETURN(std::future<Result<StatementResult>> future,
+                       Submit(statement, SubmitOptions{}));
+  return future.get();
+}
+
 void QueryService::WorkerLoop() {
   while (std::optional<Request> request = queue_.Pop()) {
-    // Pre-execution short-circuit: a query that timed out in the queue or
-    // was cancelled before a worker reached it resolves immediately — the
-    // worker spends nothing on it. These are the only Timeout/Cancelled
-    // outcomes the *service* adds to the metrics registry; the Executor
-    // accounts the ones that strike mid-execution.
+    // Pre-execution short-circuit: a request that timed out in the queue
+    // or was cancelled before a worker reached it resolves immediately —
+    // the worker spends nothing on it. These are the only Timeout/
+    // Cancelled outcomes the *service* adds to the metrics registry; the
+    // Executor accounts the ones that strike mid-execution.
     const Status admitted = request->control.Check();
-    Result<QueryResult> result =
-        admitted.ok() ? RunQuery(request->query, &request->control)
-                      : Result<QueryResult>(admitted);
     if (!admitted.ok() && metrics_ != nullptr) {
       metrics_->Increment(admitted.IsTimeout() ? kMetricQueriesTimedOut
                                                : kMetricQueriesCancelled);
     }
-    RecordOutcome(result);
-    // Count before publishing: a caller woken by the future must already
-    // see this query in stats().executed.
-    executed_.fetch_add(1, std::memory_order_relaxed);
-    if (metrics_ != nullptr) metrics_->Increment(kMetricServiceExecuted);
-    request->promise.set_value(std::move(result));
+    if (request->is_statement) {
+      Result<StatementResult> result =
+          admitted.ok() ? RunStatement(request->statement, &request->control)
+                        : Result<StatementResult>(admitted);
+      RecordOutcome(result.ok() ? Status::Ok() : result.status(),
+                    result.ok() && result.value().stats.degraded);
+      if (result.ok() && request->statement.IsDml()) {
+        dml_executed_.fetch_add(1, std::memory_order_relaxed);
+        if (metrics_ != nullptr) {
+          metrics_->Increment(kMetricServiceDmlExecuted);
+        }
+      }
+      // Count before publishing: a caller woken by the future must
+      // already see this request in stats().executed.
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) metrics_->Increment(kMetricServiceExecuted);
+      request->statement_promise.set_value(std::move(result));
+    } else {
+      Result<QueryResult> result =
+          admitted.ok()
+              ? RunQuery(request->statement.query, &request->control)
+              : Result<QueryResult>(admitted);
+      RecordOutcome(result.ok() ? Status::Ok() : result.status(),
+                    result.ok() && result.value().stats.degraded);
+      executed_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics_ != nullptr) metrics_->Increment(kMetricServiceExecuted);
+      request->promise.set_value(std::move(result));
+    }
   }
 }
 
-void QueryService::RecordOutcome(const Result<QueryResult>& result) {
-  if (result.ok()) {
-    if (result.value().stats.degraded) {
-      degraded_.fetch_add(1, std::memory_order_relaxed);
-    }
-  } else if (result.status().IsTimeout()) {
+void QueryService::RecordOutcome(const Status& status, bool degraded) {
+  if (status.ok()) {
+    if (degraded) degraded_.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsTimeout()) {
     timed_out_.fetch_add(1, std::memory_order_relaxed);
-  } else if (result.status().IsCancelled()) {
+  } else if (status.IsCancelled()) {
     cancelled_.fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+Result<StatementResult> QueryService::RunStatement(
+    const Statement& statement, const QueryControl* control) {
+  if (statement.kind == StatementKind::kSelect) {
+    AIB_ASSIGN_OR_RETURN(QueryResult query_result,
+                         RunQuery(statement.query, control));
+    StatementResult result;
+    result.rids = std::move(query_result.rids);
+    result.stats = query_result.stats;
+    return result;
+  }
+  // DML: same whole-statement retry policy as queries. Safe because the
+  // operators expose only their pre-mutation read phase to faults — a
+  // failed statement has mutated nothing (exec/dml_operators.h).
+  Result<StatementResult> result =
+      executor_->ExecuteStatement(statement, control);
+  for (size_t retry = 0; retry < options_.max_query_retries; ++retry) {
+    if (result.ok()) break;
+    const Status& status = result.status();
+    if (!status.IsTransient() && !status.IsCorruption()) break;
+    if (control != nullptr && !control->Check().ok()) break;
+    retried_.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::yield();
+    result = executor_->ExecuteStatement(statement, control);
+  }
+  return result;
 }
 
 Result<QueryResult> QueryService::RunQuery(const Query& query,
@@ -156,6 +240,11 @@ Result<QueryResult> QueryService::RunQueryOnce(const Query& query,
       PhysicalPlan plan(std::make_unique<SharedScanOperator>(
                             &scans_, table_, query.AllPredicates()),
                         table_);
+      // This path bypasses Executor::ExecutePlan, so it must take the
+      // statement latch itself (shared: it's a read) to stay excluded
+      // from concurrent DML plans.
+      std::shared_lock<std::shared_mutex> stmt_latch(
+          executor_->statement_latch());
       return plan.Run(executor_->cost_model(), control);
     }
   }
@@ -171,6 +260,7 @@ QueryServiceStats QueryService::stats() const {
   stats.cancelled = cancelled_.load(std::memory_order_relaxed);
   stats.retried = retried_.load(std::memory_order_relaxed);
   stats.degraded = degraded_.load(std::memory_order_relaxed);
+  stats.dml_executed = dml_executed_.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -67,23 +67,29 @@ struct QueryServiceStats {
   int64_t executed = 0;
   int64_t timed_out = 0;
   int64_t cancelled = 0;
-  /// Whole-query retries performed after transient/corruption failures.
+  /// Whole-statement retries performed after transient/corruption failures.
   int64_t retried = 0;
   /// Queries answered through the degraded plain-scan path.
   int64_t degraded = 0;
+  /// Successfully executed DML statements (subset of `executed`).
+  int64_t dml_executed = 0;
 };
 
-/// The concurrent query front-end: a worker thread pool over a bounded
-/// admission queue. Callers Submit Query objects and collect results
-/// through futures; workers execute through the (latched) Executor, and
-/// full scans of unindexed columns are merged by a SharedScanManager so
-/// overlapping scans cost about one pass of page reads.
+/// The concurrent statement front-end: a worker thread pool over a bounded
+/// admission queue. Callers Submit Query objects (reads) or Statement
+/// objects (Select | Insert | Update | Delete) and collect results through
+/// futures; workers execute through the (latched) Executor, full scans of
+/// unindexed columns are merged by a SharedScanManager so overlapping
+/// scans cost about one pass of page reads, and DML statements run under
+/// the executor's exclusive statement latch — mixed read/write traffic is
+/// fully supported with the same admission, deadline, cancel, and retry
+/// machinery on both paths.
 ///
-/// Serves read-only workloads: concurrent DML or tuner adaptation against
-/// the same table is not supported while the service is running (see
-/// Executor's thread-safety contract). Shutdown (or destruction) stops
-/// admission, drains already-accepted requests, and joins the workers, so
-/// every future obtained from Submit becomes ready.
+/// Tuner-driven coverage adaptation remains outside the service (facade
+/// only; see Executor's thread-safety contract). Shutdown (or destruction)
+/// stops admission — late Submits of queries and DML alike are rejected
+/// with Cancelled — drains already-accepted requests, and joins the
+/// workers, so every future obtained from Submit becomes ready.
 class QueryService {
  public:
   /// Does not own `executor`, `table`, or `metrics`. The table must be the
@@ -97,7 +103,7 @@ class QueryService {
   ~QueryService();
 
   /// Enqueues `query`. Returns Busy when the admission queue is full (the
-  /// caller may retry after a backoff) or InvalidArgument after Shutdown.
+  /// caller may retry after a backoff) or Cancelled after Shutdown.
   Result<std::future<Result<QueryResult>>> Submit(const Query& query);
 
   /// Submit with an explicit deadline and/or cancellation token. A query
@@ -107,9 +113,20 @@ class QueryService {
   Result<std::future<Result<QueryResult>>> Submit(const Query& query,
                                                   const SubmitOptions& submit);
 
+  /// Enqueues a statement (read or DML) with the same admission contract
+  /// as queries: Busy on a full queue, Cancelled after Shutdown, deadlines
+  /// and cancel tokens honored, transient failures retried whole-statement
+  /// (safe for DML: a failed statement has mutated nothing — see
+  /// exec/dml_operators.h).
+  Result<std::future<Result<StatementResult>>> Submit(
+      const Statement& statement, const SubmitOptions& submit = {});
+
   /// Convenience: Submit and wait. Still goes through admission; callers
   /// sharing the service with Submit traffic see FIFO ordering.
   Result<QueryResult> Execute(const Query& query);
+
+  /// Convenience: Submit a statement and wait.
+  Result<StatementResult> ExecuteStatement(const Statement& statement);
 
   /// Stops admission, drains the queue, joins all workers. Idempotent;
   /// called by the destructor.
@@ -121,13 +138,23 @@ class QueryService {
   SharedScanManager& shared_scans() { return scans_; }
 
  private:
+  /// One queued request. Either the legacy query API (resolves `promise`)
+  /// or the statement API (resolves `statement_promise`), tagged by
+  /// `is_statement`; `statement` carries the work in both cases (queries
+  /// are wrapped as Select statements at submission).
   struct Request {
-    Query query;
+    Statement statement;
     QueryControl control;
+    bool is_statement = false;
     std::promise<Result<QueryResult>> promise;
+    std::promise<Result<StatementResult>> statement_promise;
   };
 
   void WorkerLoop();
+
+  /// Admission: deadline/cancel setup + TryPush with the Busy/metrics
+  /// bookkeeping shared by both Submit flavors.
+  Status Enqueue(Request request);
 
   /// Executes one query on the calling worker: shared full scan for
   /// unindexed columns (when enabled), latched Executor::Execute otherwise.
@@ -138,8 +165,14 @@ class QueryService {
   Result<QueryResult> RunQueryOnce(const Query& query,
                                    const QueryControl* control);
 
-  /// Tallies timed_out/cancelled/degraded for one finished query.
-  void RecordOutcome(const Result<QueryResult>& result);
+  /// Executes one statement: selects route through RunQuery (shared scans
+  /// included); DML goes to Executor::ExecuteStatement with the same
+  /// whole-statement retry policy.
+  Result<StatementResult> RunStatement(const Statement& statement,
+                                       const QueryControl* control);
+
+  /// Tallies timed_out/cancelled/degraded for one finished request.
+  void RecordOutcome(const Status& status, bool degraded);
 
   Executor* executor_;
   const Table* table_;
@@ -160,6 +193,7 @@ class QueryService {
   std::atomic<int64_t> cancelled_{0};
   std::atomic<int64_t> retried_{0};
   std::atomic<int64_t> degraded_{0};
+  std::atomic<int64_t> dml_executed_{0};
   std::atomic<bool> shutdown_{false};
 };
 

@@ -58,7 +58,10 @@ struct BufferPoolOptions {
 /// kMetricBufferPinWaits) instead of failing outright, and returns a
 /// retriable Busy when the wait times out. Page *contents* are protected
 /// by the pin protocol: a pinned page may be read concurrently; writers
-/// must hold the only pin (single-writer DML, as in the seed engine).
+/// must hold the only pin. The statement pipeline realizes that contract
+/// at a higher level: DML operators run under the executor's exclusive
+/// statement latch, so no reader holds a pin on any page while a write
+/// plan mutates the heap (see exec/executor.h).
 class BufferPool {
  public:
   /// `capacity` is the number of frames. The pool does not own `disk`.

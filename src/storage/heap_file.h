@@ -24,6 +24,19 @@ struct HeapFileOptions {
 /// (physical order == insertion order), which the correlation experiment
 /// (Fig. 3) relies on. Slot ids are stable: deletes tombstone, updates that
 /// no longer fit relocate the tuple and return the new Rid.
+///
+/// Latch discipline (write-path audit, statement pipeline): the heap file
+/// itself is deliberately unsynchronized — `page_ids_` and `tuple_count_`
+/// are plain members, and page contents follow the BufferPool's pin
+/// protocol (a writer must be the only accessor). Mutual exclusion is
+/// provided one layer up: every write runs inside a DML operator holding
+/// the executor's statement latch *exclusively*, while every reader (scan,
+/// probe, shared scan, morsel worker) runs under a shared acquisition of
+/// the same latch. Insert's grow path (AllocatePage + page_ids_ append),
+/// Update's delete-then-reinsert relocation, and the counters are therefore
+/// single-writer with no concurrent readers, and reads never observe a
+/// half-applied mutation. Callers bypassing the executor (loads, tests,
+/// tools) must be single-threaded, as before.
 class HeapFile {
  public:
   HeapFile(DiskManager* disk, BufferPool* pool, const Schema* schema,

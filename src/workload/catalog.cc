@@ -1,5 +1,10 @@
 #include "workload/catalog.h"
 
+#include <mutex>
+#include <shared_mutex>
+
+#include "exec/statement.h"
+
 namespace aib {
 
 Catalog::Catalog(CatalogOptions options) : options_(options) {
@@ -23,6 +28,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   state->executor = std::make_unique<Executor>(
       state->table.get(), space_.get(), options_.cost, &metrics_);
   state->executor->SetBufferOptions(options_.buffer);
+  state->executor->SetWriteTable(state->table.get());
   Table* raw = state->table.get();
   tables_.emplace_back(name, std::move(state));
   return raw;
@@ -54,55 +60,34 @@ Executor* Catalog::executor(const Table* table) const {
   return state == nullptr ? nullptr : state->executor.get();
 }
 
+// The DML facade methods are thin wrappers over the statement pipeline:
+// planning, latching, heap mutation, and the Table I maintenance matrix all
+// live in the write operators (exec/dml_operators.h), so the facade and the
+// QueryService share exactly one maintenance code path.
+
 Result<Rid> Catalog::Insert(Table* table, const Tuple& tuple) {
   TableState* state = StateOf(table);
   if (state == nullptr) return Status::InvalidArgument("unknown table");
-  AIB_ASSIGN_OR_RETURN(Rid rid, table->Insert(tuple));
-  AIB_ASSIGN_OR_RETURN(size_t page, table->PageNumberOf(rid));
-  for (auto& [column, index] : state->indexes) {
-    const Value value = tuple.IntValue(table->schema(), column);
-    AIB_RETURN_IF_ERROR(ApplyMaintenance(
-        index.get(),
-        space_ != nullptr ? space_->GetBuffer(index.get()) : nullptr,
-        TupleChange::MakeInsert(value, rid, page)));
-  }
-  return rid;
+  AIB_ASSIGN_OR_RETURN(
+      StatementResult result,
+      state->executor->ExecuteStatement(Statement::Insert(tuple)));
+  return result.rids.front();
 }
 
 Status Catalog::Delete(Table* table, const Rid& rid) {
   TableState* state = StateOf(table);
   if (state == nullptr) return Status::InvalidArgument("unknown table");
-  AIB_ASSIGN_OR_RETURN(Tuple old_tuple, table->Get(rid));
-  AIB_ASSIGN_OR_RETURN(size_t page, table->PageNumberOf(rid));
-  AIB_RETURN_IF_ERROR(table->Delete(rid));
-  for (auto& [column, index] : state->indexes) {
-    const Value value = old_tuple.IntValue(table->schema(), column);
-    AIB_RETURN_IF_ERROR(ApplyMaintenance(
-        index.get(),
-        space_ != nullptr ? space_->GetBuffer(index.get()) : nullptr,
-        TupleChange::MakeDelete(value, rid, page)));
-  }
-  return Status::Ok();
+  return state->executor->ExecuteStatement(Statement::Delete(rid)).status();
 }
 
 Result<Rid> Catalog::Update(Table* table, const Rid& rid,
                             const Tuple& tuple) {
   TableState* state = StateOf(table);
   if (state == nullptr) return Status::InvalidArgument("unknown table");
-  AIB_ASSIGN_OR_RETURN(Tuple old_tuple, table->Get(rid));
-  AIB_ASSIGN_OR_RETURN(size_t old_page, table->PageNumberOf(rid));
-  AIB_ASSIGN_OR_RETURN(Rid new_rid, table->Update(rid, tuple));
-  AIB_ASSIGN_OR_RETURN(size_t new_page, table->PageNumberOf(new_rid));
-  for (auto& [column, index] : state->indexes) {
-    const Value old_value = old_tuple.IntValue(table->schema(), column);
-    const Value new_value = tuple.IntValue(table->schema(), column);
-    AIB_RETURN_IF_ERROR(ApplyMaintenance(
-        index.get(),
-        space_ != nullptr ? space_->GetBuffer(index.get()) : nullptr,
-        TupleChange::MakeUpdate(old_value, rid, old_page, new_value, new_rid,
-                                new_page)));
-  }
-  return new_rid;
+  AIB_ASSIGN_OR_RETURN(
+      StatementResult result,
+      state->executor->ExecuteStatement(Statement::Update(rid, tuple)));
+  return result.rids.front();
 }
 
 Status Catalog::CreatePartialIndex(Table* table, ColumnId column,
@@ -155,15 +140,21 @@ Status Catalog::AttachTuner(Table* table, ColumnId column,
       [this, table, column](Value v) { return FindRids(table, column, v); });
   if (space_ != nullptr) {
     IndexBuffer* buffer = space_->GetBuffer(index);
-    tuner->SetAdaptCallback([table, buffer](Value value,
-                                            const std::vector<Rid>& rids,
-                                            bool added) {
+    IndexBufferSpace* space = space_.get();
+    tuner->SetAdaptCallback([table, buffer, space](
+                                Value value, const std::vector<Rid>& rids,
+                                bool added) {
       std::vector<size_t> pages;
       pages.reserve(rids.size());
       for (const Rid& rid : rids) {
         Result<size_t> page = table->PageNumberOf(rid);
         pages.push_back(page.ok() ? page.value() : 0);
       }
+      // Writer acquisition of the space latch: the buffer-entry and C[p]
+      // adjustments must not interleave with indexing scans or concurrent
+      // DML maintenance. Fires from Catalog::Execute with no latch held,
+      // so the statement-latch → space-latch order is respected.
+      std::unique_lock<std::shared_mutex> latch(space->latch());
       // Only fails on a size mismatch, impossible by construction here.
       (void)ApplyAdaptation(buffer, value, rids, pages, added);
     });

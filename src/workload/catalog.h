@@ -62,7 +62,13 @@ class Catalog {
   /// Names of all tables, in creation order.
   std::vector<std::string> TableNames() const;
 
-  // --- DML (with index + Index Buffer maintenance) -------------------------
+  // --- DML (thin wrappers over the statement pipeline) ----------------------
+  //
+  // Each call delegates to the table executor's ExecuteStatement, so the
+  // facade and a QueryService standing over the same table share exactly
+  // one maintenance code path (the write operators of
+  // exec/dml_operators.h, which apply the full Table I matrix under the
+  // statement and space latches).
 
   Result<Rid> Insert(Table* table, const Tuple& tuple);
   Status Delete(Table* table, const Rid& rid);

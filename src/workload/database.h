@@ -46,7 +46,11 @@ class Database {
   Catalog& catalog() { return catalog_; }
   const DatabaseOptions& options() const { return options_; }
 
-  // --- DML (with index + Index Buffer maintenance) -------------------------
+  // --- DML (thin wrappers over the statement pipeline) ----------------------
+  //
+  // These delegate through Catalog to Executor::ExecuteStatement — the
+  // same path a QueryService statement takes — so Table I maintenance has
+  // exactly one implementation regardless of entry point.
 
   Result<Rid> Insert(const Tuple& tuple) {
     return catalog_.Insert(table_, tuple);

@@ -55,4 +55,82 @@ std::optional<Query> WorkloadGenerator::Next() {
   return Query::Point(mix.column, v);
 }
 
+MixedWorkloadGenerator::MixedWorkloadGenerator(MixedWorkloadOptions options,
+                                               uint64_t seed)
+    : options_(std::move(options)), rng_(seed) {}
+
+const ZipfGenerator& MixedWorkloadGenerator::ZipfFor(size_t n, double theta) {
+  const std::pair<size_t, int> key{n, static_cast<int>(theta * 1000)};
+  auto it = zipf_cache_.find(key);
+  if (it == zipf_cache_.end()) {
+    it = zipf_cache_.emplace(key, ZipfGenerator(n, theta)).first;
+  }
+  return it->second;
+}
+
+Query MixedWorkloadGenerator::NextRead() {
+  assert(!options_.read_mix.empty());
+  std::vector<double> weights;
+  weights.reserve(options_.read_mix.size());
+  for (const ColumnMix& mix : options_.read_mix) {
+    weights.push_back(mix.weight);
+  }
+  const ColumnMix& mix = options_.read_mix[rng_.WeightedIndex(weights)];
+  const bool hit = rng_.Bernoulli(mix.hit_rate);
+  const Value lo = hit ? mix.covered_lo : mix.uncovered_lo;
+  const Value hi = hit ? mix.covered_hi : mix.uncovered_hi;
+  Value v;
+  if (mix.zipf_theta > 0) {
+    const size_t range = static_cast<size_t>(hi - lo) + 1;
+    const size_t rank = ZipfFor(range, mix.zipf_theta).Sample(rng_);
+    v = lo + static_cast<Value>(rank - 1);
+  } else {
+    v = static_cast<Value>(rng_.UniformInt(lo, hi));
+  }
+  return Query::Point(mix.column, v);
+}
+
+std::optional<MixedOp> MixedWorkloadGenerator::Next() {
+  if (position_ >= options_.num_statements) return std::nullopt;
+  ++position_;
+
+  MixedOp op;
+  if (!rng_.Bernoulli(options_.write_fraction)) {
+    op.kind = StatementKind::kSelect;
+    op.query = NextRead();
+    return op;
+  }
+
+  size_t kind_index = rng_.WeightedIndex({options_.insert_weight,
+                                          options_.update_weight,
+                                          options_.delete_weight});
+  // Updates/deletes need a live victim; degrade to an insert until the
+  // generator has produced one.
+  if (live_rows_ == 0) kind_index = 0;
+
+  if (kind_index == 0) {
+    op.kind = StatementKind::kInsert;
+  } else {
+    op.kind =
+        kind_index == 1 ? StatementKind::kUpdate : StatementKind::kDelete;
+    if (options_.victim_zipf_theta > 0 && live_rows_ > 1) {
+      op.victim_rank =
+          ZipfFor(live_rows_, options_.victim_zipf_theta).Sample(rng_);
+    } else {
+      op.victim_rank = static_cast<size_t>(
+          rng_.UniformInt(1, static_cast<int64_t>(live_rows_)));
+    }
+  }
+  if (op.kind != StatementKind::kDelete) {
+    op.values.reserve(options_.values_per_tuple);
+    for (size_t i = 0; i < options_.values_per_tuple; ++i) {
+      op.values.push_back(static_cast<Value>(
+          rng_.UniformInt(options_.write_lo, options_.write_hi)));
+    }
+  }
+  if (op.kind == StatementKind::kInsert) ++live_rows_;
+  if (op.kind == StatementKind::kDelete) --live_rows_;
+  return op;
+}
+
 }  // namespace aib

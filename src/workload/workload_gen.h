@@ -8,6 +8,7 @@
 
 #include "common/rng.h"
 #include "exec/query.h"
+#include "exec/statement.h"
 #include "workload/zipf.h"
 
 namespace aib {
@@ -65,6 +66,75 @@ class WorkloadGenerator {
   size_t phase_index_ = 0;
   size_t in_phase_ = 0;
   size_t position_ = 0;
+  std::map<std::pair<size_t, int>, ZipfGenerator> zipf_cache_;
+};
+
+/// Configuration of the mixed read/write generator.
+struct MixedWorkloadOptions {
+  size_t num_statements = 1000;
+  /// Probability a statement is DML rather than a read. 0 reproduces a
+  /// pure read workload (bit-identical reads for a given seed regardless
+  /// of the write knobs).
+  double write_fraction = 0.1;
+  /// Relative weights of the DML kinds within the write fraction. Updates
+  /// and deletes need a live generator-inserted row to target; until one
+  /// exists they degrade to inserts.
+  double insert_weight = 1.0;
+  double update_weight = 1.0;
+  double delete_weight = 1.0;
+  /// Int-column values of generated tuples are drawn uniformly from
+  /// [write_lo, write_hi] — keep this band disjoint from the read mix's
+  /// query values when an oracle must stay valid for the read stream.
+  Value write_lo = 5001;
+  Value write_hi = 50000;
+  /// Number of int-column values per generated tuple (MixedOp::values).
+  size_t values_per_tuple = 1;
+  /// Zipf skew of the victim choice for updates/deletes over the live
+  /// generator-inserted rows: rank 1 = the most recently inserted live
+  /// row. 0 = uniform.
+  double victim_zipf_theta = 0.0;
+  /// The read side of the mix, sampled exactly like one WorkloadGenerator
+  /// phase (point queries).
+  std::vector<ColumnMix> read_mix;
+};
+
+/// One generated operation. Reads carry `query`; inserts and updates carry
+/// `values` (one per int column, in column order); updates and deletes
+/// carry `victim_rank`, the 1-based recency rank of the targeted row among
+/// the rows this generator has inserted and not yet deleted (1 = newest).
+/// The harness owns the rank→rid mapping: it keeps the rids of applied
+/// inserts in order and resolves rank r to the r-th newest live one (and
+/// must tell no one else — the generator tracks only the live count).
+struct MixedOp {
+  StatementKind kind = StatementKind::kSelect;
+  Query query;
+  std::vector<Value> values;
+  size_t victim_rank = 0;
+};
+
+/// Deterministic mixed read/write generator for the statement pipeline:
+/// a configurable write fraction with Zipf-skewed update/delete targets
+/// layered over the paper-style point-query read mix. Same seed, same
+/// options → bit-identical operation stream.
+class MixedWorkloadGenerator {
+ public:
+  MixedWorkloadGenerator(MixedWorkloadOptions options, uint64_t seed);
+
+  /// Next operation, or nullopt after num_statements.
+  std::optional<MixedOp> Next();
+
+  size_t position() const { return position_; }
+  /// The generator's model of its own live (inserted-minus-deleted) rows.
+  size_t live_rows() const { return live_rows_; }
+
+ private:
+  Query NextRead();
+  const ZipfGenerator& ZipfFor(size_t n, double theta);
+
+  MixedWorkloadOptions options_;
+  Rng rng_;
+  size_t position_ = 0;
+  size_t live_rows_ = 0;
   std::map<std::pair<size_t, int>, ZipfGenerator> zipf_cache_;
 };
 

@@ -36,6 +36,17 @@ class ExplainTest : public ::testing::Test {
     return ExplainPlan(*plan);
   }
 
+  /// Plans, executes, and renders a DML statement.
+  std::string ExplainStatement(const Statement& statement) {
+    Executor* executor = db_->executor();
+    std::unique_ptr<PhysicalPlan> plan = executor->PlanStatement(statement);
+    EXPECT_NE(plan, nullptr);
+    if (plan == nullptr) return "";
+    Result<QueryResult> result = executor->ExecutePlan(plan.get());
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return ExplainPlan(*plan);
+  }
+
   std::unique_ptr<Database> db_;
 };
 
@@ -107,6 +118,47 @@ TEST_F(ExplainTest, ConjunctiveFullScanShowsWholeConjunction) {
   EXPECT_EQ(Explain(Query::Range(1, 101, 112).And(1, 105, 200)),
             "FullTableScan(col1 in [101,112] AND col1 in [105,200])  "
             "[rows=8 scanned=6]\n");
+}
+
+TEST_F(ExplainTest, InsertStatementGolden) {
+  // Pages 0-5 are full, so the insert lands on a fresh page. The node
+  // renders the statement kind, the new tuple's image, and the maintenance
+  // summary: partial index, Index Buffer, and C[p] are all kept current.
+  std::unique_ptr<PhysicalPlan> plan =
+      db_->executor()->PlanStatement(Statement::Insert(Tuple({25, 125}, {"p"})));
+  ASSERT_NE(plan, nullptr);
+  EXPECT_TRUE(plan->IsDml());
+  EXPECT_EQ(plan->statement_kind(), StatementKind::kInsert);
+  ASSERT_TRUE(db_->executor()->ExecutePlan(plan.get()).ok());
+  EXPECT_EQ(ExplainPlan(*plan),
+            "Insert(col0=25, col1=125 -> maintenance: pidx+ibuf+C[p])  "
+            "[rows=1]\n");
+}
+
+TEST_F(ExplainTest, UpdateStatementGolden) {
+  // col0 = 21 sits at page 5, slot 0. The replacement image has the same
+  // footprint, so the tuple stays in place; the rendering names the target
+  // rid, the new image, and the maintenance summary.
+  EXPECT_EQ(
+      ExplainStatement(Statement::Update(Rid{5, 0}, Tuple({21, 999}, {"p"}))),
+      "Update(rid=(5,0) set col0=21, col1=999 -> maintenance: pidx+ibuf+C[p])"
+      "  [rows=1]\n");
+}
+
+TEST_F(ExplainTest, DeleteStatementGolden) {
+  // col0 = 24 sits at page 5, slot 3 (uncovered, unbuffered: the delete
+  // still walks the maintenance path, which no-ops per Table I).
+  EXPECT_EQ(ExplainStatement(Statement::Delete(Rid{5, 3})),
+            "Delete(rid=(5,3) -> maintenance: pidx+ibuf+C[p])  [rows=1]\n");
+}
+
+TEST_F(ExplainTest, DmlStructureRenderableBeforeExecution) {
+  std::unique_ptr<PhysicalPlan> plan =
+      db_->executor()->PlanStatement(Statement::Delete(Rid{5, 3}));
+  ASSERT_NE(plan, nullptr);
+  EXPECT_FALSE(plan->executed());
+  EXPECT_EQ(ExplainPlan(*plan),
+            "Delete(rid=(5,3) -> maintenance: pidx+ibuf+C[p])  [rows=0]\n");
 }
 
 TEST_F(ExplainTest, StructureRenderableBeforeExecution) {

@@ -233,7 +233,10 @@ TEST_F(QueryServiceTest, SharedScanServiceAnswersUnindexedColumnQueries) {
   }
 }
 
-TEST_F(QueryServiceTest, SubmitAfterShutdownIsRejected) {
+TEST_F(QueryServiceTest, SubmitAfterShutdownIsCancelled) {
+  // Queries and DML share the late-arrival contract: anything submitted
+  // after Shutdown() fails with Cancelled (the same status a request gets
+  // when its cancel token fires), not InvalidArgument.
   QueryServiceOptions service_options;
   service_options.num_workers = 2;
   QueryService service(db_->executor(), &db_->table(), service_options);
@@ -242,7 +245,13 @@ TEST_F(QueryServiceTest, SubmitAfterShutdownIsRejected) {
   service.Shutdown();
   Result<std::future<Result<QueryResult>>> after =
       service.Submit(Query::Point(0, 10));
-  EXPECT_TRUE(after.status().IsInvalidArgument());
+  EXPECT_TRUE(after.status().IsCancelled());
+  Result<std::future<Result<StatementResult>>> statement_after =
+      service.Submit(Statement::Insert(Tuple({40, 40, 40}, {"x"})));
+  EXPECT_TRUE(statement_after.status().IsCancelled());
+  Result<StatementResult> execute_after =
+      service.ExecuteStatement(Statement::Delete(Rid{0, 0}));
+  EXPECT_TRUE(execute_after.status().IsCancelled());
 }
 
 TEST_F(QueryServiceTest, DestructorDrainsAcceptedRequests) {

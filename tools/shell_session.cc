@@ -283,6 +283,39 @@ bool ShellSession::ExecuteLine(const std::string& line) {
       return true;
     }
 
+    if (command == "update") {
+      if (tokens.size() < 5) return Fail("update NAME PAGE SLOT V1 [V2 ...]");
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      const Rid rid{static_cast<PageId>(std::stoull(tokens[2])),
+                    static_cast<SlotId>(std::stoul(tokens[3]))};
+      std::vector<Value> values;
+      for (size_t i = 4; i < tokens.size(); ++i) {
+        values.push_back(std::stoi(tokens[i]));
+      }
+      if (values.size() != table->schema().IntColumnIds().size()) {
+        return Fail("value count does not match schema");
+      }
+      Result<Rid> new_rid =
+          catalog_->Update(table, rid, Tuple(std::move(values), {"row"}));
+      if (!new_rid.ok()) return Fail(new_rid.status().ToString());
+      out_ << "ok: updated " << RidToString(rid) << " -> "
+           << RidToString(new_rid.value()) << "\n";
+      return true;
+    }
+
+    if (command == "delete") {
+      if (tokens.size() != 4) return Fail("delete NAME PAGE SLOT");
+      Table* table = catalog_->GetTable(tokens[1]);
+      if (table == nullptr) return Fail("no table " + tokens[1]);
+      const Rid rid{static_cast<PageId>(std::stoull(tokens[2])),
+                    static_cast<SlotId>(std::stoul(tokens[3]))};
+      const Status status = catalog_->Delete(table, rid);
+      if (!status.ok()) return Fail(status.ToString());
+      out_ << "ok: deleted " << RidToString(rid) << "\n";
+      return true;
+    }
+
     if (command == "buffers") {
       if (catalog_->space() == nullptr) {
         out_ << "index buffer space disabled\n";

@@ -32,7 +32,13 @@ namespace aib::tools {
 ///                           with per-operator statistics; trailing
 ///                           COLUMN LO HI triplets add residual conjuncts
 ///   run NAME COLUMN COUNT LO HI [SEED]   — COUNT random point queries
-///   insert NAME V1 [V2 ...]              — one tuple (payload auto)
+///   insert NAME V1 [V2 ...]              — one tuple (payload auto); runs
+///                           through the statement pipeline with full
+///                           Table I maintenance, like all DML below
+///   update NAME PAGE SLOT V1 [V2 ...]    — replace the tuple at rid
+///                           (PAGE,SLOT); prints the new rid (it moves
+///                           when the new image no longer fits the slot)
+///   delete NAME PAGE SLOT                — delete the tuple at rid
 ///   fault arm SEED RATE [CORRUPT_FRACTION [LATENCY_RATE [LATENCY_TICKS]]]
 ///                         — arms the disk FaultInjector: RATE applies to
 ///                           both reads and writes; `config` and
