@@ -29,6 +29,16 @@ std::map<std::string, int64_t> Metrics::counters() const {
   return merged;
 }
 
+void Metrics::MergeFrom(const Metrics& other) {
+  for (const Shard& shard : other.shards_) {
+    std::shared_lock lock(shard.mu);
+    for (const auto& [name, value] : shard.counters) {
+      const int64_t delta = value->load(std::memory_order_relaxed);
+      if (delta != 0) Increment(name, delta);
+    }
+  }
+}
+
 std::string Metrics::ToString() const {
   std::ostringstream out;
   for (const auto& [name, value] : counters()) {

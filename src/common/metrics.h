@@ -62,6 +62,12 @@ class Metrics {
   /// concurrently with the snapshot may or may not be reflected.
   std::map<std::string, int64_t> counters() const;
 
+  /// Adds every counter of `other` into this registry (creating names as
+  /// needed). Used to roll per-shard registries up into fleet-wide totals.
+  /// Snapshot semantics match counters(): concurrent increments on
+  /// `other` may or may not be included.
+  void MergeFrom(const Metrics& other);
+
   /// One "name=value" pair per line, sorted by name.
   std::string ToString() const;
 
@@ -122,6 +128,19 @@ inline constexpr char kMetricPrefetchedPages[] =
     "bufferpool.prefetched_pages";
 inline constexpr char kMetricDmlStatements[] = "exec.dml_statements";
 inline constexpr char kMetricServiceDmlExecuted[] = "service.dml_executed";
+// Sharding layer (routing + scatter-gather; live in the router's own
+// registry, rolled into FleetCounters()).
+inline constexpr char kMetricShardStatementsRouted[] =
+    "shard.statements_routed";
+inline constexpr char kMetricShardScatterStatements[] =
+    "shard.scatter_statements";
+inline constexpr char kMetricShardLegsDispatched[] = "shard.legs_dispatched";
+inline constexpr char kMetricShardLegsRetried[] = "shard.legs_retried";
+inline constexpr char kMetricShardRowsMigrated[] = "shard.rows_migrated";
+// Tenant admission (stride scheduler in front of the shard fleet).
+inline constexpr char kMetricTenantSubmitted[] = "tenant.submitted";
+inline constexpr char kMetricTenantRejected[] = "tenant.rejected";
+inline constexpr char kMetricTenantDispatched[] = "tenant.dispatched";
 
 }  // namespace aib
 

@@ -1,0 +1,202 @@
+#include "shard/scatter_gather.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "exec/batch.h"
+
+namespace aib {
+
+namespace {
+
+/// Remaining budget of the caller's control as a Submit deadline, zero
+/// (= unbounded) when none was set.
+std::chrono::milliseconds RemainingBudget(const QueryControl* control) {
+  if (control == nullptr || !control->has_deadline()) {
+    return std::chrono::milliseconds{0};
+  }
+  const auto now = std::chrono::steady_clock::now();
+  if (now >= control->deadline) return std::chrono::milliseconds{1};
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             control->deadline - now) +
+         std::chrono::milliseconds{1};
+}
+
+/// Folds one leg's stats into the statement-wide merge.
+void MergeLegStats(const QueryStats& leg, QueryStats* merged) {
+  merged->used_partial_index |= leg.used_partial_index;
+  merged->used_index_buffer |= leg.used_index_buffer;
+  merged->result_count += leg.result_count;
+  merged->pages_scanned += leg.pages_scanned;
+  merged->pages_skipped += leg.pages_skipped;
+  merged->pages_fetched += leg.pages_fetched;
+  merged->ix_probes += leg.ix_probes;
+  merged->buffer_probes += leg.buffer_probes;
+  merged->buffer_matches += leg.buffer_matches;
+  merged->entries_added += leg.entries_added;
+  merged->entries_dropped += leg.entries_dropped;
+  merged->partitions_dropped += leg.partitions_dropped;
+  merged->partitions_quarantined += leg.partitions_quarantined;
+  merged->degraded |= leg.degraded;
+  merged->cost += leg.cost;
+  // Legs run concurrently; the statement's wall is the slowest leg.
+  merged->wall_ns = std::max(merged->wall_ns, leg.wall_ns);
+}
+
+}  // namespace
+
+ScatterGatherScan::ScatterGatherScan(Query query, std::vector<ScatterLeg> legs,
+                                     size_t max_leg_retries)
+    : query_(std::move(query)),
+      legs_(std::move(legs)),
+      max_leg_retries_(max_leg_retries) {
+  stats_ = {};
+}
+
+std::string ScatterGatherScan::Describe() const {
+  std::ostringstream out;
+  out << PredicateToString(query_.column, query_.lo, query_.hi);
+  for (const ColumnPredicate& residual : query_.residuals) {
+    out << " AND " << PredicateToString(residual.column, residual.lo,
+                                        residual.hi);
+  }
+  return out.str();
+}
+
+Status ScatterGatherScan::DispatchLeg(size_t i) {
+  SubmitOptions submit;
+  submit.deadline = RemainingBudget(caller_control_);
+  submit.cancel = leg_cancel_;
+  const Statement statement = Statement::Select(query_);
+  // Busy means the shard's admission queue is momentarily full — back off
+  // briefly instead of failing the whole statement. Bounded so a wedged
+  // shard surfaces as Busy rather than hanging the gather.
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    Result<std::future<Result<StatementResult>>> future =
+        legs_[i].service->Submit(statement, submit);
+    if (future.ok()) {
+      futures_[i] = std::move(future).value();
+      ++leg_infos_[i].attempts;
+      return Status::Ok();
+    }
+    if (!future.status().IsBusy()) return future.status();
+    if (caller_control_ != nullptr) {
+      AIB_RETURN_IF_ERROR(caller_control_->Check());
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return Status::Busy("shard admission queue full");
+}
+
+Status ScatterGatherScan::Open(ExecContext* ctx) {
+  if (ctx != nullptr) caller_control_ = ctx->control;
+  if (caller_control_ != nullptr) {
+    AIB_RETURN_IF_ERROR(caller_control_->Check());
+  }
+  leg_cancel_ = MakeCancelToken();
+  futures_.resize(legs_.size());
+  leg_infos_.clear();
+  leg_infos_.reserve(legs_.size());
+  for (const ScatterLeg& leg : legs_) {
+    LegInfo info;
+    info.shard = leg.shard;
+    leg_infos_.push_back(info);
+  }
+  for (size_t i = 0; i < legs_.size(); ++i) {
+    const Status status = DispatchLeg(i);
+    if (!status.ok()) {
+      // Stop the already-dispatched siblings before reporting.
+      leg_cancel_->store(true, std::memory_order_relaxed);
+      return status;
+    }
+  }
+  opened_ = true;
+  return Status::Ok();
+}
+
+Status ScatterGatherScan::AwaitLeg(size_t i) {
+  while (true) {
+    Result<StatementResult> result = futures_[i].get();
+    if (result.ok()) {
+      leg_infos_[i].status = Status::Ok();
+      leg_infos_[i].rows = result->rids.size();
+      leg_infos_[i].stats = result->stats;
+      MergeLegStats(result->stats, &merged_);
+      current_rids_ = std::move(result->rids);
+      return Status::Ok();
+    }
+    leg_infos_[i].status = result.status();
+    // Only this leg re-plans: transient shortages and corruption are
+    // retriable per the recovery-free argument (the shard quarantines and
+    // heals between attempts); Timeout/Cancelled are final.
+    const bool retriable =
+        result.status().IsTransient() || result.status().IsCorruption();
+    if (!retriable || leg_infos_[i].attempts > max_leg_retries_) {
+      return result.status();
+    }
+    if (caller_control_ != nullptr) {
+      AIB_RETURN_IF_ERROR(caller_control_->Check());
+    }
+    ++legs_retried_;
+    AIB_RETURN_IF_ERROR(DispatchLeg(i));
+  }
+}
+
+Result<bool> ScatterGatherScan::NextBatch(TupleBatch* out) {
+  out->Clear();
+  while (true) {
+    if (caller_control_ != nullptr) {
+      const Status status = caller_control_->Check();
+      if (!status.ok()) {
+        leg_cancel_->store(true, std::memory_order_relaxed);
+        return status;
+      }
+    }
+    if (cursor_ < current_rids_.size()) {
+      EmitRidChunk(current_rids_, &cursor_, /*needs_fetch=*/false, out);
+      stats_.rows_out += out->ActiveCount();
+      return true;
+    }
+    if (leg_index_ >= legs_.size()) return false;
+    const size_t i = leg_index_++;
+    current_shard_ = legs_[i].shard;
+    current_rids_.clear();
+    cursor_ = 0;
+    const Status status = AwaitLeg(i);
+    if (!status.ok()) {
+      leg_cancel_->store(true, std::memory_order_relaxed);
+      return status;
+    }
+    // Loop: an empty leg advances to the next one without emitting.
+  }
+}
+
+Status ScatterGatherScan::Close() {
+  if (leg_cancel_ != nullptr) {
+    // Stop any leg not yet drained (early close / error paths); the shard
+    // services resolve their futures regardless, and shared_ptr keeps the
+    // token alive for them.
+    leg_cancel_->store(true, std::memory_order_relaxed);
+  }
+  opened_ = false;
+  return Status::Ok();
+}
+
+std::string ExplainScatter(const ScatterGatherScan& scan, size_t num_shards,
+                           const std::string& policy) {
+  std::ostringstream out;
+  out << scan.Name() << "(" << scan.Describe() << ")  policy=" << policy
+      << " legs=" << scan.leg_infos().size() << "/" << num_shards;
+  if (scan.legs_retried() > 0) out << " retried=" << scan.legs_retried();
+  out << "\n";
+  for (const ScatterGatherScan::LegInfo& leg : scan.leg_infos()) {
+    out << "`- Leg[shard " << leg.shard << "]  rows=" << leg.rows
+        << " attempts=" << leg.attempts << " "
+        << (leg.status.ok() ? "ok" : leg.status.ToString()) << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace aib

@@ -1,0 +1,116 @@
+#ifndef AIB_SHARD_SCATTER_GATHER_H_
+#define AIB_SHARD_SCATTER_GATHER_H_
+
+#include <future>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "exec/statement.h"
+#include "service/query_service.h"
+
+namespace aib {
+
+/// One scatter leg: the shard a statement fans out to.
+struct ScatterLeg {
+  size_t shard = 0;
+  QueryService* service = nullptr;
+};
+
+/// The scatter-gather physical operator: dispatches one Select statement
+/// to every target shard's QueryService, then streams the gathered
+/// results up through the standard Open / NextBatch / Close protocol —
+/// legs are drained in ascending shard order and each emitted TupleBatch
+/// holds rids of exactly one shard (exposed via current_shard()), so the
+/// gather side can tag GlobalRids batch-at-a-time.
+///
+/// Fault handling is per leg, reusing the shard services' own
+/// deadline/cancel/retry machinery and re-dispatching on top of it: a leg
+/// that fails with a transient status (Busy admission, exhausted
+/// in-service retries) or corruption is re-submitted to its shard alone —
+/// the other legs' results are kept, nothing re-executes fleet-wide. Leg
+/// Timeout/Cancelled outcomes are final, exactly as for single-node
+/// statements.
+///
+/// Cancellation: the operator passes its own token to the legs and
+/// forwards the caller's control cooperatively — when the caller's
+/// deadline expires or token fires between batches, all in-flight legs
+/// are cancelled before the operator returns.
+class ScatterGatherScan : public PhysicalOperator {
+ public:
+  /// Post-execution record of one leg, for EXPLAIN and stats rollups.
+  struct LegInfo {
+    size_t shard = 0;
+    /// Dispatch attempts (1 = no retry).
+    size_t attempts = 0;
+    Status status;
+    size_t rows = 0;
+    QueryStats stats;
+  };
+
+  /// `legs` must be sorted ascending by shard (ShardRouter emits them so).
+  ScatterGatherScan(Query query, std::vector<ScatterLeg> legs,
+                    size_t max_leg_retries = 3);
+
+  std::string Name() const override { return "ScatterGatherScan"; }
+  std::string Describe() const override;
+
+  Status Open(ExecContext* ctx) override;
+  Result<bool> NextBatch(TupleBatch* out) override;
+  Status Close() override;
+
+  /// Shard owning the rids of the batch NextBatch() just emitted.
+  size_t current_shard() const { return current_shard_; }
+
+  /// Per-leg outcomes; fully populated once NextBatch has drained.
+  const std::vector<LegInfo>& leg_infos() const { return leg_infos_; }
+
+  /// Leg-merged statistics: counters and cost summed, access-path flags
+  /// OR-ed, wall_ns the max over legs (legs overlap in time).
+  const QueryStats& merged_stats() const { return merged_; }
+
+  size_t legs_retried() const { return legs_retried_; }
+
+ private:
+  /// Submits leg `i` to its shard service, retrying Busy admission with a
+  /// short backoff.
+  Status DispatchLeg(size_t i);
+
+  /// Blocks on leg `i`'s future; on transient/corruption failure
+  /// re-dispatches up to max_leg_retries_ times.
+  Status AwaitLeg(size_t i);
+
+  Query query_;
+  std::vector<ScatterLeg> legs_;
+  size_t max_leg_retries_;
+
+  const QueryControl* caller_control_ = nullptr;
+  /// Token handed to every leg; fired on caller cancel/timeout or early
+  /// Close so abandoned legs stop at their next page boundary.
+  CancelToken leg_cancel_;
+
+  std::vector<std::future<Result<StatementResult>>> futures_;
+  std::vector<LegInfo> leg_infos_;
+  /// Result rids of the leg currently being emitted.
+  std::vector<Rid> current_rids_;
+  size_t cursor_ = 0;
+  size_t leg_index_ = 0;
+  size_t current_shard_ = 0;
+  size_t legs_retried_ = 0;
+  bool opened_ = false;
+  QueryStats merged_;
+};
+
+/// Renders the scatter-gather decision for EXPLAIN:
+///
+///   ScatterGatherScan(col0 = 500) policy=hash legs=1/4
+///   `- Leg[shard 2] rows=7 attempts=1 ok
+///
+/// Used by ShardedDatabase::Explain, which appends each leg's local
+/// physical plan underneath its leg line.
+std::string ExplainScatter(const ScatterGatherScan& scan, size_t num_shards,
+                           const std::string& policy);
+
+}  // namespace aib
+
+#endif  // AIB_SHARD_SCATTER_GATHER_H_

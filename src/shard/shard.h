@@ -1,0 +1,63 @@
+#ifndef AIB_SHARD_SHARD_H_
+#define AIB_SHARD_SHARD_H_
+
+#include <memory>
+#include <utility>
+
+#include "service/query_service.h"
+#include "workload/database.h"
+
+namespace aib {
+
+/// Per-shard provisioning: each shard node gets its own database (disk,
+/// buffer pool, Index Buffer Space, executor, metrics) and its own query
+/// service (admission queue, worker pool) — shared-nothing by
+/// construction, so one shard's adaptive control loop never observes
+/// another's traffic.
+struct ShardOptions {
+  DatabaseOptions db;
+  QueryServiceOptions service;
+};
+
+/// One shard node: a Database plus the QueryService standing over it. The
+/// adaptive state (Index Buffers, page counters, C[p] coverage, LRU-K
+/// history) is entirely local — the paper's Algorithms 1/2 run unchanged
+/// per shard, which is what keeps the scatter-gather layer a pure
+/// routing/merging concern.
+class Shard {
+ public:
+  Shard(size_t id, Schema schema, const ShardOptions& options)
+      : id_(id),
+        db_(std::make_unique<Database>(std::move(schema), options.db,
+                                       "shard" + std::to_string(id))),
+        service_(std::make_unique<QueryService>(db_->executor(), &db_->table(),
+                                                options.service,
+                                                &db_->metrics())) {}
+
+  Shard(const Shard&) = delete;
+  Shard& operator=(const Shard&) = delete;
+
+  ~Shard() {
+    // The service joins its workers before the database they execute
+    // against goes away.
+    service_->Shutdown();
+  }
+
+  size_t id() const { return id_; }
+  Database& db() { return *db_; }
+  const Database& db() const { return *db_; }
+  QueryService& service() { return *service_; }
+  Metrics& metrics() { return db_->metrics(); }
+  const Metrics& metrics() const {
+    return const_cast<Database&>(*db_).metrics();
+  }
+
+ private:
+  size_t id_;
+  std::unique_ptr<Database> db_;
+  std::unique_ptr<QueryService> service_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_SHARD_SHARD_H_

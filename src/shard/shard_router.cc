@@ -1,0 +1,81 @@
+#include "shard/shard_router.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace aib {
+
+ShardRouter::ShardRouter(ShardRouterOptions options)
+    : options_(options) {
+  assert(options_.num_shards >= 1);
+  assert(options_.range_min <= options_.range_max);
+}
+
+uint64_t ShardRouter::HashValue(Value v) {
+  // splitmix64 finalizer: full-avalanche, stable across platforms.
+  uint64_t x = static_cast<uint64_t>(static_cast<int64_t>(v));
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+size_t ShardRouter::ShardForValue(Value v) const {
+  if (options_.num_shards == 1) return 0;
+  if (options_.policy == ShardingPolicy::kHash) {
+    return static_cast<size_t>(HashValue(v) % options_.num_shards);
+  }
+  // Range policy: contiguous bands over the domain, clamped at the edges.
+  if (v <= options_.range_min) return 0;
+  if (v >= options_.range_max) return options_.num_shards - 1;
+  const uint64_t domain = static_cast<uint64_t>(options_.range_max) -
+                          static_cast<uint64_t>(options_.range_min) + 1;
+  const uint64_t offset = static_cast<uint64_t>(v) -
+                          static_cast<uint64_t>(options_.range_min);
+  return static_cast<size_t>(offset * options_.num_shards / domain);
+}
+
+size_t ShardRouter::ShardForTuple(const Schema& schema,
+                                  const Tuple& tuple) const {
+  return ShardForValue(tuple.IntValue(schema, options_.routing_column));
+}
+
+std::vector<size_t> ShardRouter::AllShards() const {
+  std::vector<size_t> shards(options_.num_shards);
+  for (size_t i = 0; i < shards.size(); ++i) shards[i] = i;
+  return shards;
+}
+
+std::vector<size_t> ShardRouter::ShardsForQuery(const Query& query) const {
+  if (options_.num_shards == 1) return {0};
+  if (query.column != options_.routing_column) return AllShards();
+
+  if (query.IsPoint()) return {ShardForValue(query.lo)};
+
+  if (options_.policy == ShardingPolicy::kRange) {
+    // Bands are monotone in the value, so the overlapped shard ids form
+    // the contiguous run [shard(lo), shard(hi)].
+    const size_t first = ShardForValue(query.lo);
+    const size_t last = ShardForValue(query.hi);
+    std::vector<size_t> shards;
+    shards.reserve(last - first + 1);
+    for (size_t s = first; s <= last; ++s) shards.push_back(s);
+    return shards;
+  }
+
+  const uint64_t width = static_cast<uint64_t>(query.hi) -
+                         static_cast<uint64_t>(query.lo) + 1;
+  if (width > options_.max_enumerated_range) return AllShards();
+  std::vector<size_t> shards;
+  for (Value v = query.lo;; ++v) {
+    shards.push_back(ShardForValue(v));
+    if (v == query.hi) break;
+  }
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  return shards;
+}
+
+}  // namespace aib

@@ -1,0 +1,82 @@
+#ifndef AIB_SHARD_SHARD_ROUTER_H_
+#define AIB_SHARD_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+#include "exec/query.h"
+#include "storage/schema.h"
+#include "storage/tuple.h"
+
+namespace aib {
+
+/// How rows are distributed across shards.
+enum class ShardingPolicy {
+  /// shard = mix64(routing value) % num_shards. Spreads any value
+  /// distribution evenly; routing-column range predicates wider than
+  /// `max_enumerated_range` scatter to all shards.
+  kHash,
+  /// The [range_min, range_max] value domain is split into num_shards
+  /// contiguous bands; routing-column range predicates prune to the bands
+  /// they overlap.
+  kRange,
+};
+
+inline const char* ShardingPolicyName(ShardingPolicy policy) {
+  return policy == ShardingPolicy::kHash ? "hash" : "range";
+}
+
+struct ShardRouterOptions {
+  size_t num_shards = 1;
+  ShardingPolicy policy = ShardingPolicy::kHash;
+  /// The column whose value places a row. Statements whose primary
+  /// predicate is on this column can be routed to a subset of shards;
+  /// everything else scatters.
+  ColumnId routing_column = 0;
+  /// Value domain of the routing column under the range policy. Values
+  /// outside the domain clamp to the first/last band.
+  Value range_min = 1;
+  Value range_max = 50000;
+  /// Hash policy only: a routing-column range predicate spanning at most
+  /// this many values is routed by enumerating each value's shard;
+  /// anything wider scatters to all shards.
+  size_t max_enumerated_range = 64;
+};
+
+/// Deterministic row → shard placement plus predicate → shard pruning.
+/// Stateless once constructed: the same options always route the same
+/// value to the same shard, which is what makes a shard fleet rebuildable
+/// from the row stream alone.
+class ShardRouter {
+ public:
+  explicit ShardRouter(ShardRouterOptions options);
+
+  const ShardRouterOptions& options() const { return options_; }
+  size_t num_shards() const { return options_.num_shards; }
+
+  /// Stable 64-bit mix of a routing value (splitmix64 finalizer). Exposed
+  /// so tests can pin the placement function.
+  static uint64_t HashValue(Value v);
+
+  /// The shard owning rows whose routing column holds `v`.
+  size_t ShardForValue(Value v) const;
+
+  /// The shard owning `tuple` (routing column value).
+  size_t ShardForTuple(const Schema& schema, const Tuple& tuple) const;
+
+  /// Shards that may hold rows matching `query`, ascending and deduped.
+  /// Prunes on the primary predicate only — residual conjuncts never
+  /// widen the result set, so they cannot widen the shard set either.
+  std::vector<size_t> ShardsForQuery(const Query& query) const;
+
+  /// All shard ids, ascending (the scatter set).
+  std::vector<size_t> AllShards() const;
+
+ private:
+  ShardRouterOptions options_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_SHARD_SHARD_ROUTER_H_

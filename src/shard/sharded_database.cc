@@ -1,0 +1,343 @@
+#include "shard/sharded_database.h"
+
+#include <chrono>
+#include <sstream>
+#include <thread>
+#include <utility>
+
+#include "exec/plan.h"
+
+namespace aib {
+
+namespace {
+
+ShardResult ToShardResult(StatementResult result, size_t shard) {
+  ShardResult out;
+  out.rids.reserve(result.rids.size());
+  for (const Rid& rid : result.rids) {
+    out.rids.push_back(GlobalRid{static_cast<uint32_t>(shard), rid});
+  }
+  out.rows_affected = result.rows_affected;
+  out.stats = result.stats;
+  out.legs = 1;
+  return out;
+}
+
+SubmitOptions ToSubmitOptions(const ShardSubmitOptions& submit) {
+  SubmitOptions options;
+  options.deadline = submit.deadline;
+  options.cancel = submit.cancel;
+  return options;
+}
+
+}  // namespace
+
+ShardedDatabase::ShardedDatabase(Schema schema, ShardedDatabaseOptions options)
+    : options_(std::move(options)), router_(options_.router) {
+  shards_.reserve(router_.num_shards());
+  for (size_t i = 0; i < router_.num_shards(); ++i) {
+    shards_.push_back(std::make_unique<Shard>(i, schema, options_.shard));
+  }
+}
+
+ShardedDatabase::~ShardedDatabase() { Shutdown(); }
+
+void ShardedDatabase::Shutdown() {
+  for (auto& shard : shards_) shard->service().Shutdown();
+}
+
+const Schema& ShardedDatabase::schema() const {
+  return shards_.front()->db().table().schema();
+}
+
+Result<GlobalRid> ShardedDatabase::LoadTuple(const Tuple& tuple) {
+  const size_t shard = router_.ShardForTuple(schema(), tuple);
+  AIB_ASSIGN_OR_RETURN(Rid rid, shards_[shard]->db().LoadTuple(tuple));
+  return GlobalRid{static_cast<uint32_t>(shard), rid};
+}
+
+Status ShardedDatabase::CreatePartialIndex(ColumnId column,
+                                           ValueCoverage coverage,
+                                           IndexStructureKind structure) {
+  for (auto& shard : shards_) {
+    AIB_RETURN_IF_ERROR(
+        shard->db().CreatePartialIndex(column, coverage, structure));
+  }
+  return Status::Ok();
+}
+
+Result<Tuple> ShardedDatabase::FetchRow(const GlobalRid& grid) const {
+  if (grid.shard >= shards_.size()) {
+    return Status::InvalidArgument("rid addresses unknown shard");
+  }
+  return shards_[grid.shard]->db().table().Get(grid.rid);
+}
+
+std::map<std::string, int64_t> ShardedDatabase::FleetCounters() const {
+  Metrics fleet;
+  for (const auto& shard : shards_) fleet.MergeFrom(shard->metrics());
+  fleet.MergeFrom(router_metrics_);
+  return fleet.counters();
+}
+
+Result<StatementResult> ShardedDatabase::RunOnShard(
+    size_t shard, const Statement& statement,
+    const ShardSubmitOptions& submit, size_t* retried) {
+  QueryService& service = shards_[shard]->service();
+  const SubmitOptions options = ToSubmitOptions(submit);
+  Result<StatementResult> result =
+      Result<StatementResult>(Status::Internal("statement not attempted"));
+  for (size_t attempt = 0; attempt <= options_.max_leg_retries; ++attempt) {
+    if (attempt > 0 && retried != nullptr) ++*retried;
+    // Busy admission backs off briefly — the shard's queue drains at its
+    // own pace; bounded so a wedged shard surfaces as Busy.
+    Result<std::future<Result<StatementResult>>> future =
+        Result<std::future<Result<StatementResult>>>(Status::Internal(""));
+    for (int admission = 0; admission < 50; ++admission) {
+      future = service.Submit(statement, options);
+      if (future.ok() || !future.status().IsBusy()) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    if (!future.ok()) return future.status();
+    result = std::move(future).value().get();
+    if (result.ok()) return result;
+    // The service already retried transients whole-statement; one more
+    // layer here covers corruption healed between attempts and queue-full
+    // races. Timeout/Cancelled are final.
+    if (!result.status().IsTransient() && !result.status().IsCorruption()) {
+      return result;
+    }
+  }
+  return result;
+}
+
+Result<ShardResult> ShardedDatabase::RunSelect(
+    const Query& query, const ShardSubmitOptions& submit) {
+  const std::vector<size_t> targets = router_.ShardsForQuery(query);
+  std::vector<ScatterLeg> legs;
+  legs.reserve(targets.size());
+  for (const size_t shard : targets) {
+    legs.push_back(ScatterLeg{shard, &shards_[shard]->service()});
+  }
+  router_metrics_.Increment(targets.size() == 1
+                                ? kMetricShardStatementsRouted
+                                : kMetricShardScatterStatements);
+  router_metrics_.Increment(kMetricShardLegsDispatched,
+                            static_cast<int64_t>(legs.size()));
+
+  QueryControl control;
+  if (submit.deadline.count() > 0) {
+    control = QueryControl::WithDeadline(submit.deadline);
+  }
+  control.cancel = submit.cancel;
+
+  ScatterGatherScan scan(query, std::move(legs), options_.max_leg_retries);
+  ExecContext ctx;
+  ctx.control = &control;
+  Status status = scan.Open(&ctx);
+  ShardResult result;
+  if (status.ok()) {
+    TupleBatch batch;
+    while (true) {
+      Result<bool> more = scan.NextBatch(&batch);
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      if (!more.value()) break;
+      const uint32_t shard = static_cast<uint32_t>(scan.current_shard());
+      for (const uint32_t index : batch.sel) {
+        result.rids.push_back(GlobalRid{shard, batch.rids[index]});
+      }
+    }
+  }
+  scan.Close();
+  if (scan.legs_retried() > 0) {
+    router_metrics_.Increment(kMetricShardLegsRetried,
+                              static_cast<int64_t>(scan.legs_retried()));
+  }
+  AIB_RETURN_IF_ERROR(status);
+  result.stats = scan.merged_stats();
+  result.stats.result_count = result.rids.size();
+  result.legs = scan.leg_infos().size();
+  result.legs_retried = scan.legs_retried();
+  return result;
+}
+
+Result<ShardResult> ShardedDatabase::RunDml(const ShardStatement& statement,
+                                            const ShardSubmitOptions& submit) {
+  size_t retried = 0;
+  ShardResult out;
+  switch (statement.kind) {
+    case StatementKind::kInsert: {
+      const size_t shard = router_.ShardForTuple(schema(), statement.tuple);
+      AIB_ASSIGN_OR_RETURN(
+          StatementResult result,
+          RunOnShard(shard, Statement::Insert(statement.tuple), submit,
+                     &retried));
+      out = ToShardResult(std::move(result), shard);
+      break;
+    }
+    case StatementKind::kUpdate: {
+      const size_t current = statement.target.shard;
+      if (current >= shards_.size()) {
+        return Status::InvalidArgument("update targets unknown shard");
+      }
+      const size_t owner = router_.ShardForTuple(schema(), statement.tuple);
+      if (owner == current) {
+        AIB_ASSIGN_OR_RETURN(
+            StatementResult result,
+            RunOnShard(current,
+                       Statement::Update(statement.target.rid,
+                                         statement.tuple),
+                       submit, &retried));
+        out = ToShardResult(std::move(result), current);
+        break;
+      }
+      // The new routing value moves the row: delete on the old owner,
+      // insert on the new one. Two independent single-shard statements —
+      // no cross-shard atomicity (a reader between the legs misses the
+      // row), the price of shared-nothing shards without 2PC.
+      AIB_RETURN_IF_ERROR(
+          RunOnShard(current, Statement::Delete(statement.target.rid), submit,
+                     &retried)
+              .status());
+      AIB_ASSIGN_OR_RETURN(
+          StatementResult inserted,
+          RunOnShard(owner, Statement::Insert(statement.tuple), submit,
+                     &retried));
+      out = ToShardResult(std::move(inserted), owner);
+      out.rows_affected = 1;
+      out.legs = 2;
+      router_metrics_.Increment(kMetricShardRowsMigrated);
+      break;
+    }
+    case StatementKind::kDelete: {
+      const size_t shard = statement.target.shard;
+      if (shard >= shards_.size()) {
+        return Status::InvalidArgument("delete targets unknown shard");
+      }
+      AIB_ASSIGN_OR_RETURN(
+          StatementResult result,
+          RunOnShard(shard, Statement::Delete(statement.target.rid), submit,
+                     &retried));
+      out = ToShardResult(std::move(result), shard);
+      break;
+    }
+    case StatementKind::kSelect:
+      return Status::Internal("RunDml called with a select");
+  }
+  router_metrics_.Increment(kMetricShardStatementsRouted);
+  router_metrics_.Increment(kMetricShardLegsDispatched,
+                            static_cast<int64_t>(out.legs));
+  if (retried > 0) {
+    router_metrics_.Increment(kMetricShardLegsRetried,
+                              static_cast<int64_t>(retried));
+  }
+  out.legs_retried = retried;
+  return out;
+}
+
+Result<ShardResult> ShardedDatabase::ExecuteStatement(
+    const ShardStatement& statement, const ShardSubmitOptions& submit) {
+  if (statement.kind == StatementKind::kSelect) {
+    return RunSelect(statement.query, submit);
+  }
+  return RunDml(statement, submit);
+}
+
+Result<std::string> ShardedDatabase::Explain(const Query& query) {
+  const std::vector<size_t> targets = router_.ShardsForQuery(query);
+  std::ostringstream out;
+  out << "ScatterGatherScan("
+      << PredicateToString(query.column, query.lo, query.hi);
+  for (const ColumnPredicate& residual : query.residuals) {
+    out << " AND "
+        << PredicateToString(residual.column, residual.lo, residual.hi);
+  }
+  out << ")  policy=" << ShardingPolicyName(router_.options().policy)
+      << " legs=" << targets.size() << "/" << shards_.size() << "\n";
+  // Executes each leg directly through its shard executor (like the
+  // shell's explain) so the rendered plans carry real per-operator stats.
+  for (const size_t shard : targets) {
+    Executor* executor = shards_[shard]->db().executor();
+    std::unique_ptr<PhysicalPlan> plan = executor->PlanQuery(query);
+    Result<QueryResult> result = executor->ExecutePlan(plan.get());
+    out << "`- Leg[shard " << shard << "]  ";
+    if (!result.ok()) {
+      out << result.status().ToString() << "\n";
+      continue;
+    }
+    out << "rows=" << result->rids.size() << "\n";
+    std::istringstream rendered(ExplainPlan(*plan));
+    std::string line;
+    while (std::getline(rendered, line)) {
+      out << "   " << line << "\n";
+    }
+  }
+  return out.str();
+}
+
+// --- SingleNodeTarget -------------------------------------------------------
+
+SingleNodeTarget::SingleNodeTarget(Schema schema, const ShardOptions& options)
+    : node_(std::make_unique<Shard>(0, std::move(schema), options)) {}
+
+SingleNodeTarget::~SingleNodeTarget() { node_->service().Shutdown(); }
+
+const Schema& SingleNodeTarget::schema() const {
+  return node_->db().table().schema();
+}
+
+Result<GlobalRid> SingleNodeTarget::LoadTuple(const Tuple& tuple) {
+  AIB_ASSIGN_OR_RETURN(Rid rid, node_->db().LoadTuple(tuple));
+  return GlobalRid{0, rid};
+}
+
+Status SingleNodeTarget::CreatePartialIndex(ColumnId column,
+                                            ValueCoverage coverage,
+                                            IndexStructureKind structure) {
+  return node_->db().CreatePartialIndex(column, std::move(coverage),
+                                        structure);
+}
+
+Result<ShardResult> SingleNodeTarget::ExecuteStatement(
+    const ShardStatement& statement, const ShardSubmitOptions& submit) {
+  Statement local;
+  switch (statement.kind) {
+    case StatementKind::kSelect:
+      local = Statement::Select(statement.query);
+      break;
+    case StatementKind::kInsert:
+      local = Statement::Insert(statement.tuple);
+      break;
+    case StatementKind::kUpdate:
+      local = Statement::Update(statement.target.rid, statement.tuple);
+      break;
+    case StatementKind::kDelete:
+      local = Statement::Delete(statement.target.rid);
+      break;
+  }
+  AIB_ASSIGN_OR_RETURN(
+      std::future<Result<StatementResult>> future,
+      node_->service().Submit(local, ToSubmitOptions(submit)));
+  AIB_ASSIGN_OR_RETURN(StatementResult result, future.get());
+  return ToShardResult(std::move(result), 0);
+}
+
+Result<Tuple> SingleNodeTarget::FetchRow(const GlobalRid& grid) const {
+  return node_->db().table().Get(grid.rid);
+}
+
+std::map<std::string, int64_t> SingleNodeTarget::FleetCounters() const {
+  return node_->metrics().counters();
+}
+
+Result<std::string> SingleNodeTarget::Explain(const Query& query) {
+  Executor* executor = node_->db().executor();
+  std::unique_ptr<PhysicalPlan> plan = executor->PlanQuery(query);
+  AIB_RETURN_IF_ERROR(executor->ExecutePlan(plan.get()).status());
+  return ExplainPlan(*plan);
+}
+
+}  // namespace aib

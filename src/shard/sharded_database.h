@@ -1,0 +1,129 @@
+#ifndef AIB_SHARD_SHARDED_DATABASE_H_
+#define AIB_SHARD_SHARDED_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "shard/scatter_gather.h"
+#include "shard/shard_router.h"
+#include "shard/shard_target.h"
+
+namespace aib {
+
+struct ShardedDatabaseOptions {
+  ShardRouterOptions router;
+  /// Applied to every shard node. Note the per-shard nature: N shards get
+  /// N buffer pools of `db.buffer_pool_pages` frames and N Index Buffer
+  /// Spaces of `db.space.max_entries` entries each — scale the per-shard
+  /// budgets down when comparing fleet totals against a single node.
+  ShardOptions shard;
+  /// Re-dispatches of a failed leg (transient/corruption) before the
+  /// whole statement fails. Rides on top of each shard service's internal
+  /// whole-statement retries.
+  size_t max_leg_retries = 3;
+};
+
+/// A shared-nothing shard fleet behind one statement front door: rows are
+/// placed by the ShardRouter, selects scatter to the owning shards
+/// through ScatterGatherScan and gather through the NextBatch protocol,
+/// DML routes to the single owning shard (updates whose new routing value
+/// moves them are migrated delete+insert), and every shard runs the
+/// paper's adaptive control loop independently on its own
+/// IndexBufferSpace — coverage C[p] is per-shard by design.
+///
+/// No cross-shard transactions: a migrating update is two independent
+/// single-shard statements (documented non-atomicity; the delete lands
+/// before the insert).
+class ShardedDatabase : public IShardTarget {
+ public:
+  ShardedDatabase(Schema schema, ShardedDatabaseOptions options);
+  ~ShardedDatabase() override;
+
+  size_t ShardCount() const override { return shards_.size(); }
+  const Schema& schema() const override;
+  Shard& shard(size_t i) override { return *shards_[i]; }
+  const Shard& shard(size_t i) const override { return *shards_[i]; }
+  const ShardRouter& router() const { return router_; }
+  const ShardedDatabaseOptions& options() const { return options_; }
+  /// The routing layer's own registry (leg dispatch/retry/migration
+  /// counters); included in FleetCounters().
+  Metrics& router_metrics() { return router_metrics_; }
+
+  Result<GlobalRid> LoadTuple(const Tuple& tuple) override;
+  Status CreatePartialIndex(
+      ColumnId column, ValueCoverage coverage,
+      IndexStructureKind structure = IndexStructureKind::kBTree) override;
+
+  Result<ShardResult> ExecuteStatement(
+      const ShardStatement& statement,
+      const ShardSubmitOptions& submit = {}) override;
+
+  Result<Tuple> FetchRow(const GlobalRid& grid) const override;
+
+  std::map<std::string, int64_t> FleetCounters() const override;
+
+  Result<std::string> Explain(const Query& query) override;
+
+  /// Stops admission on every shard service and joins their workers.
+  /// Idempotent; called by the destructor.
+  void Shutdown();
+
+ private:
+  Result<ShardResult> RunSelect(const Query& query,
+                                const ShardSubmitOptions& submit);
+  Result<ShardResult> RunDml(const ShardStatement& statement,
+                             const ShardSubmitOptions& submit);
+
+  /// One single-shard statement leg with Busy backoff and bounded
+  /// transient/corruption re-dispatch. `retried` (optional) accumulates
+  /// re-dispatch count.
+  Result<StatementResult> RunOnShard(size_t shard, const Statement& statement,
+                                     const ShardSubmitOptions& submit,
+                                     size_t* retried);
+
+  ShardedDatabaseOptions options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  Metrics router_metrics_;
+};
+
+/// The single-node deployment behind the same interface: one Shard, no
+/// routing — GlobalRids always carry shard 0 and every statement executes
+/// directly on the node's QueryService. Lets the planner, benches, and
+/// equivalence tests drive single-node and sharded deployments through
+/// one code path.
+class SingleNodeTarget : public IShardTarget {
+ public:
+  SingleNodeTarget(Schema schema, const ShardOptions& options);
+  ~SingleNodeTarget() override;
+
+  size_t ShardCount() const override { return 1; }
+  const Schema& schema() const override;
+  Shard& shard(size_t) override { return *node_; }
+  const Shard& shard(size_t) const override { return *node_; }
+
+  Result<GlobalRid> LoadTuple(const Tuple& tuple) override;
+  Status CreatePartialIndex(
+      ColumnId column, ValueCoverage coverage,
+      IndexStructureKind structure = IndexStructureKind::kBTree) override;
+
+  Result<ShardResult> ExecuteStatement(
+      const ShardStatement& statement,
+      const ShardSubmitOptions& submit = {}) override;
+
+  Result<Tuple> FetchRow(const GlobalRid& grid) const override;
+
+  std::map<std::string, int64_t> FleetCounters() const override;
+
+  Result<std::string> Explain(const Query& query) override;
+
+ private:
+  std::unique_ptr<Shard> node_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_SHARD_SHARDED_DATABASE_H_

@@ -1,0 +1,174 @@
+#include "shard/tenant_scheduler.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace aib {
+
+namespace {
+
+constexpr auto kNoDeadline = std::chrono::steady_clock::time_point::max();
+
+}  // namespace
+
+TenantScheduler::TenantScheduler(IShardTarget* target,
+                                 TenantSchedulerOptions options)
+    : target_(target), options_(std::move(options)) {
+  const size_t workers = std::max<size_t>(1, options_.num_workers);
+  workers_.reserve(workers);
+  for (size_t i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+TenantScheduler::~TenantScheduler() { Shutdown(); }
+
+double TenantScheduler::VirtualTime() const {
+  // The current virtual time: minimum pass over backlogged tenants.
+  double virtual_time = 0.0;
+  bool any = false;
+  for (const auto& [id, existing] : queues_) {
+    if (existing.jobs.empty()) continue;
+    if (!any || existing.pass < virtual_time) virtual_time = existing.pass;
+    any = true;
+  }
+  return virtual_time;
+}
+
+TenantScheduler::TenantQueue& TenantScheduler::QueueFor(uint64_t tenant) {
+  auto it = queues_.find(tenant);
+  if (it != queues_.end()) return it->second;
+  TenantQueue queue;
+  queue.tenant = tenant;
+  queue.options = options_.default_tenant;
+  if (auto opt = options_.tenants.find(tenant); opt != options_.tenants.end()) {
+    queue.options = opt->second;
+  }
+  if (queue.options.weight == 0) queue.options.weight = 1;
+  queue.pass = VirtualTime();
+  return queues_.emplace(tenant, std::move(queue)).first->second;
+}
+
+Result<std::future<Result<ShardResult>>> TenantScheduler::Submit(
+    uint64_t tenant, const ShardStatement& statement,
+    ShardSubmitOptions submit) {
+  std::unique_lock lock(mu_);
+  if (shutdown_) return Status::Cancelled("tenant scheduler shut down");
+  TenantQueue& queue = QueueFor(tenant);
+  if (queue.jobs.empty()) {
+    // Re-joining after an idle stretch: catch the pass up to the current
+    // virtual time so banked idle credit can't turn into a burst.
+    queue.pass = std::max(queue.pass, VirtualTime());
+  }
+  if (queue.jobs.size() >= queue.options.queue_capacity) {
+    ++queue.rejected;
+    if (options_.metrics != nullptr) {
+      options_.metrics->Increment(kMetricTenantRejected);
+    }
+    return Status::Busy("tenant queue full");
+  }
+  Job job;
+  job.statement = statement;
+  job.submit = submit;
+  job.submit.tenant = tenant;
+  std::chrono::milliseconds budget = submit.deadline;
+  if (budget.count() <= 0) budget = queue.options.default_deadline;
+  job.deadline = budget.count() > 0 ? std::chrono::steady_clock::now() + budget
+                                    : kNoDeadline;
+  std::future<Result<ShardResult>> future = job.promise.get_future();
+  queue.jobs.push_back(std::move(job));
+  ++queue.submitted;
+  if (options_.metrics != nullptr) {
+    options_.metrics->Increment(kMetricTenantSubmitted);
+  }
+  lock.unlock();
+  cv_.notify_one();
+  return future;
+}
+
+void TenantScheduler::WorkerLoop() {
+  while (true) {
+    Job job;
+    {
+      std::unique_lock lock(mu_);
+      TenantQueue* pick = nullptr;
+      cv_.wait(lock, [&] {
+        if (shutdown_) return true;
+        pick = nullptr;
+        for (auto& [id, queue] : queues_) {
+          if (queue.jobs.empty()) continue;
+          // Min pass wins; map iteration order makes the lowest tenant
+          // id the deterministic tie-break.
+          if (pick == nullptr || queue.pass < pick->pass) pick = &queue;
+        }
+        return pick != nullptr;
+      });
+      if (pick == nullptr) return;  // shutdown with nothing left to drain
+      job = std::move(pick->jobs.front());
+      pick->jobs.pop_front();
+      pick->pass += 1.0 / static_cast<double>(pick->options.weight);
+      ++pick->dispatched;
+    }
+    if (options_.metrics != nullptr) {
+      options_.metrics->Increment(kMetricTenantDispatched);
+    }
+    if (job.deadline != kNoDeadline) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= job.deadline) {
+        // Queue wait consumed the whole budget — fail fast without
+        // spending shard capacity on a statement nobody is waiting for.
+        job.promise.set_value(
+            Status::Timeout("deadline expired while queued"));
+        continue;
+      }
+      job.submit.deadline =
+          std::chrono::duration_cast<std::chrono::milliseconds>(job.deadline -
+                                                                now) +
+          std::chrono::milliseconds{1};
+    }
+    job.promise.set_value(target_->ExecuteStatement(job.statement, job.submit));
+  }
+}
+
+std::vector<TenantScheduler::TenantInfo> TenantScheduler::TenantInfos() const {
+  std::vector<TenantInfo> infos;
+  std::lock_guard lock(mu_);
+  infos.reserve(queues_.size());
+  for (const auto& [id, queue] : queues_) {
+    TenantInfo info;
+    info.tenant = id;
+    info.weight = queue.options.weight;
+    info.submitted = queue.submitted;
+    info.rejected = queue.rejected;
+    info.dispatched = queue.dispatched;
+    info.queued = queue.jobs.size();
+    infos.push_back(info);
+  }
+  return infos;
+}
+
+void TenantScheduler::Shutdown() {
+  std::vector<Job> abandoned;
+  {
+    std::lock_guard lock(mu_);
+    if (shutdown_) return;
+    shutdown_ = true;
+    for (auto& [id, queue] : queues_) {
+      while (!queue.jobs.empty()) {
+        abandoned.push_back(std::move(queue.jobs.front()));
+        queue.jobs.pop_front();
+      }
+    }
+  }
+  cv_.notify_all();
+  for (Job& job : abandoned) {
+    job.promise.set_value(Status::Cancelled("tenant scheduler shut down"));
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace aib

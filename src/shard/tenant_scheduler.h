@@ -1,0 +1,125 @@
+#ifndef AIB_SHARD_TENANT_SCHEDULER_H_
+#define AIB_SHARD_TENANT_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "shard/shard_target.h"
+
+namespace aib {
+
+/// Per-tenant admission knobs.
+struct TenantOptions {
+  /// Stride-scheduling weight: a tenant with weight w receives w shares
+  /// of dispatch slots relative to weight-1 tenants under contention.
+  uint64_t weight = 1;
+  /// Bounded backlog; Submit returns Busy once full (backpressure to the
+  /// client instead of unbounded memory).
+  size_t queue_capacity = 64;
+  /// Applied when a submission carries no deadline of its own. Counted
+  /// from submission time, so time spent queued burns budget — a starved
+  /// tenant's statements time out rather than executing stale.
+  std::chrono::milliseconds default_deadline{0};
+};
+
+struct TenantSchedulerOptions {
+  /// Dispatch workers. 1 gives a deterministic dispatch order (the
+  /// stride schedule itself); more overlap statements across tenants.
+  size_t num_workers = 1;
+  /// Knobs for tenants without an explicit entry in `tenants`.
+  TenantOptions default_tenant;
+  /// Per-tenant overrides, keyed by tenant id.
+  std::map<uint64_t, TenantOptions> tenants;
+  /// Optional sink for tenant.* counters.
+  Metrics* metrics = nullptr;
+};
+
+/// The multi-tenant front door: every statement enters through a
+/// per-tenant bounded queue and a stride scheduler picks which tenant's
+/// head-of-line statement dispatches next — pass += 1/weight per
+/// dispatch, lowest pass goes first, ties break on lowest tenant id, so
+/// the schedule is deterministic and weights translate directly into
+/// dispatch-slot ratios under contention. Dispatched statements execute
+/// on the IShardTarget (single node or shard fleet), whose own admission
+/// queues and retry machinery apply underneath.
+///
+/// Deadlines compose: the effective deadline (explicit, else the
+/// tenant's default) is pinned at submission, queue wait included; a
+/// statement already past it is completed Timeout without touching a
+/// shard, and otherwise the remaining budget is what the shards see.
+class TenantScheduler {
+ public:
+  TenantScheduler(IShardTarget* target, TenantSchedulerOptions options);
+  ~TenantScheduler();
+
+  TenantScheduler(const TenantScheduler&) = delete;
+  TenantScheduler& operator=(const TenantScheduler&) = delete;
+
+  /// Enqueues a statement for `tenant`. Returns Busy when the tenant's
+  /// queue is full, Cancelled after Shutdown. `submit.tenant` is
+  /// overwritten with `tenant`.
+  Result<std::future<Result<ShardResult>>> Submit(
+      uint64_t tenant, const ShardStatement& statement,
+      ShardSubmitOptions submit = {});
+
+  /// Per-tenant accounting snapshot.
+  struct TenantInfo {
+    uint64_t tenant = 0;
+    uint64_t weight = 1;
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    uint64_t dispatched = 0;
+    size_t queued = 0;
+  };
+  std::vector<TenantInfo> TenantInfos() const;
+
+  /// Stops admission, fails queued statements with Cancelled, joins the
+  /// dispatch workers. Idempotent; called by the destructor.
+  void Shutdown();
+
+ private:
+  struct Job {
+    ShardStatement statement;
+    ShardSubmitOptions submit;
+    /// Absolute deadline (time_point::max = none), pinned at submission.
+    std::chrono::steady_clock::time_point deadline;
+    std::promise<Result<ShardResult>> promise;
+  };
+
+  struct TenantQueue {
+    uint64_t tenant = 0;
+    TenantOptions options;
+    /// Stride pass value; advanced by 1/weight per dispatch.
+    double pass = 0.0;
+    std::deque<Job> jobs;
+    uint64_t submitted = 0;
+    uint64_t rejected = 0;
+    uint64_t dispatched = 0;
+  };
+
+  double VirtualTime() const;              // callers hold mu_
+  TenantQueue& QueueFor(uint64_t tenant);  // callers hold mu_
+  void WorkerLoop();
+
+  IShardTarget* target_;
+  TenantSchedulerOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<uint64_t, TenantQueue> queues_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_SHARD_TENANT_SCHEDULER_H_

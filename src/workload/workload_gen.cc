@@ -57,7 +57,26 @@ std::optional<Query> WorkloadGenerator::Next() {
 
 MixedWorkloadGenerator::MixedWorkloadGenerator(MixedWorkloadOptions options,
                                                uint64_t seed)
-    : options_(std::move(options)), rng_(seed) {}
+    : options_(std::move(options)), rng_(seed) {
+  if (options_.num_tenants == 0) options_.num_tenants = 1;
+  tenant_live_.assign(options_.num_tenants, 0);
+}
+
+std::pair<Value, Value> MixedWorkloadGenerator::WriteBandFor(
+    uint64_t tenant) const {
+  if (!options_.per_tenant_key_ranges || options_.num_tenants <= 1) {
+    return {options_.write_lo, options_.write_hi};
+  }
+  const int64_t width = static_cast<int64_t>(options_.write_hi) -
+                        static_cast<int64_t>(options_.write_lo) + 1;
+  const int64_t n = static_cast<int64_t>(options_.num_tenants);
+  const int64_t t = static_cast<int64_t>(tenant);
+  const Value lo =
+      options_.write_lo + static_cast<Value>(width * t / n);
+  const Value hi =
+      options_.write_lo + static_cast<Value>(width * (t + 1) / n - 1);
+  return {lo, hi};
+}
 
 const ZipfGenerator& MixedWorkloadGenerator::ZipfFor(size_t n, double theta) {
   const std::pair<size_t, int> key{n, static_cast<int>(theta * 1000)};
@@ -95,41 +114,61 @@ std::optional<MixedOp> MixedWorkloadGenerator::Next() {
   ++position_;
 
   MixedOp op;
+  // The tenant draw happens only in multi-tenant mode, so num_tenants==1
+  // consumes the exact rng stream of the single-tenant generator.
+  if (options_.num_tenants > 1) {
+    if (options_.tenant_zipf_theta > 0) {
+      op.tenant = static_cast<uint64_t>(
+          ZipfFor(options_.num_tenants, options_.tenant_zipf_theta)
+              .Sample(rng_) -
+          1);
+    } else {
+      op.tenant = static_cast<uint64_t>(rng_.UniformInt(
+          0, static_cast<int64_t>(options_.num_tenants) - 1));
+    }
+  }
   if (!rng_.Bernoulli(options_.write_fraction)) {
     op.kind = StatementKind::kSelect;
     op.query = NextRead();
     return op;
   }
 
+  const size_t tenant_live = tenant_live_[op.tenant];
   size_t kind_index = rng_.WeightedIndex({options_.insert_weight,
                                           options_.update_weight,
                                           options_.delete_weight});
-  // Updates/deletes need a live victim; degrade to an insert until the
-  // generator has produced one.
-  if (live_rows_ == 0) kind_index = 0;
+  // Updates/deletes need a live victim owned by the issuing tenant;
+  // degrade to an insert until it has one.
+  if (tenant_live == 0) kind_index = 0;
 
   if (kind_index == 0) {
     op.kind = StatementKind::kInsert;
   } else {
     op.kind =
         kind_index == 1 ? StatementKind::kUpdate : StatementKind::kDelete;
-    if (options_.victim_zipf_theta > 0 && live_rows_ > 1) {
+    if (options_.victim_zipf_theta > 0 && tenant_live > 1) {
       op.victim_rank =
-          ZipfFor(live_rows_, options_.victim_zipf_theta).Sample(rng_);
+          ZipfFor(tenant_live, options_.victim_zipf_theta).Sample(rng_);
     } else {
       op.victim_rank = static_cast<size_t>(
-          rng_.UniformInt(1, static_cast<int64_t>(live_rows_)));
+          rng_.UniformInt(1, static_cast<int64_t>(tenant_live)));
     }
   }
   if (op.kind != StatementKind::kDelete) {
+    const auto [lo, hi] = WriteBandFor(op.tenant);
     op.values.reserve(options_.values_per_tuple);
     for (size_t i = 0; i < options_.values_per_tuple; ++i) {
-      op.values.push_back(static_cast<Value>(
-          rng_.UniformInt(options_.write_lo, options_.write_hi)));
+      op.values.push_back(static_cast<Value>(rng_.UniformInt(lo, hi)));
     }
   }
-  if (op.kind == StatementKind::kInsert) ++live_rows_;
-  if (op.kind == StatementKind::kDelete) --live_rows_;
+  if (op.kind == StatementKind::kInsert) {
+    ++live_rows_;
+    ++tenant_live_[op.tenant];
+  }
+  if (op.kind == StatementKind::kDelete) {
+    --live_rows_;
+    --tenant_live_[op.tenant];
+  }
   return op;
 }
 

@@ -96,6 +96,18 @@ struct MixedWorkloadOptions {
   /// The read side of the mix, sampled exactly like one WorkloadGenerator
   /// phase (point queries).
   std::vector<ColumnMix> read_mix;
+  /// Multi-tenant extension. With num_tenants > 1 every op carries a
+  /// tenant id drawn per statement (Zipf-skewed when tenant_zipf_theta >
+  /// 0, tenant 0 hottest; uniform otherwise) and victim ranks count
+  /// within the tenant's own live rows. num_tenants == 1 draws nothing
+  /// extra, keeping the rng stream — and thus the generated ops —
+  /// bit-identical to the single-tenant generator for a given seed.
+  size_t num_tenants = 1;
+  double tenant_zipf_theta = 0.0;
+  /// Partition [write_lo, write_hi] into num_tenants contiguous equal
+  /// bands and draw tenant t's tuple values from band t only — gives each
+  /// tenant a disjoint key range so routed traffic is attributable.
+  bool per_tenant_key_ranges = false;
 };
 
 /// One generated operation. Reads carry `query`; inserts and updates carry
@@ -110,6 +122,10 @@ struct MixedOp {
   Query query;
   std::vector<Value> values;
   size_t victim_rank = 0;
+  /// Issuing tenant (always 0 when num_tenants == 1). With multiple
+  /// tenants, victim_rank ranks within THIS tenant's live rows — the
+  /// harness keeps one rid list per tenant.
+  uint64_t tenant = 0;
 };
 
 /// Deterministic mixed read/write generator for the statement pipeline:
@@ -124,8 +140,16 @@ class MixedWorkloadGenerator {
   std::optional<MixedOp> Next();
 
   size_t position() const { return position_; }
-  /// The generator's model of its own live (inserted-minus-deleted) rows.
+  /// The generator's model of its own live (inserted-minus-deleted) rows,
+  /// summed over all tenants.
   size_t live_rows() const { return live_rows_; }
+  /// Live rows attributed to one tenant.
+  size_t live_rows_for(uint64_t tenant) const {
+    return tenant < tenant_live_.size() ? tenant_live_[tenant] : 0;
+  }
+  /// Tenant t's tuple-value band [lo, hi] under per_tenant_key_ranges
+  /// (the full write band otherwise).
+  std::pair<Value, Value> WriteBandFor(uint64_t tenant) const;
 
  private:
   Query NextRead();
@@ -135,6 +159,8 @@ class MixedWorkloadGenerator {
   Rng rng_;
   size_t position_ = 0;
   size_t live_rows_ = 0;
+  /// Per-tenant live-row counts (index = tenant id).
+  std::vector<size_t> tenant_live_;
   std::map<std::pair<size_t, int>, ZipfGenerator> zipf_cache_;
 };
 

@@ -41,5 +41,44 @@ TEST(MetricsTest, ToStringSortedByName) {
   EXPECT_EQ(m.ToString(), "aaa=2\nzzz=1\n");
 }
 
+TEST(MetricsTest, MergeFromAddsAndCreates) {
+  Metrics a;
+  Metrics b;
+  a.Increment("shared", 3);
+  b.Increment("shared", 4);
+  b.Increment("only_b", 2);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get("shared"), 7);
+  EXPECT_EQ(a.Get("only_b"), 2);
+  EXPECT_EQ(b.Get("shared"), 4);  // source untouched
+}
+
+TEST(MetricsTest, MergeFromManyRegistriesRollsUp) {
+  // The fleet-counter pattern: one rollup registry accumulating several
+  // per-shard registries.
+  Metrics shard0;
+  Metrics shard1;
+  Metrics shard2;
+  shard0.Increment("pages", 1);
+  shard1.Increment("pages", 10);
+  shard2.Increment("pages", 100);
+  shard1.Increment("faults", 5);
+  Metrics fleet;
+  fleet.MergeFrom(shard0);
+  fleet.MergeFrom(shard1);
+  fleet.MergeFrom(shard2);
+  EXPECT_EQ(fleet.Get("pages"), 111);
+  EXPECT_EQ(fleet.Get("faults"), 5);
+}
+
+TEST(MetricsTest, MergeFromEmptyIsNoOp) {
+  Metrics a;
+  a.Increment("x");
+  Metrics empty;
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.Get("x"), 1);
+  EXPECT_EQ(a.counters().size(), 1u);
+}
+
 }  // namespace
 }  // namespace aib

@@ -1,0 +1,256 @@
+#include "shard/tenant_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "shard/sharded_database.h"
+
+namespace aib {
+namespace {
+
+Schema TinySchema() { return Schema::PaperSchema(1, 8); }
+
+ShardOptions TinyShardOptions() {
+  ShardOptions options;
+  options.db.max_tuples_per_page = 8;
+  options.service.num_workers = 1;
+  return options;
+}
+
+/// IShardTarget decorator that can hold dispatched statements at a gate
+/// and records the tenant order in which they executed. Lets the tests
+/// build a backlog deterministically: block the dispatch worker, enqueue,
+/// release, observe the stride order.
+class GatedTarget : public IShardTarget {
+ public:
+  GatedTarget() : inner_(TinySchema(), TinyShardOptions()) {
+    for (Value v = 1; v <= 20; ++v) {
+      (void)inner_.LoadTuple(Tuple({v}, {"row"}));
+    }
+  }
+
+  void CloseGate() {
+    std::lock_guard lock(mu_);
+    gate_open_ = false;
+  }
+  void OpenGate() {
+    {
+      std::lock_guard lock(mu_);
+      gate_open_ = true;
+    }
+    cv_.notify_all();
+  }
+  /// Blocks until `n` statements are waiting at (or have passed) the gate.
+  void AwaitArrivals(size_t n) {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return arrivals_ >= n; });
+  }
+
+  std::vector<uint64_t> executed_tenants() const {
+    std::lock_guard lock(mu_);
+    return executed_tenants_;
+  }
+
+  size_t ShardCount() const override { return inner_.ShardCount(); }
+  const Schema& schema() const override { return inner_.schema(); }
+  Shard& shard(size_t i) override { return inner_.shard(i); }
+  const Shard& shard(size_t i) const override { return inner_.shard(i); }
+  Result<GlobalRid> LoadTuple(const Tuple& tuple) override {
+    return inner_.LoadTuple(tuple);
+  }
+  Status CreatePartialIndex(ColumnId column, ValueCoverage coverage,
+                            IndexStructureKind structure) override {
+    return inner_.CreatePartialIndex(column, std::move(coverage), structure);
+  }
+  Result<Tuple> FetchRow(const GlobalRid& grid) const override {
+    return inner_.FetchRow(grid);
+  }
+  std::map<std::string, int64_t> FleetCounters() const override {
+    return inner_.FleetCounters();
+  }
+  Result<std::string> Explain(const Query& query) override {
+    return inner_.Explain(query);
+  }
+
+  Result<ShardResult> ExecuteStatement(
+      const ShardStatement& statement,
+      const ShardSubmitOptions& submit) override {
+    {
+      std::unique_lock lock(mu_);
+      ++arrivals_;
+      cv_.notify_all();
+      cv_.wait(lock, [&] { return gate_open_; });
+      executed_tenants_.push_back(submit.tenant);
+    }
+    return inner_.ExecuteStatement(statement, submit);
+  }
+
+ private:
+  SingleNodeTarget inner_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  bool gate_open_ = true;
+  size_t arrivals_ = 0;
+  std::vector<uint64_t> executed_tenants_;
+};
+
+ShardStatement ProbeSelect() {
+  return ShardStatement::Select(Query::Point(0, 5));
+}
+
+TEST(TenantSchedulerTest, ExecutesAndReturnsResults) {
+  GatedTarget target;
+  TenantSchedulerOptions options;
+  TenantScheduler scheduler(&target, options);
+  auto future = scheduler.Submit(3, ProbeSelect());
+  ASSERT_TRUE(future.ok()) << future.status().ToString();
+  Result<ShardResult> result = std::move(future).value().get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->rids.size(), 1u);
+  const auto infos = scheduler.TenantInfos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].tenant, 3u);
+  EXPECT_EQ(infos[0].dispatched, 1u);
+}
+
+TEST(TenantSchedulerTest, StrideScheduleHonorsWeights) {
+  GatedTarget target;
+  TenantSchedulerOptions options;
+  options.num_workers = 1;
+  options.tenants[1].weight = 3;
+  options.tenants[2].weight = 1;
+  options.default_tenant.queue_capacity = 64;
+  options.tenants[1].queue_capacity = 64;
+  options.tenants[2].queue_capacity = 64;
+  TenantScheduler scheduler(&target, options);
+
+  // Occupy the single dispatch worker so a backlog builds behind it.
+  target.CloseGate();
+  std::vector<std::future<Result<ShardResult>>> futures;
+  auto plug = scheduler.Submit(9, ProbeSelect());
+  ASSERT_TRUE(plug.ok());
+  target.AwaitArrivals(1);  // worker is now parked at the gate
+  for (int i = 0; i < 12; ++i) {
+    auto f1 = scheduler.Submit(1, ProbeSelect());
+    auto f2 = scheduler.Submit(2, ProbeSelect());
+    ASSERT_TRUE(f1.ok());
+    ASSERT_TRUE(f2.ok());
+    futures.push_back(std::move(f1).value());
+    futures.push_back(std::move(f2).value());
+  }
+  target.OpenGate();
+  ASSERT_TRUE(std::move(plug).value().get().ok());
+  for (auto& future : futures) ASSERT_TRUE(future.get().ok());
+
+  // Weight 3 vs 1: within any aligned window of 4 backlog dispatches,
+  // tenant 1 gets 3 slots. Check the full drained order's prefix ratio.
+  const std::vector<uint64_t> order = target.executed_tenants();
+  ASSERT_EQ(order.size(), 25u);  // plug + 24 backlog statements
+  size_t t1_in_first8 = 0;
+  for (size_t i = 1; i <= 8; ++i) t1_in_first8 += order[i] == 1 ? 1 : 0;
+  EXPECT_EQ(t1_in_first8, 6u) << "stride schedule should give tenant 1 "
+                                 "three of every four backlog slots";
+}
+
+TEST(TenantSchedulerTest, FullQueueRejectsWithBusy) {
+  GatedTarget target;
+  TenantSchedulerOptions options;
+  options.num_workers = 1;
+  options.default_tenant.queue_capacity = 2;
+  TenantScheduler scheduler(&target, options);
+
+  target.CloseGate();
+  auto plug = scheduler.Submit(1, ProbeSelect());
+  ASSERT_TRUE(plug.ok());
+  target.AwaitArrivals(1);
+  // Two fit in the queue, the third must bounce.
+  auto a = scheduler.Submit(1, ProbeSelect());
+  auto b = scheduler.Submit(1, ProbeSelect());
+  auto c = scheduler.Submit(1, ProbeSelect());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_FALSE(c.ok());
+  EXPECT_TRUE(c.status().IsBusy()) << c.status().ToString();
+  target.OpenGate();
+  ASSERT_TRUE(std::move(plug).value().get().ok());
+  ASSERT_TRUE(std::move(a).value().get().ok());
+  ASSERT_TRUE(std::move(b).value().get().ok());
+  const auto infos = scheduler.TenantInfos();
+  ASSERT_EQ(infos.size(), 1u);
+  EXPECT_EQ(infos[0].rejected, 1u);
+}
+
+TEST(TenantSchedulerTest, QueueTimeBurnsTheTenantDeadline) {
+  GatedTarget target;
+  TenantSchedulerOptions options;
+  options.num_workers = 1;
+  options.tenants[5].default_deadline = std::chrono::milliseconds(30);
+  TenantScheduler scheduler(&target, options);
+
+  target.CloseGate();
+  auto plug = scheduler.Submit(1, ProbeSelect());
+  ASSERT_TRUE(plug.ok());
+  target.AwaitArrivals(1);
+  auto doomed = scheduler.Submit(5, ProbeSelect());
+  ASSERT_TRUE(doomed.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(80));
+  target.OpenGate();
+  ASSERT_TRUE(std::move(plug).value().get().ok());
+  Result<ShardResult> result = std::move(doomed).value().get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsTimeout()) << result.status().ToString();
+  // The statement never reached the target: only the plug executed.
+  EXPECT_EQ(target.executed_tenants().size(), 1u);
+}
+
+TEST(TenantSchedulerTest, ShutdownFailsQueuedAndRejectsNew) {
+  GatedTarget target;
+  TenantSchedulerOptions options;
+  options.num_workers = 1;
+  TenantScheduler scheduler(&target, options);
+
+  target.CloseGate();
+  auto plug = scheduler.Submit(1, ProbeSelect());
+  ASSERT_TRUE(plug.ok());
+  target.AwaitArrivals(1);
+  auto queued = scheduler.Submit(2, ProbeSelect());
+  ASSERT_TRUE(queued.ok());
+
+  std::thread shutdown([&] { scheduler.Shutdown(); });
+  // Shutdown drains the queue to Cancelled even while the in-flight
+  // statement is still blocked at the gate.
+  Result<ShardResult> result = std::move(queued).value().get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status().ToString();
+  target.OpenGate();
+  ASSERT_TRUE(std::move(plug).value().get().ok());
+  shutdown.join();
+
+  auto after = scheduler.Submit(1, ProbeSelect());
+  ASSERT_FALSE(after.ok());
+  EXPECT_TRUE(after.status().IsCancelled());
+}
+
+TEST(TenantSchedulerTest, MetricsCountSubmissions) {
+  GatedTarget target;
+  Metrics metrics;
+  TenantSchedulerOptions options;
+  options.metrics = &metrics;
+  TenantScheduler scheduler(&target, options);
+  auto future = scheduler.Submit(1, ProbeSelect());
+  ASSERT_TRUE(future.ok());
+  ASSERT_TRUE(std::move(future).value().get().ok());
+  EXPECT_EQ(metrics.Get(kMetricTenantSubmitted), 1);
+  EXPECT_EQ(metrics.Get(kMetricTenantDispatched), 1);
+  EXPECT_EQ(metrics.Get(kMetricTenantRejected), 0);
+}
+
+}  // namespace
+}  // namespace aib

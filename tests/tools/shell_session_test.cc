@@ -198,6 +198,127 @@ TEST_F(ShellTest, RunScriptCountsFailures) {
   EXPECT_EQ(session_.Run(script), 1u);
 }
 
+TEST_F(ShellTest, ShardedModeFlow) {
+  EXPECT_TRUE(Exec("shards 4"));
+  EXPECT_NE(Output().find("4 shards"), std::string::npos);
+  EXPECT_TRUE(Exec("create_table t 2"));
+  EXPECT_TRUE(Exec("load_random t 300 1 2000 3"));
+  EXPECT_TRUE(Exec("create_index t 0 1 200"));
+  EXPECT_TRUE(Exec("query t 0 50"));
+  EXPECT_NE(Output().find("legs=1/4"), std::string::npos);
+  EXPECT_TRUE(Exec("range t 1 1 2000"));
+  EXPECT_NE(Output().find("legs=4/4"), std::string::npos);
+  EXPECT_TRUE(Exec("run t 0 5 1 2000 9"));
+  EXPECT_NE(Output().find("mean cost"), std::string::npos);
+}
+
+TEST_F(ShellTest, ShardedQueryMatchesSingleNodeRowCount) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 400 1 100 5"));
+  EXPECT_TRUE(Exec("query t 0 50"));
+  const std::string single = Output();
+  const size_t rows_at = single.rfind("rows=");
+  ASSERT_NE(rows_at, std::string::npos);
+  const std::string single_rows =
+      single.substr(rows_at, single.find(' ', rows_at) - rows_at);
+
+  EXPECT_TRUE(Exec("shards 3"));
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 400 1 100 5"));  // same seed, same rows
+  EXPECT_TRUE(Exec("query t 0 50"));
+  const std::string sharded = Output().substr(single.size());
+  EXPECT_NE(sharded.find(single_rows + " "), std::string::npos)
+      << "sharded row count diverged: " << sharded;
+}
+
+TEST_F(ShellTest, ShardedDmlWithShardQualifiedRids) {
+  EXPECT_TRUE(Exec("shards 2"));
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("insert t 42"));
+  EXPECT_NE(Output().find("inserted at [shard "), std::string::npos);
+  // Parse "[shard S (P,L)]" out of the insert echo.
+  const std::string echoed = Output();
+  const size_t at = echoed.find("inserted at [shard ");
+  ASSERT_NE(at, std::string::npos);
+  const int shard = std::stoi(echoed.substr(at + 19));
+  const size_t paren = echoed.find('(', at);
+  ASSERT_NE(paren, std::string::npos);
+  const int page = std::stoi(echoed.substr(paren + 1));
+  const size_t comma = echoed.find(',', paren);
+  const int slot = std::stoi(echoed.substr(comma + 1));
+  EXPECT_TRUE(Exec("update t " + std::to_string(shard) + " " +
+                   std::to_string(page) + " " + std::to_string(slot) +
+                   " 43"));
+  EXPECT_NE(Output().find("updated [shard "), std::string::npos);
+  EXPECT_TRUE(Exec("query t 0 43"));
+  EXPECT_NE(Output().find("rows=1"), std::string::npos);
+}
+
+TEST_F(ShellTest, ShardedExplainShowsLegs) {
+  EXPECT_TRUE(Exec("shards 4"));
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 200 1 500 1"));
+  EXPECT_TRUE(Exec("explain t 0 1 500"));
+  EXPECT_NE(Output().find("ScatterGatherScan"), std::string::npos);
+  EXPECT_NE(Output().find("legs=4/4"), std::string::npos);
+  EXPECT_NE(Output().find("Leg[shard 3]"), std::string::npos);
+}
+
+TEST_F(ShellTest, TenantPrefixAndStickyTenant) {
+  EXPECT_TRUE(Exec("shards 2"));
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 100 1 500 1"));
+  EXPECT_TRUE(Exec("tenant 7 query t 0 50"));  // prefix form
+  EXPECT_TRUE(Exec("tenant 3"));               // sticky form
+  EXPECT_NE(Output().find("ok: tenant 3"), std::string::npos);
+  EXPECT_TRUE(Exec("query t 0 60"));
+  EXPECT_TRUE(Exec("stats"));
+  EXPECT_NE(Output().find("tenant 7:"), std::string::npos);
+  EXPECT_NE(Output().find("tenant 3:"), std::string::npos);
+  EXPECT_NE(Output().find("fleet:"), std::string::npos);
+  EXPECT_NE(Output().find("shard 1:"), std::string::npos);
+}
+
+TEST_F(ShellTest, ShardedFaultsRetryTransparently) {
+  EXPECT_TRUE(Exec("config pool_pages=8"));
+  EXPECT_TRUE(Exec("shards 2"));
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 300 1 500 2"));
+  EXPECT_TRUE(Exec("fault arm 11 0.02 0.3"));
+  EXPECT_NE(Output().find("armed on every shard"), std::string::npos);
+  EXPECT_TRUE(Exec("run t 0 30 1 500 5"));
+  EXPECT_TRUE(Exec("fault off"));
+  EXPECT_TRUE(Exec("consistency t"));
+  EXPECT_NE(Output().find("every shard consistent"), std::string::npos);
+}
+
+TEST_F(ShellTest, ShardedModeRejectsSnapshots) {
+  EXPECT_TRUE(Exec("shards 2"));
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_FALSE(Exec("snapshot_save /tmp/nope.bin"));
+  EXPECT_NE(Output().find("single-node-only"), std::string::npos);
+}
+
+TEST_F(ShellTest, ShardsOffReturnsToCatalogMode) {
+  EXPECT_TRUE(Exec("shards 2"));
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(session_.sharded());
+  EXPECT_TRUE(Exec("shards off"));
+  EXPECT_FALSE(session_.sharded());
+  EXPECT_EQ(session_.sharded_table("t"), nullptr);
+  EXPECT_TRUE(Exec("create_table t 1"));  // catalog table again
+  EXPECT_TRUE(Exec("load_random t 50 1 50 1"));
+  EXPECT_TRUE(Exec("query t 0 5"));
+}
+
+TEST_F(ShellTest, ShardsRejectsBadArguments) {
+  EXPECT_FALSE(Exec("shards"));
+  EXPECT_FALSE(Exec("shards 0"));
+  EXPECT_FALSE(Exec("shards 2 bogus"));
+  EXPECT_TRUE(Exec("shards 2 range 0"));
+  EXPECT_FALSE(Exec("create_table t 0"));  // routing column out of range
+}
+
 TEST_F(ShellTest, SnapshotRoundTripViaShell) {
   const std::string path = ::testing::TempDir() + "/shell_snapshot.bin";
   EXPECT_TRUE(Exec("create_table t 1"));

@@ -130,5 +130,113 @@ TEST(WorkloadGenTest, PositionAdvances) {
   EXPECT_EQ(gen.position(), 3u);
 }
 
+MixedWorkloadOptions MixedBase(size_t n) {
+  MixedWorkloadOptions options;
+  options.num_statements = n;
+  options.write_fraction = 0.5;
+  options.values_per_tuple = 1;
+  options.write_lo = 1;
+  options.write_hi = 1000;
+  options.read_mix = {ColumnMix{.column = 0,
+                                .uncovered_lo = 1,
+                                .uncovered_hi = 1000}};
+  return options;
+}
+
+TEST(MixedWorkloadGenTest, SingleTenantStreamUnchangedByTenantKnobs) {
+  // num_tenants == 1 must not consume any extra rng draws: the op stream
+  // is bit-identical to a generator that never heard of tenants.
+  MixedWorkloadOptions plain = MixedBase(200);
+  MixedWorkloadOptions tenant_aware = MixedBase(200);
+  tenant_aware.num_tenants = 1;
+  tenant_aware.tenant_zipf_theta = 0.9;  // irrelevant with one tenant
+  tenant_aware.per_tenant_key_ranges = true;
+  MixedWorkloadGenerator a(plain, 33);
+  MixedWorkloadGenerator b(tenant_aware, 33);
+  while (true) {
+    std::optional<MixedOp> x = a.Next();
+    std::optional<MixedOp> y = b.Next();
+    ASSERT_EQ(x.has_value(), y.has_value());
+    if (!x.has_value()) break;
+    EXPECT_EQ(x->kind, y->kind);
+    EXPECT_EQ(x->values, y->values);
+    EXPECT_EQ(x->victim_rank, y->victim_rank);
+    EXPECT_EQ(y->tenant, 0u);
+  }
+}
+
+TEST(MixedWorkloadGenTest, MultiTenantIsDeterministicAndCoversTenants) {
+  MixedWorkloadOptions options = MixedBase(400);
+  options.num_tenants = 4;
+  options.tenant_zipf_theta = 0.5;
+  MixedWorkloadGenerator a(options, 9);
+  MixedWorkloadGenerator b(options, 9);
+  std::map<uint64_t, size_t> seen;
+  while (std::optional<MixedOp> x = a.Next()) {
+    std::optional<MixedOp> y = b.Next();
+    ASSERT_TRUE(y.has_value());
+    EXPECT_EQ(x->tenant, y->tenant);
+    EXPECT_EQ(x->values, y->values);
+    EXPECT_LT(x->tenant, 4u);
+    ++seen[x->tenant];
+  }
+  EXPECT_EQ(seen.size(), 4u);
+  // Zipf skew: tenant 0 is the hottest.
+  for (uint64_t t = 1; t < 4; ++t) EXPECT_GT(seen[0], seen[t]);
+}
+
+TEST(MixedWorkloadGenTest, VictimRanksStayWithinTenantLiveRows) {
+  MixedWorkloadOptions options = MixedBase(600);
+  options.num_tenants = 3;
+  options.victim_zipf_theta = 0.5;
+  MixedWorkloadGenerator gen(options, 21);
+  std::vector<size_t> live(3, 0);
+  while (std::optional<MixedOp> op = gen.Next()) {
+    switch (op->kind) {
+      case StatementKind::kInsert:
+        ++live[op->tenant];
+        break;
+      case StatementKind::kUpdate:
+      case StatementKind::kDelete:
+        ASSERT_GE(op->victim_rank, 1u);
+        ASSERT_LE(op->victim_rank, live[op->tenant]);
+        if (op->kind == StatementKind::kDelete) --live[op->tenant];
+        break;
+      case StatementKind::kSelect:
+        break;
+    }
+  }
+  for (uint64_t t = 0; t < 3; ++t) {
+    EXPECT_EQ(gen.live_rows_for(t), live[t]);
+  }
+}
+
+TEST(MixedWorkloadGenTest, PerTenantKeyRangesAreDisjointBands) {
+  MixedWorkloadOptions options = MixedBase(500);
+  options.num_tenants = 4;
+  options.per_tenant_key_ranges = true;
+  MixedWorkloadGenerator gen(options, 5);
+  // Bands partition [1, 1000]: contiguous, disjoint, exhaustive.
+  Value expected_lo = 1;
+  for (uint64_t t = 0; t < 4; ++t) {
+    const auto [lo, hi] = gen.WriteBandFor(t);
+    EXPECT_EQ(lo, expected_lo);
+    EXPECT_LE(lo, hi);
+    expected_lo = hi + 1;
+  }
+  EXPECT_EQ(expected_lo, 1001);
+  while (std::optional<MixedOp> op = gen.Next()) {
+    if (op->kind != StatementKind::kInsert &&
+        op->kind != StatementKind::kUpdate) {
+      continue;
+    }
+    const auto [lo, hi] = gen.WriteBandFor(op->tenant);
+    for (Value v : op->values) {
+      EXPECT_GE(v, lo);
+      EXPECT_LE(v, hi);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace aib

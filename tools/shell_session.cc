@@ -64,6 +64,16 @@ QueryControl ShellSession::MakeControl() const {
                                : QueryControl{};
 }
 
+Result<ShardResult> ShellSession::ExecuteSharded(
+    ShardedTable* table, const ShardStatement& statement) {
+  ShardSubmitOptions submit;
+  submit.deadline = deadline_;
+  Result<std::future<Result<ShardResult>>> future =
+      table->scheduler->Submit(tenant_, statement, submit);
+  if (!future.ok()) return future.status();
+  return std::move(future).value().get();
+}
+
 Result<QueryResult> ShellSession::ExecuteQuery(Table* table,
                                                const Query& query) {
   // Same whole-query retry policy as the QueryService: transients and
@@ -98,6 +108,63 @@ bool ShellSession::ExecuteLine(const std::string& line) {
   const std::string& command = tokens[0];
 
   try {
+    if (command == "shards") {
+      if (tokens.size() < 2) {
+        return Fail("shards N [hash|range] [COLUMN] | shards off");
+      }
+      // Mode changes drop existing sharded tables either way.
+      sharded_.clear();
+      if (tokens[1] == "off") {
+        shard_count_ = 0;
+        out_ << "ok: sharded mode off\n";
+        return true;
+      }
+      const size_t n = std::stoull(tokens[1]);
+      if (n == 0) return Fail("shard count must be >= 1");
+      shard_policy_ = ShardingPolicy::kHash;
+      if (tokens.size() > 2) {
+        if (tokens[2] == "range") {
+          shard_policy_ = ShardingPolicy::kRange;
+        } else if (tokens[2] != "hash") {
+          return Fail("policy must be hash or range");
+        }
+      }
+      routing_column_ =
+          tokens.size() > 3 ? static_cast<ColumnId>(std::stoi(tokens[3])) : 0;
+      shard_count_ = n;
+      out_ << "ok: sharded mode, " << n << " shards, policy "
+           << ShardingPolicyName(shard_policy_) << ", routing column "
+           << routing_column_ << "\n";
+      return true;
+    }
+
+    if (command == "tenant") {
+      if (tokens.size() < 2) return Fail("tenant T [COMMAND ...]");
+      const uint64_t tenant = std::stoull(tokens[1]);
+      if (tokens.size() == 2) {
+        tenant_ = tenant;
+        out_ << "ok: tenant " << tenant_ << "\n";
+        return true;
+      }
+      // Prefix form: run the rest of the line as this tenant, then
+      // restore the session tenant.
+      std::string rest;
+      for (size_t i = 2; i < tokens.size(); ++i) {
+        if (i > 2) rest += ' ';
+        rest += tokens[i];
+      }
+      const uint64_t saved = tenant_;
+      tenant_ = tenant;
+      const bool ok = ExecuteLine(rest);
+      tenant_ = saved;
+      return ok;
+    }
+
+    if (sharded() && command != "config" && command != "deadline" &&
+        command != "echo") {
+      return ExecuteShardedLine(tokens);
+    }
+
     if (command == "config") {
       CatalogOptions options;
       for (size_t i = 1; i < tokens.size(); ++i) {
@@ -439,6 +506,345 @@ bool ShellSession::ExecuteLine(const std::string& line) {
     }
   } catch (const std::exception& e) {
     return Fail(std::string("bad argument: ") + e.what());
+  }
+
+  return Fail("unknown command " + command);
+}
+
+bool ShellSession::ExecuteShardedLine(const std::vector<std::string>& tokens) {
+  const std::string& command = tokens[0];
+
+  if (command == "create_table") {
+    if (tokens.size() != 3) return Fail("create_table NAME INTCOLS");
+    if (sharded_.count(tokens[1]) != 0) {
+      return Fail("table " + tokens[1] + " already exists");
+    }
+    const int int_cols = std::stoi(tokens[2]);
+    if (routing_column_ >= static_cast<ColumnId>(int_cols)) {
+      return Fail("routing column out of range for " + tokens[2] +
+                  " int columns");
+    }
+    const CatalogOptions& base = catalog_->options();
+    ShardedDatabaseOptions options;
+    options.router.num_shards = shard_count_;
+    options.router.policy = shard_policy_;
+    options.router.routing_column = routing_column_;
+    options.shard.db.page_size = base.page_size;
+    options.shard.db.buffer_pool_pages = base.buffer_pool_pages;
+    options.shard.db.max_tuples_per_page = base.max_tuples_per_page;
+    options.shard.db.space = base.space;
+    options.shard.db.buffer = base.buffer;
+    options.shard.db.enable_index_buffer = base.enable_index_buffer;
+    options.shard.db.cost = base.cost;
+    // One worker per shard service keeps the shell deterministic (FIFO
+    // per shard), like the catalog path.
+    options.shard.service.num_workers = 1;
+    ShardedTable entry;
+    entry.db = std::make_unique<ShardedDatabase>(
+        Schema::PaperSchema(int_cols, 64), options);
+    TenantSchedulerOptions scheduler;
+    scheduler.num_workers = 1;
+    scheduler.metrics = &entry.db->router_metrics();
+    entry.scheduler =
+        std::make_unique<TenantScheduler>(entry.db.get(), scheduler);
+    sharded_.emplace(tokens[1], std::move(entry));
+    out_ << "ok: sharded table " << tokens[1] << " with " << int_cols
+         << " int columns on " << shard_count_ << " shards\n";
+    return true;
+  }
+
+  ShardedTable* table = tokens.size() > 1 ? GetSharded(tokens[1]) : nullptr;
+
+  if (command == "load_random") {
+    if (tokens.size() < 5) return Fail("load_random NAME COUNT LO HI [SEED]");
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    const size_t count = std::stoull(tokens[2]);
+    const Value lo = std::stoi(tokens[3]);
+    const Value hi = std::stoi(tokens[4]);
+    Rng rng(tokens.size() > 5 ? std::stoull(tokens[5]) : 1);
+    const size_t int_cols = table->db->schema().IntColumnIds().size();
+    for (size_t i = 0; i < count; ++i) {
+      std::vector<Value> values;
+      for (size_t c = 0; c < int_cols; ++c) {
+        values.push_back(static_cast<Value>(rng.UniformInt(lo, hi)));
+      }
+      Result<GlobalRid> rid =
+          table->db->LoadTuple(Tuple(std::move(values), {"row"}));
+      if (!rid.ok()) return Fail(rid.status().ToString());
+    }
+    size_t pages = 0;
+    for (size_t s = 0; s < table->db->ShardCount(); ++s) {
+      pages += table->db->shard(s).db().table().PageCount();
+    }
+    out_ << "ok: loaded " << count << " tuples into " << tokens[1] << " ("
+         << pages << " pages across " << table->db->ShardCount()
+         << " shards)\n";
+    return true;
+  }
+
+  if (command == "create_index") {
+    if (tokens.size() < 5) {
+      return Fail("create_index NAME COLUMN LO HI [btree|hash|csb]");
+    }
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    const ColumnId column = static_cast<ColumnId>(std::stoi(tokens[2]));
+    const Status status = table->db->CreatePartialIndex(
+        column,
+        ValueCoverage::Range(std::stoi(tokens[3]), std::stoi(tokens[4])),
+        ParseKind(tokens.size() > 5 ? tokens[5] : "btree"));
+    if (!status.ok()) return Fail(status.ToString());
+    out_ << "ok: partial index on " << tokens[1] << "." << column
+         << " covering [" << tokens[3] << "," << tokens[4] << "] on every shard\n";
+    return true;
+  }
+
+  if (command == "attach_tuner") {
+    if (tokens.size() < 3) {
+      return Fail("attach_tuner NAME COLUMN [WINDOW THRESHOLD CAPACITY]");
+    }
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    IndexTunerOptions options;
+    if (tokens.size() > 3) options.window_size = std::stoull(tokens[3]);
+    if (tokens.size() > 4) options.index_threshold = std::stoi(tokens[4]);
+    if (tokens.size() > 5) options.max_indexed_values = std::stoull(tokens[5]);
+    const ColumnId column = static_cast<ColumnId>(std::stoi(tokens[2]));
+    for (size_t s = 0; s < table->db->ShardCount(); ++s) {
+      const Status status = table->db->shard(s).db().AttachTuner(column, options);
+      if (!status.ok()) return Fail(status.ToString());
+    }
+    out_ << "ok: tuner attached on every shard\n";
+    return true;
+  }
+
+  if (command == "query" || command == "range") {
+    const bool is_range = command == "range";
+    const size_t base = is_range ? 5u : 4u;
+    if (tokens.size() < base) {
+      return Fail(is_range ? "range NAME COLUMN LO HI [COLUMN LO HI ...]"
+                           : "query NAME COLUMN VALUE [COLUMN LO HI ...]");
+    }
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    const ColumnId column = static_cast<ColumnId>(std::stoi(tokens[2]));
+    const Value lo = std::stoi(tokens[3]);
+    const Value hi = is_range ? std::stoi(tokens[4]) : lo;
+    Query query = Query::Range(column, lo, hi);
+    if (!ParseResiduals(tokens, base, &query)) {
+      return Fail("residual predicates must be COLUMN LO HI triplets");
+    }
+    Result<ShardResult> result =
+        ExecuteSharded(table, ShardStatement::Select(query));
+    if (!result.ok()) return Fail(result.status().ToString());
+    out_ << "rows=" << result->rids.size() << " cost=" << result->stats.cost
+         << " scanned=" << result->stats.pages_scanned
+         << " skipped=" << result->stats.pages_skipped << " legs="
+         << result->legs << "/" << table->db->ShardCount()
+         << (result->stats.used_partial_index   ? " [index]"
+             : result->stats.used_index_buffer ? " [buffer]"
+                                               : " [scan]")
+         << "\n";
+    return true;
+  }
+
+  if (command == "explain") {
+    if (tokens.size() < 5) {
+      return Fail("explain NAME COLUMN LO HI [COLUMN LO HI ...]");
+    }
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    Query query = Query::Range(static_cast<ColumnId>(std::stoi(tokens[2])),
+                               std::stoi(tokens[3]), std::stoi(tokens[4]));
+    if (!ParseResiduals(tokens, 5, &query)) {
+      return Fail("residual predicates must be COLUMN LO HI triplets");
+    }
+    Result<std::string> rendered = table->db->Explain(query);
+    if (!rendered.ok()) return Fail(rendered.status().ToString());
+    out_ << rendered.value();
+    return true;
+  }
+
+  if (command == "run") {
+    if (tokens.size() < 6) return Fail("run NAME COLUMN COUNT LO HI [SEED]");
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    const ColumnId column = static_cast<ColumnId>(std::stoi(tokens[2]));
+    const size_t count = std::stoull(tokens[3]);
+    const Value lo = std::stoi(tokens[4]);
+    const Value hi = std::stoi(tokens[5]);
+    Rng rng(tokens.size() > 6 ? std::stoull(tokens[6]) : 7);
+    double total_cost = 0;
+    for (size_t i = 0; i < count; ++i) {
+      Result<ShardResult> result = ExecuteSharded(
+          table, ShardStatement::Select(Query::Point(
+                     column, static_cast<Value>(rng.UniformInt(lo, hi)))));
+      if (!result.ok()) return Fail(result.status().ToString());
+      total_cost += result->stats.cost;
+    }
+    out_ << "ok: " << count << " queries, mean cost "
+         << total_cost / static_cast<double>(count) << "\n";
+    return true;
+  }
+
+  if (command == "insert") {
+    if (tokens.size() < 3) return Fail("insert NAME V1 [V2 ...]");
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    std::vector<Value> values;
+    for (size_t i = 2; i < tokens.size(); ++i) {
+      values.push_back(std::stoi(tokens[i]));
+    }
+    if (values.size() != table->db->schema().IntColumnIds().size()) {
+      return Fail("value count does not match schema");
+    }
+    Result<ShardResult> result = ExecuteSharded(
+        table, ShardStatement::Insert(Tuple(std::move(values), {"row"})));
+    if (!result.ok()) return Fail(result.status().ToString());
+    out_ << "ok: inserted at " << GlobalRidToString(result->rids.at(0))
+         << "\n";
+    return true;
+  }
+
+  if (command == "update") {
+    if (tokens.size() < 6) {
+      return Fail("update NAME SHARD PAGE SLOT V1 [V2 ...]");
+    }
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    const GlobalRid target{
+        static_cast<uint32_t>(std::stoul(tokens[2])),
+        Rid{static_cast<PageId>(std::stoull(tokens[3])),
+            static_cast<SlotId>(std::stoul(tokens[4]))}};
+    std::vector<Value> values;
+    for (size_t i = 5; i < tokens.size(); ++i) {
+      values.push_back(std::stoi(tokens[i]));
+    }
+    if (values.size() != table->db->schema().IntColumnIds().size()) {
+      return Fail("value count does not match schema");
+    }
+    Result<ShardResult> result = ExecuteSharded(
+        table,
+        ShardStatement::Update(target, Tuple(std::move(values), {"row"})));
+    if (!result.ok()) return Fail(result.status().ToString());
+    out_ << "ok: updated " << GlobalRidToString(target) << " -> "
+         << GlobalRidToString(result->rids.at(0))
+         << (result->legs > 1 ? " (migrated)" : "") << "\n";
+    return true;
+  }
+
+  if (command == "delete") {
+    if (tokens.size() != 5) return Fail("delete NAME SHARD PAGE SLOT");
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    const GlobalRid target{
+        static_cast<uint32_t>(std::stoul(tokens[2])),
+        Rid{static_cast<PageId>(std::stoull(tokens[3])),
+            static_cast<SlotId>(std::stoul(tokens[4]))}};
+    Result<ShardResult> result =
+        ExecuteSharded(table, ShardStatement::Delete(target));
+    if (!result.ok()) return Fail(result.status().ToString());
+    out_ << "ok: deleted " << GlobalRidToString(target) << "\n";
+    return true;
+  }
+
+  if (command == "fault") {
+    if (tokens.size() < 2 ||
+        (tokens[1] == "arm" && tokens.size() < 4) ||
+        (tokens[1] != "arm" && tokens[1] != "off")) {
+      return Fail(
+          "fault arm SEED RATE [CORRUPT_FRACTION [LATENCY_RATE "
+          "[LATENCY_TICKS]]] | fault off");
+    }
+    for (auto& [name, entry] : sharded_) {
+      for (size_t s = 0; s < entry.db->ShardCount(); ++s) {
+        FaultInjector& injector =
+            entry.db->shard(s).db().catalog().disk().fault_injector();
+        if (tokens[1] == "off") {
+          injector.Disarm();
+          continue;
+        }
+        FaultInjectorOptions options;
+        // Distinct per-shard seeds: same command, decorrelated fault
+        // streams across the fleet.
+        options.seed = std::stoull(tokens[2]) + s;
+        options.read_fault_rate = std::stod(tokens[3]);
+        options.write_fault_rate = options.read_fault_rate;
+        if (tokens.size() > 4) {
+          options.corruption_fraction = std::stod(tokens[4]);
+        }
+        if (tokens.size() > 5) options.latency_rate = std::stod(tokens[5]);
+        if (tokens.size() > 6) options.latency_ticks = std::stoull(tokens[6]);
+        injector.Arm(options);
+      }
+    }
+    if (tokens[1] == "off") {
+      out_ << "ok: faults disarmed on every shard\n";
+    } else {
+      out_ << "ok: faults armed on every shard, base seed " << tokens[2]
+           << " rate=" << tokens[3] << "\n";
+    }
+    return true;
+  }
+
+  if (command == "buffers") {
+    for (const auto& [name, entry] : sharded_) {
+      out_ << name << ":\n";
+      for (size_t s = 0; s < entry.db->ShardCount(); ++s) {
+        const IndexBufferSpace* space =
+            const_cast<ShardedTable&>(entry).db->shard(s).db().space();
+        out_ << "  shard " << s << ": ";
+        if (space == nullptr) {
+          out_ << "index buffer space disabled\n";
+          continue;
+        }
+        out_ << space->TotalEntries() << " entries";
+        if (!space->Unlimited()) out_ << " / " << space->options().max_entries;
+        out_ << "\n";
+      }
+    }
+    return true;
+  }
+
+  if (command == "stats") {
+    for (const auto& [name, entry] : sharded_) {
+      ShardedDatabase& db = *const_cast<ShardedTable&>(entry).db;
+      out_ << name << " (" << db.ShardCount() << " shards):\n";
+      for (size_t s = 0; s < db.ShardCount(); ++s) {
+        const Metrics& metrics = db.shard(s).metrics();
+        out_ << "  shard " << s << ": pages_read="
+             << metrics.Get(kMetricPagesRead)
+             << " executed=" << metrics.Get(kMetricServiceExecuted)
+             << " dml=" << metrics.Get(kMetricServiceDmlExecuted)
+             << " faults=" << metrics.Get(kMetricFaultsInjected)
+             << " retries=" << metrics.Get(kMetricTransientRetries) << "\n";
+      }
+      for (const TenantScheduler::TenantInfo& info :
+           entry.scheduler->TenantInfos()) {
+        out_ << "  tenant " << info.tenant << ": weight=" << info.weight
+             << " submitted=" << info.submitted
+             << " dispatched=" << info.dispatched
+             << " rejected=" << info.rejected << " queued=" << info.queued
+             << "\n";
+      }
+      out_ << "  fleet:\n";
+      for (const auto& [counter, value] : db.FleetCounters()) {
+        out_ << "    " << counter << "=" << value << "\n";
+      }
+    }
+    return true;
+  }
+
+  if (command == "consistency") {
+    if (tokens.size() != 2) return Fail("consistency NAME");
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    FaultInjector::ScopedSuspend suspend;
+    for (size_t s = 0; s < table->db->ShardCount(); ++s) {
+      Database& db = table->db->shard(s).db();
+      if (db.space() == nullptr) continue;
+      const Status status = CheckSpaceConsistency(db.table(), *db.space());
+      if (!status.ok()) {
+        return Fail("shard " + std::to_string(s) + ": " + status.ToString());
+      }
+    }
+    out_ << "ok: every shard consistent\n";
+    return true;
+  }
+
+  if (command == "snapshot_save" || command == "snapshot_load") {
+    return Fail("snapshots are single-node-only; run `shards off` first");
   }
 
   return Fail("unknown command " + command);

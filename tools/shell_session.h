@@ -3,11 +3,14 @@
 
 #include <chrono>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "common/query_control.h"
+#include "shard/sharded_database.h"
+#include "shard/tenant_scheduler.h"
 #include "workload/catalog.h"
 
 namespace aib::tools {
@@ -53,6 +56,23 @@ namespace aib::tools {
 ///   snapshot_save PATH
 ///   snapshot_load PATH
 ///   echo TEXT...
+///
+/// Sharded mode (src/shard/):
+///   shards N [hash|range] [COLUMN]  — subsequent create_table builds an
+///                           N-shard ShardedDatabase routed on COLUMN
+///                           (default 0) instead of a catalog table;
+///                           existing sharded tables are dropped
+///   shards off            — back to single-node catalog mode
+///   tenant T [COMMAND...] — with a trailing command, runs it as tenant T;
+///                           alone, makes T the session tenant. Statements
+///                           enter through each table's TenantScheduler
+///   In sharded mode query/range/run/insert/load_random/create_index/
+///   explain/fault/stats/buffers/consistency/attach_tuner/deadline work
+///   against the shard fleet (explain renders the scatter legs; stats
+///   prints per-shard lines plus the fleet rollup; fault arms every
+///   shard's injector with SEED+shard; update/delete take a SHARD arg:
+///   update NAME SHARD PAGE SLOT V1 [V2 ...]). Snapshots are
+///   single-node-only.
 class ShellSession {
  public:
   explicit ShellSession(std::ostream& out);
@@ -68,7 +88,19 @@ class ShellSession {
 
   Catalog* catalog() { return catalog_.get(); }
 
+  bool sharded() const { return shard_count_ > 0; }
+  ShardedDatabase* sharded_table(const std::string& name) {
+    auto it = sharded_.find(name);
+    return it == sharded_.end() ? nullptr : it->second.db.get();
+  }
+
  private:
+  /// One sharded table: the shard fleet plus its multi-tenant front door.
+  struct ShardedTable {
+    std::unique_ptr<ShardedDatabase> db;
+    std::unique_ptr<TenantScheduler> scheduler;
+  };
+
   bool Fail(const std::string& message);
 
   /// Control for one query: carries the session deadline when one is set.
@@ -79,10 +111,32 @@ class ShellSession {
   /// never Timeout/Cancelled).
   Result<QueryResult> ExecuteQuery(Table* table, const Query& query);
 
+  /// Dispatches a statement through `table`'s tenant scheduler as the
+  /// session tenant, with the session deadline.
+  Result<ShardResult> ExecuteSharded(ShardedTable* table,
+                                     const ShardStatement& statement);
+
+  ShardedTable* GetSharded(const std::string& name) {
+    auto it = sharded_.find(name);
+    return it == sharded_.end() ? nullptr : &it->second;
+  }
+
+  /// Handles the commands that behave differently against a shard fleet.
+  /// Only called in sharded mode.
+  bool ExecuteShardedLine(const std::vector<std::string>& tokens);
+
   std::ostream& out_;
   std::unique_ptr<Catalog> catalog_;
   /// Session deadline applied to each query/range/run query; zero = none.
   std::chrono::milliseconds deadline_{0};
+
+  /// 0 = single-node catalog mode; > 0 = sharded mode with this many
+  /// shards per created table.
+  size_t shard_count_ = 0;
+  ShardingPolicy shard_policy_ = ShardingPolicy::kHash;
+  ColumnId routing_column_ = 0;
+  uint64_t tenant_ = 0;
+  std::map<std::string, ShardedTable> sharded_;
 };
 
 }  // namespace aib::tools
