@@ -22,7 +22,23 @@
 //      the buffer useful rather than thrashing it.
 //
 // --json=PATH emits the numbers for CI artifacts (BENCH_mixed_workload.json).
+//
+// --contention switches to the latch-contention sweep of the
+// partition-granular concurrency refactor: 4 reader threads drive covered
+// point probes while 0/1/4/8 writer threads run DML in value bands that
+// are either disjoint per writer or fully overlapping. Writers stay
+// strictly above covered_hi, so every probe's result set is invariant and
+// checked exactly (a correctness failure is always fatal). Reported per
+// cell: read QPS, writer throughput, and the latch-contention counters
+// (waits, optimistic retries/fallbacks). With --check, one lenient
+// wall-clock gate: read QPS under 4 disjoint-band writers must hold at
+// least 25% of the writer-free baseline — the claim the refactor makes is
+// precisely that disjoint-partition writers do not serialize readers.
+// --json=PATH emits BENCH_latch_contention.json in this mode.
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +47,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.h"
@@ -171,6 +188,217 @@ LegResult RunLeg(const bench::BenchArgs& args, double write_fraction) {
   return leg;
 }
 
+// ---------------------------------------------------------------------------
+// Latch-contention sweep (--contention)
+
+constexpr int kContentionReaders = 4;
+constexpr size_t kContentionReadsPerReader = 2500;
+constexpr Value kContentionBandWidth = 2000;
+
+struct ContentionCell {
+  const char* bands = "disjoint";
+  int writers = 0;
+  size_t reads = 0;
+  size_t writes = 0;
+  double read_qps = 0;
+  int64_t latch_waits = 0;
+  int64_t optimistic_retries = 0;
+  int64_t optimistic_fallbacks = 0;
+  bool reads_correct = true;
+};
+
+ContentionCell RunContentionCell(const bench::BenchArgs& args, int writers,
+                                 bool disjoint) {
+  PaperSetupOptions setup = bench::PaperSetup(args);
+  auto db = BuildPaperDatabase(setup);
+  if (!db.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n",
+                 db.status().ToString().c_str());
+    std::exit(2);
+  }
+  Database& d = **db;
+
+  // Covered probe set, frozen up front: the writers work strictly above
+  // covered_hi, so these result sets are invariant for the whole cell and
+  // every concurrent probe can be checked exactly.
+  constexpr int kProbeValues = 32;
+  std::vector<Value> values;
+  std::vector<std::vector<Rid>> expected;
+  for (int i = 0; i < kProbeValues; ++i) {
+    const Value v = 1 + (i * setup.covered_hi) / kProbeValues;
+    values.push_back(v);
+    std::vector<Rid> rids = d.FindRids(0, v);
+    std::sort(rids.begin(), rids.end());
+    expected.push_back(std::move(rids));
+  }
+
+  ContentionCell cell;
+  cell.bands = disjoint ? "disjoint" : "overlapping";
+  cell.writers = writers;
+  const int64_t waits0 = d.metrics().Get(kMetricLatchWaits);
+  const int64_t retries0 = d.metrics().Get(kMetricLatchOptimisticRetries);
+  const int64_t fallbacks0 =
+      d.metrics().Get(kMetricLatchOptimisticFallbacks);
+
+  std::atomic<bool> stop{false};
+  std::atomic<size_t> writes{0};
+  std::atomic<bool> correct{true};
+  std::vector<std::thread> writer_threads;
+  for (int w = 0; w < writers; ++w) {
+    writer_threads.emplace_back([&, w] {
+      // Each writer mutates only rows it inserted itself; the bands
+      // control whether writers collide on the same Index Buffer
+      // partitions (overlapping) or not (disjoint).
+      const Value band_lo = static_cast<Value>(
+          setup.covered_hi + 1 + (disjoint ? w * kContentionBandWidth : 0));
+      std::vector<Rid> mine;
+      const std::string payload(48, 'w');
+      for (size_t i = 0; !stop.load(std::memory_order_relaxed); ++i) {
+        const Value v =
+            band_lo + static_cast<Value>(i % kContentionBandWidth);
+        if (i % 8 == 5 && !mine.empty()) {
+          const size_t slot = i % mine.size();
+          Result<Rid> updated =
+              d.Update(mine[slot], Tuple({v, v, v}, {payload}));
+          if (updated.ok()) mine[slot] = updated.value();
+        } else if (i % 16 == 12 && !mine.empty()) {
+          (void)d.Delete(mine.back());
+          mine.pop_back();
+        } else {
+          Result<Rid> inserted = d.Insert(Tuple({v, v, v}, {payload}));
+          if (inserted.ok()) mine.push_back(inserted.value());
+        }
+        writes.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> reader_threads;
+  for (int r = 0; r < kContentionReaders; ++r) {
+    reader_threads.emplace_back([&, r] {
+      for (size_t i = 0; i < kContentionReadsPerReader; ++i) {
+        const size_t pick =
+            (i * kContentionReaders + static_cast<size_t>(r)) %
+            values.size();
+        Result<QueryResult> result = d.Execute(Query::Point(0, values[pick]));
+        if (!result.ok()) {
+          correct.store(false, std::memory_order_relaxed);
+          continue;
+        }
+        std::vector<Rid> rids = result->rids;
+        std::sort(rids.begin(), rids.end());
+        if (rids != expected[pick]) {
+          correct.store(false, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (std::thread& thread : reader_threads) thread.join();
+  const auto end = std::chrono::steady_clock::now();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& thread : writer_threads) thread.join();
+
+  const double seconds = std::chrono::duration<double>(end - start).count();
+  cell.reads = kContentionReaders * kContentionReadsPerReader;
+  cell.writes = writes.load();
+  cell.read_qps = static_cast<double>(cell.reads) / std::max(seconds, 1e-9);
+  cell.latch_waits = d.metrics().Get(kMetricLatchWaits) - waits0;
+  cell.optimistic_retries =
+      d.metrics().Get(kMetricLatchOptimisticRetries) - retries0;
+  cell.optimistic_fallbacks =
+      d.metrics().Get(kMetricLatchOptimisticFallbacks) - fallbacks0;
+  cell.reads_correct = correct.load();
+  return cell;
+}
+
+int RunContention(const bench::BenchArgs& args) {
+  std::cout << "Latch-contention sweep — " << args.num_tuples << " tuples, "
+            << kContentionReaders << " readers x "
+            << kContentionReadsPerReader
+            << " covered probes per cell, writers in bands above "
+               "covered_hi\n\n";
+
+  std::vector<ContentionCell> cells;
+  cells.push_back(RunContentionCell(args, 0, true));  // baseline
+  for (int writers : {1, 4, 8}) {
+    for (bool disjoint : {true, false}) {
+      cells.push_back(RunContentionCell(args, writers, disjoint));
+    }
+  }
+
+  bool correct_ok = true;
+  std::printf("%-12s %8s %8s %8s %12s %12s %10s %10s\n", "bands", "writers",
+              "reads", "writes", "read QPS", "latch waits", "opt retry",
+              "opt fback");
+  for (const ContentionCell& cell : cells) {
+    correct_ok = correct_ok && cell.reads_correct;
+    std::printf("%-12s %8d %8zu %8zu %12.0f %12lld %10lld %10lld%s\n",
+                cell.bands, cell.writers, cell.reads, cell.writes,
+                cell.read_qps, static_cast<long long>(cell.latch_waits),
+                static_cast<long long>(cell.optimistic_retries),
+                static_cast<long long>(cell.optimistic_fallbacks),
+                cell.reads_correct ? "" : "  READS WRONG");
+  }
+
+  const auto find_cell = [&](int writers, const char* bands) {
+    for (const ContentionCell& cell : cells) {
+      if (cell.writers == writers && std::string(cell.bands) == bands) {
+        return cell;
+      }
+    }
+    return cells.front();
+  };
+  const double baseline_qps = cells.front().read_qps;
+  const double qps_ratio =
+      find_cell(4, "disjoint").read_qps / std::max(baseline_qps, 1e-9);
+  // Deliberately lenient: the claim is "disjoint writers do not serialize
+  // readers", i.e. the ratio is O(1) rather than O(1/writers); 0.2 leaves
+  // room for scheduler noise on loaded CI machines.
+  const bool qps_ok = qps_ratio >= 0.2;
+  std::cout << "\ncovered-probe correctness under concurrent DML: "
+            << (correct_ok ? "OK" : "FAIL") << "\n"
+            << "read-QPS gate: 4 disjoint-band writers "
+            << FormatDouble(qps_ratio, 3)
+            << " of baseline >= 0.2: " << (qps_ok ? "OK" : "FAIL") << "\n";
+
+  if (args.json_path.has_value()) {
+    std::ostringstream json;
+    json << "{\n"
+         << "  \"bench\": \"latch_contention\",\n"
+         << "  \"scale\": \"" << args.scale << "\",\n"
+         << "  \"readers\": " << kContentionReaders << ",\n"
+         << "  \"reads_per_reader\": " << kContentionReadsPerReader << ",\n"
+         << "  \"cells\": [\n";
+    for (size_t i = 0; i < cells.size(); ++i) {
+      const ContentionCell& cell = cells[i];
+      json << "    {\"writers\": " << cell.writers << ", \"bands\": \""
+           << cell.bands << "\", \"read_qps\": "
+           << FormatDouble(cell.read_qps, 1)
+           << ", \"writes\": " << cell.writes
+           << ", \"latch_waits\": " << cell.latch_waits
+           << ", \"optimistic_retries\": " << cell.optimistic_retries
+           << ", \"optimistic_fallbacks\": " << cell.optimistic_fallbacks
+           << "}" << (i + 1 < cells.size() ? "," : "") << "\n";
+    }
+    json << "  ],\n"
+         << "  \"qps_ratio_disjoint_4w\": " << FormatDouble(qps_ratio, 3)
+         << ",\n"
+         << "  \"reads_correct\": " << (correct_ok ? "true" : "false")
+         << ",\n"
+         << "  \"qps_gate_ok\": " << (qps_ok ? "true" : "false") << "\n}\n";
+    std::ofstream out(*args.json_path);
+    if (!out.is_open()) {
+      std::fprintf(stderr, "cannot open %s\n", args.json_path->c_str());
+      return 1;
+    }
+    out << json.str();
+  }
+
+  if (!correct_ok) return 1;  // wrong answers are fatal even without --check
+  return (!args.check || qps_ok) ? 0 : 1;
+}
+
 int Run(const bench::BenchArgs& args) {
   std::cout << "Mixed-workload bench — " << args.num_tuples << " tuples, "
             << kStatements << " statements per leg, seed=" << args.seed
@@ -252,5 +480,6 @@ int Run(const bench::BenchArgs& args) {
 }  // namespace aib
 
 int main(int argc, char** argv) {
-  return aib::Run(aib::bench::ParseArgs(argc, argv));
+  const aib::bench::BenchArgs args = aib::bench::ParseArgs(argc, argv);
+  return args.contention ? aib::RunContention(args) : aib::Run(args);
 }

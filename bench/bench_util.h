@@ -45,6 +45,9 @@ struct BenchArgs {
   std::optional<std::string> json_path;
   /// Exit nonzero when a regression/correctness gate fails (--check).
   bool check = false;
+  /// Secondary mode switch (--contention): benches that also host a
+  /// latch-contention sweep run it instead of their primary legs.
+  bool contention = false;
 };
 
 inline BenchArgs ParseArgs(int argc, char** argv) {
@@ -81,10 +84,13 @@ inline BenchArgs ParseArgs(int argc, char** argv) {
       args.json_path = *v;
     } else if (arg == "--check") {
       args.check = true;
+    } else if (arg == "--contention") {
+      args.contention = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: %s [--scale=small|medium|paper] [--csv=PATH] "
-          "[--seed=N] [--workers=N] [--reps=K] [--json=PATH] [--check]\n",
+          "[--seed=N] [--workers=N] [--reps=K] [--json=PATH] [--check] "
+          "[--contention]\n",
           argv[0]);
       std::exit(0);
     }

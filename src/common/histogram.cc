@@ -62,6 +62,13 @@ std::string Histogram::Summary() const {
   return out.str();
 }
 
+void Histogram::MergeFrom(const Histogram& other) {
+  if (other.samples_.empty()) return;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = false;
+}
+
 void Histogram::Clear() {
   samples_.clear();
   sorted_.clear();

@@ -30,6 +30,11 @@ class Histogram {
   /// "count=… mean=… p50=… p95=… max=…" one-liner for bench output.
   std::string Summary() const;
 
+  /// Appends every sample of `other`, for rolling per-shard latency /
+  /// wait-time histograms up into fleet-wide distributions (exactness is
+  /// preserved — the merged percentiles are those of the pooled samples).
+  void MergeFrom(const Histogram& other);
+
   void Clear();
 
  private:

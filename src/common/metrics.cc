@@ -29,6 +29,22 @@ std::map<std::string, int64_t> Metrics::counters() const {
   return merged;
 }
 
+void Metrics::Observe(const std::string& name, double value) {
+  std::lock_guard lock(histograms_mu_);
+  histograms_[name].Add(value);
+}
+
+Histogram Metrics::HistogramCopy(const std::string& name) const {
+  std::lock_guard lock(histograms_mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? Histogram{} : it->second;
+}
+
+std::map<std::string, Histogram> Metrics::histograms() const {
+  std::lock_guard lock(histograms_mu_);
+  return histograms_;
+}
+
 void Metrics::MergeFrom(const Metrics& other) {
   for (const Shard& shard : other.shards_) {
     std::shared_lock lock(shard.mu);
@@ -36,6 +52,11 @@ void Metrics::MergeFrom(const Metrics& other) {
       const int64_t delta = value->load(std::memory_order_relaxed);
       if (delta != 0) Increment(name, delta);
     }
+  }
+  const std::map<std::string, Histogram> theirs = other.histograms();
+  std::lock_guard lock(histograms_mu_);
+  for (const auto& [name, histogram] : theirs) {
+    histograms_[name].MergeFrom(histogram);
   }
 }
 

@@ -11,6 +11,8 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/histogram.h"
+
 namespace aib {
 
 /// Named-counter registry used by the storage engine, executor, and query
@@ -50,12 +52,26 @@ class Metrics {
                : it->second->load(std::memory_order_relaxed);
   }
 
-  /// Drops every counter (names included).
+  /// Records `value` into the named histogram (e.g. latch wait time in
+  /// microseconds). Histograms are off the hot path by design — callers
+  /// only Observe on already-slow events (a blocked latch acquisition), so
+  /// one registry-wide mutex is fine.
+  void Observe(const std::string& name, double value);
+
+  /// Copy of the named histogram (empty if never observed).
+  Histogram HistogramCopy(const std::string& name) const;
+
+  /// Snapshot of all histograms, sorted by name.
+  std::map<std::string, Histogram> histograms() const;
+
+  /// Drops every counter and histogram (names included).
   void Reset() {
     for (Shard& shard : shards_) {
       std::unique_lock lock(shard.mu);
       shard.counters.clear();
     }
+    std::lock_guard lock(histograms_mu_);
+    histograms_.clear();
   }
 
   /// Merged snapshot of all shards, sorted by name. Counters incremented
@@ -63,12 +79,14 @@ class Metrics {
   std::map<std::string, int64_t> counters() const;
 
   /// Adds every counter of `other` into this registry (creating names as
-  /// needed). Used to roll per-shard registries up into fleet-wide totals.
-  /// Snapshot semantics match counters(): concurrent increments on
-  /// `other` may or may not be included.
+  /// needed) and appends the samples of every histogram of `other` into
+  /// the histogram of the same name. Used to roll per-shard registries up
+  /// into fleet-wide totals. Snapshot semantics match counters():
+  /// concurrent increments on `other` may or may not be included.
   void MergeFrom(const Metrics& other);
 
-  /// One "name=value" pair per line, sorted by name.
+  /// One "name=value" pair per line, sorted by name (counters only;
+  /// histograms are surfaced via HistogramCopy(...).Summary()).
   std::string ToString() const;
 
  private:
@@ -91,6 +109,11 @@ class Metrics {
   std::atomic<int64_t>* FindOrCreate(const std::string& name);
 
   std::array<Shard, kShards> shards_;
+
+  /// Histograms are only touched on slow events (blocked latch
+  /// acquisitions, bench summaries), so a single mutex suffices.
+  mutable std::mutex histograms_mu_;
+  std::map<std::string, Histogram> histograms_;
 };
 
 // Well-known counter names, shared between storage, exec, service, and
@@ -141,6 +164,21 @@ inline constexpr char kMetricShardRowsMigrated[] = "shard.rows_migrated";
 inline constexpr char kMetricTenantSubmitted[] = "tenant.submitted";
 inline constexpr char kMetricTenantRejected[] = "tenant.rejected";
 inline constexpr char kMetricTenantDispatched[] = "tenant.dispatched";
+// Partition-granular latching (common/partition_latch). Acquire counters
+// count stripes/latches taken; `latch.waits` counts acquisitions that
+// missed the try_lock fast path, with blocked time recorded in the
+// `latch.wait_us` histogram. Optimistic counters track the version-
+// validated probe path (see PartialIndexProbe).
+inline constexpr char kMetricLatchSharedAcquires[] = "latch.shared_acquires";
+inline constexpr char kMetricLatchExclusiveAcquires[] =
+    "latch.exclusive_acquires";
+inline constexpr char kMetricLatchWaits[] = "latch.waits";
+inline constexpr char kMetricLatchOptimisticRetries[] =
+    "latch.optimistic_retries";
+inline constexpr char kMetricLatchOptimisticFallbacks[] =
+    "latch.optimistic_fallbacks";
+// Histogram name (Observe/HistogramCopy, not a counter).
+inline constexpr char kMetricLatchWaitMicros[] = "latch.wait_us";
 
 }  // namespace aib
 

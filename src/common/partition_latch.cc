@@ -1,0 +1,152 @@
+#include "common/partition_latch.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace aib {
+
+namespace {
+
+/// Locks `mu` in `Mode`, accounting the wait if the fast path misses.
+/// Returns the blocked microseconds (0 on the fast path).
+template <typename Lock, typename Mutex>
+Lock LockTimed(Mutex& mu, std::atomic<int64_t>* waits, Metrics* metrics) {
+  Lock lock(mu, std::try_to_lock);
+  if (lock.owns_lock()) return lock;
+  const auto start = std::chrono::steady_clock::now();
+  lock = Lock(mu);
+  const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  if (waits != nullptr) waits->fetch_add(1, std::memory_order_relaxed);
+  if (metrics != nullptr) {
+    metrics->Observe(kMetricLatchWaitMicros,
+                     static_cast<double>(waited.count()));
+  }
+  return lock;
+}
+
+}  // namespace
+
+PartitionLatchTable::PartitionLatchTable(Metrics* metrics, size_t stripes)
+    : metrics_(metrics) {
+  stripes_.reserve(stripes == 0 ? 1 : stripes);
+  for (size_t i = 0; i < (stripes == 0 ? 1 : stripes); ++i) {
+    stripes_.push_back(std::make_unique<std::shared_mutex>());
+  }
+  if (metrics_ != nullptr) {
+    shared_acquires_ = metrics_->Counter(kMetricLatchSharedAcquires);
+    exclusive_acquires_ = metrics_->Counter(kMetricLatchExclusiveAcquires);
+    waits_ = metrics_->Counter(kMetricLatchWaits);
+  }
+}
+
+void PartitionLatchTable::LockStripe(uint32_t stripe, bool exclusive) {
+  std::shared_mutex& mu = *stripes_[stripe];
+  if (exclusive) {
+    auto lock = LockTimed<std::unique_lock<std::shared_mutex>>(mu, waits_,
+                                                               metrics_);
+    lock.release();  // ownership tracked by the LatchSet
+  } else {
+    auto lock =
+        LockTimed<std::shared_lock<std::shared_mutex>>(mu, waits_, metrics_);
+    lock.release();
+  }
+}
+
+void PartitionLatchTable::UnlockStripe(uint32_t stripe, bool exclusive) {
+  if (exclusive) {
+    stripes_[stripe]->unlock();
+  } else {
+    stripes_[stripe]->unlock_shared();
+  }
+}
+
+PartitionLatchTable::LatchSet PartitionLatchTable::AcquireStripes(
+    std::vector<uint32_t> stripes, bool exclusive) {
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  LatchSet set;
+  set.table_ = this;
+  set.held_.reserve(stripes.size());
+  for (uint32_t stripe : stripes) {
+    LockStripe(stripe, exclusive);
+    set.held_.emplace_back(stripe, exclusive);
+  }
+  std::atomic<int64_t>* counter =
+      exclusive ? exclusive_acquires_ : shared_acquires_;
+  if (counter != nullptr && !stripes.empty()) {
+    counter->fetch_add(static_cast<int64_t>(stripes.size()),
+                       std::memory_order_relaxed);
+  }
+  return set;
+}
+
+PartitionLatchTable::LatchSet PartitionLatchTable::AcquireAllShared() {
+  std::vector<uint32_t> stripes(stripes_.size());
+  for (size_t i = 0; i < stripes.size(); ++i) {
+    stripes[i] = static_cast<uint32_t>(i);
+  }
+  return AcquireStripes(std::move(stripes), /*exclusive=*/false);
+}
+
+PartitionLatchTable::LatchSet PartitionLatchTable::AcquireShared(
+    const std::vector<size_t>& keys) {
+  std::vector<uint32_t> stripes;
+  stripes.reserve(keys.size());
+  for (size_t key : keys) {
+    stripes.push_back(static_cast<uint32_t>(StripeOf(key)));
+  }
+  return AcquireStripes(std::move(stripes), /*exclusive=*/false);
+}
+
+PartitionLatchTable::LatchSet PartitionLatchTable::AcquireExclusive(
+    const std::vector<size_t>& keys) {
+  std::vector<uint32_t> stripes;
+  stripes.reserve(keys.size());
+  for (size_t key : keys) {
+    stripes.push_back(static_cast<uint32_t>(StripeOf(key)));
+  }
+  return AcquireStripes(std::move(stripes), /*exclusive=*/true);
+}
+
+void PartitionLatchTable::LatchSet::Release() {
+  if (table_ == nullptr) return;
+  // Reverse acquisition order, symmetric with the ascending lock loop.
+  for (auto it = held_.rbegin(); it != held_.rend(); ++it) {
+    table_->UnlockStripe(it->first, it->second);
+  }
+  held_.clear();
+  table_ = nullptr;
+}
+
+std::unique_lock<std::shared_mutex> AcquireExclusiveTimed(
+    std::shared_mutex& mu, Metrics* metrics) {
+  std::atomic<int64_t>* waits =
+      metrics != nullptr ? metrics->Counter(kMetricLatchWaits) : nullptr;
+  auto lock =
+      LockTimed<std::unique_lock<std::shared_mutex>>(mu, waits, metrics);
+  if (metrics != nullptr) metrics->Increment(kMetricLatchExclusiveAcquires);
+  return lock;
+}
+
+std::shared_lock<std::shared_mutex> AcquireSharedTimed(std::shared_mutex& mu,
+                                                       Metrics* metrics) {
+  std::atomic<int64_t>* waits =
+      metrics != nullptr ? metrics->Counter(kMetricLatchWaits) : nullptr;
+  auto lock =
+      LockTimed<std::shared_lock<std::shared_mutex>>(mu, waits, metrics);
+  if (metrics != nullptr) metrics->Increment(kMetricLatchSharedAcquires);
+  return lock;
+}
+
+void RecordOptimisticRetry(Metrics* metrics) {
+  if (metrics != nullptr) metrics->Increment(kMetricLatchOptimisticRetries);
+}
+
+void RecordOptimisticFallback(Metrics* metrics) {
+  if (metrics != nullptr) {
+    metrics->Increment(kMetricLatchOptimisticFallbacks);
+  }
+}
+
+}  // namespace aib

@@ -1,0 +1,134 @@
+#ifndef AIB_COMMON_PARTITION_LATCH_H_
+#define AIB_COMMON_PARTITION_LATCH_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace aib {
+
+/// A striped reader-writer latch table: a fixed array of shared_mutex
+/// stripes that an unbounded key space (heap page numbers, Index Buffer
+/// partition ids) maps onto with `StripeOf`. This is the partition-granular
+/// latching primitive of the concurrency refactor — statements latch only
+/// the stripes of the partitions they touch, so work on disjoint partitions
+/// overlaps while collisions degrade gracefully into short waits.
+///
+/// Acquisition discipline (deadlock freedom): every multi-stripe
+/// acquisition locks its stripes in ascending stripe order, in one batch,
+/// through AcquireAll*/AcquireShared/AcquireExclusive. Callers never extend
+/// a held LatchSet — compute the full key set first, acquire once.
+///
+/// Observability: each acquisition bumps the shared/exclusive acquire
+/// counters; an acquisition that could not take a stripe immediately bumps
+/// the wait counter and records the blocked time in the `latch.wait_us`
+/// histogram (both via the Metrics registry, rolled up fleet-wide by
+/// Metrics::MergeFrom). Uncontended acquisitions stay on a try_lock fast
+/// path with no clock reads.
+class PartitionLatchTable {
+ public:
+  // 32, not more: whole-table reader acquisitions hold every stripe at
+  // once, and ThreadSanitizer's deadlock detector aborts the process when
+  // one thread holds 64+ locks — 32 stripes plus the handful of
+  // higher-level latches a scan carries stays safely under that cap while
+  // keeping page-collision probability low.
+  static constexpr size_t kDefaultStripes = 32;
+
+  explicit PartitionLatchTable(Metrics* metrics = nullptr,
+                               size_t stripes = kDefaultStripes);
+
+  PartitionLatchTable(const PartitionLatchTable&) = delete;
+  PartitionLatchTable& operator=(const PartitionLatchTable&) = delete;
+
+  size_t stripe_count() const { return stripes_.size(); }
+  size_t StripeOf(size_t key) const { return key % stripes_.size(); }
+  Metrics* metrics() const { return metrics_; }
+
+  /// Mixes a (domain, id) pair into one key, for tables whose keys span
+  /// two dimensions (e.g. (indexed column, partition id)). Collisions are
+  /// harmless — they only coarsen the striping.
+  static size_t MixKey(size_t domain, size_t id) {
+    return domain * 0x9E3779B97F4A7C15ull + id;
+  }
+
+  /// RAII over a set of held stripes; releases on destruction, movable so
+  /// operators can hold their latches across Open/NextBatch/Close.
+  class LatchSet {
+   public:
+    LatchSet() = default;
+    LatchSet(LatchSet&& other) noexcept { *this = std::move(other); }
+    LatchSet& operator=(LatchSet&& other) noexcept {
+      if (this != &other) {
+        Release();
+        table_ = other.table_;
+        held_ = std::move(other.held_);
+        other.table_ = nullptr;
+        other.held_.clear();
+      }
+      return *this;
+    }
+    LatchSet(const LatchSet&) = delete;
+    LatchSet& operator=(const LatchSet&) = delete;
+    ~LatchSet() { Release(); }
+
+    void Release();
+    bool empty() const { return held_.empty(); }
+
+   private:
+    friend class PartitionLatchTable;
+    PartitionLatchTable* table_ = nullptr;
+    /// (stripe, exclusive), ascending by stripe.
+    std::vector<std::pair<uint32_t, bool>> held_;
+  };
+
+  /// Every stripe, shared: the whole-object reader acquisition scans use
+  /// (a table scan touches every band, so it must exclude writers of every
+  /// band for its duration).
+  LatchSet AcquireAllShared();
+
+  /// The stripes of `keys` (deduplicated, ascending), shared. Used by the
+  /// optimistic probe path to pin just the probed pages' bands.
+  LatchSet AcquireShared(const std::vector<size_t>& keys);
+
+  /// The stripes of `keys` (deduplicated, ascending), exclusive. The DML
+  /// writer acquisition: only readers of the mutated bands wait.
+  LatchSet AcquireExclusive(const std::vector<size_t>& keys);
+
+ private:
+  LatchSet AcquireStripes(std::vector<uint32_t> stripes, bool exclusive);
+  void LockStripe(uint32_t stripe, bool exclusive);
+  void UnlockStripe(uint32_t stripe, bool exclusive);
+
+  Metrics* metrics_;
+  /// Heap-allocated so the table is movable-free and stripes never move.
+  std::vector<std::unique_ptr<std::shared_mutex>> stripes_;
+  std::atomic<int64_t>* shared_acquires_ = nullptr;
+  std::atomic<int64_t>* exclusive_acquires_ = nullptr;
+  std::atomic<int64_t>* waits_ = nullptr;
+};
+
+/// Contention-accounted acquisition of a standalone latch (the demoted
+/// space structural latch, per-buffer scan sentinels): same fast
+/// path/metrics contract as the striped table.
+std::unique_lock<std::shared_mutex> AcquireExclusiveTimed(
+    std::shared_mutex& mu, Metrics* metrics);
+std::shared_lock<std::shared_mutex> AcquireSharedTimed(std::shared_mutex& mu,
+                                                       Metrics* metrics);
+
+/// Optimistic-read accounting (see PartialIndexProbe): one retry = a
+/// version validation failed and the probe re-ran; one fallback = the retry
+/// budget was exhausted and the probe took the pessimistic whole-table
+/// reader acquisition.
+void RecordOptimisticRetry(Metrics* metrics);
+void RecordOptimisticFallback(Metrics* metrics);
+
+}  // namespace aib
+
+#endif  // AIB_COMMON_PARTITION_LATCH_H_

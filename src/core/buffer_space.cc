@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <limits>
+#include <mutex>
 
 namespace aib {
 
@@ -20,26 +21,32 @@ IndexBufferSpace::IndexBufferSpace(BufferSpaceOptions options,
                                    Metrics* metrics)
     : options_(options),
       metrics_(metrics),
+      partition_latches_(metrics),
       rng_(options.seed),
       degradation_(metrics) {}
 
 Result<IndexBuffer*> IndexBufferSpace::CreateBuffer(
     const PartialIndex* index, IndexBufferOptions buffer_options) {
-  auto it = buffers_.find(index);
-  if (it != buffers_.end()) return it->second.get();
+  {
+    std::shared_lock lock(buffers_mu_);
+    auto it = buffers_.find(index);
+    if (it != buffers_.end()) return it->second.get();
+  }
   auto buffer = std::make_unique<IndexBuffer>(index, buffer_options, metrics_);
   AIB_RETURN_IF_ERROR(buffer->InitCounters());
-  IndexBuffer* raw = buffer.get();
-  buffers_.emplace(index, std::move(buffer));
-  return raw;
+  std::unique_lock lock(buffers_mu_);
+  auto [it, inserted] = buffers_.try_emplace(index, std::move(buffer));
+  return it->second.get();
 }
 
 IndexBuffer* IndexBufferSpace::GetBuffer(const PartialIndex* index) const {
+  std::shared_lock lock(buffers_mu_);
   auto it = buffers_.find(index);
   return it == buffers_.end() ? nullptr : it->second.get();
 }
 
 size_t IndexBufferSpace::TotalEntries() const {
+  std::shared_lock lock(buffers_mu_);
   size_t total = 0;
   for (const auto& [index, buffer] : buffers_) total += buffer->TotalEntries();
   return total;
@@ -53,11 +60,12 @@ size_t IndexBufferSpace::FreeEntries() const {
 
 void IndexBufferSpace::OnQuery(const PartialIndex* queried_index,
                                bool partial_hit) {
+  std::shared_lock lock(buffers_mu_);
   for (const auto& [index, buffer] : buffers_) {
     if (index == queried_index && !partial_hit) {
-      buffer->history().OnBufferUse();
+      buffer->OnBufferUse();
     } else {
-      buffer->history().OnOtherQuery();
+      buffer->OnOtherQuery();
     }
   }
 }
@@ -66,61 +74,82 @@ std::optional<IndexBufferSpace::VictimRef>
 IndexBufferSpace::SelectNextPartition(
     IndexBuffer* target,
     const std::set<std::pair<IndexBuffer*, size_t>>& chosen) {
-  auto has_unchosen = [&](IndexBuffer* buffer) {
-    for (const auto& [id, partition] : buffer->partitions()) {
-      if (!chosen.contains({buffer, id})) return true;
+  // Per-buffer snapshots: stable views the weighted draw and the stage-2
+  // ranking below can iterate while concurrent DML keeps mutating the live
+  // partition maps. Snapshot order (ascending partition id) matches live
+  // map order, so the seeded draw stays deterministic.
+  struct Candidate {
+    IndexBuffer* buffer = nullptr;
+    std::vector<IndexBuffer::PartitionStats> stats;
+  };
+  auto snapshot = [&](IndexBuffer* buffer) {
+    Candidate c;
+    c.buffer = buffer;
+    c.stats = buffer->PartitionSnapshot();
+    return c;
+  };
+  auto has_unchosen = [&](const Candidate& c) {
+    for (const auto& stat : c.stats) {
+      if (!chosen.contains({c.buffer, stat.id})) return true;
     }
     return false;
+  };
+  auto total_benefit = [](const Candidate& c) {
+    double benefit = 0;
+    for (const auto& stat : c.stats) benefit += stat.benefit;
+    return benefit;
   };
 
   // Stage 1: pick the buffer, probability proportional to b_B^{-1} over
   // S \ {target}.
-  std::vector<IndexBuffer*> candidates;
+  std::vector<Candidate> candidates;
   std::vector<double> weights;
-  for (const auto& [index, buffer] : buffers_) {
-    if (buffer.get() == target) continue;
-    if (!has_unchosen(buffer.get())) continue;
-    candidates.push_back(buffer.get());
-    weights.push_back(1.0 /
-                      std::max(buffer->TotalBenefit(), kMinBenefit));
+  {
+    std::shared_lock lock(buffers_mu_);
+    for (const auto& [index, buffer] : buffers_) {
+      if (buffer.get() == target) continue;
+      Candidate c = snapshot(buffer.get());
+      if (!has_unchosen(c)) continue;
+      weights.push_back(1.0 / std::max(total_benefit(c), kMinBenefit));
+      candidates.push_back(std::move(c));
+    }
   }
-  IndexBuffer* victim_buffer = nullptr;
+  Candidate victim_buffer;
   if (!candidates.empty()) {
-    victim_buffer = candidates[rng_.WeightedIndex(weights)];
-  } else if (has_unchosen(target)) {
-    // Fallback: only the receiving buffer has droppable partitions.
-    victim_buffer = target;
+    victim_buffer = std::move(candidates[rng_.WeightedIndex(weights)]);
   } else {
-    return std::nullopt;
+    // Fallback: only the receiving buffer has droppable partitions.
+    victim_buffer = snapshot(target);
+    if (!has_unchosen(victim_buffer)) return std::nullopt;
   }
 
   // Stage 2: incomplete partition (X_p < P) first — it has the lowest
   // benefit; afterwards complete partitions in descending size n_p.
-  const size_t partition_capacity = victim_buffer->options().partition_pages;
-  const BufferPartition* best_incomplete = nullptr;
-  const BufferPartition* best_complete = nullptr;
-  for (const auto& [id, partition] : victim_buffer->partitions()) {
-    if (chosen.contains({victim_buffer, id})) continue;
-    if (partition->CoveredPageCount() < partition_capacity) {
+  const size_t partition_capacity =
+      victim_buffer.buffer->options().partition_pages;
+  const IndexBuffer::PartitionStats* best_incomplete = nullptr;
+  const IndexBuffer::PartitionStats* best_complete = nullptr;
+  for (const auto& stat : victim_buffer.stats) {
+    if (chosen.contains({victim_buffer.buffer, stat.id})) continue;
+    if (stat.covered_pages < partition_capacity) {
       if (best_incomplete == nullptr ||
-          partition->CoveredPageCount() <
-              best_incomplete->CoveredPageCount()) {
-        best_incomplete = partition.get();
+          stat.covered_pages < best_incomplete->covered_pages) {
+        best_incomplete = &stat;
       }
     } else if (best_complete == nullptr ||
-               partition->EntryCount() > best_complete->EntryCount()) {
-      best_complete = partition.get();
+               stat.entries > best_complete->entries) {
+      best_complete = &stat;
     }
   }
-  const BufferPartition* victim =
+  const IndexBuffer::PartitionStats* victim =
       best_incomplete != nullptr ? best_incomplete : best_complete;
   assert(victim != nullptr);
 
   VictimRef ref;
-  ref.buffer = victim_buffer;
-  ref.partition_id = victim->id();
-  ref.benefit = victim->Benefit(victim_buffer->MeanInterval());
-  ref.entries = victim->EntryCount();
+  ref.buffer = victim_buffer.buffer;
+  ref.partition_id = victim->id;
+  ref.benefit = victim->benefit;
+  ref.entries = victim->entries;
   return ref;
 }
 
@@ -132,7 +161,8 @@ PageSelection IndexBufferSpace::SelectPagesForBuffer(IndexBuffer* target) {
   const PageCounters& counters = target->counters();
   const PartialIndex* target_index = &target->partial_index();
   std::vector<std::pair<uint32_t, size_t>> candidates;
-  for (size_t page = 0; page < counters.size(); ++page) {
+  const size_t counter_pages = counters.size();
+  for (size_t page = 0; page < counter_pages; ++page) {
     const uint32_t c = counters.Get(page);
     if (c == 0) continue;
     // Quarantined pages are never re-indexed while the quarantine holds;
@@ -217,7 +247,32 @@ PageSelection IndexBufferSpace::SelectPagesForBuffer(IndexBuffer* target) {
     }
   }
 
-  // DropPartitions(D): only the best profitable prefix.
+  // DropPartitions(D): only the best profitable prefix. Victim buffers
+  // other than `target` get their scan sentinel taken exclusively first
+  // (ascending column order, matching every other sentinel acquisition),
+  // which excludes in-flight DML maintaining them — the caller already
+  // holds `target`'s sentinel. DML itself can never hold a sentinel while
+  // the caller holds every heap page stripe shared, so this wait is only
+  // ever on statements that are fully latched and terminate.
+  std::vector<IndexBuffer*> victim_buffers;
+  for (size_t i = 0; i < committed_victims; ++i) {
+    IndexBuffer* buffer = victims[i].buffer;
+    if (buffer == target) continue;
+    if (std::find(victim_buffers.begin(), victim_buffers.end(), buffer) ==
+        victim_buffers.end()) {
+      victim_buffers.push_back(buffer);
+    }
+  }
+  std::sort(victim_buffers.begin(), victim_buffers.end(),
+            [](const IndexBuffer* a, const IndexBuffer* b) {
+              if (a->column() != b->column()) return a->column() < b->column();
+              return a < b;
+            });
+  std::vector<std::unique_lock<std::shared_mutex>> sentinels;
+  sentinels.reserve(victim_buffers.size());
+  for (IndexBuffer* buffer : victim_buffers) {
+    sentinels.push_back(AcquireExclusiveTimed(buffer->scan_latch(), metrics_));
+  }
   for (size_t i = 0; i < committed_victims; ++i) {
     result.entries_dropped +=
         victims[i].buffer->DropPartition(victims[i].partition_id);

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/partition_latch.h"
 #include "common/rng.h"
 #include "core/degradation.h"
 #include "core/index_buffer.h"
@@ -54,17 +55,27 @@ struct PageSelection {
 /// selection of Algorithm 2, and updates every buffer's LRU-K history per
 /// Table II on each query.
 ///
-/// Concurrency: the space exposes one reader-writer latch (`latch()`)
-/// covering itself *and* every IndexBuffer (page counters, partitions,
-/// LRU-K histories) it owns — a single latch level, so there is no
-/// lock-ordering hazard between buffers. Callers running under concurrent
-/// queries (QueryService workers) must hold the latch exclusively around
-/// anything that mutates adaptive state (OnQuery history updates,
-/// CreateBuffer, SelectPagesForBuffer, and the whole indexing scan of
-/// Algorithm 1), and at least shared around read-only sampling
-/// (TotalEntries, FreeEntries, buffer statistics). The Executor acquires it
-/// accordingly; single-threaded callers may ignore the latch entirely, as
-/// the seed tests and benches do.
+/// Concurrency (partition-granular refactor): the old whole-space latch is
+/// demoted to a rarely-taken *structural* latch (`latch()`), held
+/// exclusively only by an indexing scan's Open — around buffer creation,
+/// Algorithm 2's victim selection + partition drops, and quarantine/repair
+/// decisions — and released before the scan drains. Everything else is
+/// finer-grained:
+///  - Each IndexBuffer self-synchronizes its partitions and history (see
+///    IndexBuffer), and carries a per-buffer scan sentinel so indexing
+///    scans of *different* buffers overlap while DML excludes Algorithm 2
+///    drops from the buffers it is maintaining.
+///  - `partition_latches()` is the striped per-(column, partition-id)
+///    writer latch table DML uses to serialize mutations of the same
+///    buffer partition (keys via PartitionLatchTable::MixKey(column, id),
+///    acquired ascending in one batch).
+///  - The buffer map itself is guarded by an internal reader-writer lock
+///    (lookups shared, CreateBuffer exclusive), so probes can resolve
+///    buffers without any global latch.
+/// Full latch order: executor membrane → structural latch → heap page
+/// stripes → buffer scan sentinels → partition latches → leaf locks
+/// (docs/ALGORITHMS.md has the complete table). Single-threaded callers
+/// may ignore all latches, as the seed tests and benches do.
 class IndexBufferSpace {
  public:
   /// Buffers are kept ordered by indexed column, not by pointer value:
@@ -94,6 +105,8 @@ class IndexBufferSpace {
   /// Null if no buffer exists for `index`.
   IndexBuffer* GetBuffer(const PartialIndex* index) const;
 
+  /// Unsynchronized map view for quiesced contexts only (consistency
+  /// checks, snapshots, single-threaded tests).
   const BufferMap& buffers() const { return buffers_; }
 
   bool Unlimited() const { return options_.max_entries == 0; }
@@ -106,23 +119,36 @@ class IndexBufferSpace {
 
   /// Table II: updates every buffer's history for a query on
   /// `queried_index`'s column that hit (`partial_hit`) or missed its
-  /// partial index.
+  /// partial index. Self-synchronized (per-buffer history locks); callers
+  /// need no latch, but concurrent calls land in executor submission
+  /// order, which the executor serializes per statement.
   void OnQuery(const PartialIndex* queried_index, bool partial_hit);
 
-  /// The space-level reader-writer latch (see class comment). Mutable so
-  /// read-side callers can take shared locks through a const space.
+  /// The demoted *structural* latch (see class comment): exclusive for
+  /// indexing-scan Open (buffer creation + Algorithm 2 + quarantine
+  /// decisions); ordinary statements never take it. Mutable so read-side
+  /// callers can take shared locks through a const space.
   std::shared_mutex& latch() const { return latch_; }
+
+  /// Striped per-(column, partition-id) latch table for DML partition
+  /// mutations (see class comment).
+  PartitionLatchTable& partition_latches() const {
+    return partition_latches_;
+  }
 
   /// Algorithm 2 (SelectPagesForBuffer): chooses the pages the upcoming
   /// table scan should index into `target`, dropping just enough low-benefit
   /// partitions so that the new index information fits and is more
   /// beneficial than what it displaces. Partitions are dropped before this
-  /// returns. Pages quarantined by the degradation manager are excluded
+  /// returns; each victim buffer's scan sentinel is taken exclusively for
+  /// its drops, so in-flight DML maintaining that buffer (sentinel shared)
+  /// is excluded. Pages quarantined by the degradation manager are excluded
   /// from the candidates — they stay scan-only until the quarantine lifts.
+  /// Caller holds the structural latch exclusively and `target`'s sentinel.
   PageSelection SelectPagesForBuffer(IndexBuffer* target);
 
-  /// Quarantine/degradation book-keeping (see DegradationManager). Guarded
-  /// by the same space latch as the buffers.
+  /// Quarantine/degradation book-keeping (see DegradationManager);
+  /// self-synchronized.
   DegradationManager& degradation() { return degradation_; }
   const DegradationManager& degradation() const { return degradation_; }
 
@@ -140,7 +166,9 @@ class IndexBufferSpace {
   /// when it is the only buffer with partitions — required with a single
   /// partial index and bounded space, a case the paper's formula leaves
   /// open); stage 2 picks the incomplete partition first, then complete
-  /// partitions by descending entry count.
+  /// partitions by descending entry count. Operates on per-buffer
+  /// PartitionSnapshot()s, so concurrent DML emplacing partitions cannot
+  /// race the iteration.
   std::optional<VictimRef> SelectNextPartition(
       IndexBuffer* target,
       const std::set<std::pair<IndexBuffer*, size_t>>& chosen);
@@ -148,7 +176,10 @@ class IndexBufferSpace {
   BufferSpaceOptions options_;
   Metrics* metrics_;
   mutable std::shared_mutex latch_;
+  mutable PartitionLatchTable partition_latches_;
   mutable Rng rng_;
+  /// Guards the buffer map itself (not the buffers' contents).
+  mutable std::shared_mutex buffers_mu_;
   BufferMap buffers_;
   DegradationManager degradation_;
 };

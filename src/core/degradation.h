@@ -1,7 +1,9 @@
 #ifndef AIB_CORE_DEGRADATION_H_
 #define AIB_CORE_DEGRADATION_H_
 
+#include <atomic>
 #include <cstddef>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -34,9 +36,12 @@ struct QuarantineEvent {
 /// the pages readable again, at which point the quarantine is lifted and the
 /// ordinary adaptive machinery rebuilds the dropped partitions on demand.
 ///
-/// Concurrency: owned by IndexBufferSpace and protected by the space latch
-/// (held exclusively around every mutation, like the buffers themselves); no
-/// internal lock.
+/// Concurrency: self-synchronized leaf object (internal mutex around the
+/// quarantine set and event log, atomic degraded-query counter). With the
+/// space latch demoted to structural duty, quarantine checks from plan
+/// selection and covered probes run concurrently with quarantine/repair
+/// mutations; the mutex is a leaf in the latch hierarchy — no other latch
+/// is acquired while it is held.
 class DegradationManager {
  public:
   explicit DegradationManager(Metrics* metrics = nullptr)
@@ -56,17 +61,24 @@ class DegradationManager {
   /// previously failing pages read cleanly again.
   void OnCleanScan(const PartialIndex* index);
 
-  void RecordDegradedQuery() { ++degraded_queries_; }
+  void RecordDegradedQuery() {
+    degraded_queries_.fetch_add(1, std::memory_order_relaxed);
+  }
 
-  const std::vector<QuarantineEvent>& events() const { return events_; }
-  size_t degraded_queries() const { return degraded_queries_; }
+  /// Snapshot of the quarantine event log (copied; the log may grow
+  /// concurrently).
+  std::vector<QuarantineEvent> events() const;
+  size_t degraded_queries() const {
+    return degraded_queries_.load(std::memory_order_relaxed);
+  }
 
  private:
   Metrics* metrics_;  // not owned; may be null
+  mutable std::mutex mu_;
   std::unordered_map<const PartialIndex*, std::unordered_set<size_t>>
       quarantined_;
   std::vector<QuarantineEvent> events_;
-  size_t degraded_queries_ = 0;
+  std::atomic<size_t> degraded_queries_{0};
 };
 
 }  // namespace aib

@@ -1,6 +1,7 @@
 #include "core/index_buffer.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace aib {
 
@@ -20,7 +21,7 @@ Status IndexBuffer::InitCounters() {
   return counters_.InitFromTable(index_->table(), *index_);
 }
 
-BufferPartition* IndexBuffer::GetOrCreatePartition(size_t page) {
+BufferPartition* IndexBuffer::GetOrCreatePartitionLocked(size_t page) {
   const size_t id = PartitionIdFor(page);
   auto it = partitions_.find(id);
   if (it == partitions_.end()) {
@@ -37,6 +38,7 @@ BufferPartition* IndexBuffer::GetOrCreatePartition(size_t page) {
 }
 
 void IndexBuffer::SetReserveHints(const std::vector<size_t>& selected_pages) {
+  std::unique_lock lock(partitions_mu_);
   reserve_hints_.clear();
   for (size_t page : selected_pages) {
     reserve_hints_[PartitionIdFor(page)] += counters_.Get(page);
@@ -51,27 +53,36 @@ void IndexBuffer::SetReserveHints(const std::vector<size_t>& selected_pages) {
   }
 }
 
-const BufferPartition* IndexBuffer::FindPartitionForPage(size_t page) const {
+const BufferPartition* IndexBuffer::FindPartitionForPageLocked(
+    size_t page) const {
   auto it = partitions_.find(PartitionIdFor(page));
   return it == partitions_.end() ? nullptr : it->second.get();
 }
 
 bool IndexBuffer::PageInBuffer(size_t page) const {
-  const BufferPartition* partition = FindPartitionForPage(page);
+  std::shared_lock lock(partitions_mu_);
+  const BufferPartition* partition = FindPartitionForPageLocked(page);
   return partition != nullptr && partition->CoversPage(page);
 }
 
 void IndexBuffer::AddTuple(size_t page, Value value, const Rid& rid) {
-  GetOrCreatePartition(page)->AddEntry(page, value, rid);
+  {
+    std::unique_lock lock(partitions_mu_);
+    GetOrCreatePartitionLocked(page)->AddEntry(page, value, rid);
+  }
   if (entries_added_ != nullptr) {
     entries_added_->fetch_add(1, std::memory_order_relaxed);
   }
 }
 
 bool IndexBuffer::RemoveTuple(size_t page, Value value, const Rid& rid) {
-  auto it = partitions_.find(PartitionIdFor(page));
-  if (it == partitions_.end()) return false;
-  const bool removed = it->second->RemoveEntry(page, value, rid);
+  bool removed = false;
+  {
+    std::unique_lock lock(partitions_mu_);
+    auto it = partitions_.find(PartitionIdFor(page));
+    if (it == partitions_.end()) return false;
+    removed = it->second->RemoveEntry(page, value, rid);
+  }
   if (removed && metrics_ != nullptr) {
     metrics_->Increment(kMetricIbEntriesDropped);
   }
@@ -86,12 +97,14 @@ void IndexBuffer::UpdateTuple(size_t old_page, Value old_value,
 }
 
 void IndexBuffer::MarkPageIndexed(size_t page) {
+  std::unique_lock lock(partitions_mu_);
   counters_.EnsureSize(page + 1);
   counters_.Set(page, 0);
-  GetOrCreatePartition(page)->CoverPage(page);
+  GetOrCreatePartitionLocked(page)->CoverPage(page);
 }
 
 void IndexBuffer::Lookup(Value value, std::vector<Rid>* out) const {
+  std::shared_lock lock(partitions_mu_);
   for (const auto& [id, partition] : partitions_) {
     partition->Lookup(value, out);
     if (metrics_ != nullptr) metrics_->Increment(kMetricIndexProbes);
@@ -101,14 +114,31 @@ void IndexBuffer::Lookup(Value value, std::vector<Rid>* out) const {
 void IndexBuffer::Scan(Value lo, Value hi,
                        const std::function<void(Value, const Rid&)>& fn)
     const {
+  std::shared_lock lock(partitions_mu_);
   for (const auto& [id, partition] : partitions_) {
     partition->Scan(lo, hi, fn);
     if (metrics_ != nullptr) metrics_->Increment(kMetricIndexProbes);
   }
 }
 
+void IndexBuffer::OnBufferUse() {
+  std::lock_guard lock(hist_mu_);
+  history_.OnBufferUse();
+}
+
+void IndexBuffer::OnOtherQuery() {
+  std::lock_guard lock(hist_mu_);
+  history_.OnOtherQuery();
+}
+
+double IndexBuffer::MeanInterval() const {
+  std::lock_guard lock(hist_mu_);
+  return history_.MeanInterval();
+}
+
 double IndexBuffer::TotalBenefit() const {
   const double mean_interval = MeanInterval();
+  std::shared_lock lock(partitions_mu_);
   double benefit = 0;
   for (const auto& [id, partition] : partitions_) {
     benefit += partition->Benefit(mean_interval);
@@ -117,6 +147,7 @@ double IndexBuffer::TotalBenefit() const {
 }
 
 size_t IndexBuffer::TotalEntries() const {
+  std::shared_lock lock(partitions_mu_);
   size_t entries = 0;
   for (const auto& [id, partition] : partitions_) {
     entries += partition->EntryCount();
@@ -124,7 +155,26 @@ size_t IndexBuffer::TotalEntries() const {
   return entries;
 }
 
-size_t IndexBuffer::DropPartition(size_t partition_id) {
+size_t IndexBuffer::PartitionCount() const {
+  std::shared_lock lock(partitions_mu_);
+  return partitions_.size();
+}
+
+std::vector<IndexBuffer::PartitionStats> IndexBuffer::PartitionSnapshot()
+    const {
+  const double mean_interval = MeanInterval();
+  std::shared_lock lock(partitions_mu_);
+  std::vector<PartitionStats> stats;
+  stats.reserve(partitions_.size());
+  for (const auto& [id, partition] : partitions_) {
+    stats.push_back({id, partition->EntryCount(),
+                     partition->CoveredPageCount(),
+                     partition->Benefit(mean_interval)});
+  }
+  return stats;
+}
+
+size_t IndexBuffer::DropPartitionLocked(size_t partition_id) {
   auto it = partitions_.find(partition_id);
   if (it == partitions_.end()) return 0;
   const BufferPartition& partition = *it->second;
@@ -144,12 +194,18 @@ size_t IndexBuffer::DropPartition(size_t partition_id) {
   return freed;
 }
 
+size_t IndexBuffer::DropPartition(size_t partition_id) {
+  std::unique_lock lock(partitions_mu_);
+  return DropPartitionLocked(partition_id);
+}
+
 void IndexBuffer::Clear() {
-  // Collect ids first; DropPartition mutates the map.
+  std::unique_lock lock(partitions_mu_);
+  // Collect ids first; DropPartitionLocked mutates the map.
   std::vector<size_t> ids;
   ids.reserve(partitions_.size());
   for (const auto& [id, partition] : partitions_) ids.push_back(id);
-  for (size_t id : ids) DropPartition(id);
+  for (size_t id : ids) DropPartitionLocked(id);
 }
 
 }  // namespace aib

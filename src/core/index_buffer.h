@@ -4,6 +4,8 @@
 #include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "btree/index_structure.h"
@@ -34,15 +36,25 @@ struct IndexBufferOptions {
 /// Owns the page counters C, the partitioned index structure, and the LRU-K
 /// access history that drives the benefit model.
 ///
-/// Concurrency: an IndexBuffer carries no latch of its own — it is
-/// protected by its owning IndexBufferSpace's reader-writer latch
-/// (IndexBufferSpace::latch()), held exclusively across every mutation
-/// (AddTuple/RemoveTuple/MarkPageIndexed/DropPartition and the indexing
-/// scans that drive them) and shared for read-only probes that run
-/// concurrently with other readers. Keeping the latch one level up gives
-/// the whole adaptive state a single lock level, which is what makes the
-/// Algorithm 1 / Algorithm 2 critical section (counter updates + partition
-/// drops + space accounting) atomic under concurrent queries.
+/// Concurrency (partition-granular refactor): the buffer is
+/// self-synchronized instead of relying on the whole-space latch.
+///  - `partitions_mu_` (internal reader-writer lock) guards the partition
+///    map and reserve hints: every partition-content mutation
+///    (AddTuple/RemoveTuple/MarkPageIndexed/DropPartition/SetReserveHints)
+///    takes it exclusively; probes and accounting reads take it shared.
+///  - `hist_mu_` guards the LRU-K history behind the
+///    OnBufferUse/OnOtherQuery/MeanInterval wrappers.
+///  - `scan_latch()` is the buffer's *scan sentinel*: an indexing scan
+///    holds it exclusively Open→Close (making Algorithm 1 atomic per
+///    buffer — two scans on the *same* buffer serialize, scans on
+///    different buffers overlap), while DML holds the sentinels of the
+///    buffers it maintains shared for the statement, so Algorithm 2 can
+///    take a victim buffer's sentinel exclusively before dropping its
+///    partitions.
+/// Lock order within the buffer: partitions_mu_ before the counters' own
+/// leaf lock (SetReserveHints, DropPartition restore C[p] while holding
+/// partitions_mu_); never the reverse. hist_mu_ is a leaf, never held
+/// across another acquisition.
 class IndexBuffer {
  public:
   /// Does not own `index`. `metrics` may be null.
@@ -108,11 +120,17 @@ class IndexBuffer {
 
   // --- Benefit model and space accounting -----------------------------------
 
+  /// Table II hooks, synchronized on the internal history lock.
+  void OnBufferUse();
+  void OnOtherQuery();
+
+  /// Unsynchronized history view for quiesced contexts only (snapshots,
+  /// single-threaded experiments).
   LruKHistory& history() { return history_; }
   const LruKHistory& history() const { return history_; }
 
   /// T_B.
-  double MeanInterval() const { return history_.MeanInterval(); }
+  double MeanInterval() const;
 
   /// b_B = sum of partition benefits.
   double TotalBenefit() const;
@@ -121,12 +139,30 @@ class IndexBuffer {
   /// Buffer Space budget).
   size_t TotalEntries() const;
 
-  size_t PartitionCount() const { return partitions_.size(); }
+  size_t PartitionCount() const;
 
+  /// Consistent per-partition snapshot (ascending partition id — the same
+  /// order iterating the live map would yield, which Algorithm 2's seeded
+  /// victim selection depends on). `benefit` is evaluated against
+  /// MeanInterval() at snapshot time.
+  struct PartitionStats {
+    size_t id = 0;
+    size_t entries = 0;
+    size_t covered_pages = 0;
+    double benefit = 0;
+  };
+  std::vector<PartitionStats> PartitionSnapshot() const;
+
+  /// Unsynchronized partition map view for quiesced contexts only
+  /// (consistency checks, snapshots, single-threaded tests).
   const std::map<size_t, std::unique_ptr<BufferPartition>>& partitions()
       const {
     return partitions_;
   }
+
+  /// The buffer's scan sentinel (see class comment). Mutable-through-const
+  /// so read-side callers can latch through a const buffer.
+  std::shared_mutex& scan_latch() const { return scan_latch_; }
 
   /// Drops partition `partition_id` entirely, restoring C[p] for each page
   /// it covered to that page's buffered-entry count. Returns the number of
@@ -138,8 +174,10 @@ class IndexBuffer {
   void Clear();
 
  private:
-  BufferPartition* GetOrCreatePartition(size_t page);
-  const BufferPartition* FindPartitionForPage(size_t page) const;
+  /// Callers hold partitions_mu_ exclusively.
+  BufferPartition* GetOrCreatePartitionLocked(size_t page);
+  size_t DropPartitionLocked(size_t partition_id);
+  const BufferPartition* FindPartitionForPageLocked(size_t page) const;
 
   const PartialIndex* index_;
   IndexBufferOptions options_;
@@ -147,10 +185,18 @@ class IndexBuffer {
   /// Cached handle for the AddTuple hot path (null when metrics_ is null);
   /// bulk inserts bump one relaxed atomic instead of a registry lookup.
   std::atomic<int64_t>* entries_added_ = nullptr;
+
+  PageCounters counters_;
+
+  mutable std::mutex hist_mu_;
+  LruKHistory history_;
+
+  mutable std::shared_mutex scan_latch_;
+
+  /// Guards partitions_ and reserve_hints_.
+  mutable std::shared_mutex partitions_mu_;
   /// partition id -> expected further entries; see SetReserveHints.
   std::map<size_t, size_t> reserve_hints_;
-  PageCounters counters_;
-  LruKHistory history_;
   /// partition id -> partition.
   std::map<size_t, std::unique_ptr<BufferPartition>> partitions_;
 };

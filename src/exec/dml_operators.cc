@@ -11,19 +11,42 @@ DmlOperator::DmlOperator(Table* table, IndexBufferSpace* space,
     : table_(table), space_(space), indexes_(indexes) {}
 
 Status DmlOperator::Open(ExecContext* ctx) {
+  // Nothing to latch here: each statement's NextBatch acquires exactly the
+  // partition-granular latches it needs (see the class comment).
   (void)ctx;
-  if (space_ != nullptr) {
-    // Writer acquisition: the same exclusive mode an indexing table scan
-    // holds, so maintenance never interleaves with Algorithm 1/2, buffer
-    // probes, degradation repair, or Table II updates.
-    latch_ = std::unique_lock<std::shared_mutex>(space_->latch());
-  }
   return Status::Ok();
 }
 
-Status DmlOperator::Close() {
-  if (latch_.owns_lock()) latch_.unlock();
-  return Status::Ok();
+Status DmlOperator::Close() { return Status::Ok(); }
+
+DmlOperator::WriteLatches DmlOperator::AcquireWriteLatches(
+    const std::vector<size_t>& pages) {
+  WriteLatches latches;
+  latches.stripes = table_->page_latches().AcquireExclusive(pages);
+  if (space_ == nullptr) return latches;
+  // Sentinels shared in ascending column order (the map's order), then the
+  // mutated partitions exclusive in one sorted batch. See the class
+  // comment for why the sentinel waits are always empty.
+  std::vector<size_t> partition_keys;
+  for (const auto& [column, index] : *indexes_) {
+    IndexBuffer* buffer = space_->GetBuffer(index);
+    if (buffer == nullptr) continue;
+    latches.sentinels.push_back(AcquireSharedTimed(
+        buffer->scan_latch(), space_->partition_latches().metrics()));
+    for (const size_t page : pages) {
+      partition_keys.push_back(static_cast<size_t>(PartitionLatchTable::MixKey(
+          column, buffer->PartitionIdFor(page))));
+    }
+  }
+  latches.partitions =
+      space_->partition_latches().AcquireExclusive(partition_keys);
+  return latches;
+}
+
+std::vector<size_t> DmlOperator::TailPages() const {
+  const size_t page_count = table_->PageCount();
+  if (page_count == 0) return {0};
+  return {page_count - 1, page_count};
 }
 
 Status DmlOperator::Maintain(const Tuple* old_tuple, const Rid& old_rid,
@@ -80,6 +103,10 @@ Result<bool> InsertOp::NextBatch(TupleBatch* out) {
   out->Clear();
   if (done_) return false;
   done_ = true;
+  // The append mutex pins the heap tail, so the tail stripes latched next
+  // are the pages the insert actually lands on.
+  std::unique_lock<std::mutex> append(table_->append_mutex());
+  WriteLatches latches = AcquireWriteLatches(TailPages());
   Rid rid;
   size_t page = 0;
   {
@@ -113,12 +140,21 @@ Result<bool> UpdateOp::NextBatch(TupleBatch* out) {
   out->Clear();
   if (done_) return false;
   done_ = true;
+  // Resolve the target's page before latching — a pure directory lookup
+  // with no fault draws, so the statement's fault-exposure sequence is
+  // unchanged by running it first.
+  size_t old_page = 0;
+  AIB_ASSIGN_OR_RETURN(old_page, table_->PageNumberOf(target_));
+  // The new image may not fit its slot, relocating the tuple to the tail:
+  // latch the old page plus the (append-mutex-pinned) tail pages.
+  std::unique_lock<std::mutex> append(table_->append_mutex());
+  std::vector<size_t> pages = TailPages();
+  pages.push_back(old_page);
+  WriteLatches latches = AcquireWriteLatches(pages);
   // Read phase, fault-exposed: a transient or corruption here fails the
   // statement cleanly before any mutation.
   Tuple old_tuple;
   AIB_ASSIGN_OR_RETURN(old_tuple, table_->Get(target_));
-  size_t old_page = 0;
-  AIB_ASSIGN_OR_RETURN(old_page, table_->PageNumberOf(target_));
   Rid new_rid;
   size_t new_page = 0;
   {
@@ -148,10 +184,12 @@ Result<bool> DeleteOp::NextBatch(TupleBatch* out) {
   out->Clear();
   if (done_) return false;
   done_ = true;
-  Tuple old_tuple;
-  AIB_ASSIGN_OR_RETURN(old_tuple, table_->Get(target_));
+  // A delete never appends: no append mutex, just the target's stripe.
   size_t page = 0;
   AIB_ASSIGN_OR_RETURN(page, table_->PageNumberOf(target_));
+  WriteLatches latches = AcquireWriteLatches({page});
+  Tuple old_tuple;
+  AIB_ASSIGN_OR_RETURN(old_tuple, table_->Get(target_));
   {
     FaultInjector::ScopedSuspend suspend;
     AIB_RETURN_IF_ERROR(table_->Delete(target_));

@@ -6,7 +6,9 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
+#include "common/partition_latch.h"
 #include "core/buffer_space.h"
 #include "core/maintenance.h"
 #include "exec/operator.h"
@@ -20,14 +22,30 @@ namespace aib {
 /// partial-index upkeep, Index Buffer upkeep, and C[p] adjustment for every
 /// registered index, all inside one critical section.
 ///
-/// Latching: Open acquires the IndexBufferSpace latch *exclusively* (the
-/// writer acquisition — same latch, same mode as an indexing table scan),
-/// so the heap change and its maintenance are atomic against indexing
-/// scans, buffer probes, degradation, and Table II updates. The executor
-/// additionally serializes DML against plain read plans (full scans,
-/// covered probes, shared scans — which take no space latch) through its
-/// statement latch, acquired exclusively *before* Open runs; the lock order
-/// is always statement latch → space latch.
+/// Latching (partition-granular): Open takes nothing — DML no longer
+/// touches the space's structural latch or the executor's statement latch
+/// exclusively, so statements mutating disjoint pages run concurrently
+/// with each other and with covered probes. NextBatch acquires, in the
+/// global latch order, exactly what the statement mutates:
+///
+///   1. the table's append mutex — Insert/Update only (they may extend the
+///      heap; it pins the tail so the stripe set latched next is the set
+///      the write actually touches). Delete never appends and skips it;
+///   2. the heap page stripes of the mutated pages, exclusive, ascending
+///      (insert: the tail page and its successor; update: the old page
+///      plus the tail pair; delete: the old page);
+///   3. the scan sentinel of every registered Index Buffer, shared,
+///      ascending column order — excludes indexing scans of those buffers
+///      and Algorithm 2 partition drops for the commit's duration. This
+///      acquisition never blocks: a sentinel is only held exclusively by a
+///      scan that also holds every heap stripe shared, which the
+///      stripe-exclusive acquisition in step 2 already excludes;
+///   4. the per-(column, partition) latches of the buffer partitions the
+///      mutated pages map to, exclusive, ascending key order.
+///
+/// All mutated leaf structures (counters, partitions, histories, the heap
+/// directory) are additionally self-synchronized, so reads that latch
+/// nothing (Table II updates, probes of other partitions) stay safe.
 ///
 /// Fault atomicity: only the pre-mutation read phase (fetching the old
 /// tuple image) is exposed to the fault injector. The commit section —
@@ -47,6 +65,25 @@ class DmlOperator : public PhysicalOperator {
   Status Close() override;
 
  protected:
+  /// The write-side latch bundle of one statement (levels 2–4 of the class
+  /// comment); released bottom-up by destruction order at end of scope.
+  struct WriteLatches {
+    PartitionLatchTable::LatchSet stripes;
+    std::vector<std::shared_lock<std::shared_mutex>> sentinels;
+    PartitionLatchTable::LatchSet partitions;
+  };
+
+  /// Acquires stripes (exclusive), buffer sentinels (shared), and the
+  /// mutated partitions' latches (exclusive) for a statement touching
+  /// `pages`. The caller already holds the append mutex when the statement
+  /// might extend the heap.
+  WriteLatches AcquireWriteLatches(const std::vector<size_t>& pages);
+
+  /// The dense pages an append-capable statement may touch at the tail:
+  /// the current tail page (it may have room) and its successor (a fresh
+  /// page may be created). Caller holds the append mutex.
+  std::vector<size_t> TailPages() const;
+
   /// Runs the Table I matrix against every registered index (an index's
   /// buffer may be absent — partial-index upkeep still runs). `old_tuple`
   /// is null for inserts, `new_tuple` null for deletes; the per-column key
@@ -64,7 +101,6 @@ class DmlOperator : public PhysicalOperator {
   Table* table_;
   IndexBufferSpace* space_;
   const std::map<ColumnId, PartialIndex*>* indexes_;
-  std::unique_lock<std::shared_mutex> latch_;
   bool done_ = false;
 };
 

@@ -32,23 +32,14 @@ std::unique_ptr<PhysicalPlan> Executor::PlanQuery(const Query& query) const {
 
 Result<QueryResult> Executor::ExecutePlan(PhysicalPlan* plan,
                                           const QueryControl* control) {
-  // Statement latch first (always before the space latch): shared for read
-  // plans, exclusive for DML plans — the exclusion that keeps unlatched
-  // read paths (covered probes, full scans) away from concurrent heap
-  // mutation.
-  std::shared_lock<std::shared_mutex> read_latch(stmt_latch_,
-                                                 std::defer_lock);
-  std::unique_lock<std::shared_mutex> write_latch(stmt_latch_,
-                                                  std::defer_lock);
-  if (plan->IsDml()) {
-    write_latch.lock();
-  } else {
-    read_latch.lock();
-  }
+  // Statement membrane, shared for reads and DML alike: it only excludes
+  // quiesce points (tuner adaptation, snapshots, audits). All mutual
+  // exclusion between statements happens in the partition-granular latches
+  // the operators acquire themselves.
+  std::shared_lock<std::shared_mutex> membrane(stmt_latch_);
   if (plan->driver_index() != nullptr && space_ != nullptr) {
-    // Table II history updates touch every buffer's LRU-K state: a short
-    // exclusive critical section on the space latch.
-    std::unique_lock<std::shared_mutex> latch(space_->latch());
+    // Table II history updates are self-synchronized per buffer (history
+    // locks); no space latch needed.
     space_->OnQuery(plan->driver_index(), plan->driver_hit());
   }
   Result<QueryResult> result =

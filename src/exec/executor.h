@@ -41,19 +41,31 @@ namespace aib {
 ///
 /// Thread-safety: Execute and ExecuteStatement may be called from
 /// concurrent QueryService workers once setup (RegisterIndex /
-/// SetBufferOptions / SetWriteTable) is complete. Two latches, always in
-/// this order:
+/// SetBufferOptions / SetWriteTable) is complete. Since the
+/// partition-granular refactor the executor's statement latch is a
+/// *shared-only membrane*: every statement — reads AND DML — holds it
+/// shared for its duration, so statements never exclude each other here.
+/// Mutual exclusion moved down into partition-granular latches the
+/// operators take themselves, in this global order:
 ///
-///   1. the executor's *statement latch* — shared around every read plan,
-///      exclusive around every DML plan. Read plans that never touch the
-///      space latch (covered probes, full scans, shared scans) are still
-///      excluded from concurrent heap mutation by it, which is what makes
-///      the pin-protocol BufferPool contract safe with writers in the mix;
-///   2. the IndexBufferSpace latch — exclusive for indexing scans, Table II
-///      history updates, and the DML operators' maintenance section.
+///   1. statement membrane (shared; exclusive only for quiesce points:
+///      tuner adaptation via Catalog::Execute, snapshots, consistency
+///      audits, test/bench samplers);
+///   2. IndexBufferSpace structural latch — exclusive during an indexing
+///      scan's Open only (buffer creation, Algorithm 2, quarantine);
+///   3. heap page stripe latches (Table::page_latches()) — all-shared for
+///      scans, exclusive per mutated page for DML, shared per probed page
+///      for covered probes;
+///   4. per-buffer scan sentinels (IndexBuffer::scan_latch()) — exclusive
+///      for the buffer an indexing scan fills, shared for the buffers a
+///      DML statement maintains;
+///   5. per-(column, partition) latches
+///      (IndexBufferSpace::partition_latches()) — exclusive for the
+///      partitions DML mutates, ascending key order.
 ///
-/// Tuner-driven coverage adaptation remains a facade-only operation (see
-/// Catalog::Execute) and is not safe under concurrent Execute calls.
+/// Table II history updates are self-synchronized per buffer and need no
+/// space latch. See docs/ALGORITHMS.md for the full discipline and the
+/// optimistic covered-probe protocol.
 class Executor {
  public:
   /// `space` may be null (no Index Buffer configured). Does not own
@@ -70,10 +82,14 @@ class Executor {
   void SetWriteTable(Table* table) { write_table_ = table; }
   Table* write_table() const { return write_table_; }
 
-  /// The reader-writer latch serializing DML against read plans. Exposed
-  /// for execution paths that run plans without going through ExecutePlan
-  /// (the service's shared-scan path) — they must hold it shared for the
-  /// duration of the run. Lock order: statement latch before space latch.
+  /// The statement membrane (see class comment). Every statement holds it
+  /// shared; exclusive acquisition is reserved for quiesce points — tuner
+  /// adaptation (Catalog::Execute), snapshots, consistency audits, and
+  /// test/bench samplers that need the engine statement-free. Exposed for
+  /// execution paths that run plans without going through ExecutePlan (the
+  /// service's shared-scan path) — they must hold it shared for the
+  /// duration of the run. First in the latch order, before the space
+  /// structural latch and all partition-granular latches.
   std::shared_mutex& statement_latch() const { return stmt_latch_; }
 
   PartialIndex* GetIndex(ColumnId column) const;
@@ -111,8 +127,8 @@ class Executor {
 
   /// Executes a plan obtained from PlanQuery (dispatching the Table II
   /// history update for the plan's driving index, exactly as Execute).
-  /// Takes the statement latch in the mode the plan's kind requires:
-  /// shared for selects, exclusive for DML plans.
+  /// Holds the statement membrane shared for the run — reads and DML
+  /// alike; the operators take their own partition-granular latches.
   Result<QueryResult> ExecutePlan(PhysicalPlan* plan,
                                   const QueryControl* control = nullptr);
 
@@ -146,8 +162,8 @@ class Executor {
   std::map<ColumnId, PartialIndex*> indexes_;
   MorselDispatcher* dispatcher_ = nullptr;
   ParallelScanOptions parallel_options_;
-  /// Readers (query plans) shared, writers (DML plans) exclusive. Mutable:
-  /// read latching is not a logical mutation.
+  /// Shared-only statement membrane (exclusive = quiesce; see class
+  /// comment). Mutable: latching is not a logical mutation.
   mutable std::shared_mutex stmt_latch_;
 };
 

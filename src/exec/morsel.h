@@ -40,16 +40,17 @@ std::vector<Morsel> MakeMorsels(size_t page_count, size_t morsel_pages,
 /// RunJob(count, body) invokes body(i) exactly once for every i in
 /// [0, count), on the helpers *and the calling thread*. Caller
 /// participation is what makes the dispatcher deadlock-free under the
-/// Index Buffer Space latch: an IndexingTableScan holds that latch
-/// exclusively while it fans out its morsels, and the helpers never touch
-/// the latch — but even with zero helpers (or all of them busy elsewhere)
-/// the latch holder itself drains the job and progress is guaranteed.
+/// indexing scan's latches: an IndexingTableScan holds its buffer's scan
+/// sentinel exclusively (plus every heap stripe shared) while it fans out
+/// its morsels, and the helpers never touch those latches — but even with
+/// zero helpers (or all of them busy elsewhere) the latch holder itself
+/// drains the job and progress is guaranteed.
 ///
 /// Concurrent RunJob calls from different queries serialize on an internal
 /// mutex; helpers idle between jobs. Distinct from the QueryService worker
-/// pool on purpose: service workers can block on the space latch, so
-/// borrowing them for morsels could strand the latch holder behind threads
-/// waiting for that very latch.
+/// pool on purpose: service workers can block on scan sentinels and heap
+/// stripes, so borrowing them for morsels could strand a latch holder
+/// behind threads waiting for those very latches.
 class MorselDispatcher {
  public:
   /// `helper_threads` + the calling thread = worker parallelism. 0 helpers

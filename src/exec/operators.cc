@@ -49,6 +49,11 @@ std::string FullTableScan::Describe() const {
 }
 
 Status FullTableScan::Open(ExecContext* ctx) {
+  // A full scan reads every heap page: take every page stripe shared for
+  // the scan's duration (stripes are level 3 of the latch order; a plain
+  // scan takes no structural latch and no sentinels). Concurrent scans and
+  // probes share freely; DML of any page of this table waits.
+  heap_latch_ = table_->page_latches().AcquireAllShared();
   next_page_ = 0;
   cursor_ = 0;
   rids_.clear();
@@ -83,9 +88,23 @@ Result<bool> FullTableScan::NextBatch(TupleBatch* out) {
   return true;
 }
 
-Status FullTableScan::Close() { return Status::Ok(); }
+Status FullTableScan::Close() {
+  heap_latch_.Release();
+  return Status::Ok();
+}
 
 // --- PartialIndexProbe ------------------------------------------------------
+
+namespace {
+std::function<void()>& ProbeConflictHook() {
+  static std::function<void()> hook;
+  return hook;
+}
+}  // namespace
+
+void PartialIndexProbe::SetConflictHookForTest(std::function<void()> hook) {
+  ProbeConflictHook() = std::move(hook);
+}
 
 PartialIndexProbe::PartialIndexProbe(const PartialIndex* index, Value lo,
                                      Value hi)
@@ -99,6 +118,53 @@ Status PartialIndexProbe::Open(ExecContext*) {
   probed_ = false;
   pending_.clear();
   cursor_ = 0;
+  page_latch_.Release();
+  return Status::Ok();
+}
+
+Status PartialIndexProbe::ProbeOptimistically() {
+  const Table& table = index_->table();
+  PartitionLatchTable& latches = table.page_latches();
+  auto probe = [&] {
+    pending_.clear();
+    if (lo_ == hi_) {
+      index_->Lookup(lo_, &pending_);
+    } else {
+      index_->Scan(lo_, hi_,
+                   [&](Value, const Rid& rid) { pending_.push_back(rid); });
+    }
+  };
+  for (int attempt = 0; attempt < kMaxOptimisticRetries; ++attempt) {
+    const uint64_t v0 = index_->version();
+    probe();
+    if (auto& hook = ProbeConflictHook(); hook) hook();
+    // Translate the probed rids to dense page numbers — pure directory
+    // lookups — and latch exactly those pages shared. A rid whose page
+    // cannot be resolved is a conflict in another guise (the directory
+    // changed under the probe) and retries like a version mismatch.
+    std::vector<size_t> pages;
+    pages.reserve(pending_.size());
+    bool translated = true;
+    for (const Rid& rid : pending_) {
+      const Result<size_t> page = table.PageNumberOf(rid);
+      if (!page.ok()) {
+        translated = false;
+        break;
+      }
+      pages.push_back(page.value());
+    }
+    if (translated) {
+      page_latch_ = latches.AcquireShared(pages);
+      if (index_->version() == v0) return Status::Ok();
+      page_latch_.Release();
+    }
+    RecordOptimisticRetry(latches.metrics());
+  }
+  // Pessimistic fallback: latch every stripe first, then probe once —
+  // nothing can move between probe and fetch.
+  RecordOptimisticFallback(latches.metrics());
+  page_latch_ = latches.AcquireAllShared();
+  probe();
   return Status::Ok();
 }
 
@@ -106,12 +172,7 @@ Result<bool> PartialIndexProbe::NextBatch(TupleBatch* out) {
   out->Clear();
   if (!probed_) {
     probed_ = true;
-    if (lo_ == hi_) {
-      index_->Lookup(lo_, &pending_);
-    } else {
-      index_->Scan(lo_, hi_,
-                   [&](Value, const Rid& rid) { pending_.push_back(rid); });
-    }
+    AIB_RETURN_IF_ERROR(ProbeOptimistically());
     ++stats_.ix_probes;
   }
   if (!EmitRidChunk(pending_, &cursor_, /*needs_fetch=*/true, out)) {
@@ -121,7 +182,10 @@ Result<bool> PartialIndexProbe::NextBatch(TupleBatch* out) {
   return true;
 }
 
-Status PartialIndexProbe::Close() { return Status::Ok(); }
+Status PartialIndexProbe::Close() {
+  page_latch_.Release();
+  return Status::Ok();
+}
 
 // --- IndexBufferProbe -------------------------------------------------------
 
@@ -247,13 +311,24 @@ std::vector<const PhysicalOperator*> IndexingTableScan::Children() const {
 }
 
 Status IndexingTableScan::Open(ExecContext* ctx) {
-  // The whole miss path mutates adaptive state — buffer creation, C[p]
-  // counters, partition drops, space accounting — so it runs under the
-  // space's exclusive latch until Close. Concurrent misses serialize here;
-  // concurrent covered queries never take it and proceed in parallel. The
-  // morsel workers of the scan leg never touch this latch (they are
-  // read-only), so fanning out while holding it is deadlock-free.
-  latch_ = std::unique_lock<std::shared_mutex>(space_->latch());
+  // Structural phase of the miss path. Buffer creation, the C[p] snapshot,
+  // and Algorithm 2's victim selection + partition drops run under the
+  // space's *structural* latch, so concurrent misses serialize their
+  // adaptation decisions — but the latch is released before the probe
+  // drain and the scan leg below (the expensive I/O), so indexing scans
+  // filling different buffers overlap there. Two finer latches are kept
+  // until Close:
+  //   - every heap page stripe, shared (the scan reads any page; this also
+  //     keeps DML of this table out for the scan's duration), and
+  //   - this buffer's scan sentinel, exclusive (keeps a second scan of the
+  //     same buffer, DML maintenance of it, and Algorithm 2 drops against
+  //     it out).
+  // Stripes are taken *before* the sentinel — the same order DML uses —
+  // which is what makes DML's sentinel acquisition wait-free and Algorithm
+  // 2's victim-drop wait cycle-free (see SelectPagesForBuffer). The morsel
+  // workers of the scan leg never touch any of these latches (they are
+  // read-only), so fanning out while holding them is deadlock-free.
+  structural_ = std::unique_lock<std::shared_mutex>(space_->latch());
 
   IndexBuffer* buffer = space_->GetBuffer(index_);
   if (buffer == nullptr) {
@@ -264,6 +339,10 @@ Status IndexingTableScan::Open(ExecContext* ctx) {
   }
   buffer->counters().EnsureSize(table_->PageCount());
   probe_->BindBuffer(buffer);
+
+  heap_latch_ = table_->page_latches().AcquireAllShared();
+  sentinel_ = AcquireExclusiveTimed(buffer->scan_latch(),
+                                    table_->page_latches().metrics());
 
   // Snapshot which pages the table scan will skip *before* Algorithm 2 and
   // the scan run: pages selected by Algorithm 2 get their counters zeroed
@@ -291,6 +370,11 @@ Status IndexingTableScan::Open(ExecContext* ctx) {
   // Size the partition index structures for the bulk inserts the scan leg
   // is about to stage (C[p] bounds the entries each selected page adds).
   buffer->SetReserveHints(selection.pages);
+
+  // Adaptation decisions are done: release the structural latch so misses
+  // on other columns can run their Algorithm 2 while this scan drains. The
+  // stripes and the sentinel keep this buffer and this table's heap stable.
+  structural_.unlock();
 
   // Lines 8-10: drain the probe pipeline (buffer matches, possibly
   // residual-filtered).
@@ -437,7 +521,11 @@ Status IndexingTableScan::Close() {
     const Status tail = tail_pipeline_->Close();
     if (status.ok()) status = tail;
   }
-  if (latch_.owns_lock()) latch_.unlock();
+  // Reverse acquisition order: sentinel, then stripes, then the structural
+  // latch (still owned only if Open failed before its mid-Open release).
+  if (sentinel_.owns_lock()) sentinel_.unlock();
+  heap_latch_.Release();
+  if (structural_.owns_lock()) structural_.unlock();
   return status;
 }
 

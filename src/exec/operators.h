@@ -1,12 +1,14 @@
 #ifndef AIB_EXEC_OPERATORS_H_
 #define AIB_EXEC_OPERATORS_H_
 
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string>
 #include <vector>
 
+#include "common/partition_latch.h"
 #include "core/buffer_space.h"
 #include "core/indexing_scan.h"
 #include "exec/operator.h"
@@ -22,6 +24,10 @@ namespace aib {
 /// the pages out as morsels and NextBatch chunks the merged result. The
 /// baseline access path and the miss path when no Index Buffer Space is
 /// configured.
+///
+/// Latching: Open takes every heap page stripe shared (a full scan reads
+/// every page) and holds them until Close, so concurrent DML of any page
+/// waits for the scan — while other scans and probes (shared) proceed.
 class FullTableScan : public PhysicalOperator {
  public:
   FullTableScan(const Table* table, std::vector<ColumnPredicate> predicates);
@@ -41,14 +47,38 @@ class FullTableScan : public PhysicalOperator {
   bool eager_ = false;
   std::vector<Rid> rids_;
   size_t cursor_ = 0;
+  PartitionLatchTable::LatchSet heap_latch_;
 };
 
 /// Leaf: probes the partial index for value ∈ [lo, hi] (fully covered by
 /// construction — the planner guarantees it). Emits capacity-bounded
 /// batches of rids that still need fetching.
+///
+/// Optimistic read protocol (covered point probes never block behind
+/// adaptation): read the index version, probe (the index's own reader
+/// lock makes the probe itself consistent), translate the result rids to
+/// page numbers (pure directory lookups), take those pages' heap stripes
+/// shared, then validate the version is unchanged — a concurrent mutation
+/// would have bumped it between the pre-probe read and the post-latch
+/// check, so an unchanged version proves the latched pages still hold
+/// exactly the probed tuples. On mismatch the latches are dropped and the
+/// probe retries (counted in latch.optimistic_retries); after
+/// kMaxOptimisticRetries it falls back to the pessimistic path — all
+/// stripes shared, then probe (latch.optimistic_fallbacks). The stripes
+/// stay held until Close so the enclosing Filter/Materialize can fetch
+/// the probed tuples without them moving underneath. Single-threaded
+/// execution validates on the first pass and is bit-identical to the
+/// pre-optimistic code.
 class PartialIndexProbe : public PhysicalOperator {
  public:
   PartialIndexProbe(const PartialIndex* index, Value lo, Value hi);
+
+  static constexpr int kMaxOptimisticRetries = 4;
+
+  /// Test seam: invoked after each probe attempt, before version
+  /// validation — a test can mutate the index here to force a conflict.
+  /// Process-wide; pass nullptr to clear. Not for production use.
+  static void SetConflictHookForTest(std::function<void()> hook);
 
   std::string Name() const override { return "PartialIndexProbe"; }
   std::string Describe() const override;
@@ -57,12 +87,16 @@ class PartialIndexProbe : public PhysicalOperator {
   Status Close() override;
 
  private:
+  /// Runs the optimistic protocol, filling pending_ and page_latch_.
+  Status ProbeOptimistically();
+
   const PartialIndex* index_;
   Value lo_;
   Value hi_;
   bool probed_ = false;
   std::vector<Rid> pending_;
   size_t cursor_ = 0;
+  PartitionLatchTable::LatchSet page_latch_;
 };
 
 /// Leaf: probes the Index Buffer for matches on skipped pages (lines 8–10
@@ -121,13 +155,20 @@ class CoveredOnSkippedFetch : public PhysicalOperator {
   size_t cursor_ = 0;
 };
 
-/// Algorithm 1 as an operator, owning the space-latch scope: Open acquires
-/// the IndexBufferSpace's exclusive latch (creating the Index Buffer on
-/// the column's first miss), snapshots the skipped-page set for the hybrid
-/// tail, runs Algorithm 2's page selection, and executes the indexing
-/// table scan; Close releases the latch — so the whole adaptive mutation,
-/// including everything its children emit, is one atomic critical section,
-/// exactly as the paper's pseudocode assumes.
+/// Algorithm 1 as an operator, owning the miss path's latch scope. Open
+/// acquires, in order: the space's *structural* latch exclusively (buffer
+/// creation on the column's first miss, the skipped-page snapshot, and
+/// Algorithm 2's victim selection + drops run under it), then every heap
+/// page stripe shared, then this buffer's scan sentinel exclusively. The
+/// structural latch is released mid-Open, right after Algorithm 2 — so
+/// indexing scans filling *different* buffers overlap their probe drain
+/// and scan legs — while the stripes and the sentinel stay held until
+/// Close, keeping the heap and this buffer stable for everything the
+/// children emit: the adaptive mutation is still one atomic critical
+/// section per buffer, exactly as the paper's pseudocode assumes.
+/// Acquiring stripes before the sentinel mirrors DML's order and is what
+/// keeps the whole discipline deadlock-free (see
+/// IndexBufferSpace::SelectPagesForBuffer).
 ///
 /// The scan leg runs through MorselIndexingScan (exec/morsel.h): with a
 /// dispatcher configured it fans pages out to read-only workers and merges
@@ -197,7 +238,12 @@ class IndexingTableScan : public PhysicalOperator {
   std::unique_ptr<PhysicalOperator> tail_pipeline_;
   std::shared_ptr<std::vector<bool>> snapshot_;
 
-  std::unique_lock<std::shared_mutex> latch_;
+  /// Structural-latch scope; held only inside Open (see class comment).
+  std::unique_lock<std::shared_mutex> structural_;
+  /// Every heap page stripe, shared, Open → Close.
+  PartitionLatchTable::LatchSet heap_latch_;
+  /// This scan's buffer sentinel, exclusive, Open → Close.
+  std::unique_lock<std::shared_mutex> sentinel_;
   std::vector<Rid> probe_rids_;
   std::vector<Rid> scan_rids_;
   size_t probe_cursor_ = 0;

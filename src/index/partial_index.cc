@@ -1,6 +1,7 @@
 #include "index/partial_index.h"
 
 #include <cassert>
+#include <mutex>
 
 namespace aib {
 
@@ -17,7 +18,9 @@ PartialIndex::PartialIndex(const Table* table, ColumnId column,
 }
 
 Status PartialIndex::Build() {
+  std::unique_lock lock(mu_);
   structure_->Clear();
+  version_.fetch_add(1, std::memory_order_release);
   return table_->heap().ForEachTuple([&](const Rid& rid, const Tuple& tuple) {
     const Value v = tuple.IntValue(table_->schema(), column_);
     if (coverage_.Covers(v)) {
@@ -29,6 +32,7 @@ Status PartialIndex::Build() {
 
 void PartialIndex::Lookup(Value v, std::vector<Rid>* out) const {
   if (metrics_ != nullptr) metrics_->Increment(kMetricIndexProbes);
+  std::shared_lock lock(mu_);
   structure_->Lookup(v, out);
 }
 
@@ -36,24 +40,37 @@ void PartialIndex::Scan(Value lo, Value hi,
                         const std::function<void(Value, const Rid&)>& fn)
     const {
   if (metrics_ != nullptr) metrics_->Increment(kMetricIndexProbes);
+  std::shared_lock lock(mu_);
   structure_->Scan(lo, hi, fn);
 }
 
 void PartialIndex::Add(Value v, const Rid& rid) {
   assert(coverage_.Covers(v));
-  structure_->Insert(v, rid);
+  {
+    std::unique_lock lock(mu_);
+    structure_->Insert(v, rid);
+    version_.fetch_add(1, std::memory_order_release);
+  }
   if (metrics_ != nullptr) metrics_->Increment(kMetricIndexInserts);
 }
 
 void PartialIndex::Remove(Value v, const Rid& rid) {
-  structure_->Remove(v, rid);
+  {
+    std::unique_lock lock(mu_);
+    structure_->Remove(v, rid);
+    version_.fetch_add(1, std::memory_order_release);
+  }
   if (metrics_ != nullptr) metrics_->Increment(kMetricIndexRemoves);
 }
 
 void PartialIndex::Update(Value old_v, const Rid& old_rid, Value new_v,
                           const Rid& new_rid) {
-  structure_->Remove(old_v, old_rid);
-  structure_->Insert(new_v, new_rid);
+  {
+    std::unique_lock lock(mu_);
+    structure_->Remove(old_v, old_rid);
+    structure_->Insert(new_v, new_rid);
+    version_.fetch_add(1, std::memory_order_release);
+  }
   if (metrics_ != nullptr) {
     metrics_->Increment(kMetricIndexRemoves);
     metrics_->Increment(kMetricIndexInserts);
@@ -61,8 +78,12 @@ void PartialIndex::Update(Value old_v, const Rid& old_rid, Value new_v,
 }
 
 size_t PartialIndex::AddValue(Value v, const std::vector<Rid>& rids) {
-  coverage_.Add(v);
-  for (const Rid& rid : rids) structure_->Insert(v, rid);
+  {
+    std::unique_lock lock(mu_);
+    coverage_.Add(v);
+    for (const Rid& rid : rids) structure_->Insert(v, rid);
+    version_.fetch_add(1, std::memory_order_release);
+  }
   if (metrics_ != nullptr) {
     metrics_->Increment(kMetricIndexInserts,
                         static_cast<int64_t>(rids.size()));
@@ -72,14 +93,23 @@ size_t PartialIndex::AddValue(Value v, const std::vector<Rid>& rids) {
 
 std::vector<Rid> PartialIndex::RemoveValue(Value v) {
   std::vector<Rid> removed;
-  structure_->Lookup(v, &removed);
-  structure_->RemoveKey(v);
-  coverage_.Remove(v);
+  {
+    std::unique_lock lock(mu_);
+    structure_->Lookup(v, &removed);
+    structure_->RemoveKey(v);
+    coverage_.Remove(v);
+    version_.fetch_add(1, std::memory_order_release);
+  }
   if (metrics_ != nullptr) {
     metrics_->Increment(kMetricIndexRemoves,
                         static_cast<int64_t>(removed.size()));
   }
   return removed;
+}
+
+size_t PartialIndex::EntryCount() const {
+  std::shared_lock lock(mu_);
+  return structure_->EntryCount();
 }
 
 }  // namespace aib

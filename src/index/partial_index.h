@@ -1,7 +1,10 @@
 #ifndef AIB_INDEX_PARTIAL_INDEX_H_
 #define AIB_INDEX_PARTIAL_INDEX_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
+#include <shared_mutex>
 #include <vector>
 
 #include "btree/index_structure.h"
@@ -22,6 +25,16 @@ namespace aib {
 /// cost accounting (entries added/removed) feeds the control-loop-delay
 /// experiment (Fig. 1), where changing the coverage is the expensive
 /// operation the Index Buffer is designed to paper over.
+///
+/// Concurrency: the entry structure is self-synchronized — mutators
+/// (Add/Remove/Update/Build/AddValue/RemoveValue) take an internal writer
+/// lock and bump the version counter; Lookup/Scan/EntryCount take it
+/// shared. The version counter drives the optimistic probe protocol (see
+/// PartialIndexProbe): read version(), probe, validate version() is
+/// unchanged — if it moved, a mutation may have raced the probe and the
+/// probe retries. Covers() stays lock-free on purpose: the coverage is
+/// only mutated by tuner adaptation, which runs under the executor's
+/// exclusive statement membrane with no statements in flight.
 class PartialIndex {
  public:
   /// `metrics` may be null. The index does not own `table`.
@@ -65,11 +78,19 @@ class PartialIndex {
   /// analog for adaptations).
   std::vector<Rid> RemoveValue(Value v);
 
-  size_t EntryCount() const { return structure_->EntryCount(); }
+  size_t EntryCount() const;
+
+  /// Mutation counter for optimistic reads: bumped by every entry mutation
+  /// (before the writer lock is released). A probe that observes the same
+  /// version before and after its read saw a consistent structure.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
 
   /// The structure kind this index was created with (snapshot metadata).
   IndexStructureKind structure_kind() const { return kind_; }
 
+  /// Unsynchronized view for quiesced contexts only (consistency checks,
+  /// snapshots) — callers must hold the executor membrane exclusively or
+  /// otherwise exclude mutators.
   const IndexStructure& structure() const { return *structure_; }
 
  private:
@@ -79,6 +100,9 @@ class PartialIndex {
   IndexStructureKind kind_;
   std::unique_ptr<IndexStructure> structure_;
   Metrics* metrics_;
+
+  mutable std::shared_mutex mu_;
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace aib

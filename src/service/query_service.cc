@@ -240,9 +240,10 @@ Result<QueryResult> QueryService::RunQueryOnce(const Query& query,
       PhysicalPlan plan(std::make_unique<SharedScanOperator>(
                             &scans_, table_, query.AllPredicates()),
                         table_);
-      // This path bypasses Executor::ExecutePlan, so it must take the
-      // statement latch itself (shared: it's a read) to stay excluded
-      // from concurrent DML plans.
+      // This path bypasses Executor::ExecutePlan, so it must hold the
+      // statement membrane itself (shared, like every statement) to stay
+      // excluded from quiesce points; mutual exclusion against DML comes
+      // from the heap stripes the shared-scan operator latches.
       std::shared_lock<std::shared_mutex> stmt_latch(
           executor_->statement_latch());
       return plan.Run(executor_->cost_model(), control);

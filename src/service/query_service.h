@@ -30,7 +30,8 @@ struct QueryServiceOptions {
   size_t queue_capacity = 256;
   /// Merge concurrent full table scans through the SharedScanManager.
   /// Applies to queries on columns with no partial index; adaptive
-  /// indexing scans always run solo under the space latch.
+  /// indexing scans always run solo per buffer, serialized by the
+  /// buffer's scan sentinel.
   bool shared_scans = true;
   /// Deadline applied to every query submitted without an explicit one.
   /// Zero = unbounded. The clock starts at submission, so queue time counts
@@ -44,7 +45,7 @@ struct QueryServiceOptions {
   /// thread) a single scan fans its morsels out to. 0 or 1 = serial scans.
   /// The service owns the MorselDispatcher and wires it into the Executor;
   /// the dispatcher's helper pool is separate from num_workers on purpose
-  /// (service workers can block on the space latch — see exec/morsel.h).
+  /// (service workers can block on scan sentinels — see exec/morsel.h).
   /// Results and cost-model stats are identical to serial for any value.
   size_t scan_workers = 0;
   /// Options for the morsel-parallel scan path when scan_workers > 1.

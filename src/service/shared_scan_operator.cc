@@ -12,6 +12,7 @@ std::string SharedScanOperator::Describe() const {
 }
 
 Status SharedScanOperator::Open(ExecContext*) {
+  heap_latch_ = table_->page_latches().AcquireAllShared();
   scanned_ = false;
   pending_.clear();
   cursor_ = 0;
@@ -40,6 +41,9 @@ Result<bool> SharedScanOperator::NextBatch(TupleBatch* out) {
   return true;
 }
 
-Status SharedScanOperator::Close() { return Status::Ok(); }
+Status SharedScanOperator::Close() {
+  heap_latch_.Release();
+  return Status::Ok();
+}
 
 }  // namespace aib

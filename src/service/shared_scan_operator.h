@@ -18,6 +18,11 @@ namespace aib {
 /// The cooperative scan is a blocking one-shot; its matches are chunked
 /// into capacity-bounded batches. Rid order differs from FullTableScan
 /// only when the scan attached mid-pass.
+///
+/// Latching: like FullTableScan, Open takes every heap page stripe shared
+/// and holds them until Close, so the pages the cooperative pass delivers
+/// cannot be mutated mid-scan; DML of this table waits, other scans and
+/// probes share.
 class SharedScanOperator : public PhysicalOperator {
  public:
   SharedScanOperator(SharedScanManager* scans, const Table* table,
@@ -39,6 +44,7 @@ class SharedScanOperator : public PhysicalOperator {
   bool scanned_ = false;
   std::vector<Rid> pending_;
   size_t cursor_ = 0;
+  PartitionLatchTable::LatchSet heap_latch_;
 };
 
 }  // namespace aib

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <mutex>
 
 namespace aib {
 
@@ -15,32 +16,59 @@ bool HeapFile::UnderTupleCap(const Page& page) const {
          page.live_count() < options_.max_tuples_per_page;
 }
 
+PageId HeapFile::PageIdAt(size_t page_index) const {
+  std::shared_lock lock(dir_mu_);
+  return page_index < page_ids_.size() ? page_ids_[page_index]
+                                       : kInvalidPageId;
+}
+
+Result<size_t> HeapFile::PageIndexOf(PageId page_id) const {
+  // Page ids are allocated densely per disk manager; within one heap file
+  // they are also contiguous in allocation order, so binary search suffices.
+  std::shared_lock lock(dir_mu_);
+  auto it = std::lower_bound(page_ids_.begin(), page_ids_.end(), page_id);
+  if (it == page_ids_.end() || *it != page_id) {
+    return Status::InvalidArgument("rid does not belong to this table");
+  }
+  return static_cast<size_t>(it - page_ids_.begin());
+}
+
 Result<Rid> HeapFile::Insert(const Tuple& tuple) {
   const std::vector<uint8_t> record = tuple.Serialize(*schema_);
 
-  // Try the tail page first; heap order is append order.
-  if (!page_ids_.empty()) {
-    const PageId tail = page_ids_.back();
+  // Try the tail page first; heap order is append order. Only one insert
+  // runs at a time (Table::append_mutex()), so the tail cannot change
+  // between the read and the append below.
+  PageId tail = kInvalidPageId;
+  {
+    std::shared_lock lock(dir_mu_);
+    if (!page_ids_.empty()) tail = page_ids_.back();
+  }
+  if (tail != kInvalidPageId) {
     AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(tail));
     if (UnderTupleCap(*page) && record.size() <= page->FreeSpace()) {
       SlotId slot;
       const Status status = page->Insert(record, &slot);
       AIB_RETURN_IF_ERROR(pool_->UnpinPage(tail, status.ok()));
       AIB_RETURN_IF_ERROR(status);
-      ++tuple_count_;
+      tuple_count_.fetch_add(1, std::memory_order_relaxed);
       return Rid{tail, slot};
     }
     AIB_RETURN_IF_ERROR(pool_->UnpinPage(tail, false));
   }
 
   const PageId page_id = disk_->AllocatePage();
-  page_ids_.push_back(page_id);
+  {
+    std::unique_lock lock(dir_mu_);
+    page_ids_.push_back(page_id);
+    page_count_.store(page_ids_.size(), std::memory_order_release);
+  }
   AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
   SlotId slot;
   const Status status = page->Insert(record, &slot);
   AIB_RETURN_IF_ERROR(pool_->UnpinPage(page_id, status.ok()));
   AIB_RETURN_IF_ERROR(status);
-  ++tuple_count_;
+  tuple_count_.fetch_add(1, std::memory_order_relaxed);
   return Rid{page_id, slot};
 }
 
@@ -62,7 +90,7 @@ Status HeapFile::Delete(const Rid& rid) {
   const Status status = page->Delete(rid.slot);
   AIB_RETURN_IF_ERROR(pool_->UnpinPage(rid.page_id, status.ok()));
   AIB_RETURN_IF_ERROR(status);
-  --tuple_count_;
+  tuple_count_.fetch_sub(1, std::memory_order_relaxed);
   return Status::Ok();
 }
 
@@ -83,10 +111,10 @@ Result<Rid> HeapFile::Update(const Rid& rid, const Tuple& tuple) {
 }
 
 Result<uint16_t> HeapFile::LiveTuplesOnPage(size_t page_index) const {
-  if (page_index >= page_ids_.size()) {
+  const PageId page_id = PageIdAt(page_index);
+  if (page_id == kInvalidPageId) {
     return Status::InvalidArgument("page index out of range");
   }
-  const PageId page_id = page_ids_[page_index];
   AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
   const uint16_t live = page->live_count();
   AIB_RETURN_IF_ERROR(pool_->UnpinPage(page_id, false));
@@ -96,7 +124,8 @@ Result<uint16_t> HeapFile::LiveTuplesOnPage(size_t page_index) const {
 Status HeapFile::GatherColumnsOnPage(
     size_t page_index, const std::vector<ColumnId>& columns,
     std::vector<Rid>* rids, std::vector<std::vector<Value>>* lanes) const {
-  if (page_index >= page_ids_.size()) {
+  const PageId page_id = PageIdAt(page_index);
+  if (page_id == kInvalidPageId) {
     return Status::InvalidArgument("page index out of range");
   }
   if (lanes->size() != columns.size()) {
@@ -110,7 +139,6 @@ Status HeapFile::GatherColumnsOnPage(
     }
     max_col = std::max(max_col, c);
   }
-  const PageId page_id = page_ids_[page_index];
   AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
   Status status = Status::Ok();
   // Per-tuple decode of the record prefix [0, max_col]; values land in a
@@ -157,10 +185,10 @@ Status HeapFile::GatherColumnsOnPage(
 Status HeapFile::ForEachTupleOnPage(
     size_t page_index,
     const std::function<void(const Rid&, const Tuple&)>& fn) const {
-  if (page_index >= page_ids_.size()) {
+  const PageId page_id = PageIdAt(page_index);
+  if (page_id == kInvalidPageId) {
     return Status::InvalidArgument("page index out of range");
   }
-  const PageId page_id = page_ids_[page_index];
   AIB_ASSIGN_OR_RETURN(Page * page, pool_->FetchPage(page_id));
   Status status = Status::Ok();
   for (SlotId slot = 0; slot < page->slot_count(); ++slot) {
@@ -179,16 +207,24 @@ Status HeapFile::ForEachTupleOnPage(
 
 Status HeapFile::ForEachTuple(
     const std::function<void(const Rid&, const Tuple&)>& fn) const {
-  for (size_t i = 0; i < page_ids_.size(); ++i) {
+  const size_t pages = PageCount();
+  for (size_t i = 0; i < pages; ++i) {
     AIB_RETURN_IF_ERROR(ForEachTupleOnPage(i, fn));
   }
   return Status::Ok();
 }
 
+void HeapFile::PrefetchPage(size_t page_index) const {
+  const PageId page_id = PageIdAt(page_index);
+  if (page_id != kInvalidPageId) pool_->Prefetch(page_id);
+}
+
 void HeapFile::RestoreState(std::vector<PageId> page_ids,
                             size_t tuple_count) {
+  std::unique_lock lock(dir_mu_);
   page_ids_ = std::move(page_ids);
-  tuple_count_ = tuple_count;
+  page_count_.store(page_ids_.size(), std::memory_order_release);
+  tuple_count_.store(tuple_count, std::memory_order_relaxed);
 }
 
 }  // namespace aib

@@ -1,7 +1,9 @@
 #ifndef AIB_STORAGE_HEAP_FILE_H_
 #define AIB_STORAGE_HEAP_FILE_H_
 
+#include <atomic>
 #include <functional>
+#include <shared_mutex>
 #include <vector>
 
 #include "common/result.h"
@@ -25,18 +27,19 @@ struct HeapFileOptions {
 /// (Fig. 3) relies on. Slot ids are stable: deletes tombstone, updates that
 /// no longer fit relocate the tuple and return the new Rid.
 ///
-/// Latch discipline (write-path audit, statement pipeline): the heap file
-/// itself is deliberately unsynchronized — `page_ids_` and `tuple_count_`
-/// are plain members, and page contents follow the BufferPool's pin
-/// protocol (a writer must be the only accessor). Mutual exclusion is
-/// provided one layer up: every write runs inside a DML operator holding
-/// the executor's statement latch *exclusively*, while every reader (scan,
-/// probe, shared scan, morsel worker) runs under a shared acquisition of
-/// the same latch. Insert's grow path (AllocatePage + page_ids_ append),
-/// Update's delete-then-reinsert relocation, and the counters are therefore
-/// single-writer with no concurrent readers, and reads never observe a
-/// half-applied mutation. Callers bypassing the executor (loads, tests,
-/// tools) must be single-threaded, as before.
+/// Latch discipline (partition-granular concurrency): the page *directory*
+/// (`page_ids_`) is guarded by an internal reader-writer lock — Insert's
+/// grow path appends under it exclusively, every page-number-to-PageId
+/// translation reads under it shared — and the tuple count is a relaxed
+/// atomic, so the directory stays consistent while readers and writers of
+/// *different* pages run concurrently. Page *contents* are not protected
+/// here: callers serialize per-page access through the owning Table's heap
+/// stripe latches (Table::page_latches(), stripe = page number % stripes) —
+/// scans hold every stripe shared, DML holds the stripes of the pages it
+/// mutates exclusively, and Insert additionally serializes on
+/// Table::append_mutex() so only one statement grows the tail at a time.
+/// Callers bypassing the executor (loads, tests, tools) must be
+/// single-threaded, as before.
 class HeapFile {
  public:
   HeapFile(DiskManager* disk, BufferPool* pool, const Schema* schema,
@@ -59,16 +62,27 @@ class HeapFile {
   Result<Rid> Update(const Rid& rid, const Tuple& tuple);
 
   /// Number of allocated data pages.
-  size_t PageCount() const { return page_ids_.size(); }
+  size_t PageCount() const {
+    return page_count_.load(std::memory_order_acquire);
+  }
 
-  /// Page ids of this file, in physical order.
+  /// Page ids of this file, in physical order. Quiesced contexts only
+  /// (snapshots, single-threaded test setup): the reference is not
+  /// protected against a concurrent Insert growing the directory.
   const std::vector<PageId>& page_ids() const { return page_ids_; }
+
+  /// Dense page number of `page_id` within this file; InvalidArgument if
+  /// the page does not belong to it. Pure directory binary search — no
+  /// page fetch, no fault-injector draws.
+  Result<size_t> PageIndexOf(PageId page_id) const;
 
   /// Live tuples on the idx-th page of this file.
   Result<uint16_t> LiveTuplesOnPage(size_t page_index) const;
 
   /// Total live tuples in the file.
-  size_t TupleCount() const { return tuple_count_; }
+  size_t TupleCount() const {
+    return tuple_count_.load(std::memory_order_relaxed);
+  }
 
   /// Invokes `fn(rid, tuple)` for each live tuple on the idx-th page, in
   /// slot order. The page is pinned for the duration of the call.
@@ -95,11 +109,7 @@ class HeapFile {
   /// Best-effort readahead hint for the idx-th page (see
   /// BufferPool::Prefetch): never fails, never evicts, never consumes
   /// fault-injector draws. Out-of-range indices are ignored.
-  void PrefetchPage(size_t page_index) const {
-    if (page_index < page_ids_.size()) {
-      pool_->Prefetch(page_ids_[page_index]);
-    }
-  }
+  void PrefetchPage(size_t page_index) const;
 
   /// Restores the file's bookkeeping after a snapshot load: the page ids
   /// (ascending physical order) and the live tuple count. The pages
@@ -110,12 +120,19 @@ class HeapFile {
   /// True if `page` can take one more tuple under max_tuples_per_page.
   bool UnderTupleCap(const Page& page) const;
 
+  /// PageId of the idx-th page, or kInvalidPageId when out of range.
+  PageId PageIdAt(size_t page_index) const;
+
   DiskManager* disk_;
   BufferPool* pool_;
   const Schema* schema_;
   HeapFileOptions options_;
+
+  /// Guards page_ids_ (the directory), not page contents.
+  mutable std::shared_mutex dir_mu_;
   std::vector<PageId> page_ids_;
-  size_t tuple_count_ = 0;
+  std::atomic<size_t> page_count_{0};
+  std::atomic<size_t> tuple_count_{0};
 };
 
 }  // namespace aib

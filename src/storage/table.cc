@@ -1,24 +1,12 @@
 #include "storage/table.h"
 
-#include <algorithm>
-
 namespace aib {
 
 Table::Table(std::string name, Schema schema, DiskManager* disk,
-             BufferPool* pool, HeapFileOptions options)
+             BufferPool* pool, HeapFileOptions options, Metrics* metrics)
     : name_(std::move(name)),
       schema_(std::move(schema)),
-      heap_(disk, pool, &schema_, options) {}
-
-Result<size_t> Table::PageNumberOf(const Rid& rid) const {
-  // Page ids are allocated densely per disk manager; within one heap file
-  // they are also contiguous in allocation order, so binary search suffices.
-  const std::vector<PageId>& ids = heap_.page_ids();
-  auto it = std::lower_bound(ids.begin(), ids.end(), rid.page_id);
-  if (it == ids.end() || *it != rid.page_id) {
-    return Status::InvalidArgument("rid does not belong to this table");
-  }
-  return static_cast<size_t>(it - ids.begin());
-}
+      heap_(disk, pool, &schema_, options),
+      page_latches_(metrics) {}
 
 }  // namespace aib

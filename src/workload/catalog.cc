@@ -24,7 +24,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
   HeapFileOptions heap_options;
   heap_options.max_tuples_per_page = options_.max_tuples_per_page;
   state->table = std::make_unique<Table>(name, std::move(schema), disk_.get(),
-                                         pool_.get(), heap_options);
+                                         pool_.get(), heap_options, &metrics_);
   state->executor = std::make_unique<Executor>(
       state->table.get(), space_.get(), options_.cost, &metrics_);
   state->executor->SetBufferOptions(options_.buffer);
@@ -150,11 +150,12 @@ Status Catalog::AttachTuner(Table* table, ColumnId column,
         Result<size_t> page = table->PageNumberOf(rid);
         pages.push_back(page.ok() ? page.value() : 0);
       }
-      // Writer acquisition of the space latch: the buffer-entry and C[p]
-      // adjustments must not interleave with indexing scans or concurrent
-      // DML maintenance. Fires from Catalog::Execute with no latch held,
-      // so the statement-latch → space-latch order is respected.
-      std::unique_lock<std::shared_mutex> latch(space->latch());
+      // No latch here: adaptation fires from Catalog::Execute, which holds
+      // the executor's statement membrane *exclusively* — the one quiesce
+      // point in the partition-granular scheme — so no statement (scan,
+      // probe, or DML) is in flight while the partial index's coverage and
+      // the buffer/C[p] adjustments change together.
+      (void)space;
       // Only fails on a size mismatch, impossible by construction here.
       (void)ApplyAdaptation(buffer, value, rids, pages, added);
     });
@@ -178,6 +179,13 @@ Result<QueryResult> Catalog::Execute(Table* table, const Query& query,
                        state->executor->Execute(query, control));
   if (query.IsPoint()) {
     if (IndexTuner* tuner = GetTuner(table, query.column); tuner != nullptr) {
+      // Quiesce point: tuner adaptation mutates partial-index *coverage*,
+      // which optimistic probes read latch-free, so it runs with the
+      // statement membrane held exclusively — the only exclusive
+      // acquisition in the production latch scheme. The executor's own
+      // Execute above released its shared hold before returning.
+      std::unique_lock<std::shared_mutex> quiesce(
+          state->executor->statement_latch());
       tuner->OnQuery(query.lo);
     }
   }

@@ -24,11 +24,13 @@ class IndexBufferTest : public ::testing::Test {
     EXPECT_TRUE(index_->Build().ok());
   }
 
-  IndexBuffer MakeBuffer(size_t partition_pages = 2) {
+  // IndexBuffer is non-movable (it owns latches); hand out owning
+  // pointers and deref at the call sites.
+  std::unique_ptr<IndexBuffer> MakeBuffer(size_t partition_pages = 2) {
     IndexBufferOptions options;
     options.partition_pages = partition_pages;
-    IndexBuffer buffer(index_.get(), options);
-    EXPECT_TRUE(buffer.InitCounters().ok());
+    auto buffer = std::make_unique<IndexBuffer>(index_.get(), options);
+    EXPECT_TRUE(buffer->InitCounters().ok());
     return buffer;
   }
 
@@ -37,10 +39,11 @@ class IndexBufferTest : public ::testing::Test {
   Table table_;
   std::vector<Rid> rids_;
   std::unique_ptr<PartialIndex> index_;
+  std::unique_ptr<IndexBuffer> buffer_owner_;
 };
 
 TEST_F(IndexBufferTest, InitCountersMatchesPartialIndex) {
-  IndexBuffer buffer = MakeBuffer();
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer());
   ASSERT_EQ(buffer.counters().size(), 4u);
   EXPECT_EQ(buffer.counters().Get(0), 0u);   // fully covered by IX
   EXPECT_EQ(buffer.counters().Get(1), 10u);
@@ -48,7 +51,7 @@ TEST_F(IndexBufferTest, InitCountersMatchesPartialIndex) {
 }
 
 TEST_F(IndexBufferTest, PartitionIdForRespectsP) {
-  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer(/*partition_pages=*/2));
   EXPECT_EQ(buffer.PartitionIdFor(0), 0u);
   EXPECT_EQ(buffer.PartitionIdFor(1), 0u);
   EXPECT_EQ(buffer.PartitionIdFor(2), 1u);
@@ -56,7 +59,7 @@ TEST_F(IndexBufferTest, PartitionIdForRespectsP) {
 }
 
 TEST_F(IndexBufferTest, AddTupleAndMarkPageIndexed) {
-  IndexBuffer buffer = MakeBuffer();
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer());
   // Index all 10 tuples of page 1 (values 10..19).
   for (Value v = 10; v < 20; ++v) {
     buffer.AddTuple(1, v, rids_[static_cast<size_t>(v)]);
@@ -73,7 +76,7 @@ TEST_F(IndexBufferTest, AddTupleAndMarkPageIndexed) {
 }
 
 TEST_F(IndexBufferTest, PagesInDifferentPartitions) {
-  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer(/*partition_pages=*/2));
   buffer.AddTuple(1, 10, rids_[10]);
   buffer.MarkPageIndexed(1);
   buffer.AddTuple(3, 30, rids_[30]);
@@ -82,7 +85,7 @@ TEST_F(IndexBufferTest, PagesInDifferentPartitions) {
 }
 
 TEST_F(IndexBufferTest, DropPartitionRestoresCounters) {
-  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer(/*partition_pages=*/2));
   for (Value v = 10; v < 20; ++v) buffer.AddTuple(1, v, rids_[v]);
   buffer.MarkPageIndexed(1);
   ASSERT_EQ(buffer.counters().Get(1), 0u);
@@ -98,7 +101,7 @@ TEST_F(IndexBufferTest, DropPartitionRestoresCounters) {
 TEST_F(IndexBufferTest, DropPartitionRestoresCurrentEntryCount) {
   // After a maintenance removal, the restored counter must reflect the
   // *current* buffered population, not the original one.
-  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer(/*partition_pages=*/2));
   for (Value v = 10; v < 20; ++v) buffer.AddTuple(1, v, rids_[v]);
   buffer.MarkPageIndexed(1);
   ASSERT_TRUE(buffer.RemoveTuple(1, 12, rids_[12]));
@@ -108,12 +111,12 @@ TEST_F(IndexBufferTest, DropPartitionRestoresCurrentEntryCount) {
 }
 
 TEST_F(IndexBufferTest, DropUnknownPartitionIsNoop) {
-  IndexBuffer buffer = MakeBuffer();
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer());
   EXPECT_EQ(buffer.DropPartition(99), 0u);
 }
 
 TEST_F(IndexBufferTest, UpdateTupleMovesEntry) {
-  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/4);
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer(/*partition_pages=*/4));
   buffer.AddTuple(1, 10, rids_[10]);
   buffer.MarkPageIndexed(1);
   buffer.MarkPageIndexed(2);
@@ -127,7 +130,7 @@ TEST_F(IndexBufferTest, UpdateTupleMovesEntry) {
 }
 
 TEST_F(IndexBufferTest, ScanAcrossPartitions) {
-  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer(/*partition_pages=*/2));
   buffer.AddTuple(1, 10, rids_[10]);
   buffer.AddTuple(3, 30, rids_[30]);
   size_t count = 0;
@@ -136,7 +139,7 @@ TEST_F(IndexBufferTest, ScanAcrossPartitions) {
 }
 
 TEST_F(IndexBufferTest, BenefitGrowsWithCoveredPages) {
-  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer(/*partition_pages=*/2));
   buffer.AddTuple(1, 10, rids_[10]);
   buffer.MarkPageIndexed(1);
   const double one_page = buffer.TotalBenefit();
@@ -146,7 +149,7 @@ TEST_F(IndexBufferTest, BenefitGrowsWithCoveredPages) {
 }
 
 TEST_F(IndexBufferTest, BenefitReactsToHistory) {
-  IndexBuffer buffer = MakeBuffer();
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer());
   buffer.AddTuple(1, 10, rids_[10]);
   buffer.MarkPageIndexed(1);
   const double before = buffer.TotalBenefit();
@@ -156,7 +159,7 @@ TEST_F(IndexBufferTest, BenefitReactsToHistory) {
 }
 
 TEST_F(IndexBufferTest, ClearDropsEverything) {
-  IndexBuffer buffer = MakeBuffer(/*partition_pages=*/2);
+  IndexBuffer& buffer = *(buffer_owner_ = MakeBuffer(/*partition_pages=*/2));
   for (Value v = 10; v < 20; ++v) buffer.AddTuple(1, v, rids_[v]);
   buffer.MarkPageIndexed(1);
   buffer.AddTuple(3, 30, rids_[30]);

@@ -96,7 +96,11 @@ class ChaosSoakTest : public ::testing::Test {
     // Suspended: the checker walks the table through the faulty disk path,
     // and a fresh injected fault would fail the check for the wrong reason.
     FaultInjector::ScopedSuspend suspend;
-    std::shared_lock<std::shared_mutex> latch(db_->space()->latch());
+    // Quiesce: the statement membrane held exclusively keeps every scan,
+    // probe, and DML statement out while the checker walks the space (the
+    // demoted space latch no longer excludes statements).
+    std::unique_lock<std::shared_mutex> quiesce(
+        db_->executor()->statement_latch());
     return CheckSpaceConsistency(db_->table(), *db_->space());
   }
 

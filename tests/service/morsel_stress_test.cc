@@ -132,7 +132,10 @@ class MorselStressTest : public ::testing::Test {
 
   Status CheckSpace() {
     FaultInjector::ScopedSuspend suspend;
-    std::shared_lock<std::shared_mutex> latch(db_->space()->latch());
+    // Quiesce via the statement membrane — the demoted space latch no
+    // longer excludes statements.
+    std::unique_lock<std::shared_mutex> quiesce(
+        db_->executor()->statement_latch());
     return CheckSpaceConsistency(db_->table(), *db_->space());
   }
 

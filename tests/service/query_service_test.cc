@@ -191,7 +191,8 @@ TEST_F(QueryServiceTest, MultiWorkerStressKeepsResultsAndCountersSane) {
 
   // The adaptive state survived 4-way concurrency structurally intact.
   ASSERT_NE(db_->space(), nullptr);
-  std::shared_lock<std::shared_mutex> latch(db_->space()->latch());
+  std::unique_lock<std::shared_mutex> quiesce(
+      db_->executor()->statement_latch());
   EXPECT_TRUE(CheckSpaceConsistency(db_->table(), *db_->space()).ok());
 }
 

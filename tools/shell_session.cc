@@ -458,6 +458,14 @@ bool ShellSession::ExecuteLine(const std::string& line) {
            << " degraded=" << metrics.Get(kMetricDegradedQueries)
            << " timed_out=" << metrics.Get(kMetricQueriesTimedOut)
            << " cancelled=" << metrics.Get(kMetricQueriesCancelled) << "\n";
+      out_ << "latching: shared=" << metrics.Get(kMetricLatchSharedAcquires)
+           << " exclusive=" << metrics.Get(kMetricLatchExclusiveAcquires)
+           << " waits=" << metrics.Get(kMetricLatchWaits)
+           << " optimistic_retries="
+           << metrics.Get(kMetricLatchOptimisticRetries)
+           << " optimistic_fallbacks="
+           << metrics.Get(kMetricLatchOptimisticFallbacks) << " wait_us={"
+           << metrics.HistogramCopy(kMetricLatchWaitMicros).Summary() << "}\n";
       return true;
     }
 
@@ -809,7 +817,10 @@ bool ShellSession::ExecuteShardedLine(const std::vector<std::string>& tokens) {
              << " executed=" << metrics.Get(kMetricServiceExecuted)
              << " dml=" << metrics.Get(kMetricServiceDmlExecuted)
              << " faults=" << metrics.Get(kMetricFaultsInjected)
-             << " retries=" << metrics.Get(kMetricTransientRetries) << "\n";
+             << " retries=" << metrics.Get(kMetricTransientRetries)
+             << " latch_waits=" << metrics.Get(kMetricLatchWaits)
+             << " optimistic_retries="
+             << metrics.Get(kMetricLatchOptimisticRetries) << "\n";
       }
       for (const TenantScheduler::TenantInfo& info :
            entry.scheduler->TenantInfos()) {
