@@ -1,0 +1,48 @@
+#ifndef AIB_COMMON_BACKOFF_H_
+#define AIB_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.h"
+
+namespace aib {
+
+/// Seeded jittered exponential backoff, shared by every retry schedule in
+/// the shard layer: Busy admission re-submits, circuit-breaker probe
+/// delays, and leg re-dispatch all draw from the same policy shape so a
+/// fleet under stress spreads its retries instead of thundering in step.
+struct BackoffPolicy {
+  /// Delay of attempt 0 before jitter.
+  std::chrono::microseconds base{200};
+  /// Exponential growth is clamped here.
+  std::chrono::microseconds cap{50000};
+  double multiplier = 2.0;
+  /// Fraction of each step that is randomized: the delay for attempt k is
+  /// step_k * (1 - jitter + jitter * u) with u ~ U[0, 1) from the caller's
+  /// seeded Rng, so replays with the same seed sleep identically while
+  /// distinct seeds decorrelate.
+  double jitter = 0.5;
+};
+
+/// The jittered delay of retry `attempt` (0-based). Consumes exactly one
+/// draw from `rng` per call, making the sleep sequence a pure function of
+/// (policy, seed, attempt sequence).
+inline std::chrono::microseconds JitteredBackoff(const BackoffPolicy& policy,
+                                                 size_t attempt, Rng& rng) {
+  const double u = rng.UniformDouble();
+  double step = static_cast<double>(policy.base.count()) *
+                std::pow(std::max(1.0, policy.multiplier),
+                         static_cast<double>(attempt));
+  step = std::min(step, static_cast<double>(policy.cap.count()));
+  const double jitter = std::clamp(policy.jitter, 0.0, 1.0);
+  const double scaled = step * (1.0 - jitter + jitter * u);
+  return std::chrono::microseconds(
+      std::max<int64_t>(0, static_cast<int64_t>(std::llround(scaled))));
+}
+
+}  // namespace aib
+
+#endif  // AIB_COMMON_BACKOFF_H_

@@ -179,6 +179,25 @@ inline constexpr char kMetricLatchOptimisticFallbacks[] =
     "latch.optimistic_fallbacks";
 // Histogram name (Observe/HistogramCopy, not a counter).
 inline constexpr char kMetricLatchWaitMicros[] = "latch.wait_us";
+// Fleet fault tolerance (shard outage injection, per-shard circuit
+// breakers, hedged scatter legs, warm restarts). Outage and breaker
+// counters live in the router's registry, rolled into FleetCounters().
+inline constexpr char kMetricShardOutagesArmed[] = "shard.outages_armed";
+inline constexpr char kMetricShardCrashRejects[] = "shard.crash_rejects";
+inline constexpr char kMetricShardHangWaits[] = "shard.hang_waits";
+inline constexpr char kMetricShardBrownoutErrors[] = "shard.brownout_errors";
+inline constexpr char kMetricShardBrownoutDelays[] = "shard.brownout_delays";
+inline constexpr char kMetricShardBreakerOpened[] = "shard.breaker_opened";
+inline constexpr char kMetricShardBreakerClosed[] = "shard.breaker_closed";
+inline constexpr char kMetricShardBreakerProbes[] = "shard.breaker_probes";
+inline constexpr char kMetricShardBreakerFastFails[] =
+    "shard.breaker_fast_fails";
+inline constexpr char kMetricShardLegsHedged[] = "shard.legs_hedged";
+inline constexpr char kMetricShardHedgeWins[] = "shard.hedge_wins";
+inline constexpr char kMetricShardLegsSkipped[] = "shard.legs_skipped";
+inline constexpr char kMetricShardPartialGathers[] = "shard.partial_gathers";
+inline constexpr char kMetricShardRestarts[] = "shard.restarts";
+inline constexpr char kMetricTenantShed[] = "tenant.shed";
 
 }  // namespace aib
 

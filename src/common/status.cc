@@ -30,6 +30,8 @@ const char* CodeName(Status::Code code) {
       return "Timeout";
     case Status::Code::kCancelled:
       return "Cancelled";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -31,6 +31,11 @@ class Status {
     kTimeout,
     /// The query was cancelled cooperatively. Not retriable.
     kCancelled,
+    /// The target shard refused the request without attempting it (open
+    /// circuit breaker). Deliberately *not* transient: an immediate retry
+    /// would hit the same open breaker; callers wait for the breaker's
+    /// probe schedule or opt into partial results instead.
+    kUnavailable,
   };
 
   Status() = default;
@@ -69,6 +74,16 @@ class Status {
   static Status Cancelled(std::string_view msg = "") {
     return Status(Code::kCancelled, msg);
   }
+  static Status Unavailable(std::string_view msg = "") {
+    return Status(Code::kUnavailable, msg);
+  }
+
+  /// Rebuilds a status with the same code but a different message —
+  /// used to annotate a propagated failure with caller context (e.g. the
+  /// shard layer tagging a leg failure with shard id and breaker state).
+  static Status WithMessage(Code code, std::string_view msg) {
+    return code == Code::kOk ? Status() : Status(code, msg);
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -82,6 +97,7 @@ class Status {
   bool IsIoError() const { return code_ == Code::kIoError; }
   bool IsTimeout() const { return code_ == Code::kTimeout; }
   bool IsCancelled() const { return code_ == Code::kCancelled; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
 
   /// True for failures that a bounded retry is expected to clear (resource
   /// shortage, transient I/O). Corruption, Timeout, and Cancelled are

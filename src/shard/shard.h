@@ -2,6 +2,9 @@
 #define AIB_SHARD_SHARD_H_
 
 #include <memory>
+#include <shared_mutex>
+#include <sstream>
+#include <string>
 #include <utility>
 
 #include "service/query_service.h"
@@ -24,10 +27,21 @@ struct ShardOptions {
 /// history) is entirely local — the paper's Algorithms 1/2 run unchanged
 /// per shard, which is what keeps the scatter-gather layer a pure
 /// routing/merging concern.
+///
+/// Warm restart: Restart() tears the node down and rebuilds it from its
+/// own durable state (pages + schema + index definitions via the catalog
+/// snapshot machinery, round-tripped through memory). The Index Buffer
+/// Space comes back cold — adaptive state is recovery-free by design
+/// (§VII) and re-adapts from the post-restart workload — while results
+/// stay bit-identical because heap placement is durable. Callers
+/// coordinate in-flight traffic through restart_latch(): request paths
+/// hold it shared for as long as they use service()/db() pointers, and
+/// Restart() takes it exclusively while it swaps them.
 class Shard {
  public:
   Shard(size_t id, Schema schema, const ShardOptions& options)
       : id_(id),
+        options_(options),
         db_(std::make_unique<Database>(std::move(schema), options.db,
                                        "shard" + std::to_string(id))),
         service_(std::make_unique<QueryService>(db_->executor(), &db_->table(),
@@ -43,6 +57,30 @@ class Shard {
     service_->Shutdown();
   }
 
+  /// Tears down and rebuilds the node from its durable state. Joins the
+  /// old service's workers, snapshots the old database's pages and
+  /// metadata to an in-memory stream, and stands up a fresh Database +
+  /// QueryService over the reloaded catalog. Metrics and every piece of
+  /// adaptive state restart from zero, exactly like a process restart.
+  Status Restart() {
+    std::unique_lock<std::shared_mutex> lock(restart_latch_);
+    service_->Shutdown();
+    std::stringstream snapshot(std::ios::in | std::ios::out |
+                               std::ios::binary);
+    AIB_RETURN_IF_ERROR(db_->catalog().SaveSnapshotTo(snapshot));
+    AIB_ASSIGN_OR_RETURN(
+        std::unique_ptr<Catalog> catalog,
+        Catalog::LoadSnapshotFrom(snapshot,
+                                  Database::ToCatalogOptions(options_.db)));
+    service_.reset();
+    db_ = std::make_unique<Database>(std::move(catalog), options_.db,
+                                     "shard" + std::to_string(id_));
+    service_ = std::make_unique<QueryService>(db_->executor(), &db_->table(),
+                                              options_.service,
+                                              &db_->metrics());
+    return Status::Ok();
+  }
+
   size_t id() const { return id_; }
   Database& db() { return *db_; }
   const Database& db() const { return *db_; }
@@ -52,8 +90,14 @@ class Shard {
     return const_cast<Database&>(*db_).metrics();
   }
 
+  /// Shared by request paths for the duration of any service()/db() use;
+  /// exclusive in Restart() while the pointers swap.
+  std::shared_mutex& restart_latch() const { return restart_latch_; }
+
  private:
   size_t id_;
+  ShardOptions options_;
+  mutable std::shared_mutex restart_latch_;
   std::unique_ptr<Database> db_;
   std::unique_ptr<QueryService> service_;
 };

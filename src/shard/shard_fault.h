@@ -1,0 +1,132 @@
+#ifndef AIB_SHARD_SHARD_FAULT_H_
+#define AIB_SHARD_SHARD_FAULT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/query_control.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace aib {
+
+/// The outage a shard is currently under.
+enum class ShardOutage : uint8_t {
+  kNone = 0,
+  /// Every request fails fast with IoError — the shard process is gone.
+  kCrash,
+  /// Requests never resolve until the shard is revived; a hung request
+  /// unblocks only on revive, caller deadline, or caller cancel.
+  kHang,
+  /// Requests pass through a seeded error/latency gauntlet — the shard is
+  /// up but degraded (overload, failing disk, network loss).
+  kBrownout,
+};
+
+const char* ShardOutageName(ShardOutage outage);
+
+/// Seeded brownout shape; draws come from the shard's own Rng stream.
+struct BrownoutOptions {
+  /// Per-request probability of failing with IoError.
+  double error_rate = 0.0;
+  /// Per-request probability of an extra `latency` sleep (independent of
+  /// the error draw).
+  double latency_rate = 0.0;
+  std::chrono::microseconds latency{2000};
+};
+
+struct ShardFaultOptions {
+  uint64_t seed = 1;
+};
+
+/// The storage FaultInjector's fleet-level sibling: where that one fails
+/// individual page transfers, this one takes whole shards down. Consulted
+/// by the scatter/routing layer once per request before the request
+/// touches the shard's QueryService; scriptable from tests, the shell,
+/// and the chaos bench.
+///
+/// Determinism: each shard has its own Rng stream (seed mixed with the
+/// shard id) and its own FNV-1a chain over the decisions made for it, so
+/// a single-threaded driver replays bit-identically for a given seed and
+/// TraceHash() gates that replay. Under concurrent callers the per-shard
+/// decision *sequence* still only depends on arrival order, same contract
+/// as the storage injector.
+///
+/// Thread-safe: one mutex guards all control-plane state; the unarmed
+/// fast path is a relaxed atomic load (the common case — no outage
+/// anywhere — costs no lock on the request path).
+class ShardFaultInjector {
+ public:
+  explicit ShardFaultInjector(size_t num_shards,
+                              ShardFaultOptions options = {},
+                              Metrics* metrics = nullptr);
+
+  ShardFaultInjector(const ShardFaultInjector&) = delete;
+  ShardFaultInjector& operator=(const ShardFaultInjector&) = delete;
+
+  // --- Outage script --------------------------------------------------------
+
+  void Crash(size_t shard);
+  void Hang(size_t shard);
+  void Brownout(size_t shard, const BrownoutOptions& options);
+  /// Clears the outage; wakes every request hung on the shard.
+  void Revive(size_t shard);
+
+  ShardOutage outage(size_t shard) const;
+
+  // --- Request path ---------------------------------------------------------
+
+  /// Decides the fate of one request to `shard`. Ok = proceed to the
+  /// shard service. Crash returns IoError immediately; Hang blocks until
+  /// the shard is revived (then Ok) or the caller's deadline/cancel fires
+  /// (then Timeout/Cancelled); Brownout draws error then latency from the
+  /// shard's seeded stream. A Hang with neither deadline nor cancel token
+  /// blocks until Revive — chaos drivers always run under deadlines.
+  Status Admit(size_t shard, const QueryControl* control);
+
+  /// True iff any shard currently has an outage armed (lock-free).
+  bool any_armed() const {
+    return active_.load(std::memory_order_acquire);
+  }
+
+  /// Replay gate: per-shard FNV-1a decision chains, XOR-folded across
+  /// shards. Equal for two runs iff every shard saw the same decision
+  /// sequence.
+  uint64_t TraceHash() const;
+
+  /// Outages armed (Crash/Hang/Brownout calls) since construction.
+  size_t outages_armed() const;
+
+ private:
+  struct ShardState {
+    ShardOutage outage = ShardOutage::kNone;
+    BrownoutOptions brownout;
+    Rng rng{1};
+    /// FNV-1a chain over this shard's decisions.
+    uint64_t trace = 1469598103934665603ULL;
+    uint64_t decisions = 0;
+  };
+
+  /// Folds one decision event into the shard's trace chain. Callers hold
+  /// mu_.
+  static void Note(ShardState* state, uint64_t event);
+
+  void RecomputeActive();  // callers hold mu_
+
+  Metrics* metrics_;  // not owned; may be null
+  mutable std::mutex mu_;
+  std::condition_variable revive_cv_;
+  std::vector<ShardState> shards_;
+  std::atomic<bool> active_{false};
+  size_t outages_armed_ = 0;
+};
+
+}  // namespace aib
+
+#endif  // AIB_SHARD_SHARD_FAULT_H_

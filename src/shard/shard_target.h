@@ -86,6 +86,12 @@ struct ShardSubmitOptions {
   /// Cooperative cancel: flipping the token cancels every in-flight leg at
   /// its next batch/page boundary.
   CancelToken cancel;
+  /// Degraded-gather opt-in for selects: legs refused by an open circuit
+  /// breaker are skipped instead of failing the statement — the result
+  /// carries the healthy legs plus `ShardResult::shards_skipped` and the
+  /// stats-level `degraded` marker. Without it, a select touching an
+  /// open-circuit shard fails fast with a per-shard Unavailable status.
+  bool allow_partial = false;
 };
 
 /// Result of one statement against a shard deployment. For selects, `rids`
@@ -102,6 +108,14 @@ struct ShardResult {
   size_t legs = 0;
   /// Legs re-dispatched after a transient fault or Busy admission.
   size_t legs_retried = 0;
+  /// Shards skipped under allow_partial (open circuit breaker), ascending.
+  /// Non-empty implies stats.degraded — the result is missing those
+  /// shards' rows by the caller's explicit choice.
+  std::vector<size_t> shards_skipped;
+  /// Duplicate legs dispatched past the hedge delay, and how many of them
+  /// beat their primary.
+  size_t legs_hedged = 0;
+  size_t hedge_wins = 0;
 };
 
 /// The deployment abstraction the planner, shell, benches, and tests
@@ -142,6 +156,16 @@ class IShardTarget {
   virtual Result<ShardResult> ExecuteStatement(
       const ShardStatement& statement,
       const ShardSubmitOptions& submit = {}) = 0;
+
+  /// Pre-dispatch admission probe: non-Ok when every shard the statement
+  /// would touch currently refuses work (open circuit breakers).
+  /// Schedulers use it to shed queued statements without burning a
+  /// dispatch slot on a guaranteed fail-fast; the default accepts
+  /// everything.
+  virtual Status AdmissionCheck(const ShardStatement& statement) const {
+    (void)statement;
+    return Status::Ok();
+  }
 
   Result<ShardResult> ExecuteQuery(const Query& query,
                                    const ShardSubmitOptions& submit = {}) {

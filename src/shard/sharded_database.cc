@@ -1,15 +1,20 @@
 #include "shard/sharded_database.h"
 
+#include <algorithm>
 #include <chrono>
+#include <shared_mutex>
 #include <sstream>
 #include <thread>
 #include <utility>
 
+#include "common/rng.h"
 #include "exec/plan.h"
 
 namespace aib {
 
 namespace {
+
+constexpr size_t kAdmissionAttempts = 50;
 
 ShardResult ToShardResult(StatementResult result, size_t shard) {
   ShardResult out;
@@ -30,10 +35,34 @@ SubmitOptions ToSubmitOptions(const ShardSubmitOptions& submit) {
   return options;
 }
 
+ShardFaultOptions FaultOptionsFor(const FleetToleranceOptions& tolerance) {
+  ShardFaultOptions options;
+  options.seed = tolerance.seed;
+  return options;
+}
+
+CircuitBreakerOptions BreakerOptionsFor(const FleetToleranceOptions& tolerance) {
+  CircuitBreakerOptions options = tolerance.breaker;
+  options.seed ^= tolerance.seed;
+  return options;
+}
+
+/// Decorrelates one statement's backoff jitter from its neighbours'
+/// without burning the fleet seed's replayability (same seed + same
+/// statement order = same draws).
+uint64_t StatementBackoffSeed(uint64_t seed, uint64_t sequence) {
+  return seed ^ ((sequence + 1) * 0x9E3779B97F4A7C15ULL);
+}
+
 }  // namespace
 
 ShardedDatabase::ShardedDatabase(Schema schema, ShardedDatabaseOptions options)
-    : options_(std::move(options)), router_(options_.router) {
+    : options_(std::move(options)),
+      router_(options_.router),
+      faults_(router_.num_shards(), FaultOptionsFor(options_.tolerance),
+              &router_metrics_),
+      health_(router_.num_shards(), BreakerOptionsFor(options_.tolerance),
+              &router_metrics_) {
   shards_.reserve(router_.num_shards());
   for (size_t i = 0; i < router_.num_shards(); ++i) {
     shards_.push_back(std::make_unique<Shard>(i, schema, options_.shard));
@@ -43,6 +72,9 @@ ShardedDatabase::ShardedDatabase(Schema schema, ShardedDatabaseOptions options)
 ShardedDatabase::~ShardedDatabase() { Shutdown(); }
 
 void ShardedDatabase::Shutdown() {
+  // Revive first so no request stays parked inside a Hang admit while the
+  // services it would dispatch to go away.
+  for (size_t i = 0; i < shards_.size(); ++i) faults_.Revive(i);
   for (auto& shard : shards_) shard->service().Shutdown();
 }
 
@@ -70,12 +102,17 @@ Result<Tuple> ShardedDatabase::FetchRow(const GlobalRid& grid) const {
   if (grid.shard >= shards_.size()) {
     return Status::InvalidArgument("rid addresses unknown shard");
   }
+  std::shared_lock<std::shared_mutex> gate(
+      shards_[grid.shard]->restart_latch());
   return shards_[grid.shard]->db().table().Get(grid.rid);
 }
 
 std::map<std::string, int64_t> ShardedDatabase::FleetCounters() const {
   Metrics fleet;
-  for (const auto& shard : shards_) fleet.MergeFrom(shard->metrics());
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> gate(shard->restart_latch());
+    fleet.MergeFrom(shard->metrics());
+  }
   fleet.MergeFrom(router_metrics_);
   return fleet.counters();
 }
@@ -83,30 +120,94 @@ std::map<std::string, int64_t> ShardedDatabase::FleetCounters() const {
 Result<StatementResult> ShardedDatabase::RunOnShard(
     size_t shard, const Statement& statement,
     const ShardSubmitOptions& submit, size_t* retried) {
+  // Pin the node across the whole dispatch so a concurrent warm restart
+  // cannot swap the service out from under us.
+  std::shared_lock<std::shared_mutex> gate(shards_[shard]->restart_latch());
   QueryService& service = shards_[shard]->service();
   const SubmitOptions options = ToSubmitOptions(submit);
+  QueryControl control;
+  if (submit.deadline.count() > 0) {
+    control = QueryControl::WithDeadline(submit.deadline);
+  }
+  control.cancel = submit.cancel;
+  Rng backoff_rng(StatementBackoffSeed(
+      options_.tolerance.seed,
+      statement_seq_.fetch_add(1, std::memory_order_relaxed)));
+
   Result<StatementResult> result =
       Result<StatementResult>(Status::Internal("statement not attempted"));
+  size_t attempts = 0;
   for (size_t attempt = 0; attempt <= options_.max_leg_retries; ++attempt) {
     if (attempt > 0 && retried != nullptr) ++*retried;
-    // Busy admission backs off briefly — the shard's queue drains at its
-    // own pace; bounded so a wedged shard surfaces as Busy.
+    ++attempts;
+
+    const ShardHealthTracker::Admit admit = health_.AdmitRequest(shard);
+    if (admit == ShardHealthTracker::Admit::kFailFast) {
+      return AnnotateShardStatus(
+          Status::Unavailable("circuit breaker refused dispatch"), shard,
+          attempts, &health_);
+    }
+    const bool probe = admit == ShardHealthTracker::Admit::kProbe;
+
+    const Status injected = faults_.Admit(shard, &control);
+    if (!injected.ok()) {
+      // An injector refusal is the shard being down — it feeds the
+      // breaker like a dispatched failure would (and must resolve a
+      // probe slot). Cancelled is the caller's doing, not the shard's.
+      if (probe || !injected.IsCancelled()) {
+        health_.RecordFailure(shard, std::chrono::nanoseconds{0});
+      }
+      if (!injected.IsTransient() && !injected.IsCorruption()) {
+        return AnnotateShardStatus(injected, shard, attempts, &health_);
+      }
+      result = Result<StatementResult>(injected);
+      continue;
+    }
+
+    // Busy admission backs off with seeded jitter — the shard's queue
+    // drains at its own pace; bounded so a wedged shard surfaces as Busy.
     Result<std::future<Result<StatementResult>>> future =
         Result<std::future<Result<StatementResult>>>(Status::Internal(""));
-    for (int admission = 0; admission < 50; ++admission) {
+    for (size_t admission = 0; admission < kAdmissionAttempts; ++admission) {
       future = service.Submit(statement, options);
       if (future.ok() || !future.status().IsBusy()) break;
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      AIB_RETURN_IF_ERROR(control.Check());
+      std::this_thread::sleep_for(JitteredBackoff(
+          options_.tolerance.busy_backoff, admission, backoff_rng));
     }
-    if (!future.ok()) return future.status();
+    if (!future.ok()) {
+      // A probe slot must resolve even when the refusal never reached the
+      // shard; plain Busy exhaustion is load, not death, and stays out of
+      // the breaker window.
+      if (probe) health_.RecordFailure(shard, std::chrono::nanoseconds{0});
+      if (!future.status().IsTransient()) {
+        return AnnotateShardStatus(future.status(), shard, attempts,
+                                   &health_);
+      }
+      result = Result<StatementResult>(future.status());
+      continue;
+    }
+
+    const auto dispatched = std::chrono::steady_clock::now();
     result = std::move(future).value().get();
-    if (result.ok()) return result;
+    const auto latency = std::chrono::duration_cast<std::chrono::nanoseconds>(
+        std::chrono::steady_clock::now() - dispatched);
+    if (result.ok()) {
+      health_.RecordSuccess(shard, latency);
+      return result;
+    }
+    if (probe || !result.status().IsCancelled()) {
+      health_.RecordFailure(shard, latency);
+    }
     // The service already retried transients whole-statement; one more
     // layer here covers corruption healed between attempts and queue-full
     // races. Timeout/Cancelled are final.
     if (!result.status().IsTransient() && !result.status().IsCorruption()) {
-      return result;
+      return AnnotateShardStatus(result.status(), shard, attempts, &health_);
     }
+  }
+  if (!result.ok()) {
+    return AnnotateShardStatus(result.status(), shard, attempts, &health_);
   }
   return result;
 }
@@ -117,7 +218,7 @@ Result<ShardResult> ShardedDatabase::RunSelect(
   std::vector<ScatterLeg> legs;
   legs.reserve(targets.size());
   for (const size_t shard : targets) {
-    legs.push_back(ScatterLeg{shard, &shards_[shard]->service()});
+    legs.push_back(ScatterLeg{shard, nullptr, shards_[shard].get()});
   }
   router_metrics_.Increment(targets.size() == 1
                                 ? kMetricShardStatementsRouted
@@ -131,7 +232,19 @@ Result<ShardResult> ShardedDatabase::RunSelect(
   }
   control.cancel = submit.cancel;
 
-  ScatterGatherScan scan(query, std::move(legs), options_.max_leg_retries);
+  ScatterOptions scatter;
+  scatter.max_leg_retries = options_.max_leg_retries;
+  scatter.allow_partial = submit.allow_partial;
+  scatter.hedge_budget = options_.tolerance.hedge_budget;
+  scatter.backoff_seed = StatementBackoffSeed(
+      options_.tolerance.seed,
+      statement_seq_.fetch_add(1, std::memory_order_relaxed));
+  scatter.busy_backoff = options_.tolerance.busy_backoff;
+  scatter.faults = &faults_;
+  scatter.health = &health_;
+  scatter.metrics = &router_metrics_;
+
+  ScatterGatherScan scan(query, std::move(legs), scatter);
   ExecContext ctx;
   ctx.control = &control;
   Status status = scan.Open(&ctx);
@@ -161,6 +274,12 @@ Result<ShardResult> ShardedDatabase::RunSelect(
   result.stats.result_count = result.rids.size();
   result.legs = scan.leg_infos().size();
   result.legs_retried = scan.legs_retried();
+  result.shards_skipped = scan.skipped_shards();
+  result.legs_hedged = scan.hedges_dispatched();
+  result.hedge_wins = scan.hedge_wins();
+  if (!result.shards_skipped.empty()) {
+    router_metrics_.Increment(kMetricShardPartialGathers);
+  }
   return result;
 }
 
@@ -246,6 +365,79 @@ Result<ShardResult> ShardedDatabase::ExecuteStatement(
   return RunDml(statement, submit);
 }
 
+std::vector<size_t> ShardedDatabase::TargetShards(
+    const ShardStatement& statement) const {
+  switch (statement.kind) {
+    case StatementKind::kSelect:
+      return router_.ShardsForQuery(statement.query);
+    case StatementKind::kInsert:
+      return {router_.ShardForTuple(schema(), statement.tuple)};
+    case StatementKind::kUpdate: {
+      std::vector<size_t> targets;
+      if (statement.target.shard < shards_.size()) {
+        targets.push_back(statement.target.shard);
+      }
+      const size_t owner = router_.ShardForTuple(schema(), statement.tuple);
+      if (targets.empty() || owner != targets.front()) {
+        targets.push_back(owner);
+      }
+      std::sort(targets.begin(), targets.end());
+      return targets;
+    }
+    case StatementKind::kDelete:
+      if (statement.target.shard < shards_.size()) {
+        return {statement.target.shard};
+      }
+      return {};
+  }
+  return {};
+}
+
+Status ShardedDatabase::AdmissionCheck(const ShardStatement& statement) const {
+  const std::vector<size_t> targets = TargetShards(statement);
+  if (targets.empty()) return Status::Ok();
+  if (statement.IsDml()) {
+    // DML needs every involved shard: one open breaker dooms it.
+    for (const size_t shard : targets) {
+      if (health_.WouldFailFast(shard)) {
+        return Status::Unavailable(
+            "shard " + std::to_string(shard) +
+            ": circuit breaker open (breaker=" +
+            BreakerStateName(health_.state(shard)) + ")");
+      }
+    }
+    return Status::Ok();
+  }
+  // A select survives as long as any target shard would dispatch (at
+  // worst degraded under allow_partial; fail-fast legs annotate precisely
+  // if the caller didn't opt in).
+  for (const size_t shard : targets) {
+    if (!health_.WouldFailFast(shard)) return Status::Ok();
+  }
+  std::ostringstream msg;
+  msg << "circuit breaker open on every target shard (";
+  for (size_t i = 0; i < targets.size(); ++i) {
+    if (i > 0) msg << ",";
+    msg << targets[i];
+  }
+  msg << ")";
+  return Status::Unavailable(msg.str());
+}
+
+Status ShardedDatabase::RestartShard(size_t i) {
+  if (i >= shards_.size()) {
+    return Status::InvalidArgument("restart targets unknown shard");
+  }
+  // Revive before restarting: requests hung inside the injector hold no
+  // restart latch, but reviving first lets any queued hang admits resolve
+  // against the old incarnation instead of deadlocking the drain.
+  faults_.Revive(i);
+  AIB_RETURN_IF_ERROR(shards_[i]->Restart());
+  health_.Reset(i);
+  router_metrics_.Increment(kMetricShardRestarts);
+  return Status::Ok();
+}
+
 Result<std::string> ShardedDatabase::Explain(const Query& query) {
   const std::vector<size_t> targets = router_.ShardsForQuery(query);
   std::ostringstream out;
@@ -260,6 +452,7 @@ Result<std::string> ShardedDatabase::Explain(const Query& query) {
   // Executes each leg directly through its shard executor (like the
   // shell's explain) so the rendered plans carry real per-operator stats.
   for (const size_t shard : targets) {
+    std::shared_lock<std::shared_mutex> gate(shards_[shard]->restart_latch());
     Executor* executor = shards_[shard]->db().executor();
     std::unique_ptr<PhysicalPlan> plan = executor->PlanQuery(query);
     Result<QueryResult> result = executor->ExecutePlan(plan.get());

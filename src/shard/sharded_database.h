@@ -1,17 +1,36 @@
 #ifndef AIB_SHARD_SHARDED_DATABASE_H_
 #define AIB_SHARD_SHARDED_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/backoff.h"
 #include "common/metrics.h"
 #include "shard/scatter_gather.h"
+#include "shard/shard_fault.h"
+#include "shard/shard_health.h"
 #include "shard/shard_router.h"
 #include "shard/shard_target.h"
 
 namespace aib {
+
+/// Fleet fault-tolerance knobs: the outage injector's seed, the per-shard
+/// circuit breakers, hedging, and the shared Busy-admission backoff.
+struct FleetToleranceOptions {
+  /// Seeds the outage injector's per-shard draw streams and (xor'd with a
+  /// per-statement counter) each statement's backoff jitter.
+  uint64_t seed = 1;
+  /// Per-shard rolling-window circuit breaker + hedge-delay quantiles.
+  CircuitBreakerOptions breaker;
+  /// Hedge duplicates allowed per select statement; 0 disables hedging.
+  size_t hedge_budget = 2;
+  /// Busy-admission backoff shape, shared with the breaker's probe
+  /// schedule idiom (seeded jittered exponential).
+  BackoffPolicy busy_backoff;
+};
 
 struct ShardedDatabaseOptions {
   ShardRouterOptions router;
@@ -24,6 +43,7 @@ struct ShardedDatabaseOptions {
   /// whole statement fails. Rides on top of each shard service's internal
   /// whole-statement retries.
   size_t max_leg_retries = 3;
+  FleetToleranceOptions tolerance;
 };
 
 /// A shared-nothing shard fleet behind one statement front door: rows are
@@ -33,6 +53,14 @@ struct ShardedDatabaseOptions {
 /// moves them are migrated delete+insert), and every shard runs the
 /// paper's adaptive control loop independently on its own
 /// IndexBufferSpace — coverage C[p] is per-shard by design.
+///
+/// Fleet fault tolerance: a ShardFaultInjector can crash/hang/brownout
+/// individual shards (tests, shell, chaos bench); every dispatch consults
+/// the shard's circuit breaker in the ShardHealthTracker and feeds its
+/// outcome back; slow scatter legs hedge within a per-statement budget;
+/// and RestartShard(i) warm-restarts a node from its own durable state —
+/// the Index Buffers re-adapt from cold (recovery-free, §VII) while
+/// results stay bit-identical to a never-crashed fleet.
 ///
 /// No cross-shard transactions: a migrating update is two independent
 /// single-shard statements (documented non-atomicity; the delete lands
@@ -48,9 +76,14 @@ class ShardedDatabase : public IShardTarget {
   const Shard& shard(size_t i) const override { return *shards_[i]; }
   const ShardRouter& router() const { return router_; }
   const ShardedDatabaseOptions& options() const { return options_; }
-  /// The routing layer's own registry (leg dispatch/retry/migration
-  /// counters); included in FleetCounters().
+  /// The routing layer's own registry (leg dispatch/retry/migration and
+  /// outage/breaker/hedge counters); included in FleetCounters().
   Metrics& router_metrics() { return router_metrics_; }
+  /// The fleet outage script: crash/hang/brownout shards from tests, the
+  /// shell, or the chaos bench.
+  ShardFaultInjector& fault_injector() { return faults_; }
+  /// Per-shard breaker/latency state, for introspection and tests.
+  const ShardHealthTracker& health() const { return health_; }
 
   Result<GlobalRid> LoadTuple(const Tuple& tuple) override;
   Status CreatePartialIndex(
@@ -61,11 +94,23 @@ class ShardedDatabase : public IShardTarget {
       const ShardStatement& statement,
       const ShardSubmitOptions& submit = {}) override;
 
+  /// Unavailable when every shard the statement would touch is behind an
+  /// open breaker (schedulers shed such statements instead of dispatching
+  /// them); Ok otherwise.
+  Status AdmissionCheck(const ShardStatement& statement) const override;
+
   Result<Tuple> FetchRow(const GlobalRid& grid) const override;
 
   std::map<std::string, int64_t> FleetCounters() const override;
 
   Result<std::string> Explain(const Query& query) override;
+
+  /// Warm restart of shard `i`: revives any injected outage, waits out
+  /// in-flight requests (restart latch), rebuilds the node from its own
+  /// durable pages via Shard::Restart, and resets the shard's breaker.
+  /// The shard comes back with cold Index Buffers and zeroed metrics,
+  /// exactly like a process restart.
+  Status RestartShard(size_t i);
 
   /// Stops admission on every shard service and joins their workers.
   /// Idempotent; called by the destructor.
@@ -77,17 +122,25 @@ class ShardedDatabase : public IShardTarget {
   Result<ShardResult> RunDml(const ShardStatement& statement,
                              const ShardSubmitOptions& submit);
 
-  /// One single-shard statement leg with Busy backoff and bounded
-  /// transient/corruption re-dispatch. `retried` (optional) accumulates
-  /// re-dispatch count.
+  /// One single-shard statement leg with breaker gate, outage gate,
+  /// jittered Busy backoff, and bounded transient/corruption re-dispatch.
+  /// `retried` (optional) accumulates re-dispatch count.
   Result<StatementResult> RunOnShard(size_t shard, const Statement& statement,
                                      const ShardSubmitOptions& submit,
                                      size_t* retried);
+
+  /// Shards `statement` would touch (select: routed set; DML: owning
+  /// shard(s), both sides of a migration).
+  std::vector<size_t> TargetShards(const ShardStatement& statement) const;
 
   ShardedDatabaseOptions options_;
   ShardRouter router_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Metrics router_metrics_;
+  ShardFaultInjector faults_;
+  ShardHealthTracker health_;
+  /// Per-statement counter; decorrelates backoff jitter across statements.
+  std::atomic<uint64_t> statement_seq_{0};
 };
 
 /// The single-node deployment behind the same interface: one Shard, no

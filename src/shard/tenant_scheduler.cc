@@ -127,6 +127,17 @@ void TenantScheduler::WorkerLoop() {
                                                                 now) +
           std::chrono::milliseconds{1};
     }
+    // Shed statements the target already knows it would refuse (every
+    // shard they'd touch behind an open breaker) instead of burning a
+    // dispatch slot on a guaranteed fail-fast.
+    const Status admit = target_->AdmissionCheck(job.statement);
+    if (!admit.ok()) {
+      if (options_.metrics != nullptr) {
+        options_.metrics->Increment(kMetricTenantShed);
+      }
+      job.promise.set_value(admit);
+      continue;
+    }
     job.promise.set_value(target_->ExecuteStatement(job.statement, job.submit));
   }
 }

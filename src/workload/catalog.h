@@ -1,6 +1,7 @@
 #ifndef AIB_WORKLOAD_CATALOG_H_
 #define AIB_WORKLOAD_CATALOG_H_
 
+#include <iosfwd>
 #include <map>
 #include <memory>
 #include <string>
@@ -126,10 +127,19 @@ class Catalog {
   /// pool first.
   Status SaveSnapshot(const std::string& path);
 
+  /// Stream variant of SaveSnapshot — what warm shard restarts use: the
+  /// snapshot round-trips through an in-memory stream, no filesystem
+  /// involved.
+  Status SaveSnapshotTo(std::ostream& out);
+
   /// Reconstructs a catalog from `path` under the given runtime options
   /// (budgets/costs are runtime configuration, not durable state).
   static Result<std::unique_ptr<Catalog>> LoadSnapshot(
       const std::string& path, CatalogOptions options);
+
+  /// Stream variant of LoadSnapshot.
+  static Result<std::unique_ptr<Catalog>> LoadSnapshotFrom(
+      std::istream& in, CatalogOptions options);
 
  private:
   struct TableState {

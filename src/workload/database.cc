@@ -18,12 +18,22 @@ CatalogOptions Database::ToCatalogOptions(const DatabaseOptions& options) {
 
 Database::Database(Schema schema, DatabaseOptions options,
                    std::string table_name)
-    : options_(options), catalog_(ToCatalogOptions(options)) {
+    : options_(options),
+      catalog_(std::make_unique<Catalog>(ToCatalogOptions(options))) {
   Result<Table*> table =
-      catalog_.CreateTable(std::move(table_name), std::move(schema));
+      catalog_->CreateTable(std::move(table_name), std::move(schema));
   // The catalog is empty at this point; creation cannot collide.
   assert(table.ok());
   table_ = table.value();
+}
+
+Database::Database(std::unique_ptr<Catalog> catalog, DatabaseOptions options,
+                   const std::string& table_name)
+    : options_(options), catalog_(std::move(catalog)) {
+  table_ = catalog_->GetTable(table_name);
+  // Adopting a snapshot that lacks the table is a programming error, not a
+  // runtime condition — restarts reload the snapshot they just saved.
+  assert(table_ != nullptr);
 }
 
 }  // namespace aib

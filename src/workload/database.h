@@ -38,12 +38,22 @@ class Database {
   explicit Database(Schema schema, DatabaseOptions options = {},
                     std::string table_name = "t");
 
+  /// Adopts a catalog restored from a snapshot (warm shard restart): the
+  /// catalog must already contain `table_name`. `options` records the
+  /// runtime configuration the catalog was loaded under.
+  Database(std::unique_ptr<Catalog> catalog, DatabaseOptions options,
+           const std::string& table_name);
+
+  /// The catalog-level view of these facade options; public so restart
+  /// paths can LoadSnapshot under the same runtime configuration.
+  static CatalogOptions ToCatalogOptions(const DatabaseOptions& options);
+
   Table& table() { return *table_; }
   const Table& table() const { return *table_; }
-  Metrics& metrics() { return catalog_.metrics(); }
-  IndexBufferSpace* space() { return catalog_.space(); }
-  BufferPool& buffer_pool() { return catalog_.buffer_pool(); }
-  Catalog& catalog() { return catalog_; }
+  Metrics& metrics() { return catalog_->metrics(); }
+  IndexBufferSpace* space() { return catalog_->space(); }
+  BufferPool& buffer_pool() { return catalog_->buffer_pool(); }
+  Catalog& catalog() { return *catalog_; }
   const DatabaseOptions& options() const { return options_; }
 
   // --- DML (thin wrappers over the statement pipeline) ----------------------
@@ -53,17 +63,17 @@ class Database {
   // exactly one implementation regardless of entry point.
 
   Result<Rid> Insert(const Tuple& tuple) {
-    return catalog_.Insert(table_, tuple);
+    return catalog_->Insert(table_, tuple);
   }
-  Status Delete(const Rid& rid) { return catalog_.Delete(table_, rid); }
+  Status Delete(const Rid& rid) { return catalog_->Delete(table_, rid); }
   Result<Rid> Update(const Rid& rid, const Tuple& tuple) {
-    return catalog_.Update(table_, rid, tuple);
+    return catalog_->Update(table_, rid, tuple);
   }
 
   /// Inserts without maintenance — for initial loading *before* indexes
   /// are created (indexes Build() from scratch anyway).
   Result<Rid> LoadTuple(const Tuple& tuple) {
-    return catalog_.LoadTuple(table_, tuple);
+    return catalog_->LoadTuple(table_, tuple);
   }
 
   // --- Indexing -------------------------------------------------------------
@@ -73,56 +83,54 @@ class Database {
   Status CreatePartialIndex(ColumnId column, ValueCoverage coverage,
                             IndexStructureKind structure =
                                 IndexStructureKind::kBTree) {
-    return catalog_.CreatePartialIndex(table_, column, std::move(coverage),
+    return catalog_->CreatePartialIndex(table_, column, std::move(coverage),
                                        structure);
   }
 
   PartialIndex* GetIndex(ColumnId column) const {
-    return catalog_.GetIndex(table_, column);
+    return catalog_->GetIndex(table_, column);
   }
   IndexBuffer* GetBuffer(ColumnId column) const {
-    return catalog_.GetBuffer(table_, column);
+    return catalog_->GetBuffer(table_, column);
   }
 
   /// Attaches an online tuner (Fig. 1 mechanism) to `column`'s partial
   /// index; adaptation scans and buffer consistency hooks are wired
   /// automatically.
   Status AttachTuner(ColumnId column, IndexTunerOptions options) {
-    return catalog_.AttachTuner(table_, column, options);
+    return catalog_->AttachTuner(table_, column, options);
   }
   IndexTuner* GetTuner(ColumnId column) const {
-    return catalog_.GetTuner(table_, column);
+    return catalog_->GetTuner(table_, column);
   }
 
   /// The table's executor, for standing up a QueryService over this
   /// database (service/query_service.h).
-  Executor* executor() const { return catalog_.executor(table_); }
+  Executor* executor() const { return catalog_->executor(table_); }
 
   // --- Queries --------------------------------------------------------------
 
   /// Executes with access-path selection; also steps the column's tuner if
   /// one is attached (point queries only).
   Result<QueryResult> Execute(const Query& query) {
-    return catalog_.Execute(table_, query);
+    return catalog_->Execute(table_, query);
   }
 
   Result<QueryResult> FullScan(const Query& query) {
-    return catalog_.FullScan(table_, query);
+    return catalog_->FullScan(table_, query);
   }
   Result<QueryResult> IndexScan(const Query& query) {
-    return catalog_.IndexScan(table_, query);
+    return catalog_->IndexScan(table_, query);
   }
 
   /// Rids of all tuples with `value` in `column` (full scan).
   std::vector<Rid> FindRids(ColumnId column, Value value) const {
-    return catalog_.FindRids(table_, column, value);
+    return catalog_->FindRids(table_, column, value);
   }
 
  private:
-  static CatalogOptions ToCatalogOptions(const DatabaseOptions& options);
-
   DatabaseOptions options_;
-  Catalog catalog_;
+  std::unique_ptr<Catalog> catalog_;
   Table* table_;
 };
 

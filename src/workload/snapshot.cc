@@ -57,12 +57,15 @@ bool ReadString(std::istream& in, std::string* s) {
 }  // namespace
 
 Status Catalog::SaveSnapshot(const std::string& path) {
-  AIB_RETURN_IF_ERROR(pool_->FlushAll());
-
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out.is_open()) {
     return Status::InvalidArgument("cannot open snapshot file " + path);
   }
+  return SaveSnapshotTo(out);
+}
+
+Status Catalog::SaveSnapshotTo(std::ostream& out) {
+  AIB_RETURN_IF_ERROR(pool_->FlushAll());
   out.write(kMagic, sizeof(kMagic));
   WritePod<uint32_t>(out, options_.page_size);
   WritePod<uint64_t>(out, disk_->PageCount());
@@ -112,6 +115,11 @@ Result<std::unique_ptr<Catalog>> Catalog::LoadSnapshot(
   if (!in.is_open()) {
     return Status::NotFound("cannot open snapshot file " + path);
   }
+  return LoadSnapshotFrom(in, std::move(options));
+}
+
+Result<std::unique_ptr<Catalog>> Catalog::LoadSnapshotFrom(
+    std::istream& in, CatalogOptions options) {
   char magic[sizeof(kMagic)];
   in.read(magic, sizeof(magic));
   if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {

@@ -80,5 +80,66 @@ TEST(MetricsTest, MergeFromEmptyIsNoOp) {
   EXPECT_EQ(a.counters().size(), 1u);
 }
 
+TEST(MetricsTest, MergeFromRollsUpDegradationAndShardHealthCounters) {
+  // FleetCounters() shape: each shard's registry carries its own
+  // DegradationManager quarantines, the router registry carries the
+  // per-shard health counters, and the rollup sums them all per name.
+  Metrics shard0;
+  Metrics shard1;
+  shard0.Increment(kMetricPartitionsQuarantined, 2);
+  shard1.Increment(kMetricPartitionsQuarantined, 1);
+  shard1.Increment(kMetricServiceExecuted, 40);
+  Metrics router;
+  router.Increment(kMetricShardBreakerOpened, 3);
+  router.Increment(kMetricShardBreakerClosed, 2);
+  router.Increment(kMetricShardBreakerFastFails, 17);
+  router.Increment(kMetricShardCrashRejects, 8);
+  router.Increment(kMetricShardLegsHedged, 5);
+  router.Increment(kMetricShardHedgeWins, 1);
+  router.Increment(kMetricShardRestarts, 1);
+  Metrics fleet;
+  fleet.MergeFrom(shard0);
+  fleet.MergeFrom(shard1);
+  fleet.MergeFrom(router);
+  EXPECT_EQ(fleet.Get(kMetricPartitionsQuarantined), 3);
+  EXPECT_EQ(fleet.Get(kMetricServiceExecuted), 40);
+  EXPECT_EQ(fleet.Get(kMetricShardBreakerOpened), 3);
+  EXPECT_EQ(fleet.Get(kMetricShardBreakerClosed), 2);
+  EXPECT_EQ(fleet.Get(kMetricShardBreakerFastFails), 17);
+  EXPECT_EQ(fleet.Get(kMetricShardCrashRejects), 8);
+  EXPECT_EQ(fleet.Get(kMetricShardLegsHedged), 5);
+  EXPECT_EQ(fleet.Get(kMetricShardHedgeWins), 1);
+  EXPECT_EQ(fleet.Get(kMetricShardRestarts), 1);
+  // Sources stay untouched — the rollup is a read-side view.
+  EXPECT_EQ(shard0.Get(kMetricPartitionsQuarantined), 2);
+  EXPECT_EQ(router.Get(kMetricShardBreakerOpened), 3);
+}
+
+TEST(MetricsTest, MergeFromPoolsHistogramSamples) {
+  // Per-shard latency histograms merge into an exact fleet distribution:
+  // the pooled percentiles are those of the concatenated samples.
+  Metrics shard0;
+  Metrics shard1;
+  for (int i = 1; i <= 4; ++i) shard0.Observe("latency_us", 100.0 * i);
+  for (int i = 1; i <= 4; ++i) shard1.Observe("latency_us", 1000.0 * i);
+  shard1.Observe("queue_wait_us", 7.0);
+  Metrics fleet;
+  fleet.MergeFrom(shard0);
+  fleet.MergeFrom(shard1);
+  const Histogram merged = fleet.HistogramCopy("latency_us");
+  EXPECT_EQ(merged.Count(), 8u);
+  EXPECT_DOUBLE_EQ(merged.Min(), 100.0);
+  EXPECT_DOUBLE_EQ(merged.Max(), 4000.0);
+  EXPECT_DOUBLE_EQ(merged.Sum(), 1000.0 + 10000.0);
+  EXPECT_EQ(fleet.HistogramCopy("queue_wait_us").Count(), 1u);
+  // Merging more samples into the rollup later keeps pooling, not
+  // replacing.
+  Metrics late;
+  late.Observe("latency_us", 50.0);
+  fleet.MergeFrom(late);
+  EXPECT_EQ(fleet.HistogramCopy("latency_us").Count(), 9u);
+  EXPECT_DOUBLE_EQ(fleet.HistogramCopy("latency_us").Min(), 50.0);
+}
+
 }  // namespace
 }  // namespace aib

@@ -1,0 +1,452 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shard/sharded_database.h"
+#include "shard/tenant_scheduler.h"
+
+namespace aib {
+namespace {
+
+// Fleet fault tolerance acceptance: whole-shard outages (crash, hang,
+// brownout), the per-shard circuit breakers they trip, degraded gathers,
+// hedged legs, and warm shard restarts that stay bit-identical to a
+// never-crashed twin.
+
+using std::chrono::microseconds;
+using std::chrono::milliseconds;
+
+constexpr Value kLoadLo = 1;
+constexpr Value kLoadHi = 2000;
+constexpr size_t kRows = 300;
+constexpr size_t kShards = 4;
+
+Schema TestSchema() { return Schema::PaperSchema(2, 16); }
+
+ShardedDatabaseOptions FleetOptions() {
+  ShardedDatabaseOptions options;
+  options.router.num_shards = kShards;
+  options.router.policy = ShardingPolicy::kHash;
+  options.router.routing_column = 0;
+  options.router.range_min = kLoadLo;
+  options.router.range_max = kLoadHi;
+  options.shard.db.max_tuples_per_page = 8;
+  options.shard.db.space.max_entries = 2000;
+  options.shard.db.space.max_pages_per_scan = 20;
+  options.shard.service.num_workers = 1;  // deterministic per-shard FIFO
+  // Keep Busy backoff tight so tests never sleep long.
+  options.tolerance.busy_backoff.base = microseconds{50};
+  options.tolerance.busy_backoff.cap = microseconds{2000};
+  return options;
+}
+
+void Provision(IShardTarget* target) {
+  Rng rng(424242);
+  for (size_t i = 0; i < kRows; ++i) {
+    const Value a = static_cast<Value>(rng.UniformInt(kLoadLo, kLoadHi));
+    const Value b = static_cast<Value>(rng.UniformInt(kLoadLo, kLoadHi));
+    ASSERT_TRUE(target->LoadTuple(Tuple({a, b}, {"row"})).ok());
+  }
+  ASSERT_TRUE(
+      target->CreatePartialIndex(0, ValueCoverage::Range(1, 200)).ok());
+}
+
+std::unique_ptr<ShardedDatabase> MakeFleet(
+    ShardedDatabaseOptions options = FleetOptions()) {
+  auto fleet = std::make_unique<ShardedDatabase>(TestSchema(), options);
+  Provision(fleet.get());
+  return fleet;
+}
+
+/// A routing value owned by `shard` (hash policy, routing column 0).
+Value ValueOwnedBy(const ShardedDatabase& fleet, size_t shard) {
+  for (Value v = kLoadLo; v <= kLoadHi; ++v) {
+    if (fleet.router().ShardForValue(v) == shard) return v;
+  }
+  ADD_FAILURE() << "no value routes to shard " << shard;
+  return kLoadLo;
+}
+
+/// Drives the crashed shard's breaker open: statements routed at it fail
+/// (feeding the window) until the trip, then fail fast.
+void OpenBreakerViaCrash(ShardedDatabase* fleet, size_t shard) {
+  fleet->fault_injector().Crash(shard);
+  const Value victim = ValueOwnedBy(*fleet, shard);
+  for (int i = 0; i < 5 && fleet->health().state(shard) != BreakerState::kOpen;
+       ++i) {
+    (void)fleet->ExecuteQuery(Query::Point(0, victim));
+  }
+  ASSERT_EQ(fleet->health().state(shard), BreakerState::kOpen);
+}
+
+const Query kScatterAll = Query::Range(1, kLoadLo, kLoadHi);
+
+TEST(FleetChaosTest, CrashedShardFailsFastWithAnnotatedStatus) {
+  auto fleet = MakeFleet();
+  const size_t crashed = 2;
+  fleet->fault_injector().Crash(crashed);
+  const Value victim = ValueOwnedBy(*fleet, crashed);
+
+  Result<ShardResult> doomed = fleet->ExecuteQuery(Query::Point(0, victim));
+  ASSERT_FALSE(doomed.ok());
+  EXPECT_TRUE(doomed.status().IsIoError()) << doomed.status().ToString();
+  const std::string message = doomed.status().ToString();
+  EXPECT_NE(message.find("shard " + std::to_string(crashed)),
+            std::string::npos)
+      << message;
+  EXPECT_NE(message.find("crashed (injected)"), std::string::npos) << message;
+  EXPECT_NE(message.find("attempts=4"), std::string::npos) << message;
+
+  // Healthy-routed statements are untouched by the outage.
+  size_t healthy = (crashed + 1) % kShards;
+  Result<ShardResult> fine =
+      fleet->ExecuteQuery(Query::Point(0, ValueOwnedBy(*fleet, healthy)));
+  EXPECT_TRUE(fine.ok()) << fine.status().ToString();
+
+  const auto counters = fleet->FleetCounters();
+  EXPECT_EQ(counters.at(kMetricShardCrashRejects), 4);
+  EXPECT_EQ(counters.at(kMetricShardOutagesArmed), 1);
+
+  // One more statement records the fifth consecutive failure and trips
+  // the breaker; from then on the statement fails fast with Unavailable
+  // and the precise per-shard annotation.
+  Result<ShardResult> tripped = fleet->ExecuteQuery(Query::Point(0, victim));
+  ASSERT_FALSE(tripped.ok());
+  EXPECT_EQ(fleet->health().state(crashed), BreakerState::kOpen);
+  Result<ShardResult> refused = fleet->ExecuteQuery(Query::Point(0, victim));
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsUnavailable())
+      << refused.status().ToString();
+  EXPECT_NE(refused.status().ToString().find("breaker=open"),
+            std::string::npos)
+      << refused.status().ToString();
+  EXPECT_GT(fleet->FleetCounters().at(kMetricShardBreakerFastFails), 0);
+}
+
+TEST(FleetChaosTest, AllowPartialGatherSkipsOpenCircuitShard) {
+  ShardedDatabaseOptions options = FleetOptions();
+  // A probe window long enough that the breaker stays open for the whole
+  // test.
+  options.tolerance.breaker.probe_backoff.base = microseconds{10000000};
+  auto fleet = MakeFleet(options);
+
+  // Baseline scatter before any outage: count rows per shard.
+  Result<ShardResult> baseline = fleet->ExecuteQuery(kScatterAll);
+  ASSERT_TRUE(baseline.ok());
+  size_t rows_on_crashed = 0;
+  const size_t crashed = 1;
+  for (const GlobalRid& grid : baseline->rids) {
+    if (grid.shard == crashed) ++rows_on_crashed;
+  }
+  ASSERT_GT(rows_on_crashed, 0u);
+
+  OpenBreakerViaCrash(fleet.get(), crashed);
+
+  // Without the opt-in, a scatter touching the open-circuit shard fails
+  // fast with the per-shard status.
+  Result<ShardResult> refused = fleet->ExecuteQuery(kScatterAll);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.status().IsUnavailable())
+      << refused.status().ToString();
+
+  // With it, the gather returns every healthy leg plus the degraded
+  // marker and the skipped-shard report.
+  ShardSubmitOptions partial;
+  partial.allow_partial = true;
+  Result<ShardResult> degraded = fleet->ExecuteQuery(kScatterAll, partial);
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->stats.degraded);
+  ASSERT_EQ(degraded->shards_skipped.size(), 1u);
+  EXPECT_EQ(degraded->shards_skipped[0], crashed);
+  EXPECT_EQ(degraded->rids.size(), baseline->rids.size() - rows_on_crashed);
+  for (const GlobalRid& grid : degraded->rids) {
+    EXPECT_NE(grid.shard, crashed);
+  }
+  EXPECT_GT(fleet->FleetCounters().at(kMetricShardPartialGathers), 0);
+  EXPECT_GT(fleet->FleetCounters().at(kMetricShardLegsSkipped), 0);
+
+  // Healthy-pruned statements never consult the crashed shard at all.
+  Result<ShardResult> routed = fleet->ExecuteQuery(
+      Query::Point(0, ValueOwnedBy(*fleet, (crashed + 1) % kShards)));
+  EXPECT_TRUE(routed.ok()) << routed.status().ToString();
+}
+
+TEST(FleetChaosTest, HangRespectsStatementDeadline) {
+  auto fleet = MakeFleet();
+  const size_t hung = 3;
+  fleet->fault_injector().Hang(hung);
+  ShardSubmitOptions submit;
+  submit.deadline = milliseconds{100};
+  const auto start = std::chrono::steady_clock::now();
+  Result<ShardResult> timed_out =
+      fleet->ExecuteQuery(Query::Point(0, ValueOwnedBy(*fleet, hung)), submit);
+  const auto waited = std::chrono::steady_clock::now() - start;
+  ASSERT_FALSE(timed_out.ok());
+  EXPECT_TRUE(timed_out.status().IsTimeout())
+      << timed_out.status().ToString();
+  // Fail-fast bound: the deadline, not a retry ladder, decides when the
+  // statement returns.
+  EXPECT_LT(waited, milliseconds{5000});
+  fleet->fault_injector().Revive(hung);
+  Result<ShardResult> revived =
+      fleet->ExecuteQuery(Query::Point(0, ValueOwnedBy(*fleet, hung)), submit);
+  EXPECT_TRUE(revived.ok()) << revived.status().ToString();
+  EXPECT_GT(fleet->FleetCounters().at(kMetricShardHangWaits), 0);
+}
+
+TEST(FleetChaosTest, HedgedLegsDispatchWithinBudget) {
+  ShardedDatabaseOptions options = FleetOptions();
+  // A zero hedge delay turns every leg into a hedge candidate — this
+  // exercises the duplicate-dispatch plumbing deterministically rather
+  // than relying on a genuinely slow shard.
+  options.tolerance.breaker.hedge_default = microseconds{0};
+  options.tolerance.breaker.hedge_floor = microseconds{0};
+  options.tolerance.hedge_budget = 2;
+  auto fleet = MakeFleet(options);
+
+  Result<ShardResult> baseline = fleet->ExecuteQuery(kScatterAll);
+  ASSERT_TRUE(baseline.ok());
+
+  Result<ShardResult> hedged = fleet->ExecuteQuery(kScatterAll);
+  ASSERT_TRUE(hedged.ok()) << hedged.status().ToString();
+  EXPECT_GE(hedged->legs_hedged, 1u);
+  EXPECT_LE(hedged->legs_hedged, 2u) << "hedge budget exceeded";
+  EXPECT_LE(hedged->hedge_wins, hedged->legs_hedged);
+  // A hedged gather returns exactly what the unhedged one did — the
+  // duplicate races the same statement on the same shard.
+  EXPECT_EQ(hedged->rids, baseline->rids);
+  EXPECT_GT(fleet->FleetCounters().at(kMetricShardLegsHedged), 0);
+}
+
+TEST(FleetChaosTest, WarmRestartMatchesNeverCrashedTwin) {
+  auto subject = MakeFleet();
+  auto twin = MakeFleet();
+
+  // Identical DML phase on both fleets before any outage.
+  const auto mutate = [](ShardedDatabase* fleet) {
+    std::vector<GlobalRid> inserted;
+    for (Value v = 300; v < 340; ++v) {
+      Result<ShardResult> result = fleet->ExecuteStatement(
+          ShardStatement::Insert(Tuple({v, v + 1}, {"row"})));
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      inserted.push_back(result->rids.at(0));
+    }
+    for (size_t i = 0; i < inserted.size(); i += 4) {
+      ASSERT_TRUE(
+          fleet->ExecuteStatement(ShardStatement::Delete(inserted[i])).ok());
+    }
+    for (size_t i = 1; i < inserted.size(); i += 4) {
+      ASSERT_TRUE(fleet
+                      ->ExecuteStatement(ShardStatement::Update(
+                          inserted[i],
+                          Tuple({static_cast<Value>(1500 + i), 7}, {"row"})))
+                      .ok());
+    }
+  };
+  mutate(subject.get());
+  mutate(twin.get());
+
+  // Outage on the subject only: crash, a few doomed statements, restart.
+  const size_t crashed = 2;
+  subject->fault_injector().Crash(crashed);
+  const Value victim = ValueOwnedBy(*subject, crashed);
+  for (int i = 0; i < 3; ++i) {
+    Result<ShardResult> doomed = subject->ExecuteQuery(Query::Point(0, victim));
+    EXPECT_FALSE(doomed.ok());
+  }
+  ASSERT_TRUE(subject->RestartShard(crashed).ok());
+  EXPECT_EQ(subject->fault_injector().outage(crashed), ShardOutage::kNone);
+  EXPECT_EQ(subject->health().state(crashed), BreakerState::kClosed);
+  EXPECT_EQ(subject->FleetCounters().at(kMetricShardRestarts), 1);
+  // The restarted node is cold: fresh metrics, empty Index Buffer Space.
+  EXPECT_EQ(subject->shard(crashed).metrics().Get(kMetricServiceExecuted), 0);
+  if (subject->shard(crashed).db().space() != nullptr) {
+    EXPECT_EQ(subject->shard(crashed).db().space()->TotalEntries(), 0u);
+  }
+
+  // Bit-identical equivalence: heap placement is durable, so not just row
+  // contents but the GlobalRids themselves must match the twin that never
+  // crashed — for scatters and for statements routed at the restarted
+  // shard alike.
+  const std::vector<Query> probes = {
+      kScatterAll,
+      Query::Point(0, victim),
+      Query::Range(0, 1, 200),
+      Query::Range(0, 1490, 1560),
+  };
+  for (const Query& query : probes) {
+    Result<ShardResult> on_subject = subject->ExecuteQuery(query);
+    Result<ShardResult> on_twin = twin->ExecuteQuery(query);
+    ASSERT_TRUE(on_subject.ok()) << on_subject.status().ToString();
+    ASSERT_TRUE(on_twin.ok()) << on_twin.status().ToString();
+    EXPECT_EQ(on_subject->rids, on_twin->rids);
+  }
+  // And the rows behind those rids are the same bytes.
+  Result<ShardResult> all = subject->ExecuteQuery(kScatterAll);
+  ASSERT_TRUE(all.ok());
+  for (const GlobalRid& grid : all->rids) {
+    Result<Tuple> mine = subject->FetchRow(grid);
+    Result<Tuple> theirs = twin->FetchRow(grid);
+    ASSERT_TRUE(mine.ok());
+    ASSERT_TRUE(theirs.ok());
+    EXPECT_EQ(mine->IntValue(subject->schema(), 0),
+              theirs->IntValue(twin->schema(), 0));
+    EXPECT_EQ(mine->IntValue(subject->schema(), 1),
+              theirs->IntValue(twin->schema(), 1));
+  }
+}
+
+TEST(FleetChaosTest, RestartWhileHungRevivesInsteadOfDeadlocking) {
+  auto fleet = MakeFleet();
+  const size_t hung = 0;
+  const Value victim = ValueOwnedBy(*fleet, hung);
+  fleet->fault_injector().Hang(hung);
+  std::atomic<bool> query_done{false};
+  Status query_status = Status::Internal("not run");
+  std::thread blocked([&] {
+    // No deadline: this admit parks inside the injector until the restart
+    // revives the shard.
+    Result<ShardResult> result = fleet->ExecuteQuery(Query::Point(0, victim));
+    query_status = result.status();
+    query_done.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds{30});
+  EXPECT_FALSE(query_done.load());
+  // RestartShard revives first, so the parked admit drains against the
+  // old incarnation and the exclusive restart latch can then be taken.
+  ASSERT_TRUE(fleet->RestartShard(hung).ok());
+  blocked.join();
+  EXPECT_TRUE(query_status.ok()) << query_status.ToString();
+  Result<ShardResult> after = fleet->ExecuteQuery(Query::Point(0, victim));
+  EXPECT_TRUE(after.ok()) << after.status().ToString();
+}
+
+TEST(FleetChaosTest, TenantSchedulerShedsDoomedStatements) {
+  ShardedDatabaseOptions options = FleetOptions();
+  options.tolerance.breaker.probe_backoff.base = microseconds{10000000};
+  auto fleet = MakeFleet(options);
+  const size_t crashed = 3;
+  OpenBreakerViaCrash(fleet.get(), crashed);
+
+  TenantSchedulerOptions scheduler_options;
+  scheduler_options.num_workers = 1;
+  scheduler_options.metrics = &fleet->router_metrics();
+  TenantScheduler scheduler(fleet.get(), scheduler_options);
+
+  // An insert routed at the open-circuit shard is shed at dispatch time —
+  // Unavailable without ever burning a shard submit.
+  const Value victim = ValueOwnedBy(*fleet, crashed);
+  Result<std::future<Result<ShardResult>>> doomed = scheduler.Submit(
+      1, ShardStatement::Insert(Tuple({victim, 1}, {"row"})), {});
+  ASSERT_TRUE(doomed.ok());
+  Result<ShardResult> shed = std::move(doomed).value().get();
+  ASSERT_FALSE(shed.ok());
+  EXPECT_TRUE(shed.status().IsUnavailable()) << shed.status().ToString();
+  EXPECT_GE(fleet->router_metrics().Get(kMetricTenantShed), 1);
+
+  // A healthy-routed statement flows through the same scheduler.
+  const Value fine = ValueOwnedBy(*fleet, (crashed + 1) % kShards);
+  Result<std::future<Result<ShardResult>>> ok_future = scheduler.Submit(
+      1, ShardStatement::Insert(Tuple({fine, 1}, {"row"})), {});
+  ASSERT_TRUE(ok_future.ok());
+  Result<ShardResult> ok_result = std::move(ok_future).value().get();
+  EXPECT_TRUE(ok_result.ok()) << ok_result.status().ToString();
+  scheduler.Shutdown();
+}
+
+TEST(FleetChaosTest, FaultScriptTraceHashReplays) {
+  // A breaker that never trips: otherwise the brownout opens shard 2's
+  // circuit after a few statements and later scatters fail fast without
+  // consulting the injector, so extra statements would not extend the
+  // trace.
+  ShardedDatabaseOptions options = FleetOptions();
+  options.tolerance.breaker.consecutive_failures = 1000000;
+  options.tolerance.breaker.error_threshold = 1.1;
+  const auto drive = [](ShardedDatabase* fleet, size_t extra) {
+    fleet->fault_injector().Crash(1);
+    const Value victim = ValueOwnedBy(*fleet, 1);
+    for (int i = 0; i < 2; ++i) {
+      (void)fleet->ExecuteQuery(Query::Point(0, victim));
+    }
+    fleet->fault_injector().Revive(1);
+    BrownoutOptions brownout;
+    brownout.error_rate = 0.4;
+    fleet->fault_injector().Brownout(2, brownout);
+    for (size_t i = 0; i < 6 + extra; ++i) {
+      (void)fleet->ExecuteQuery(kScatterAll);
+    }
+    fleet->fault_injector().Revive(2);
+  };
+  auto a = MakeFleet(options);
+  auto b = MakeFleet(options);
+  drive(a.get(), 0);
+  drive(b.get(), 0);
+  EXPECT_EQ(a->fault_injector().TraceHash(), b->fault_injector().TraceHash())
+      << "same seed + same statement sequence must replay bit-identically";
+  auto c = MakeFleet(options);
+  drive(c.get(), 2);
+  EXPECT_NE(a->fault_injector().TraceHash(), c->fault_injector().TraceHash());
+}
+
+TEST(FleetChaosTest, ConcurrentOutagesAndRestartsStayCoherent) {
+  ShardedDatabaseOptions options = FleetOptions();
+  options.shard.service.num_workers = 2;
+  auto fleet = MakeFleet(options);
+  constexpr size_t kThreads = 4;
+  constexpr size_t kStatementsPerThread = 40;
+  std::atomic<size_t> succeeded{0};
+  std::atomic<size_t> failed{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (size_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      Rng rng(1000 + t);
+      for (size_t i = 0; i < kStatementsPerThread; ++i) {
+        ShardSubmitOptions submit;
+        submit.deadline = milliseconds{2000};
+        submit.allow_partial = (i % 2) == 0;
+        const Value v =
+            static_cast<Value>(rng.UniformInt(kLoadLo, kLoadHi));
+        Result<ShardResult> result =
+            (i % 3) == 0
+                ? fleet->ExecuteQuery(Query::Range(1, v, v + 50), submit)
+                : fleet->ExecuteQuery(Query::Point(0, v), submit);
+        if (result.ok()) {
+          succeeded.fetch_add(1);
+        } else {
+          failed.fetch_add(1);
+        }
+      }
+    });
+  }
+  // The chaos driver: outages, revivals, and warm restarts under load.
+  const size_t chaos_shard = 1;
+  for (int round = 0; round < 6; ++round) {
+    fleet->fault_injector().Crash(chaos_shard);
+    std::this_thread::sleep_for(milliseconds{5});
+    fleet->fault_injector().Revive(chaos_shard);
+    BrownoutOptions brownout;
+    brownout.error_rate = 0.2;
+    brownout.latency_rate = 0.2;
+    brownout.latency = microseconds{500};
+    fleet->fault_injector().Brownout(chaos_shard, brownout);
+    std::this_thread::sleep_for(milliseconds{5});
+    ASSERT_TRUE(fleet->RestartShard(chaos_shard).ok());
+  }
+  for (std::thread& worker : workers) worker.join();
+  EXPECT_EQ(succeeded.load() + failed.load(), kThreads * kStatementsPerThread);
+  EXPECT_GT(succeeded.load(), 0u);
+  // The fleet is coherent after the dust settles: every outage cleared,
+  // a full scatter succeeds, and the restarted shard serves traffic.
+  Result<ShardResult> final_scan = fleet->ExecuteQuery(kScatterAll);
+  EXPECT_TRUE(final_scan.ok()) << final_scan.status().ToString();
+}
+
+}  // namespace
+}  // namespace aib

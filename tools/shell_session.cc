@@ -787,6 +787,61 @@ bool ShellSession::ExecuteShardedLine(const std::vector<std::string>& tokens) {
     return true;
   }
 
+  if (command == "shardfault") {
+    // Whole-shard outages, the fleet-level sibling of `fault`:
+    //   shardfault NAME SHARD crash|hang|revive
+    //   shardfault NAME SHARD brownout ERR_RATE LAT_RATE [LAT_US]
+    if (tokens.size() < 4) {
+      return Fail(
+          "shardfault NAME SHARD crash|hang|revive | shardfault NAME SHARD "
+          "brownout ERR_RATE LAT_RATE [LAT_US]");
+    }
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    const size_t shard = std::stoull(tokens[2]);
+    if (shard >= table->db->ShardCount()) {
+      return Fail("shard " + tokens[2] + " out of range");
+    }
+    ShardFaultInjector& injector = table->db->fault_injector();
+    const std::string& outage = tokens[3];
+    if (outage == "crash") {
+      injector.Crash(shard);
+    } else if (outage == "hang") {
+      injector.Hang(shard);
+    } else if (outage == "revive") {
+      injector.Revive(shard);
+    } else if (outage == "brownout") {
+      if (tokens.size() < 6) {
+        return Fail("shardfault NAME SHARD brownout ERR_RATE LAT_RATE [LAT_US]");
+      }
+      BrownoutOptions options;
+      options.error_rate = std::stod(tokens[4]);
+      options.latency_rate = std::stod(tokens[5]);
+      if (tokens.size() > 6) {
+        options.latency = std::chrono::microseconds(std::stoull(tokens[6]));
+      }
+      injector.Brownout(shard, options);
+    } else {
+      return Fail("outage must be crash, hang, brownout, or revive");
+    }
+    out_ << "ok: shard " << shard << " "
+         << ShardOutageName(injector.outage(shard)) << "\n";
+    return true;
+  }
+
+  if (command == "restart") {
+    if (tokens.size() != 3) return Fail("restart NAME SHARD");
+    if (table == nullptr) return Fail("no sharded table " + tokens[1]);
+    const size_t shard = std::stoull(tokens[2]);
+    if (shard >= table->db->ShardCount()) {
+      return Fail("shard " + tokens[2] + " out of range");
+    }
+    const Status status = table->db->RestartShard(shard);
+    if (!status.ok()) return Fail(status.ToString());
+    out_ << "ok: shard " << shard
+         << " restarted (cold buffers, breaker reset)\n";
+    return true;
+  }
+
   if (command == "buffers") {
     for (const auto& [name, entry] : sharded_) {
       out_ << name << ":\n";
@@ -821,6 +876,15 @@ bool ShellSession::ExecuteShardedLine(const std::vector<std::string>& tokens) {
              << " latch_waits=" << metrics.Get(kMetricLatchWaits)
              << " optimistic_retries="
              << metrics.Get(kMetricLatchOptimisticRetries) << "\n";
+      }
+      for (size_t s = 0; s < db.ShardCount(); ++s) {
+        const ShardHealthSnapshot health = db.health().snapshot(s);
+        out_ << "  shard " << s << " health: outage="
+             << ShardOutageName(db.fault_injector().outage(s))
+             << " breaker=" << BreakerStateName(health.state)
+             << " samples=" << health.samples
+             << " failures=" << health.failures
+             << " opened=" << health.times_opened << "\n";
       }
       for (const TenantScheduler::TenantInfo& info :
            entry.scheduler->TenantInfos()) {
