@@ -115,7 +115,9 @@ Status ScatterGatherScan::DispatchLeg(size_t i) {
     const auto start = std::chrono::steady_clock::now();
     const Status fault = opts_.faults->Admit(shard, caller_control_);
     if (!fault.ok()) {
-      if (opts_.health != nullptr && !fault.IsCancelled()) {
+      // Cancelled is the caller's doing and stays out of the window —
+      // unless this attempt holds the probe slot, which must resolve.
+      if (opts_.health != nullptr && (probe || !fault.IsCancelled())) {
         opts_.health->RecordFailure(shard,
                                     std::chrono::steady_clock::now() - start);
       }
@@ -135,6 +137,7 @@ Status ScatterGatherScan::DispatchLeg(size_t i) {
     if (future.ok()) {
       futures_[i] = std::move(future).value();
       dispatched_at_[i] = std::chrono::steady_clock::now();
+      info.probe_pending = probe;
       return Status::Ok();
     }
     if (!future.status().IsBusy()) {
@@ -300,6 +303,7 @@ Status ScatterGatherScan::AwaitLeg(size_t i) {
       if (opts_.health != nullptr) {
         opts_.health->RecordSuccess(shard, elapsed);
       }
+      info.probe_pending = false;
       info.status = Status::Ok();
       info.rows = result->rids.size();
       info.stats = result->stats;
@@ -310,10 +314,14 @@ Status ScatterGatherScan::AwaitLeg(size_t i) {
     info.status = result.status();
     // Cancellation is the caller's decision, not the shard's health; every
     // other failure of a dispatched request (Timeout included — a hung
-    // shard manifests exactly as timeouts) feeds the breaker window.
-    if (opts_.health != nullptr && !result.status().IsCancelled()) {
+    // shard manifests exactly as timeouts) feeds the breaker window. A
+    // probe leg records its failure even when cancelled (leg_cancel_ fires
+    // whenever a sibling leg fails) — the claimed slot must resolve.
+    if (opts_.health != nullptr &&
+        (info.probe_pending || !result.status().IsCancelled())) {
       opts_.health->RecordFailure(shard, elapsed);
     }
+    info.probe_pending = false;
     // Only this leg re-plans: transient shortages and corruption are
     // retriable per the recovery-free argument (the shard quarantines and
     // heals between attempts); Timeout/Cancelled are final.
@@ -374,6 +382,33 @@ Status ScatterGatherScan::Close() {
     // services resolve their futures regardless, and shared_ptr keeps the
     // token alive for them.
     leg_cancel_->store(true, std::memory_order_relaxed);
+  }
+  // A dispatched probe leg left undrained (an earlier leg's error ended
+  // the gather before AwaitLeg reached it) has recorded no outcome, which
+  // would wedge the breaker in HalfProbe forever. Resolve it here: with
+  // the real outcome when the future already landed, conservatively as a
+  // failure otherwise — the breaker re-probes later either way.
+  if (opts_.health != nullptr) {
+    for (size_t i = 0; i < leg_infos_.size(); ++i) {
+      LegInfo& info = leg_infos_[i];
+      if (!info.probe_pending) continue;
+      info.probe_pending = false;
+      const size_t shard = legs_[i].shard;
+      if (futures_[i].valid() &&
+          futures_[i].wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+        const Result<StatementResult> result = futures_[i].get();
+        const std::chrono::nanoseconds elapsed =
+            std::chrono::steady_clock::now() - dispatched_at_[i];
+        if (result.ok()) {
+          opts_.health->RecordSuccess(shard, elapsed);
+        } else {
+          opts_.health->RecordFailure(shard, elapsed);
+        }
+      } else {
+        opts_.health->RecordFailure(shard, std::chrono::nanoseconds{0});
+      }
+    }
   }
   // Undrained and hedged-loser futures resolve under the restart pins:
   // QueryService::Shutdown (the restart teardown) joins its workers, so

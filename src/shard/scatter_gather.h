@@ -94,6 +94,11 @@ class ScatterGatherScan : public PhysicalOperator {
     bool skipped = false;
     /// Leg dispatched a hedge duplicate.
     bool hedged = false;
+    /// Leg owns the shard's half-open probe slot and its outcome has not
+    /// been recorded yet. Every dispatched probe must resolve (success or
+    /// failure) or the breaker wedges in HalfProbe; AwaitLeg clears this
+    /// on record, Close() resolves any leg still holding it.
+    bool probe_pending = false;
     /// Breaker state observed at the last dispatch attempt.
     BreakerState breaker = BreakerState::kClosed;
   };

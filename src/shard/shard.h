@@ -64,16 +64,28 @@ class Shard {
   /// adaptive state restart from zero, exactly like a process restart.
   Status Restart() {
     std::unique_lock<std::shared_mutex> lock(restart_latch_);
+    // Shutdown must precede the snapshot: stragglers that no longer hold
+    // the latch (hedged losers, abandoned futures) only quiesce when the
+    // service joins its workers, and a select still mutates adaptive
+    // state.
     service_->Shutdown();
+    const auto revive = [&](const Status& status) {
+      // A failed snapshot/reload must not leave the node half-torn-down:
+      // the old database is untouched, so stand a fresh service back over
+      // it and surface the error with the shard still serving.
+      service_ = std::make_unique<QueryService>(
+          db_->executor(), &db_->table(), options_.service, &db_->metrics());
+      return status;
+    };
     std::stringstream snapshot(std::ios::in | std::ios::out |
                                std::ios::binary);
-    AIB_RETURN_IF_ERROR(db_->catalog().SaveSnapshotTo(snapshot));
-    AIB_ASSIGN_OR_RETURN(
-        std::unique_ptr<Catalog> catalog,
-        Catalog::LoadSnapshotFrom(snapshot,
-                                  Database::ToCatalogOptions(options_.db)));
+    const Status saved = db_->catalog().SaveSnapshotTo(snapshot);
+    if (!saved.ok()) return revive(saved);
+    Result<std::unique_ptr<Catalog>> catalog = Catalog::LoadSnapshotFrom(
+        snapshot, Database::ToCatalogOptions(options_.db));
+    if (!catalog.ok()) return revive(catalog.status());
     service_.reset();
-    db_ = std::make_unique<Database>(std::move(catalog), options_.db,
+    db_ = std::make_unique<Database>(std::move(catalog).value(), options_.db,
                                      "shard" + std::to_string(id_));
     service_ = std::make_unique<QueryService>(db_->executor(), &db_->table(),
                                               options_.service,

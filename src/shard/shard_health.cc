@@ -104,11 +104,18 @@ void ShardHealthTracker::RecordSuccess(size_t shard,
   Push(&state, /*ok=*/true, latency);
   if (state.state == BreakerState::kHalfProbe) {
     // The probe came back healthy: close, and forget the failure history
-    // that tripped us — the window restarts from the recovered shard.
+    // that tripped us. Readers iterate window[0..samples) while writes
+    // continue at `next`, so restart the ring with the probe's own
+    // outcome at slot 0 — otherwise the error-rate trip, hedge quantile,
+    // and snapshot would keep reading outage-era entries.
     state.state = BreakerState::kClosed;
     state.probe_in_flight = false;
     state.open_streak = 0;
-    state.samples = 1;  // keep the probe's own latency sample
+    const size_t last =
+        (state.next + state.window.size() - 1) % state.window.size();
+    state.window[0] = state.window[last];
+    state.next = 1 % state.window.size();
+    state.samples = 1;
     state.consecutive_failures = 0;
     if (metrics_ != nullptr) metrics_->Increment(kMetricShardBreakerClosed);
   }

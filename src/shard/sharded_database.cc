@@ -171,7 +171,14 @@ Result<StatementResult> ShardedDatabase::RunOnShard(
     for (size_t admission = 0; admission < kAdmissionAttempts; ++admission) {
       future = service.Submit(statement, options);
       if (future.ok() || !future.status().IsBusy()) break;
-      AIB_RETURN_IF_ERROR(control.Check());
+      const Status caller = control.Check();
+      if (!caller.ok()) {
+        // A claimed probe slot must resolve even when the caller's
+        // deadline/cancel fires mid-backoff, or the breaker wedges in
+        // HalfProbe until a restart.
+        if (probe) health_.RecordFailure(shard, std::chrono::nanoseconds{0});
+        return caller;
+      }
       std::this_thread::sleep_for(JitteredBackoff(
           options_.tolerance.busy_backoff, admission, backoff_rng));
     }

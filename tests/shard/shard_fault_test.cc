@@ -245,6 +245,31 @@ TEST(ShardHealthTrackerTest, SuccessfulProbeClosesTheBreaker) {
   EXPECT_GE(metrics.Get(kMetricShardBreakerFastFails), 2);
 }
 
+TEST(ShardHealthTrackerTest, ProbeSuccessForgetsOutageEraOutcomes) {
+  CircuitBreakerOptions options = FastProbeOptions();
+  options.min_samples = 3;  // eager error-rate trip to expose stale reads
+  ShardHealthTracker health(1, options);
+  for (int i = 0; i < 5; ++i) health.RecordFailure(0, milliseconds{1});
+  ASSERT_EQ(health.state(0), BreakerState::kOpen);
+  std::this_thread::sleep_for(milliseconds{6});
+  ASSERT_EQ(health.AdmitRequest(0), ShardHealthTracker::Admit::kProbe);
+  health.RecordSuccess(0, milliseconds{1});
+  ASSERT_EQ(health.state(0), BreakerState::kClosed);
+  // The window restarted from the probe's own outcome: no stale
+  // outage-era failures are visible to readers.
+  ShardHealthSnapshot snap = health.snapshot(0);
+  EXPECT_EQ(snap.samples, 1u);
+  EXPECT_EQ(snap.failures, 0u);
+  // One transient failure among post-recovery successes must not re-trip
+  // via the error-rate path reading pre-outage entries.
+  health.RecordFailure(0, milliseconds{1});
+  health.RecordSuccess(0, milliseconds{1});
+  EXPECT_EQ(health.state(0), BreakerState::kClosed);
+  snap = health.snapshot(0);
+  EXPECT_EQ(snap.samples, 3u);
+  EXPECT_EQ(snap.failures, 1u);
+}
+
 TEST(ShardHealthTrackerTest, FailedProbeReopensWithLongerBackoff) {
   ShardHealthTracker health(1, FastProbeOptions());
   for (int i = 0; i < 5; ++i) health.RecordFailure(0, milliseconds{1});
