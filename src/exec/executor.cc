@@ -42,8 +42,8 @@ Result<QueryResult> Executor::ExecutePlan(PhysicalPlan* plan,
     // locks); no space latch needed.
     space_->OnQuery(plan->driver_index(), plan->driver_hit());
   }
-  Result<QueryResult> result =
-      plan->Run(cost_model_, control, dispatcher_, parallel_options_);
+  Result<QueryResult> result = plan->Run(cost_model_, control, dispatcher_,
+                                         parallel_options_, io_scheduler_);
   if (metrics_ != nullptr) {
     if (!result.ok() && result.status().IsTimeout()) {
       metrics_->Increment(kMetricQueriesTimedOut);
@@ -51,6 +51,13 @@ Result<QueryResult> Executor::ExecutePlan(PhysicalPlan* plan,
       metrics_->Increment(kMetricQueriesCancelled);
     } else if (result.ok() && result.value().stats.degraded) {
       metrics_->Increment(kMetricDegradedQueries);
+    }
+    if (result.ok() && result.value().stats.pages_scanned > 0) {
+      // Numerator of the page-reuse ratio: every page a scan consumed,
+      // whether it came from disk or was already buffered.
+      metrics_->Increment(kMetricScanPagesServed,
+                          static_cast<int64_t>(
+                              result.value().stats.pages_scanned));
     }
   }
   return result;
@@ -65,7 +72,7 @@ Result<QueryResult> Executor::Execute(const Query& query,
 Result<QueryResult> Executor::FullScan(const Query& query) {
   std::shared_lock<std::shared_mutex> latch(stmt_latch_);
   return planner_.PlanFullScan(query)->Run(cost_model_, nullptr, dispatcher_,
-                                           parallel_options_);
+                                           parallel_options_, io_scheduler_);
 }
 
 Result<QueryResult> Executor::IndexScan(const Query& query) {

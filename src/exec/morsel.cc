@@ -1,9 +1,11 @@
 #include "exec/morsel.h"
 
 #include <algorithm>
+#include <optional>
 #include <utility>
 
 #include "exec/batch.h"
+#include "storage/io_scheduler.h"
 
 namespace aib {
 
@@ -127,6 +129,26 @@ Status LoadPageBatch(const Table& table, size_t page,
   return Status::Ok();
 }
 
+void PrefetchAhead(const Table& table, const ExecContext& ctx,
+                   size_t next_page) {
+  if (next_page >= table.PageCount()) return;
+  if (ctx.io_scheduler == nullptr) {
+    table.heap().PrefetchPage(next_page);
+    return;
+  }
+  const PageId page_id = table.heap().PageIdAt(next_page);
+  if (page_id == kInvalidPageId) return;
+  IoScheduler::PageRequest request;
+  request.page = page_id;
+  // Base relevance of a single scan's own readahead; concurrent scans that
+  // registered the page's range add their demand on top.
+  request.boost = 1.0;
+  if (ctx.control != nullptr && ctx.control->has_deadline()) {
+    request.deadline = ctx.control->deadline;
+  }
+  ctx.io_scheduler->Request(request);
+}
+
 namespace {
 
 /// Per-page output staged by a worker. Faults strike whole pages (the
@@ -156,19 +178,19 @@ struct MorselSlot {
 void ProcessPlainMorsel(const Table& table,
                         const std::vector<ColumnPredicate>& predicates,
                         const std::vector<ColumnId>& columns,
-                        const QueryControl* control, bool prefetch,
-                        const Morsel& morsel, MorselSlot* slot) {
+                        const ExecContext& ctx, const Morsel& morsel,
+                        MorselSlot* slot) {
   TupleBatch batch;
   for (size_t i = 0; i < morsel.page_count; ++i) {
     const size_t page = morsel.first_page + i;
-    if (control != nullptr) {
-      if (Status s = control->Check(); !s.ok()) {
+    if (ctx.control != nullptr) {
+      if (Status s = ctx.control->Check(); !s.ok()) {
         slot->status = s;
         return;
       }
     }
-    if (prefetch && i + 1 < morsel.page_count) {
-      table.heap().PrefetchPage(page + 1);
+    if (ctx.parallel.prefetch && i + 1 < morsel.page_count) {
+      PrefetchAhead(table, ctx, page + 1);
     }
     if (Status s = LoadPageBatch(table, page, columns, &batch); !s.ok()) {
       slot->status = s;
@@ -198,8 +220,8 @@ void ProcessIndexingMorsel(const Table& table, const IndexBuffer& buffer,
                            const std::unordered_set<size_t>& selected,
                            const std::vector<ColumnPredicate>& predicates,
                            const std::vector<ColumnId>& columns,
-                           const QueryControl* control, bool prefetch,
-                           const Morsel& morsel, MorselSlot* slot) {
+                           const ExecContext& ctx, const Morsel& morsel,
+                           MorselSlot* slot) {
   // Read-only against shared state: frozen C[p] counters (the apply phase
   // runs only after every worker finished), immutable coverage, heap pages.
   const PageCounters& counters = buffer.counters();
@@ -216,14 +238,14 @@ void ProcessIndexingMorsel(const Table& table, const IndexBuffer& buffer,
     }
     // Control check before the page is touched, exactly like the serial
     // scan: an abort never leaves a partially processed page.
-    if (control != nullptr) {
-      if (Status s = control->Check(); !s.ok()) {
+    if (ctx.control != nullptr) {
+      if (Status s = ctx.control->Check(); !s.ok()) {
         slot->status = s;
         return;
       }
     }
-    if (prefetch && i + 1 < morsel.page_count) {
-      table.heap().PrefetchPage(page + 1);
+    if (ctx.parallel.prefetch && i + 1 < morsel.page_count) {
+      PrefetchAhead(table, ctx, page + 1);
     }
     if (Status s = LoadPageBatch(table, page, columns, &batch); !s.ok()) {
       // MarkPageIndexed has not run (it happens at apply time), so the
@@ -296,8 +318,8 @@ Status MorselPlainScan(const Table& table,
   if (UseParallel(ctx, page_count)) {
     std::vector<MorselSlot> slots(morsels.size());
     ctx.dispatcher->RunJob(morsels.size(), [&](size_t i) {
-      ProcessPlainMorsel(table, predicates, columns, ctx.control,
-                         ctx.parallel.prefetch, morsels[i], &slots[i]);
+      ProcessPlainMorsel(table, predicates, columns, ctx, morsels[i],
+                         &slots[i]);
     });
     // Merge in morsel order = serial page order; stop at the first failed
     // slot so the caller sees exactly the serial prefix.
@@ -308,8 +330,7 @@ Status MorselPlainScan(const Table& table,
   }
   for (const Morsel& morsel : morsels) {
     MorselSlot slot;
-    ProcessPlainMorsel(table, predicates, columns, ctx.control,
-                       ctx.parallel.prefetch, morsel, &slot);
+    ProcessPlainMorsel(table, predicates, columns, ctx, morsel, &slot);
     AIB_RETURN_IF_ERROR(ApplyPlainSlot(slot, out, pages_scanned));
   }
   return Status::Ok();
@@ -333,8 +354,7 @@ Status MorselIndexingScan(const Table& table, IndexBuffer* buffer,
     std::vector<MorselSlot> slots(morsels.size());
     ctx.dispatcher->RunJob(morsels.size(), [&](size_t i) {
       ProcessIndexingMorsel(table, *buffer, selected, predicates, columns,
-                            ctx.control, ctx.parallel.prefetch, morsels[i],
-                            &slots[i]);
+                            ctx, morsels[i], &slots[i]);
     });
     // Apply under the space latch the caller already holds, in morsel
     // order up to the first failure — bit-identical to the serial scan.
@@ -347,7 +367,7 @@ Status MorselIndexingScan(const Table& table, IndexBuffer* buffer,
   for (const Morsel& morsel : morsels) {
     MorselSlot slot;
     ProcessIndexingMorsel(table, *buffer, selected, predicates, columns,
-                          ctx.control, ctx.parallel.prefetch, morsel, &slot);
+                          ctx, morsel, &slot);
     AIB_RETURN_IF_ERROR(ApplyIndexingSlot(slot, buffer, out, stats, failure));
   }
   return Status::Ok();

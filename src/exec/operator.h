@@ -13,6 +13,7 @@
 
 namespace aib {
 
+class IoScheduler;
 class MorselDispatcher;
 
 /// Knobs of the morsel-parallel scan path (see exec/morsel.h). Threaded
@@ -69,6 +70,11 @@ struct ExecContext {
   const QueryControl* control = nullptr;
   /// Morsel dispatcher for intra-query parallel scans; null = serial.
   MorselDispatcher* dispatcher = nullptr;
+  /// Async prefetch pipeline (storage/io_scheduler.h); null = the legacy
+  /// synchronous free-frame-only readahead. Scan operators register their
+  /// remaining page ranges with it and route readahead requests through
+  /// it so loads are ordered by relevance across all active scans.
+  IoScheduler* io_scheduler = nullptr;
   ParallelScanOptions parallel;
   std::unordered_set<PageId> fetched_pages;
 

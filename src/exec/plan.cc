@@ -82,13 +82,15 @@ PhysicalPlan::PhysicalPlan(std::unique_ptr<PhysicalOperator> root,
 Result<QueryResult> PhysicalPlan::Run(const CostModel& cost_model,
                                       const QueryControl* control,
                                       MorselDispatcher* dispatcher,
-                                      const ParallelScanOptions& parallel) {
+                                      const ParallelScanOptions& parallel,
+                                      IoScheduler* io_scheduler) {
   const int64_t start = NowNs();
   executed_ = true;
   ExecContext ctx;
   ctx.table = table_;
   ctx.control = control;
   ctx.dispatcher = dispatcher;
+  ctx.io_scheduler = io_scheduler;
   ctx.parallel = parallel;
 
   QueryResult result;

@@ -27,7 +27,8 @@ QueryService::QueryService(Executor* executor, const Table* table,
       table_(table),
       options_(options),
       metrics_(metrics),
-      scans_(metrics),
+      scans_(metrics, executor == nullptr ? nullptr
+                                          : executor->io_scheduler()),
       queue_(options.queue_capacity) {
   if (options_.scan_workers > 1) {
     dispatcher_ =

@@ -18,6 +18,9 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics,
     pin_waits_counter_ = metrics_->Counter(kMetricBufferPinWaits);
     retries_counter_ = metrics_->Counter(kMetricTransientRetries);
     prefetched_counter_ = metrics_->Counter(kMetricPrefetchedPages);
+    prefetch_dropped_counter_ = metrics_->Counter(kMetricPrefetchDropped);
+    promotions_counter_ = metrics_->Counter(kMetricBufferPromotions);
+    demotions_counter_ = metrics_->Counter(kMetricBufferDemotions);
   }
   // Small pools keep one shard: their eviction order is observable (and
   // tested) at pool granularity, and a 3-frame pool split three ways would
@@ -34,6 +37,13 @@ BufferPool::BufferPool(DiskManager* disk, size_t capacity, Metrics* metrics,
     for (size_t i = shard_capacity; i > 0; --i) {
       shard.free_frames.push_back(i - 1);
     }
+    // The protected segment is capped per shard so a fully-promoted hot
+    // set still leaves probationary staging room for sweeps.
+    const double fraction =
+        std::clamp(options_.protected_fraction, 0.0, 1.0);
+    shard.protected_cap = std::max<size_t>(
+        1, static_cast<size_t>(static_cast<double>(shard_capacity) *
+                               fraction));
   }
 }
 
@@ -47,8 +57,18 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     if (auto it = shard.table.find(page_id); it != shard.table.end()) {
       Frame& frame = shard.frames[it->second];
       if (frame.in_lru) {
-        shard.lru.erase(frame.lru_pos);
+        (frame.protected_seg ? shard.hot : shard.lru).erase(frame.lru_pos);
         frame.in_lru = false;
+      }
+      // Re-reference of a probationary frame is the promotion signal: the
+      // page has proven it is not a one-touch sweep page. The first fetch
+      // of a staged frame is not a re-reference — the stage and this fetch
+      // are one logical touch (see Frame::staged).
+      if (frame.staged) {
+        frame.staged = false;
+      } else if (options_.policy == EvictionPolicy::kSegmented &&
+                 !frame.protected_seg) {
+        Promote(shard, frame);
       }
       ++frame.pin_count;
       ++shard.hits;
@@ -94,6 +114,8 @@ Result<Page*> BufferPool::FetchPage(PageId page_id) {
     frame.page_id = page_id;
     frame.pin_count = 1;
     frame.dirty = false;
+    frame.protected_seg = false;  // misses enter on probation
+    frame.staged = false;
     frame.in_lru = false;
     shard.table[page_id] = frame_index;
     ++shard.misses;
@@ -110,19 +132,67 @@ Result<size_t> BufferPool::GetVictimFrame(Shard& shard) {
     shard.free_frames.pop_back();
     return index;
   }
-  if (shard.lru.empty()) {
+  // Probationary frames go first; the protected segment is only eaten
+  // into when no single-touch frame is left.
+  std::list<size_t>* source = &shard.lru;
+  if (source->empty()) source = &shard.hot;
+  if (source->empty()) {
     return Status::Busy("all buffer pool frames are pinned");
   }
-  const size_t index = shard.lru.front();
-  shard.lru.pop_front();
+  const size_t index = source->front();
+  source->pop_front();
   Frame& frame = shard.frames[index];
   frame.in_lru = false;
+  if (frame.protected_seg) {
+    frame.protected_seg = false;
+    --shard.protected_frames;
+  }
   assert(frame.pin_count == 0);
   if (frame.dirty) {
     AIB_RETURN_IF_ERROR(WriteWithRetry(frame.page_id, *frame.page));
   }
   shard.table.erase(frame.page_id);
   return index;
+}
+
+void BufferPool::Promote(Shard& shard, Frame& frame) {
+  frame.protected_seg = true;
+  ++shard.protected_frames;
+  if (promotions_counter_ != nullptr) {
+    promotions_counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  // Keep the protected segment under its cap by demoting its coldest
+  // unpinned frames back to probation (MRU end: they were hot recently).
+  while (shard.protected_frames > shard.protected_cap &&
+         !shard.hot.empty()) {
+    const size_t demoted = shard.hot.front();
+    shard.hot.pop_front();
+    Frame& cold = shard.frames[demoted];
+    cold.protected_seg = false;
+    --shard.protected_frames;
+    cold.lru_pos = shard.lru.insert(shard.lru.end(), demoted);
+    if (demotions_counter_ != nullptr) {
+      demotions_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void BufferPool::PushUnpinned(Shard& shard, size_t frame_index) {
+  Frame& frame = shard.frames[frame_index];
+  // A pinned-while-over-cap protected frame demotes itself here, which
+  // self-corrects the overflow Promote allows when every hot frame is
+  // pinned.
+  if (frame.protected_seg &&
+      shard.protected_frames > shard.protected_cap) {
+    frame.protected_seg = false;
+    --shard.protected_frames;
+    if (demotions_counter_ != nullptr) {
+      demotions_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  std::list<size_t>& list = frame.protected_seg ? shard.hot : shard.lru;
+  frame.lru_pos = list.insert(list.end(), frame_index);
+  frame.in_lru = true;
 }
 
 Status BufferPool::ReadWithRetry(PageId page_id, Page* out) {
@@ -166,8 +236,7 @@ Status BufferPool::UnpinPage(PageId page_id, bool dirty) {
   }
   frame.dirty = frame.dirty || dirty;
   if (--frame.pin_count == 0) {
-    frame.lru_pos = shard.lru.insert(shard.lru.end(), it->second);
-    frame.in_lru = true;
+    PushUnpinned(shard, it->second);
     shard.frame_unpinned.notify_all();
   }
   return Status::Ok();
@@ -201,13 +270,51 @@ Status BufferPool::FlushAll() {
 }
 
 void BufferPool::Prefetch(PageId page_id) {
+  // A caller-issued hint never evicts: it has no relevance information, so
+  // displacing working-set pages for it would be a regression. The async
+  // scheduler, which does know relevance, stages with allow_evict instead.
+  StagePage(page_id, /*allow_evict=*/false);
+}
+
+BufferPool::StageStatus BufferPool::StagePage(PageId page_id,
+                                              bool allow_evict) {
   Shard& shard = ShardFor(page_id);
   std::lock_guard<std::mutex> lock(shard.mu);
-  if (shard.table.contains(page_id)) return;  // already resident
-  if (shard.free_frames.empty()) return;      // never evict for a hint
+  if (shard.table.contains(page_id)) return StageStatus::kAlreadyResident;
+  size_t frame_index;
+  if (!shard.free_frames.empty()) {
+    frame_index = shard.free_frames.back();
+    shard.free_frames.pop_back();
+  } else if (allow_evict && options_.policy == EvictionPolicy::kSegmented &&
+             !shard.lru.empty()) {
+    // Claim the coldest probationary frame; the protected hot set is never
+    // displaced by a staged load.
+    frame_index = shard.lru.front();
+    Frame& victim = shard.frames[frame_index];
+    assert(victim.pin_count == 0);
+    if (victim.dirty) {
+      // A stage must not lose a dirty page. On write-back failure put the
+      // victim back at the cold end and report no frame; the hint is
+      // best-effort.
+      FaultInjector::ScopedSuspend suspend;
+      if (!WriteWithRetry(victim.page_id, *victim.page).ok()) {
+        if (prefetch_dropped_counter_ != nullptr) {
+          prefetch_dropped_counter_->fetch_add(1, std::memory_order_relaxed);
+        }
+        return StageStatus::kNoFrame;
+      }
+      victim.dirty = false;
+    }
+    shard.lru.pop_front();
+    victim.in_lru = false;
+    shard.table.erase(victim.page_id);
+  } else {
+    if (prefetch_dropped_counter_ != nullptr) {
+      prefetch_dropped_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
+    return StageStatus::kNoFrame;
+  }
   disk_->PrefetchHint(page_id);
-  const size_t frame_index = shard.free_frames.back();
-  shard.free_frames.pop_back();
   Frame& frame = shard.frames[frame_index];
   if (frame.page == nullptr) {
     frame.page = std::make_unique<Page>(disk_->page_size());
@@ -217,17 +324,20 @@ void BufferPool::Prefetch(PageId page_id) {
   FaultInjector::ScopedSuspend suspend;
   if (!disk_->ReadPage(page_id, frame.page.get()).ok()) {
     shard.free_frames.push_back(frame_index);
-    return;
+    return StageStatus::kReadFailed;
   }
   frame.page_id = page_id;
   frame.pin_count = 0;
   frame.dirty = false;
+  frame.protected_seg = false;  // staged pages start on probation
+  frame.staged = true;
   frame.lru_pos = shard.lru.insert(shard.lru.end(), frame_index);
   frame.in_lru = true;
   shard.table[page_id] = frame_index;
   if (prefetched_counter_ != nullptr) {
     prefetched_counter_->fetch_add(1, std::memory_order_relaxed);
   }
+  return StageStatus::kStaged;
 }
 
 size_t BufferPool::CachedPages() const {

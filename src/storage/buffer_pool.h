@@ -20,6 +20,19 @@
 
 namespace aib {
 
+/// Frame-replacement policy of the pool.
+enum class EvictionPolicy {
+  /// Pure least-recently-used (the original policy): every unpinned frame
+  /// sits in one LRU list; a sequential sweep flushes everything.
+  kLru,
+  /// Segmented (scan-resistant) LRU: frames enter a *probationary* segment
+  /// and are promoted to a *protected* segment on re-reference. Victims
+  /// come from probation first, so pages touched exactly once by an
+  /// analytical sweep cannot displace the re-referenced hot set that
+  /// covered probes and partial-index probes depend on.
+  kSegmented,
+};
+
 struct BufferPoolOptions {
   /// How long FetchPage blocks for a frame to be unpinned when every frame
   /// is transiently pinned by concurrent queries, before giving up with a
@@ -40,6 +53,16 @@ struct BufferPoolOptions {
   /// single latch, while large pools let morsel-parallel scan workers
   /// fetch pages without contending on one mutex.
   size_t shards = 8;
+
+  /// Replacement policy. Segmented is the default: it degrades to plain
+  /// LRU on single-touch workloads and is strictly better under scan
+  /// flooding (see EvictionPolicy).
+  EvictionPolicy policy = EvictionPolicy::kSegmented;
+
+  /// Fraction of each shard's frames the protected segment may hold
+  /// (kSegmented only). The rest stays probationary so sweeps always have
+  /// staging room without evicting hot frames.
+  double protected_fraction = 0.75;
 };
 
 /// Database buffer: a fixed number of page frames over the simulated disk
@@ -91,6 +114,30 @@ class BufferPool {
   /// cannot perturb a deterministic fault stream).
   void Prefetch(PageId page_id);
 
+  /// Outcome of StagePage, the primitive under Prefetch and the async
+  /// I/O scheduler.
+  enum class StageStatus {
+    /// The page was read into a frame, unpinned, probationary.
+    kStaged,
+    /// The page was already buffered; nothing to do.
+    kAlreadyResident,
+    /// No frame available (free list empty and, unless eviction was
+    /// allowed, nothing evictable). Counted in storage.prefetch_dropped.
+    kNoFrame,
+    /// The read failed even with injection suspended; the frame was
+    /// returned to the free list. The later FetchPage surfaces the error.
+    kReadFailed,
+  };
+
+  /// Loads `page_id` into a frame without pinning it, with fault injection
+  /// suspended (a staged read must neither surface errors nor consume
+  /// fault-stream draws). `allow_evict` lets the stage claim the coldest
+  /// *probationary* frame when the free list is empty — only meaningful
+  /// under kSegmented, where the protected hot set is never displaced;
+  /// under kLru staging stays free-frame-only, because evicting for a hint
+  /// would displace working-set pages.
+  StageStatus StagePage(PageId page_id, bool allow_evict);
+
   size_t capacity() const { return capacity_; }
   size_t num_shards() const { return shards_.size(); }
   size_t CachedPages() const;
@@ -103,8 +150,15 @@ class BufferPool {
     PageId page_id = kInvalidPageId;
     int pin_count = 0;
     bool dirty = false;
+    /// True when the frame belongs to the protected segment (kSegmented).
+    bool protected_seg = false;
+    /// True between a StagePage load and the first FetchPage of it. The
+    /// stage and that fetch are one logical touch, so the fetch must not
+    /// count as the re-reference that promotes a frame — otherwise a
+    /// prefetched sweep would flood the protected segment.
+    bool staged = false;
     std::unique_ptr<Page> page;
-    /// Position in the shard's lru when pin_count == 0.
+    /// Position in the shard's lru/hot list when pin_count == 0.
     std::list<size_t>::iterator lru_pos;
     bool in_lru = false;
   };
@@ -117,8 +171,16 @@ class BufferPool {
     std::vector<Frame> frames;
     std::vector<size_t> free_frames;
     std::unordered_map<PageId, size_t> table;
-    /// Unpinned frame indices, least-recently-used first.
+    /// Unpinned *probationary* frame indices, least-recently-used first.
+    /// Under kLru this is the only list.
     std::list<size_t> lru;
+    /// Unpinned *protected* frame indices (kSegmented), LRU first. Victims
+    /// are taken from here only when probation is empty.
+    std::list<size_t> hot;
+    /// Frames currently tagged protected (pinned or not), bounded by
+    /// protected_cap.
+    size_t protected_frames = 0;
+    size_t protected_cap = 0;
     int64_t hits = 0;
     int64_t misses = 0;
     int64_t pin_waits = 0;
@@ -132,9 +194,19 @@ class BufferPool {
   }
 
   /// Picks a frame to (re)use in `shard`: a free one, else the coldest
-  /// unpinned one. Requires the shard latch held; NoSpace means "every
-  /// frame currently pinned" and is translated into a wait by FetchPage.
+  /// unpinned probationary one, else the coldest unpinned protected one.
+  /// Requires the shard latch held; NoSpace means "every frame currently
+  /// pinned" and is translated into a wait by FetchPage.
   Result<size_t> GetVictimFrame(Shard& shard);
+
+  /// Moves `frame` into the protected segment, demoting the coldest
+  /// unpinned protected frame back to probation when over the cap.
+  /// Requires the shard latch held and the frame off both lists.
+  void Promote(Shard& shard, Frame& frame);
+
+  /// Re-inserts an unpinned frame at the MRU end of its segment's list.
+  /// Requires the shard latch held.
+  void PushUnpinned(Shard& shard, size_t frame_index);
 
   /// Reads `page_id` into `out`, retrying transient failures up to
   /// `options_.max_transient_retries` times.
@@ -153,6 +225,9 @@ class BufferPool {
   std::atomic<int64_t>* pin_waits_counter_ = nullptr;
   std::atomic<int64_t>* retries_counter_ = nullptr;
   std::atomic<int64_t>* prefetched_counter_ = nullptr;
+  std::atomic<int64_t>* prefetch_dropped_counter_ = nullptr;
+  std::atomic<int64_t>* promotions_counter_ = nullptr;
+  std::atomic<int64_t>* demotions_counter_ = nullptr;
 
   std::vector<Shard> shards_;
 };

@@ -111,6 +111,12 @@ class HeapFile {
   /// fault-injector draws. Out-of-range indices are ignored.
   void PrefetchPage(size_t page_index) const;
 
+  /// PageId of the idx-th page, or kInvalidPageId when out of range. Pure
+  /// directory lookup (no page fetch); ids are ascending in physical
+  /// order, so [PageIdAt(0), PageIdAt(n-1)] is a contiguous range the
+  /// I/O scheduler can register scans against.
+  PageId PageIdAt(size_t page_index) const;
+
   /// Restores the file's bookkeeping after a snapshot load: the page ids
   /// (ascending physical order) and the live tuple count. The pages
   /// themselves must already be present in the disk manager.
@@ -119,9 +125,6 @@ class HeapFile {
  private:
   /// True if `page` can take one more tuple under max_tuples_per_page.
   bool UnderTupleCap(const Page& page) const;
-
-  /// PageId of the idx-th page, or kInvalidPageId when out of range.
-  PageId PageIdAt(size_t page_index) const;
 
   DiskManager* disk_;
   BufferPool* pool_;

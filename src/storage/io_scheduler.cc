@@ -1,0 +1,279 @@
+#include "storage/io_scheduler.h"
+
+#include <algorithm>
+
+#include "storage/fault_injector.h"
+
+namespace aib {
+
+IoScheduler::IoScheduler(BufferPool* pool, Metrics* metrics,
+                         IoSchedulerOptions options)
+    : pool_(pool), metrics_(metrics), options_(options) {
+  if (metrics_ != nullptr) {
+    requests_counter_ = metrics_->Counter(kMetricIoSchedRequests);
+    staged_counter_ = metrics_->Counter(kMetricIoSchedStaged);
+    dropped_counter_ = metrics_->Counter(kMetricIoSchedDropped);
+    requeued_counter_ = metrics_->Counter(kMetricIoSchedRequeued);
+    expired_counter_ = metrics_->Counter(kMetricIoSchedExpired);
+    coalesced_counter_ = metrics_->Counter(kMetricIoSchedCoalesced);
+  }
+  workers_.reserve(options_.workers);
+  for (size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+IoScheduler::~IoScheduler() { Stop(); }
+
+uint64_t IoScheduler::RegisterScan(
+    PageId begin, PageId end,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t ticket = next_ticket_++;
+  scans_[ticket] = Registration{begin, end, deadline};
+  return ticket;
+}
+
+void IoScheduler::AdvanceScan(uint64_t ticket, PageId next_needed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = scans_.find(ticket);
+  if (it == scans_.end()) return;
+  it->second.begin = std::max(it->second.begin, next_needed);
+}
+
+void IoScheduler::UnregisterScan(uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(mu_);
+  scans_.erase(ticket);
+}
+
+void IoScheduler::EnqueueLocked(const PageRequest& request,
+                                std::chrono::steady_clock::time_point now) {
+  if (requests_counter_ != nullptr) {
+    requests_counter_->fetch_add(1, std::memory_order_relaxed);
+  }
+  if (auto it = pending_.find(request.page); it != pending_.end()) {
+    // Coalesce: keep the strongest claim on the page.
+    it->second.boost = std::max(it->second.boost, request.boost);
+    if (request.deadline.has_value() &&
+        (!it->second.deadline.has_value() ||
+         *request.deadline < *it->second.deadline)) {
+      it->second.deadline = request.deadline;
+    }
+    if (coalesced_counter_ != nullptr) {
+      coalesced_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (pending_.size() >= options_.max_queue_depth) {
+    // Full: shed the lowest-relevance request, incoming included.
+    auto lowest = pending_.end();
+    double lowest_score = 0.0;
+    for (auto it = pending_.begin(); it != pending_.end(); ++it) {
+      const double score = ScoreLocked(it->first, it->second, now);
+      if (lowest == pending_.end() || score < lowest_score) {
+        lowest = it;
+        lowest_score = score;
+      }
+    }
+    const double incoming_score = ScoreLocked(
+        request.page, Pending{request.boost, request.deadline, 0}, now);
+    if (lowest == pending_.end() || incoming_score <= lowest_score) {
+      if (dropped_counter_ != nullptr) {
+        dropped_counter_->fetch_add(1, std::memory_order_relaxed);
+      }
+      return;
+    }
+    pending_.erase(lowest);
+    if (dropped_counter_ != nullptr) {
+      dropped_counter_->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  pending_[request.page] = Pending{request.boost, request.deadline, 0};
+}
+
+void IoScheduler::Request(const PageRequest& request) {
+  if (request.page == kInvalidPageId) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) return;
+  EnqueueLocked(request, std::chrono::steady_clock::now());
+  if (metrics_ != nullptr) {
+    metrics_->Observe(kMetricIoQueueDepth,
+                      static_cast<double>(pending_.size()));
+  }
+  lock.unlock();
+  work_cv_.notify_one();
+}
+
+void IoScheduler::RequestRange(
+    PageId begin, PageId end, double boost,
+    std::optional<std::chrono::steady_clock::time_point> deadline) {
+  if (begin >= end || begin == kInvalidPageId) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (stop_) return;
+  const auto now = std::chrono::steady_clock::now();
+  for (PageId page = begin; page < end; ++page) {
+    EnqueueLocked(PageRequest{page, boost, deadline}, now);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->Observe(kMetricIoQueueDepth,
+                      static_cast<double>(pending_.size()));
+  }
+  lock.unlock();
+  work_cv_.notify_all();
+}
+
+double IoScheduler::Demand(PageId page) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DemandLocked(page, std::chrono::steady_clock::now());
+}
+
+double IoScheduler::UrgencyWeight(
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    std::chrono::steady_clock::time_point now) const {
+  if (!deadline.has_value()) return 1.0;
+  const auto window = options_.urgency_window;
+  if (window.count() <= 0) return 1.0 + options_.deadline_boost;
+  const auto left = *deadline - now;
+  if (left <= std::chrono::steady_clock::duration::zero()) {
+    return 1.0 + options_.deadline_boost;
+  }
+  if (left >= window) return 1.0;
+  const double frac =
+      1.0 - std::chrono::duration<double>(left) /
+                std::chrono::duration<double>(window);
+  return 1.0 + options_.deadline_boost * frac;
+}
+
+double IoScheduler::DemandLocked(
+    PageId page, std::chrono::steady_clock::time_point now) const {
+  double demand = 0.0;
+  for (const auto& [ticket, scan] : scans_) {
+    if (page >= scan.begin && page < scan.end) {
+      demand += UrgencyWeight(scan.deadline, now);
+    }
+  }
+  return demand;
+}
+
+double IoScheduler::ScoreLocked(
+    PageId page, const Pending& entry,
+    std::chrono::steady_clock::time_point now) const {
+  return (entry.boost + DemandLocked(page, now)) *
+         UrgencyWeight(entry.deadline, now);
+}
+
+bool IoScheduler::ProcessOneLocked(std::unique_lock<std::mutex>& lock) {
+  const auto now = std::chrono::steady_clock::now();
+  // Shed requests whose statement deadline has already passed.
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (it->second.deadline.has_value() && *it->second.deadline <= now) {
+      it = pending_.erase(it);
+      if (expired_counter_ != nullptr) {
+        expired_counter_->fetch_add(1, std::memory_order_relaxed);
+      }
+    } else {
+      ++it;
+    }
+  }
+  if (pending_.empty()) return false;
+  auto best = pending_.begin();
+  double best_score = ScoreLocked(best->first, best->second, now);
+  for (auto it = std::next(pending_.begin()); it != pending_.end(); ++it) {
+    const double score = ScoreLocked(it->first, it->second, now);
+    // Strict > keeps ties on the lowest page id (map order): scans read
+    // forward, so earlier pages are needed sooner.
+    if (score > best_score) {
+      best = it;
+      best_score = score;
+    }
+  }
+  const PageId page = best->first;
+  Pending entry = best->second;
+  pending_.erase(best);
+  ++in_flight_;
+  lock.unlock();
+  BufferPool::StageStatus staged;
+  {
+    // Belt and braces: StagePage suspends injection itself, but the worker
+    // thread's whole staging action must be invisible to the fault stream.
+    FaultInjector::ScopedSuspend suspend;
+    staged = pool_->StagePage(page, /*allow_evict=*/true);
+  }
+  lock.lock();
+  --in_flight_;
+  switch (staged) {
+    case BufferPool::StageStatus::kStaged:
+      if (staged_counter_ != nullptr) {
+        staged_counter_->fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+    case BufferPool::StageStatus::kAlreadyResident:
+    case BufferPool::StageStatus::kReadFailed:
+      break;
+    case BufferPool::StageStatus::kNoFrame:
+      // Every frame was pinned or protected. A page several scans still
+      // need is worth another attempt once something unpins; a speculative
+      // hint is not.
+      if (entry.retries < options_.max_retries &&
+          best_score >= options_.retry_min_relevance &&
+          !pending_.contains(page)) {
+        ++entry.retries;
+        pending_[page] = entry;
+        if (requeued_counter_ != nullptr) {
+          requeued_counter_->fetch_add(1, std::memory_order_relaxed);
+        }
+      } else if (dropped_counter_ != nullptr) {
+        dropped_counter_->fetch_add(1, std::memory_order_relaxed);
+      }
+      break;
+  }
+  return true;
+}
+
+void IoScheduler::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (options_.workers == 0) {
+    while (!stop_ && ProcessOneLocked(lock)) {
+    }
+  }
+  drain_cv_.wait(lock, [this] {
+    return stop_ || (pending_.empty() && in_flight_ == 0);
+  });
+}
+
+void IoScheduler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+    pending_.clear();
+  }
+  work_cv_.notify_all();
+  drain_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+size_t IoScheduler::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+size_t IoScheduler::RegisteredScans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return scans_.size();
+}
+
+void IoScheduler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+    if (stop_) return;
+    while (!stop_ && ProcessOneLocked(lock)) {
+    }
+    if (pending_.empty() && in_flight_ == 0) drain_cv_.notify_all();
+  }
+}
+
+}  // namespace aib

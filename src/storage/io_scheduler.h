@@ -1,0 +1,181 @@
+#ifndef AIB_STORAGE_IO_SCHEDULER_H_
+#define AIB_STORAGE_IO_SCHEDULER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/types.h"
+#include "storage/buffer_pool.h"
+
+namespace aib {
+
+struct IoSchedulerOptions {
+  /// Background staging threads. 0 runs the scheduler synchronously:
+  /// requests only queue, and Drain() processes them on the calling thread
+  /// — the deterministic mode tests use.
+  size_t workers = 2;
+
+  /// Bound on queued requests. When full, the lowest-relevance request
+  /// (queued or incoming, whichever scores lower) is dropped and counted.
+  size_t max_queue_depth = 128;
+
+  /// How many times a request that found no frame (kNoFrame) is requeued
+  /// before being dropped for good.
+  size_t max_retries = 2;
+
+  /// Only requests whose relevance score is at least this are requeued
+  /// after a kNoFrame: a page multiple scans still need is worth waiting
+  /// for a frame; a speculative single-scan hint is not.
+  double retry_min_relevance = 2.0;
+
+  /// Deadline urgency window: a deadline further away than this carries no
+  /// extra weight; inside it the weight ramps linearly up to
+  /// 1 + deadline_boost at (or past) the deadline.
+  std::chrono::milliseconds urgency_window{50};
+  double deadline_boost = 4.0;
+};
+
+/// Asynchronous, relevance-ordered page staging over the BufferPool (after
+/// *From Cooperative Scans to Predictive Buffer Management*): scans
+/// register their remaining page ranges, operators enqueue page-load
+/// requests, and a small worker pool stages the highest-relevance page
+/// next —
+///
+///   relevance(p) = (boost + Σ_{scans s needing p} w(s)) × w(request)
+///   w(x)         = 1 + deadline_boost · max(0, 1 − time_left(x)/window)
+///
+/// so a page K queued/active scans still need loads before a page only one
+/// scan wants, and requests near their deadline jump the queue. Requests
+/// whose deadline has passed are dropped unprocessed (the query is already
+/// doomed; don't spend I/O on it).
+///
+/// Staged reads run under FaultInjector::ScopedSuspend via
+/// BufferPool::StagePage, so the pipeline neither surfaces injected errors
+/// nor consumes fault-stream draws. Locking: the scheduler's own mutex is
+/// never held across a StagePage call, and workers take only buffer-pool
+/// shard latches plus the disk latch — strictly below every latch of the
+/// executor hierarchy, so no cycle is possible.
+class IoScheduler {
+ public:
+  struct PageRequest {
+    PageId page = kInvalidPageId;
+    /// Requester-supplied base relevance (e.g. 1.0 for a morsel's
+    /// next-page readahead). Scan demand is added on top.
+    double boost = 0.0;
+    /// Deadline of the requesting statement, if any.
+    std::optional<std::chrono::steady_clock::time_point> deadline = {};
+  };
+
+  /// Does not own `pool` or `metrics`. Spawns `options.workers` threads.
+  explicit IoScheduler(BufferPool* pool, Metrics* metrics = nullptr,
+                       IoSchedulerOptions options = {});
+  ~IoScheduler();
+
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  /// Announces a scan that still needs pages [begin, end) (PageIds, which
+  /// are ascending in file order). Returns a ticket for Advance/Unregister.
+  /// Registration alone issues no I/O — it only raises the relevance of
+  /// pages in the range.
+  uint64_t RegisterScan(
+      PageId begin, PageId end,
+      std::optional<std::chrono::steady_clock::time_point> deadline = {});
+
+  /// Narrows a registration: pages before `next_needed` are no longer
+  /// wanted (the scan consumed them). Never widens the range.
+  void AdvanceScan(uint64_t ticket, PageId next_needed);
+
+  void UnregisterScan(uint64_t ticket);
+
+  /// Enqueues a staging request. Duplicate requests for a queued page
+  /// coalesce (max boost, earliest deadline). Never blocks.
+  void Request(const PageRequest& request);
+
+  /// Enqueues one request per page of [begin, end) under a single lock
+  /// acquisition and a single worker wakeup — what scan drivers use to top
+  /// up a lookahead window without paying per-page scheduler overhead.
+  void RequestRange(
+      PageId begin, PageId end, double boost = 1.0,
+      std::optional<std::chrono::steady_clock::time_point> deadline = {});
+
+  /// Relevance the registered scan set contributes for `page` (diagnostic
+  /// and test hook).
+  double Demand(PageId page) const;
+
+  /// Blocks until the queue is empty and no stage is in flight. With 0
+  /// workers, processes the queue inline on the calling thread first —
+  /// synchronous mode for deterministic tests.
+  void Drain();
+
+  /// Stops and joins the workers; queued requests are discarded. Idempotent
+  /// (the destructor calls it).
+  void Stop();
+
+  size_t QueueDepth() const;
+  size_t RegisteredScans() const;
+
+ private:
+  struct Pending {
+    double boost = 0.0;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    size_t retries = 0;
+  };
+  struct Registration {
+    PageId begin = kInvalidPageId;
+    PageId end = kInvalidPageId;
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+  };
+
+  double UrgencyWeight(
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      std::chrono::steady_clock::time_point now) const;
+  double DemandLocked(PageId page,
+                      std::chrono::steady_clock::time_point now) const;
+  double ScoreLocked(PageId page, const Pending& entry,
+                     std::chrono::steady_clock::time_point now) const;
+
+  /// Coalesce-or-insert of one request, overflow shedding included.
+  /// Requires `mu_` held.
+  void EnqueueLocked(const PageRequest& request,
+                     std::chrono::steady_clock::time_point now);
+
+  /// Pops the highest-relevance request and stages it (dropping the shard
+  /// latch while reading). Requires `lock` held; returns false when the
+  /// queue was empty. Re-locks before returning.
+  bool ProcessOneLocked(std::unique_lock<std::mutex>& lock);
+
+  void WorkerLoop();
+
+  BufferPool* pool_;
+  Metrics* metrics_;  // not owned; may be null
+  IoSchedulerOptions options_;
+  std::atomic<int64_t>* requests_counter_ = nullptr;
+  std::atomic<int64_t>* staged_counter_ = nullptr;
+  std::atomic<int64_t>* dropped_counter_ = nullptr;
+  std::atomic<int64_t>* requeued_counter_ = nullptr;
+  std::atomic<int64_t>* expired_counter_ = nullptr;
+  std::atomic<int64_t>* coalesced_counter_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable drain_cv_;
+  bool stop_ = false;
+  /// Queued requests, keyed by page so duplicates coalesce.
+  std::map<PageId, Pending> pending_;
+  std::map<uint64_t, Registration> scans_;
+  uint64_t next_ticket_ = 1;
+  size_t in_flight_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aib
+
+#endif  // AIB_STORAGE_IO_SCHEDULER_H_

@@ -9,8 +9,15 @@ namespace aib {
 
 Catalog::Catalog(CatalogOptions options) : options_(options) {
   disk_ = std::make_unique<DiskManager>(options_.page_size, &metrics_);
+  BufferPoolOptions pool_options;
+  pool_options.policy = options_.eviction_policy;
   pool_ = std::make_unique<BufferPool>(disk_.get(),
-                                       options_.buffer_pool_pages, &metrics_);
+                                       options_.buffer_pool_pages, &metrics_,
+                                       pool_options);
+  if (options_.enable_io_scheduler) {
+    io_sched_ = std::make_unique<IoScheduler>(pool_.get(), &metrics_,
+                                              options_.io);
+  }
   if (options_.enable_index_buffer) {
     space_ = std::make_unique<IndexBufferSpace>(options_.space, &metrics_);
   }
@@ -29,6 +36,7 @@ Result<Table*> Catalog::CreateTable(const std::string& name, Schema schema) {
       state->table.get(), space_.get(), options_.cost, &metrics_);
   state->executor->SetBufferOptions(options_.buffer);
   state->executor->SetWriteTable(state->table.get());
+  state->executor->SetIoScheduler(io_sched_.get());
   Table* raw = state->table.get();
   tables_.emplace_back(name, std::move(state));
   return raw;

@@ -1,0 +1,236 @@
+#include "storage/io_scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/fault_injector.h"
+
+namespace aib {
+namespace {
+
+// All tests run the scheduler in synchronous mode (workers = 0): requests
+// only queue, Drain() processes them inline on this thread, so ordering
+// and shedding decisions are deterministic and assertable.
+
+IoSchedulerOptions SyncOptions() {
+  IoSchedulerOptions options;
+  options.workers = 0;
+  return options;
+}
+
+/// True iff `page` is buffer-resident: a fetch that hits leaves the miss
+/// counter unchanged. On a miss the page is loaded as a side effect, so
+/// callers probe each page at most once and in a deliberate order.
+bool FetchHits(BufferPool& pool, PageId page) {
+  const int64_t misses_before = pool.misses();
+  EXPECT_TRUE(pool.FetchPage(page).ok());
+  EXPECT_TRUE(pool.UnpinPage(page, false).ok());
+  return pool.misses() == misses_before;
+}
+
+TEST(IoSchedulerTest, ScanRegistrationDrivesDemand) {
+  DiskManager disk(512);
+  BufferPool pool(&disk, 8);
+  IoScheduler scheduler(&pool, nullptr, SyncOptions());
+  for (int i = 0; i < 10; ++i) disk.AllocatePage();
+
+  const uint64_t wide = scheduler.RegisterScan(0, 10);
+  const uint64_t tail = scheduler.RegisterScan(5, 10);
+  EXPECT_DOUBLE_EQ(scheduler.Demand(3), 1.0);
+  EXPECT_DOUBLE_EQ(scheduler.Demand(7), 2.0);
+  EXPECT_DOUBLE_EQ(scheduler.Demand(12), 0.0);
+
+  // Advancing narrows the registration: consumed pages stop counting.
+  scheduler.AdvanceScan(wide, 6);
+  EXPECT_DOUBLE_EQ(scheduler.Demand(3), 0.0);
+  EXPECT_DOUBLE_EQ(scheduler.Demand(7), 2.0);
+
+  scheduler.UnregisterScan(tail);
+  EXPECT_DOUBLE_EQ(scheduler.Demand(7), 1.0);
+  scheduler.UnregisterScan(wide);
+  EXPECT_EQ(scheduler.RegisteredScans(), 0u);
+}
+
+TEST(IoSchedulerTest, RequestRangeStagesIntoFreeFrames) {
+  Metrics metrics;
+  DiskManager disk(512, &metrics);
+  BufferPool pool(&disk, 8, &metrics);
+  IoScheduler scheduler(&pool, &metrics, SyncOptions());
+  for (int i = 0; i < 4; ++i) disk.AllocatePage();
+
+  scheduler.RequestRange(0, 4);
+  EXPECT_EQ(scheduler.QueueDepth(), 4u);
+  scheduler.Drain();
+  EXPECT_EQ(scheduler.QueueDepth(), 0u);
+  EXPECT_EQ(metrics.Get(kMetricIoSchedStaged), 4);
+  EXPECT_EQ(pool.CachedPages(), 4u);
+  for (PageId page = 0; page < 4; ++page) {
+    EXPECT_TRUE(FetchHits(pool, page)) << "page " << page;
+  }
+  // Enqueues were sampled into the queue-depth histogram.
+  EXPECT_GT(metrics.HistogramCopy(kMetricIoQueueDepth).Count(), 0u);
+}
+
+TEST(IoSchedulerTest, DuplicateRequestsCoalesce) {
+  Metrics metrics;
+  DiskManager disk(512, &metrics);
+  BufferPool pool(&disk, 8, &metrics);
+  IoScheduler scheduler(&pool, &metrics, SyncOptions());
+  disk.AllocatePage();
+
+  scheduler.Request({.page = 0, .boost = 1.0});
+  scheduler.Request({.page = 0, .boost = 3.0});
+  EXPECT_EQ(scheduler.QueueDepth(), 1u);
+  EXPECT_EQ(metrics.Get(kMetricIoSchedCoalesced), 1);
+  EXPECT_EQ(metrics.Get(kMetricIoSchedRequests), 2);
+  scheduler.Drain();
+  EXPECT_EQ(metrics.Get(kMetricIoSchedStaged), 1);
+}
+
+TEST(IoSchedulerTest, StagesByRelevanceUnderFrameScarcity) {
+  // A 2-frame kLru pool: staging never evicts under kLru, so only the two
+  // highest-relevance requests win frames and the third is dropped — the
+  // staging order is directly observable in what ends up resident.
+  Metrics metrics;
+  DiskManager disk(512, &metrics);
+  BufferPoolOptions pool_options;
+  pool_options.policy = EvictionPolicy::kLru;
+  BufferPool pool(&disk, 2, &metrics, pool_options);
+  IoSchedulerOptions options = SyncOptions();
+  options.max_retries = 0;
+  IoScheduler scheduler(&pool, &metrics, options);
+  for (int i = 0; i < 3; ++i) disk.AllocatePage();
+
+  // Demand: two scans still need page 2, one needs page 1, none needs 0.
+  scheduler.RegisterScan(2, 3);
+  scheduler.RegisterScan(2, 3);
+  scheduler.RegisterScan(1, 2);
+  scheduler.Request({.page = 0, .boost = 1.0});
+  scheduler.Request({.page = 1, .boost = 1.0});
+  scheduler.Request({.page = 2, .boost = 1.0});
+  scheduler.Drain();
+
+  EXPECT_EQ(metrics.Get(kMetricIoSchedStaged), 2);
+  EXPECT_EQ(metrics.Get(kMetricIoSchedDropped), 1);
+  // Probe the winners first: fetching the loser misses and evicts a staged
+  // frame, so it must come last.
+  EXPECT_TRUE(FetchHits(pool, 2));
+  EXPECT_TRUE(FetchHits(pool, 1));
+  EXPECT_FALSE(FetchHits(pool, 0));
+}
+
+TEST(IoSchedulerTest, QueueOverflowShedsLowestRelevance) {
+  Metrics metrics;
+  DiskManager disk(512, &metrics);
+  BufferPool pool(&disk, 8, &metrics);
+  IoSchedulerOptions options = SyncOptions();
+  options.max_queue_depth = 2;
+  IoScheduler scheduler(&pool, &metrics, options);
+  for (int i = 0; i < 4; ++i) disk.AllocatePage();
+
+  scheduler.Request({.page = 0, .boost = 5.0});
+  scheduler.Request({.page = 1, .boost = 3.0});
+  // Queue full. A weaker incoming request is itself shed...
+  scheduler.Request({.page = 2, .boost = 1.0});
+  EXPECT_EQ(scheduler.QueueDepth(), 2u);
+  EXPECT_EQ(metrics.Get(kMetricIoSchedDropped), 1);
+  // ...and a stronger one displaces the weakest queued entry (page 1).
+  scheduler.Request({.page = 3, .boost = 9.0});
+  EXPECT_EQ(scheduler.QueueDepth(), 2u);
+  EXPECT_EQ(metrics.Get(kMetricIoSchedDropped), 2);
+
+  scheduler.Drain();
+  EXPECT_FALSE(FetchHits(pool, 1));
+  EXPECT_FALSE(FetchHits(pool, 2));
+  EXPECT_TRUE(FetchHits(pool, 0));
+  EXPECT_TRUE(FetchHits(pool, 3));
+}
+
+TEST(IoSchedulerTest, ExpiredDeadlineRequestsAreShedUnprocessed) {
+  Metrics metrics;
+  DiskManager disk(512, &metrics);
+  BufferPool pool(&disk, 8, &metrics);
+  IoScheduler scheduler(&pool, &metrics, SyncOptions());
+  disk.AllocatePage();
+
+  scheduler.Request({.page = 0,
+                     .boost = 1.0,
+                     .deadline = std::chrono::steady_clock::now() -
+                                 std::chrono::milliseconds(1)});
+  scheduler.Drain();
+  EXPECT_EQ(metrics.Get(kMetricIoSchedExpired), 1);
+  EXPECT_EQ(metrics.Get(kMetricIoSchedStaged), 0);
+  EXPECT_EQ(pool.CachedPages(), 0u);
+}
+
+TEST(IoSchedulerTest, RequeuesOnlyHighRelevancePagesWhenNoFrameIsFree) {
+  // Fill a 2-frame kLru pool with resident pages; kLru staging never
+  // evicts, so every stage attempt reports kNoFrame.
+  Metrics metrics;
+  DiskManager disk(512, &metrics);
+  BufferPoolOptions pool_options;
+  pool_options.policy = EvictionPolicy::kLru;
+  BufferPool pool(&disk, 2, &metrics, pool_options);
+  IoSchedulerOptions options = SyncOptions();
+  options.max_retries = 2;
+  options.retry_min_relevance = 2.0;
+  IoScheduler scheduler(&pool, &metrics, options);
+  for (int i = 0; i < 4; ++i) disk.AllocatePage();
+  ASSERT_FALSE(FetchHits(pool, 0));
+  ASSERT_FALSE(FetchHits(pool, 1));
+
+  // Page 2 is wanted by two scans (score 3.0 >= 2.0): worth requeueing.
+  // Page 3 is a bare hint (score 1.0 < 2.0): dropped on first failure.
+  scheduler.RegisterScan(2, 3);
+  scheduler.RegisterScan(2, 3);
+  scheduler.Request({.page = 2, .boost = 1.0});
+  scheduler.Request({.page = 3, .boost = 1.0});
+  scheduler.Drain();
+
+  EXPECT_EQ(metrics.Get(kMetricIoSchedRequeued), 2);  // max_retries attempts
+  EXPECT_EQ(metrics.Get(kMetricIoSchedDropped), 2);   // both pages, finally
+  EXPECT_EQ(metrics.Get(kMetricIoSchedStaged), 0);
+  // The pool-side counter saw every failed stage attempt.
+  EXPECT_EQ(metrics.Get(kMetricPrefetchDropped), 4);
+}
+
+TEST(IoSchedulerTest, StagingConsumesNoFaultDrawsAndSurfacesNoErrors) {
+  Metrics metrics;
+  DiskManager disk(512, &metrics);
+  BufferPool pool(&disk, 8, &metrics);
+  IoScheduler scheduler(&pool, &metrics, SyncOptions());
+  for (int i = 0; i < 2; ++i) disk.AllocatePage();
+
+  // The next non-suspended read fails with corruption. A staged read runs
+  // under ScopedSuspend, so it must neither trip the fault nor consume it.
+  disk.fault_injector().InjectOneShot(FaultOp::kRead, 1);
+  scheduler.Request({.page = 0, .boost = 1.0});
+  scheduler.Drain();
+  EXPECT_EQ(metrics.Get(kMetricIoSchedStaged), 1);
+  EXPECT_EQ(disk.fault_injector().faults_injected(), 0u);
+
+  // The staged page serves without touching the disk; the armed fault is
+  // still pending and fires on the next real read.
+  EXPECT_TRUE(FetchHits(pool, 0));
+  EXPECT_EQ(disk.fault_injector().faults_injected(), 0u);
+  EXPECT_FALSE(pool.FetchPage(1).ok());
+  EXPECT_EQ(disk.fault_injector().faults_injected(), 1u);
+}
+
+TEST(IoSchedulerTest, StopDiscardsQueueAndDrainReturns) {
+  DiskManager disk(512);
+  BufferPool pool(&disk, 8);
+  IoScheduler scheduler(&pool, nullptr, SyncOptions());
+  disk.AllocatePage();
+  scheduler.Request({.page = 0, .boost = 1.0});
+  scheduler.Stop();
+  EXPECT_EQ(scheduler.QueueDepth(), 0u);
+  scheduler.Drain();  // must not hang after Stop
+  scheduler.Stop();   // idempotent
+}
+
+}  // namespace
+}  // namespace aib

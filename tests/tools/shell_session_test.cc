@@ -136,6 +136,16 @@ TEST_F(ShellTest, StatsIncludesRobustnessSummary) {
   EXPECT_NE(Output().find("quarantined=0"), std::string::npos);
 }
 
+TEST_F(ShellTest, StatsIncludesBufferPoolSummary) {
+  EXPECT_TRUE(Exec("create_table t 1"));
+  EXPECT_TRUE(Exec("load_random t 400 1 100 3"));
+  EXPECT_TRUE(Exec("stats"));
+  EXPECT_NE(Output().find("buffer: hit_rate="), std::string::npos);
+  EXPECT_NE(Output().find("prefetch_issued="), std::string::npos);
+  EXPECT_NE(Output().find("page_reuse="), std::string::npos);
+  EXPECT_NE(Output().find("io_queue_p95="), std::string::npos);
+}
+
 TEST_F(ShellTest, FaultArmAndDisarm) {
   EXPECT_TRUE(Exec("create_table t 1"));
   EXPECT_TRUE(Exec("load_random t 400 1 100 3"));

@@ -458,6 +458,25 @@ bool ShellSession::ExecuteLine(const std::string& line) {
            << " degraded=" << metrics.Get(kMetricDegradedQueries)
            << " timed_out=" << metrics.Get(kMetricQueriesTimedOut)
            << " cancelled=" << metrics.Get(kMetricQueriesCancelled) << "\n";
+      const int64_t hits = metrics.Get(kMetricBufferHits);
+      const int64_t misses = metrics.Get(kMetricBufferMisses);
+      const int64_t pages_read = metrics.Get(kMetricPagesRead);
+      const int64_t pages_served = metrics.Get(kMetricScanPagesServed);
+      out_ << "buffer: hit_rate="
+           << (hits + misses == 0
+                   ? 0.0
+                   : static_cast<double>(hits) /
+                         static_cast<double>(hits + misses))
+           << " prefetch_issued=" << metrics.Get(kMetricIoSchedRequests)
+           << " prefetch_staged=" << metrics.Get(kMetricIoSchedStaged)
+           << " prefetch_dropped=" << metrics.Get(kMetricPrefetchDropped)
+           << " page_reuse="
+           << (pages_read == 0 ? 0.0
+                               : static_cast<double>(pages_served) /
+                                     static_cast<double>(pages_read))
+           << " io_queue_p95="
+           << metrics.HistogramCopy(kMetricIoQueueDepth).Percentile(0.95)
+           << "\n";
       out_ << "latching: shared=" << metrics.Get(kMetricLatchSharedAcquires)
            << " exclusive=" << metrics.Get(kMetricLatchExclusiveAcquires)
            << " waits=" << metrics.Get(kMetricLatchWaits)
